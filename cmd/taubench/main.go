@@ -1,0 +1,174 @@
+// Command taubench regenerates the paper's evaluation artifacts: the
+// temporal-context sweeps of Figures 12-13, the scalability experiment
+// of Figure 14, the data-characteristics comparison of Figure 15, the
+// §VII-B code-expansion accounting, and the §VII-F heuristic
+// evaluation.
+//
+// Usage:
+//
+//	taubench -exp fig12            # one experiment
+//	taubench -exp all              # everything (slow: builds LARGE data)
+//	taubench -exp sweep -dataset DS2 -size MEDIUM -queries q2,q7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"taupsm"
+	"taupsm/internal/taubench"
+)
+
+func main() {
+	exp := flag.String("exp", "fig12", "experiment: fig12, fig13, fig14, fig15, loc, heuristic, classes, sweep, all")
+	dataset := flag.String("dataset", "DS1", "dataset for -exp sweep: DS1, DS2, DS3")
+	sizeFlag := flag.String("size", "SMALL", "size for -exp sweep: SMALL, MEDIUM, LARGE")
+	queriesFlag := flag.String("queries", "", "comma-separated query filter for -exp sweep (default: all)")
+	flag.Parse()
+
+	if err := run(*exp, *dataset, *sizeFlag, *queriesFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "taubench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSize(s string) (taubench.Size, error) {
+	switch strings.ToUpper(s) {
+	case "SMALL", "S":
+		return taubench.Small, nil
+	case "MEDIUM", "M":
+		return taubench.Medium, nil
+	case "LARGE", "L":
+		return taubench.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func run(exp, dataset, sizeFlag, queriesFlag string) error {
+	switch exp {
+	case "fig12":
+		_, out, err := taubench.Fig12()
+		fmt.Print(out)
+		return err
+	case "fig13":
+		_, out, err := taubench.Fig13()
+		fmt.Print(out)
+		return err
+	case "fig14":
+		_, out, err := taubench.Fig14()
+		fmt.Print(out)
+		return err
+	case "fig15":
+		_, out, err := taubench.Fig15()
+		fmt.Print(out)
+		return err
+	case "loc":
+		out, err := taubench.LoCExperiment()
+		fmt.Print(out)
+		return err
+	case "classes":
+		ms, _, err := taubench.Fig12()
+		if err != nil {
+			return err
+		}
+		match := 0
+		total := 0
+		for _, q := range taubench.Queries() {
+			if q.ClassSmall == "-" {
+				continue
+			}
+			got := taubench.Classify(ms, q.Name)
+			total++
+			if got == q.ClassSmall {
+				match++
+			}
+			fmt.Printf("%-5s measured=%s paper=%s\n", q.Name, got, q.ClassSmall)
+		}
+		fmt.Printf("agreement: %d/%d\n", match, total)
+		return nil
+	case "heuristic":
+		return runHeuristic()
+	case "sweep":
+		size, err := parseSize(sizeFlag)
+		if err != nil {
+			return err
+		}
+		spec, err := taubench.SpecByName(dataset, size)
+		if err != nil {
+			return err
+		}
+		r, err := taubench.NewRunner(spec)
+		if err != nil {
+			return err
+		}
+		want := map[string]bool{}
+		for _, q := range strings.Split(queriesFlag, ",") {
+			if q = strings.TrimSpace(q); q != "" {
+				want[q] = true
+			}
+		}
+		var ms []taubench.Measurement
+		for _, q := range taubench.Queries() {
+			if len(want) > 0 && !want[q.Name] {
+				continue
+			}
+			for _, c := range taubench.ContextLengths {
+				ms = append(ms, r.RunSequenced(q, taupsm.Max, c))
+				ms = append(ms, r.RunSequenced(q, taupsm.PerStatement, c))
+			}
+		}
+		fmt.Printf("%s-%s sweep (rows: %d)\n\n", dataset, size, r.Stats.Rows)
+		fmt.Print(taubench.FormatTable(ms, func(m taubench.Measurement) string {
+			return taubench.ContextLabel(m.Context)
+		}))
+		return nil
+	case "all":
+		for _, e := range []string{"loc", "fig12", "fig15", "fig14", "fig13", "heuristic"} {
+			fmt.Printf("==================== %s ====================\n", e)
+			if err := run(e, dataset, sizeFlag, queriesFlag); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}
+
+// runHeuristic replays every figure's measurements through the §VII-F
+// heuristic, reproducing the in-text win/error rates.
+func runHeuristic() error {
+	runners := map[string]*taubench.Runner{}
+	getRunner := func(m taubench.Measurement) *taubench.Runner {
+		key := m.Dataset + "/" + m.Size.String()
+		if r, ok := runners[key]; ok {
+			return r
+		}
+		spec, err := taubench.SpecByName(m.Dataset, m.Size)
+		if err != nil {
+			panic(err)
+		}
+		r, err := taubench.NewRunner(spec)
+		if err != nil {
+			panic(err)
+		}
+		runners[key] = r
+		return r
+	}
+
+	var all []taubench.Measurement
+	for _, f := range []func() ([]taubench.Measurement, string, error){
+		taubench.Fig12, taubench.Fig13, taubench.Fig14, taubench.Fig15,
+	} {
+		ms, _, err := f()
+		if err != nil {
+			return err
+		}
+		all = append(all, ms...)
+	}
+	points := taubench.CollectHeuristicPoints(all, getRunner)
+	fmt.Print(taubench.HeuristicEval(points))
+	return nil
+}

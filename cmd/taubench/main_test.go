@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	for in, want := range map[string]string{
+		"SMALL": "SMALL", "s": "SMALL", "medium": "MEDIUM", "L": "LARGE",
+	} {
+		sz, err := parseSize(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if sz.String() != want {
+			t.Fatalf("%q: got %s want %s", in, sz, want)
+		}
+	}
+	if _, err := parseSize("gigantic"); err == nil {
+		t.Fatal("expected error for unknown size")
+	}
+}
+
+func TestRunLoC(t *testing.T) {
+	if err := run("loc", "DS1", "SMALL", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweepFiltered(t *testing.T) {
+	// One query on DS1-SMALL: fast enough for a unit test.
+	if err := run("sweep", "DS1", "SMALL", "q20"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", "DS1", "SMALL", ""); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := run("sweep", "DS9", "SMALL", ""); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+	if err := run("sweep", "DS1", "HUGE", ""); err == nil {
+		t.Fatal("expected unknown-size error")
+	}
+}

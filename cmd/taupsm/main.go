@@ -1,0 +1,117 @@
+// Command taupsm is the Temporal SQL/PSM front end: it translates
+// Temporal SQL/PSM to conventional SQL/PSM (the stratum as a filter)
+// or executes a script against an in-memory temporal database.
+//
+// Usage:
+//
+//	taupsm -mode exec script.sql          # run a script, print results
+//	taupsm -mode translate -strategy max query.sql
+//	taupsm -mode translate -strategy perst -          # read stdin
+//
+// In exec mode every statement is translated by the stratum and run;
+// results of queries are printed as text tables. In translate mode the
+// final statement of the input is translated and the conventional
+// SQL/PSM is printed without executing it; earlier statements (DDL,
+// routine definitions) are executed to build the schema the translator
+// needs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"taupsm"
+	"taupsm/internal/sqlparser"
+)
+
+func main() {
+	mode := flag.String("mode", "exec", "exec or translate")
+	strategy := flag.String("strategy", "auto", "sequenced slicing strategy: auto, max, perst")
+	now := flag.String("now", "", "fix CURRENT_DATE (YYYY-MM-DD)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: taupsm [-mode exec|translate] [-strategy auto|max|perst] <file.sql | ->")
+		os.Exit(2)
+	}
+	if err := run(*mode, *strategy, *now, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "taupsm:", err)
+		os.Exit(1)
+	}
+}
+
+func parseStrategy(s string) (taupsm.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return taupsm.Auto, nil
+	case "max":
+		return taupsm.Max, nil
+	case "perst", "per-statement", "ps":
+		return taupsm.PerStatement, nil
+	}
+	return taupsm.Auto, fmt.Errorf("unknown strategy %q", s)
+}
+
+func run(mode, strategyFlag, now, path string) error {
+	strategy, err := parseStrategy(strategyFlag)
+	if err != nil {
+		return err
+	}
+	var src []byte
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+
+	db := taupsm.Open()
+	db.SetStrategy(strategy)
+	if now != "" {
+		var y, m, d int
+		if _, err := fmt.Sscanf(now, "%d-%d-%d", &y, &m, &d); err != nil {
+			return fmt.Errorf("invalid -now %q: %w", now, err)
+		}
+		db.SetNow(y, m, d)
+	}
+
+	stmts, err := sqlparser.ParseScript(string(src))
+	if err != nil {
+		return err
+	}
+	if len(stmts) == 0 {
+		return fmt.Errorf("no statements in input")
+	}
+
+	switch mode {
+	case "exec":
+		for _, s := range stmts {
+			res, err := db.ExecParsed(s)
+			if err != nil {
+				return err
+			}
+			if len(res.Columns) > 0 {
+				fmt.Println(res.String())
+			}
+		}
+		return nil
+	case "translate":
+		for _, s := range stmts[:len(stmts)-1] {
+			if _, err := db.ExecParsed(s); err != nil {
+				return err
+			}
+		}
+		t, err := db.TranslateStmt(stmts[len(stmts)-1], strategy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- strategy: %s\n%s", t.Strategy, t.SQL())
+		return nil
+	}
+	return fmt.Errorf("unknown mode %q", mode)
+}

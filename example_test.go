@@ -1,0 +1,88 @@
+package taupsm_test
+
+import (
+	"fmt"
+
+	"taupsm"
+)
+
+// The paper's running example: a current query through a stored
+// function, then its sequenced variant — the only change is the
+// prepended VALIDTIME.
+func Example() {
+	db := taupsm.Open()
+	db.SetNow(2010, 6, 15)
+	db.MustExec(`
+		CREATE TABLE author (author_id CHAR(10), first_name CHAR(50)) AS VALIDTIME;
+		NONSEQUENCED VALIDTIME INSERT INTO author VALUES
+		  ('a1', 'Ben',      DATE '2010-01-01', DATE '2010-07-01'),
+		  ('a1', 'Benjamin', DATE '2010-07-01', DATE '2011-01-01');
+		CREATE FUNCTION get_author_name (aid CHAR(10))
+		RETURNS CHAR(50)
+		READS SQL DATA
+		LANGUAGE SQL
+		BEGIN
+		  DECLARE fname CHAR(50);
+		  SET fname = (SELECT first_name FROM author WHERE author_id = aid);
+		  RETURN fname;
+		END;
+	`)
+
+	cur := db.MustExec(`SELECT DISTINCT get_author_name('a1') AS name FROM author`)
+	fmt.Println("now:", cur.Rows[0][0])
+
+	seq := db.MustExec(`VALIDTIME SELECT DISTINCT get_author_name('a1') AS name FROM author`)
+	for _, row := range seq.Rows {
+		fmt.Printf("%s to %s: %s\n", row[0], row[1], row[2])
+	}
+	// Output:
+	// now: Ben
+	// 2010-01-01 to 2010-07-01: Ben
+	// 2010-07-01 to 2011-01-01: Benjamin
+}
+
+// Translating without executing: the stratum as a source-to-source
+// compiler, showing the maximally-fragmented output's key pieces.
+func ExampleDB_Translate() {
+	db := taupsm.Open()
+	db.MustExec(`CREATE TABLE item (id CHAR(10), title CHAR(100)) AS VALIDTIME`)
+
+	out, err := db.Translate(
+		`VALIDTIME (DATE '2010-01-01', DATE '2011-01-01') SELECT title FROM item`,
+		taupsm.Max)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output:
+	// DROP TABLE IF EXISTS taupsm_ts;
+	// DROP TABLE IF EXISTS taupsm_cp;
+	// CREATE TEMPORARY TABLE taupsm_ts (time_point DATE);
+	// INSERT INTO taupsm_ts SELECT begin_time AS time_point FROM item UNION SELECT end_time AS time_point FROM item UNION VALUES (DATE '2010-01-01'), (DATE '2011-01-01');
+	// CREATE TEMPORARY TABLE taupsm_cp AS (SELECT ts1.time_point AS begin_time, ts2.time_point AS end_time FROM taupsm_ts AS ts1, taupsm_ts AS ts2 WHERE ts1.time_point < ts2.time_point AND DATE '2010-01-01' <= ts1.time_point AND ts1.time_point < DATE '2011-01-01' AND ts2.time_point <= DATE '2011-01-01' AND NOT EXISTS (SELECT time_point FROM taupsm_ts AS ts3 WHERE ts1.time_point < ts3.time_point AND ts3.time_point < ts2.time_point)) WITH DATA;
+	// SELECT cp.begin_time AS begin_time, cp.end_time AS end_time, title FROM taupsm_cp AS cp, item WHERE item.begin_time <= cp.begin_time AND cp.begin_time < item.end_time;
+	// DROP TABLE IF EXISTS taupsm_ts;
+	// DROP TABLE IF EXISTS taupsm_cp;
+}
+
+// Sequenced modifications patch exactly the stated period.
+func ExampleDB_Exec_sequencedUpdate() {
+	db := taupsm.Open()
+	db.SetNow(2024, 1, 1)
+	db.MustExec(`
+		CREATE TABLE salary (emp CHAR(10), amount INTEGER) AS VALIDTIME;
+		NONSEQUENCED VALIDTIME INSERT INTO salary VALUES
+		  ('grace', 90, DATE '2024-01-01', DATE '2025-01-01');
+		VALIDTIME (DATE '2024-06-01', DATE '2024-09-01')
+		UPDATE salary SET amount = 95 WHERE emp = 'grace';
+	`)
+	res := db.MustExec(`NONSEQUENCED VALIDTIME
+		SELECT amount, begin_time, end_time FROM salary ORDER BY begin_time`)
+	for _, row := range res.Rows {
+		fmt.Printf("%s [%s, %s)\n", row[0], row[1], row[2])
+	}
+	// Output:
+	// 90 [2024-01-01, 2024-06-01)
+	// 95 [2024-06-01, 2024-09-01)
+	// 90 [2024-09-01, 2025-01-01)
+}

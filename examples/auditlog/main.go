@@ -1,0 +1,57 @@
+// Auditlog: transaction-time tables. The engine records every state the
+// database ever asserted; timestamps are system-maintained and
+// append-only (no backdating, no rewriting the audit past), and the
+// TRANSACTIONTIME statement modifiers reconstruct what was recorded —
+// including through stored routines.
+package main
+
+import (
+	"fmt"
+
+	"taupsm"
+)
+
+func main() {
+	db := taupsm.Open()
+
+	db.SetNow(2024, 1, 10)
+	db.MustExec(`
+		CREATE TABLE price_list (sku CHAR(10), price FLOAT) AS TRANSACTIONTIME;
+		INSERT INTO price_list VALUES ('widget', 9.99), ('gadget', 24.00);
+
+		CREATE FUNCTION price_of (s CHAR(10))
+		RETURNS FLOAT
+		READS SQL DATA
+		LANGUAGE SQL
+		BEGIN
+		  DECLARE p FLOAT;
+		  SET p = (SELECT price FROM price_list WHERE sku = s);
+		  RETURN p;
+		END;
+	`)
+
+	// Corrections over time: each one closes the old recorded row and
+	// opens a new one — automatically.
+	db.SetNow(2024, 3, 1)
+	db.MustExec(`UPDATE price_list SET price = 11.50 WHERE sku = 'widget'`)
+	db.SetNow(2024, 5, 20)
+	db.MustExec(`UPDATE price_list SET price = 10.75 WHERE sku = 'widget'`)
+	db.MustExec(`DELETE FROM price_list WHERE sku = 'gadget'`) // logical delete
+
+	fmt.Println("== what the database states now ==")
+	fmt.Println(db.MustExec(`SELECT sku, price FROM price_list`).String())
+
+	fmt.Println("== the raw audit trail ==")
+	fmt.Println(db.MustExec(`NONSEQUENCED TRANSACTIONTIME
+		SELECT sku, price, begin_time, end_time FROM price_list ORDER BY sku, begin_time`).String())
+
+	fmt.Println("== what did we quote for the widget over Q1, via the stored function? ==")
+	db.SetStrategy(taupsm.Max)
+	fmt.Println(db.MustExec(`TRANSACTIONTIME (DATE '2024-01-01', DATE '2024-04-01')
+		SELECT price_of('widget') AS quoted FROM price_list WHERE sku = 'widget'`).String())
+
+	// Integrity: the recorded past cannot be rewritten.
+	_, err := db.Exec(`TRANSACTIONTIME (DATE '2024-01-01', DATE '2024-02-01')
+		UPDATE price_list SET price = 1.00 WHERE sku = 'widget'`)
+	fmt.Printf("rewriting history: %v\n", err)
+}

@@ -1,0 +1,91 @@
+// Payroll: temporal upward compatibility and sequenced modifications.
+// An existing snapshot application (employees, a salary-lookup
+// procedure) keeps working unchanged after ALTER TABLE ... ADD
+// VALIDTIME renders the table temporal; history then accumulates
+// automatically, sequenced updates patch past periods, and sequenced
+// queries reconstruct any employee's salary history through the same
+// stored routines.
+package main
+
+import (
+	"fmt"
+
+	"taupsm"
+)
+
+func main() {
+	db := taupsm.Open()
+	db.SetNow(2024, 1, 1)
+
+	// A conventional (snapshot) payroll application.
+	db.MustExec(`
+		CREATE TABLE employee (emp_id CHAR(10), name VARCHAR(50), salary FLOAT, dept VARCHAR(20));
+		INSERT INTO employee VALUES
+		  ('e1', 'Ada',   90000, 'Research'),
+		  ('e2', 'Grace', 95000, 'Systems'),
+		  ('e3', 'Edsger', 88000, 'Theory');
+
+		CREATE FUNCTION dept_of (eid CHAR(10))
+		RETURNS VARCHAR(20)
+		READS SQL DATA
+		LANGUAGE SQL
+		BEGIN
+		  DECLARE d VARCHAR(20);
+		  SET d = (SELECT dept FROM employee WHERE emp_id = eid);
+		  RETURN d;
+		END;
+
+		CREATE PROCEDURE salary_of (IN eid CHAR(10), OUT s FLOAT)
+		READS SQL DATA
+		LANGUAGE SQL
+		BEGIN
+		  SET s = (SELECT salary FROM employee WHERE emp_id = eid);
+		END;
+
+		CREATE FUNCTION lookup_salary (eid CHAR(10))
+		RETURNS FLOAT
+		READS SQL DATA
+		LANGUAGE SQL
+		BEGIN
+		  DECLARE s FLOAT DEFAULT 0.0;
+		  CALL salary_of(eid, s);
+		  RETURN s;
+		END;
+	`)
+
+	// Render the table temporal. Existing queries keep working
+	// (temporal upward compatibility).
+	db.MustExec(`ALTER TABLE employee ADD VALIDTIME`)
+	fmt.Println("== legacy query, unchanged, after ADD VALIDTIME ==")
+	fmt.Println(db.MustExec(`SELECT name, lookup_salary(emp_id) AS salary FROM employee ORDER BY name`).String())
+
+	// Time passes; current updates version the rows automatically.
+	db.SetNow(2024, 7, 1)
+	db.MustExec(`UPDATE employee SET salary = 99000 WHERE emp_id = 'e1'`)
+	db.SetNow(2025, 2, 1)
+	db.MustExec(`UPDATE employee SET salary = 105000, dept = 'Directorate' WHERE emp_id = 'e1'`)
+
+	// A retroactive correction: Grace's salary was actually 97000
+	// during Q4 2024 — a sequenced UPDATE patches exactly that period.
+	db.MustExec(`VALIDTIME (DATE '2024-10-01', DATE '2025-01-01')
+		UPDATE employee SET salary = 97000 WHERE emp_id = 'e2'`)
+
+	// Sequenced query through the stored routines: salary history.
+	fmt.Println("== salary history via the stored procedure chain ==")
+	db.SetStrategy(taupsm.PerStatement)
+	fmt.Println(db.MustExec(`VALIDTIME (DATE '2024-01-01', DATE '2025-06-01')
+		SELECT e.name, lookup_salary(e.emp_id) AS salary
+		FROM employee e WHERE e.emp_id = 'e1'`).String())
+
+	fmt.Println("== Grace's corrected history (nonsequenced view of raw rows) ==")
+	fmt.Println(db.MustExec(`NONSEQUENCED VALIDTIME
+		SELECT salary, begin_time, end_time FROM employee
+		WHERE emp_id = 'e2' ORDER BY begin_time`).String())
+
+	// The same sequenced query under MAX must agree with PERST.
+	db.SetStrategy(taupsm.Max)
+	fmt.Println("== the same history under maximally-fragmented slicing ==")
+	fmt.Println(db.MustExec(`VALIDTIME (DATE '2024-01-01', DATE '2025-06-01')
+		SELECT e.name, lookup_salary(e.emp_id) AS salary
+		FROM employee e WHERE e.emp_id = 'e1'`).String())
+}

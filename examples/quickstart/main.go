@@ -1,0 +1,52 @@
+// Quickstart: a temporal table, a stored function, and the three query
+// semantics of Temporal SQL/PSM — current (no modifier), sequenced
+// (VALIDTIME), and nonsequenced (NONSEQUENCED VALIDTIME).
+package main
+
+import (
+	"fmt"
+
+	"taupsm"
+)
+
+func main() {
+	db := taupsm.Open()
+	db.SetNow(2010, 6, 15)
+
+	db.MustExec(`
+		CREATE TABLE author (author_id CHAR(10), first_name CHAR(50)) AS VALIDTIME;
+
+		-- Load history explicitly (nonsequenced: we manage the periods).
+		NONSEQUENCED VALIDTIME INSERT INTO author VALUES
+		  ('a1', 'Ben',      DATE '2010-01-01', DATE '2010-07-01'),
+		  ('a1', 'Benjamin', DATE '2010-07-01', DATE '2011-01-01');
+
+		-- A stored function, written exactly as in conventional SQL/PSM.
+		CREATE FUNCTION get_author_name (aid CHAR(10))
+		RETURNS CHAR(50)
+		READS SQL DATA
+		LANGUAGE SQL
+		BEGIN
+		  DECLARE fname CHAR(50);
+		  SET fname = (SELECT first_name FROM author WHERE author_id = aid);
+		  RETURN fname;
+		END;
+	`)
+
+	// Current semantics: what is the author called today (June 15)?
+	cur := db.MustExec(`SELECT get_author_name('a1') AS name FROM author WHERE author_id = 'a1'`)
+	fmt.Println("current:")
+	fmt.Println(cur.String())
+
+	// Sequenced semantics: the history of the name — just prepend
+	// VALIDTIME; the stratum rewrites the query AND the function.
+	seq := db.MustExec(`VALIDTIME SELECT get_author_name('a1') AS name FROM author WHERE author_id = 'a1'`)
+	fmt.Println("sequenced (history):")
+	fmt.Println(seq.String())
+
+	// Nonsequenced semantics: raw periods as ordinary columns.
+	non := db.MustExec(`NONSEQUENCED VALIDTIME
+		SELECT first_name, begin_time, end_time FROM author ORDER BY begin_time`)
+	fmt.Println("nonsequenced (raw rows):")
+	fmt.Println(non.String())
+}

@@ -1,0 +1,58 @@
+// Translator: using the stratum purely as a source-to-source compiler
+// (the deployment mode the paper proposes for vendors): feed it a
+// schema, routine definitions, and a Temporal SQL/PSM statement, and
+// get back conventional SQL/PSM under each strategy — including the
+// heuristic's automatic choice and the q17b-style applicability error.
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"taupsm"
+)
+
+const schema = `
+CREATE TABLE sensor (sensor_id CHAR(10), room VARCHAR(20)) AS VALIDTIME;
+CREATE TABLE reading_limit (room VARCHAR(20), max_temp FLOAT) AS VALIDTIME;
+
+CREATE FUNCTION limit_for (sid CHAR(10))
+RETURNS FLOAT
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE r VARCHAR(20);
+  DECLARE l FLOAT;
+  SET r = (SELECT room FROM sensor WHERE sensor_id = sid);
+  SET l = (SELECT max_temp FROM reading_limit WHERE room = r);
+  RETURN l;
+END;
+`
+
+func main() {
+	db := taupsm.Open()
+	db.MustExec(schema)
+
+	query := `VALIDTIME (DATE '2024-01-01', DATE '2025-01-01')
+SELECT s.sensor_id FROM sensor s WHERE limit_for(s.sensor_id) > 30`
+
+	for _, strategy := range []taupsm.Strategy{taupsm.Max, taupsm.PerStatement} {
+		out, err := db.Translate(query, strategy)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("==== %v translation ====\n%s\n", strategy, out)
+	}
+
+	// A sequenced aggregate is outside per-statement slicing's reach:
+	// the translator reports it, and Auto falls back to MAX.
+	agg := `VALIDTIME SELECT COUNT(*) FROM sensor`
+	if _, err := db.Translate(agg, taupsm.PerStatement); errors.Is(err, taupsm.ErrNotTransformable) {
+		fmt.Printf("PERST correctly refuses %q:\n  %v\n\n", agg, err)
+	}
+	out, err := db.Translate(agg, taupsm.Max)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("==== MAX fallback for the aggregate ====\n%s\n", out)
+}

@@ -1,0 +1,188 @@
+package taupsm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/sqlparser"
+)
+
+// Sequenced views: CREATE VIEW ... AS VALIDTIME (...) is translated
+// once, data-independently, and stays correct as data changes.
+func TestSequencedView(t *testing.T) {
+	db := paperDB(t)
+	if _, err := db.Exec(`CREATE VIEW title_history AS VALIDTIME (
+		SELECT i.title FROM item i, item_author ia
+		WHERE i.id = ia.item_id AND get_author_name(ia.author_id) = 'Ben')`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`NONSEQUENCED VALIDTIME SELECT * FROM title_history ORDER BY begin_time, title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("sequenced view returned no history")
+	}
+	if !strings.EqualFold(res.Columns[0], "begin_time") || !strings.EqualFold(res.Columns[1], "end_time") {
+		t.Fatalf("sequenced view must expose period columns: %v", res.Columns)
+	}
+	// the view tracks later data changes
+	before := len(res.Rows)
+	db.MustExec(`NONSEQUENCED VALIDTIME INSERT INTO item_author VALUES
+		('i3', 'a1', DATE '2010-05-01', DATE '2010-06-01')`)
+	res2, err := db.Query(`NONSEQUENCED VALIDTIME SELECT * FROM title_history`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) <= before {
+		t.Fatalf("view must reflect new data: %d -> %d rows", before, len(res2.Rows))
+	}
+}
+
+func TestSequencedViewWithVALIDTIMEPrefix(t *testing.T) {
+	db := paperDB(t)
+	// the modifier may also prefix the whole statement
+	if _, err := db.Exec(`VALIDTIME CREATE VIEW vh AS
+		SELECT first_name FROM author`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`NONSEQUENCED VALIDTIME SELECT * FROM vh`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected 3 timestamped rows, got %d", len(res.Rows))
+	}
+}
+
+func TestSequencedViewRejectsAggregates(t *testing.T) {
+	db := paperDB(t)
+	_, err := db.Exec(`CREATE VIEW bad AS VALIDTIME (SELECT COUNT(*) FROM item)`)
+	if !errors.Is(err, ErrNotTransformable) {
+		t.Fatalf("expected ErrNotTransformable for sequenced aggregate view, got %v", err)
+	}
+}
+
+func TestNonsequencedView(t *testing.T) {
+	db := paperDB(t)
+	db.MustExec(`CREATE VIEW raw_author AS NONSEQUENCED VALIDTIME
+		(SELECT first_name, begin_time FROM author)`)
+	res, err := db.Query(`NONSEQUENCED VALIDTIME SELECT first_name FROM raw_author WHERE begin_time = DATE '2010-07-01'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res, "Benjamin")
+}
+
+// CoalesceResults merges fragmented periods from MAX slicing.
+func TestCoalesceResults(t *testing.T) {
+	db := paperDB(t)
+	db.SetStrategy(Max)
+	db.CoalesceResults = true
+	res, err := db.Query(`VALIDTIME SELECT i.title FROM item i, item_author ia
+		WHERE i.id = ia.item_id AND get_author_name(ia.author_id) = 'Ben'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res,
+		"2010-01-01|2010-07-01|SQL Basics",
+		"2010-03-01|2010-07-01|Advanced SQL")
+}
+
+func TestCoalesceDoesNotTouchCurrentResults(t *testing.T) {
+	db := paperDB(t)
+	db.CoalesceResults = true
+	res, err := db.Query(`SELECT title FROM item ORDER BY title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 {
+		t.Fatalf("current result must be untouched: %v", res.Columns)
+	}
+}
+
+// The Auto heuristic picks MAX for short contexts and PERST for long
+// ones on this engine (the calibrated §VII-F thresholds).
+func TestAutoHeuristicChoices(t *testing.T) {
+	db := paperDB(t)
+	short, err := db.TranslateStmt(mustParse(t, `VALIDTIME (DATE '2010-01-01', DATE '2010-01-03')
+		SELECT i.title FROM item i WHERE get_author_name('a1') = 'Ben'`), Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = short
+	// direct check through the internal chooser: the facade applies it
+	// in translateStmt; verify both paths execute.
+	db.SetStrategy(Auto)
+	if _, err := db.Query(`VALIDTIME (DATE '2010-01-01', DATE '2010-01-03')
+		SELECT i.title FROM item i WHERE get_author_name('a1') = 'Ben'`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`VALIDTIME SELECT i.title FROM item i WHERE get_author_name('a1') = 'Ben'`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`SELECT title FROM item WHERE id = 'i1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if !strings.Contains(s, "title") || !strings.Contains(s, "SQL Basics") {
+		t.Fatalf("table rendering: %s", s)
+	}
+	empty := &Result{}
+	if empty.String() != "(no result set)" {
+		t.Fatalf("empty rendering: %q", empty.String())
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`SELECT 1, 2.5, 'x', TRUE, NULL, DATE '2010-01-01' FROM item WHERE id = 'i1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0].Int() != 1 || row[1].Float() != 2.5 || row[2].String() != "x" ||
+		!row[3].Bool() || !row[4].IsNull() || row[5].String() != "2010-01-01" {
+		t.Fatalf("accessors: %v", row)
+	}
+}
+
+func TestTranslateParseError(t *testing.T) {
+	db := Open()
+	if _, err := db.Translate(`SELEC nonsense`, Max); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := db.Exec(`SELEC nonsense`); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestTeardownRunsOnQueryError(t *testing.T) {
+	db := paperDB(t)
+	db.SetStrategy(Max)
+	// Force a runtime error in the main query via a bad function arg
+	// count after setup ran; the cp temp tables must still be dropped.
+	_, err := db.Query(`VALIDTIME SELECT i.title FROM item i WHERE get_author_name(i.id, i.id) = 'x'`)
+	if err == nil {
+		t.Fatal("expected arity error")
+	}
+	if db.Engine().Cat.Table("taupsm_cp") != nil {
+		t.Fatal("teardown must drop taupsm_cp even on error")
+	}
+}
+
+func mustParse(t *testing.T, src string) sqlast.Stmt {
+	t.Helper()
+	s, err := sqlparser.ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

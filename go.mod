@@ -1,0 +1,3 @@
+module taupsm
+
+go 1.22

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/sqlast"
+)
+
+// analysis is the compile-time reachability information the transforms
+// rely on (paper §V-A: "collect at compile time all the temporal tables
+// that are referenced directly or indirectly by the query").
+type analysis struct {
+	dim            sqlast.TemporalDimension
+	tables         []string // reachable base tables, first-seen order
+	temporalTables []string // temporal tables of the analyzed dimension
+	mismatched     []string // temporal tables of the *other* dimension
+	routines       []string // reachable routines, first-seen order
+
+	routineDef      map[string]sqlast.Stmt // lowercased name -> definition
+	isProc          map[string]bool
+	routineTemporal map[string]bool // routine (transitively) touches temporal data
+	modifierIn      map[string]bool // routine contains a temporal modifier
+	directTables    map[string][]string
+	callees         map[string][]string
+}
+
+// temporalRoutine reports whether the named routine transitively
+// references temporal data.
+func (a *analysis) temporalRoutine(name string) bool {
+	return a.routineTemporal[strings.ToLower(name)]
+}
+
+// direct holds what one statement references without recursion.
+type direct struct {
+	tables      []string
+	calls       []string
+	hasModifier bool
+}
+
+// collectDirect finds base tables, routine invocations, and temporal
+// modifiers in a single pass over one statement.
+func (tr *Translator) collectDirect(stmt sqlast.Stmt) direct {
+	var d direct
+	seenT := map[string]bool{}
+	seenC := map[string]bool{}
+	sqlast.Walk(stmt, func(n sqlast.Node) bool {
+		switch x := n.(type) {
+		case *sqlast.BaseTable:
+			k := strings.ToLower(x.Name)
+			if !seenT[k] && tr.Info.IsTable(x.Name) {
+				seenT[k] = true
+				d.tables = append(d.tables, x.Name)
+			}
+		case *sqlast.FuncCall:
+			k := strings.ToLower(x.Name)
+			if !seenC[k] && tr.Info.Function(x.Name) != nil {
+				seenC[k] = true
+				d.calls = append(d.calls, x.Name)
+			}
+		case *sqlast.CallStmt:
+			k := strings.ToLower(x.Name)
+			if !seenC[k] && tr.Info.Procedure(x.Name) != nil {
+				seenC[k] = true
+				d.calls = append(d.calls, x.Name)
+			}
+		case *sqlast.TemporalStmt:
+			if x.Mod != sqlast.ModCurrent {
+				d.hasModifier = true
+			}
+		}
+		return true
+	})
+	return d
+}
+
+// dimAny is the sentinel dimension used by current-semantics analysis,
+// where valid-time and transaction-time tables are treated alike.
+const dimAny = sqlast.TemporalDimension(255)
+
+// isTransactionTable consults the optional extension of SchemaInfo.
+func (tr *Translator) isTransactionTable(name string) bool {
+	if ti, ok := tr.Info.(interface{ IsTransactionTable(string) bool }); ok {
+		return ti.IsTransactionTable(name)
+	}
+	return false
+}
+
+// dimOf classifies a temporal table's dimension.
+func (tr *Translator) dimOf(name string) sqlast.TemporalDimension {
+	if tr.isTransactionTable(name) {
+		return sqlast.DimTransaction
+	}
+	return sqlast.DimValid
+}
+
+// analyze computes the reachability closure of stmt over the routine
+// call graph, classifying each routine as temporal or not, relative to
+// the statement's time dimension (dimAny matches both).
+func (tr *Translator) analyze(stmt sqlast.Stmt) (*analysis, error) {
+	return tr.analyzeDim(stmt, dimAny)
+}
+
+func (tr *Translator) analyzeDim(stmt sqlast.Stmt, dim sqlast.TemporalDimension) (*analysis, error) {
+	a := &analysis{
+		dim:             dim,
+		routineDef:      map[string]sqlast.Stmt{},
+		isProc:          map[string]bool{},
+		routineTemporal: map[string]bool{},
+		modifierIn:      map[string]bool{},
+		directTables:    map[string][]string{},
+		callees:         map[string][]string{},
+	}
+	seenTable := map[string]bool{}
+	seenRoutine := map[string]bool{}
+
+	addTables := func(tables []string) {
+		for _, t := range tables {
+			k := strings.ToLower(t)
+			if !seenTable[k] {
+				seenTable[k] = true
+				a.tables = append(a.tables, t)
+				if tr.Info.IsTemporalTable(t) {
+					if dim == dimAny || tr.dimOf(t) == dim {
+						a.temporalTables = append(a.temporalTables, t)
+					} else {
+						a.mismatched = append(a.mismatched, t)
+					}
+				}
+			}
+		}
+	}
+
+	root := tr.collectDirect(stmt)
+	addTables(root.tables)
+	queue := append([]string{}, root.calls...)
+
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		k := strings.ToLower(name)
+		if seenRoutine[k] {
+			continue
+		}
+		seenRoutine[k] = true
+		a.routines = append(a.routines, name)
+		var body sqlast.Stmt
+		if fn := tr.Info.Function(name); fn != nil {
+			a.routineDef[k] = fn
+			body = fn.Body
+		} else if pr := tr.Info.Procedure(name); pr != nil {
+			a.routineDef[k] = pr
+			a.isProc[k] = true
+			body = pr.Body
+		} else {
+			return nil, fmt.Errorf("routine %s referenced but not defined", name)
+		}
+		d := tr.collectDirect(body)
+		addTables(d.tables)
+		a.directTables[k] = d.tables
+		a.callees[k] = d.calls
+		a.modifierIn[k] = d.hasModifier
+		queue = append(queue, d.calls...)
+	}
+
+	// Fixpoint: a routine is temporal if it references a temporal table
+	// directly or calls a temporal routine.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range a.routines {
+			k := strings.ToLower(r)
+			if a.routineTemporal[k] {
+				continue
+			}
+			temporal := false
+			for _, t := range a.directTables[k] {
+				if tr.Info.IsTemporalTable(t) && (dim == dimAny || tr.dimOf(t) == dim) {
+					temporal = true
+					break
+				}
+			}
+			if !temporal {
+				for _, c := range a.callees[k] {
+					if a.routineTemporal[strings.ToLower(c)] {
+						temporal = true
+						break
+					}
+				}
+			}
+			if temporal {
+				a.routineTemporal[k] = true
+				changed = true
+			}
+		}
+	}
+	return a, nil
+}
+
+// checkNoInnerModifiers returns ErrSequencedModifierInRoutine when any
+// reachable routine contains a temporal statement modifier: such
+// routines may only be invoked from nonsequenced contexts (§IV-A).
+func (tr *Translator) checkNoInnerModifiers(a *analysis) error {
+	for _, r := range a.routines {
+		if a.modifierIn[strings.ToLower(r)] {
+			return fmt.Errorf("routine %s: %w", r, ErrSequencedModifierInRoutine)
+		}
+	}
+	return nil
+}
+
+// renameCalls rewrites invocations of routines satisfying pred to
+// prefix+name, in expressions (function calls) and CALL statements.
+func renameCalls(stmt sqlast.Stmt, a *analysis, prefix string, pred func(name string) bool) {
+	sqlast.MapExprs(stmt, func(e sqlast.Expr) sqlast.Expr {
+		if fc, ok := e.(*sqlast.FuncCall); ok {
+			if _, known := a.routineDef[strings.ToLower(fc.Name)]; known && pred(fc.Name) {
+				fc.Name = prefix + fc.Name
+			}
+		}
+		return e
+	})
+	sqlast.Walk(stmt, func(n sqlast.Node) bool {
+		if cs, ok := n.(*sqlast.CallStmt); ok {
+			if _, known := a.routineDef[strings.ToLower(cs.Name)]; known && pred(cs.Name) {
+				cs.Name = prefix + cs.Name
+			}
+		}
+		return true
+	})
+}
+
+// forEachSelect visits every SelectStmt in the statement tree,
+// including those in subqueries, cursor declarations and routine-body
+// statements.
+func forEachSelect(stmt sqlast.Node, f func(*sqlast.SelectStmt)) {
+	sqlast.Walk(stmt, func(n sqlast.Node) bool {
+		if sel, ok := n.(*sqlast.SelectStmt); ok {
+			f(sel)
+		}
+		return true
+	})
+}
+
+// andExpr conjoins two expressions, tolerating nils.
+func andExpr(a, b sqlast.Expr) sqlast.Expr {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return &sqlast.BinaryExpr{Op: "AND", L: a, R: b}
+}
+
+// fromEntries lists the (alias, tableName) pairs of a select's FROM
+// clause base tables, flattening JOIN trees.
+func fromEntries(sel *sqlast.SelectStmt) [](struct{ Alias, Name string }) {
+	var out [](struct{ Alias, Name string })
+	var visit func(r sqlast.TableRef)
+	visit = func(r sqlast.TableRef) {
+		switch x := r.(type) {
+		case *sqlast.BaseTable:
+			alias := x.Alias
+			if alias == "" {
+				alias = x.Name
+			}
+			out = append(out, struct{ Alias, Name string }{alias, x.Name})
+		case *sqlast.JoinExpr:
+			visit(x.L)
+			visit(x.R)
+		}
+	}
+	for _, r := range sel.From {
+		visit(r)
+	}
+	return out
+}
+
+func col(table, name string) sqlast.Expr {
+	return &sqlast.ColumnRef{Table: table, Column: name}
+}
+
+// checkSingleDimension rejects statements that slice one dimension but
+// also reach temporal tables of the other: mixing valid time and
+// transaction time in one sequenced statement is bitemporal territory,
+// which the paper (and this implementation) leaves as future work.
+func (a *analysis) checkSingleDimension() error {
+	if len(a.mismatched) > 0 {
+		return fmt.Errorf("statement slices %s but reaches %s table(s) %s; mixing dimensions in one sequenced statement is not supported",
+			a.dim.Keyword(), otherDim(a.dim).Keyword(), strings.Join(a.mismatched, ", "))
+	}
+	return nil
+}
+
+func otherDim(d sqlast.TemporalDimension) sqlast.TemporalDimension {
+	if d == sqlast.DimTransaction {
+		return sqlast.DimValid
+	}
+	return sqlast.DimTransaction
+}
+
+// checkNoManualTransactionDML rejects modifications of transaction-time
+// tables under NONSEQUENCED or sequenced modifiers: transaction time is
+// system-maintained and append-only, so only current modifications
+// (automatic auditing) are legal.
+func (tr *Translator) checkNoManualTransactionDML(body sqlast.Stmt) error {
+	var bad string
+	sqlast.Walk(body, func(n sqlast.Node) bool {
+		var target string
+		switch x := n.(type) {
+		case *sqlast.InsertStmt:
+			if !x.VarTarget {
+				target = x.Table
+			}
+		case *sqlast.UpdateStmt:
+			if !x.VarTarget {
+				target = x.Table
+			}
+		case *sqlast.DeleteStmt:
+			if !x.VarTarget {
+				target = x.Table
+			}
+		}
+		if target != "" && tr.isTransactionTable(target) {
+			bad = target
+		}
+		return bad == ""
+	})
+	if bad != "" {
+		return fmt.Errorf("transaction time of table %s is system-maintained; only current modifications are allowed", bad)
+	}
+	return nil
+}

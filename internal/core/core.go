@@ -1,0 +1,226 @@
+// Package core implements the paper's contribution: the stratum that
+// translates Temporal SQL/PSM — queries and stored routines carrying
+// the SQL/Temporal statement modifiers VALIDTIME and NONSEQUENCED
+// VALIDTIME — into conventional SQL/PSM over tables with explicit
+// begin_time/end_time columns.
+//
+// Three semantics are implemented (paper §IV):
+//
+//   - current (no modifier): every WHERE over a temporal table gains a
+//     begin_time <= CURRENT_DATE AND CURRENT_DATE < end_time predicate,
+//     in the statement and in curr_-prefixed clones of every reachable
+//     routine; current modifications maintain validity periods.
+//   - sequenced (VALIDTIME [(bt, et)]): two slicing strategies —
+//     maximally-fragmented slicing (§V) and per-statement slicing (§VI).
+//   - nonsequenced (NONSEQUENCED VALIDTIME): timestamps are ordinary
+//     columns; the statement passes through with routines unchanged.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/types"
+)
+
+// Strategy selects how sequenced statements are sliced.
+type Strategy int
+
+// Slicing strategies.
+const (
+	// StrategyAuto picks MAX or PERST with the §VII-F heuristic.
+	StrategyAuto Strategy = iota
+	// StrategyMax is maximally-fragmented slicing: evaluate once per
+	// constant period. Always applicable.
+	StrategyMax
+	// StrategyPerStatement is per-statement slicing: routines are
+	// rewritten to operate on temporal tables. Not complete.
+	StrategyPerStatement
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyMax:
+		return "MAX"
+	case StrategyPerStatement:
+		return "PERST"
+	}
+	return "AUTO"
+}
+
+// ErrNotTransformable reports that per-statement slicing cannot handle
+// a construct (e.g. the non-nested FETCH of τPSM q17b); callers fall
+// back to maximally-fragmented slicing, which always applies.
+var ErrNotTransformable = errors.New("per-statement slicing cannot transform this statement")
+
+// ErrSequencedModifierInRoutine reports a temporal modifier inside a
+// routine invoked from a sequenced or current context, which the paper
+// defines as a semantic error (§IV-A).
+var ErrSequencedModifierInRoutine = errors.New(
+	"a routine containing a temporal statement modifier may only be invoked from a nonsequenced context")
+
+// SchemaInfo is what the translator needs to know about the database
+// schema. The public facade implements it over the engine's catalog.
+type SchemaInfo interface {
+	// IsTemporalTable reports whether name is a table with valid-time
+	// support.
+	IsTemporalTable(name string) bool
+	// IsTable reports whether name is a stored table or view.
+	IsTable(name string) bool
+	// Function returns the definition of a stored SQL function, or nil.
+	Function(name string) *sqlast.CreateFunctionStmt
+	// Procedure returns the definition of a stored procedure, or nil.
+	Procedure(name string) *sqlast.CreateProcedureStmt
+}
+
+// Translation is the conventional SQL/PSM a temporal statement compiles
+// to.
+type Translation struct {
+	// Strategy actually used (meaningful for sequenced statements).
+	Strategy Strategy
+	// Routines are transformed routine definitions (curr_/max_/ps_
+	// clones) that must exist before Main runs. Idempotent: callers
+	// may skip ones already registered.
+	Routines []sqlast.Stmt
+	// Setup statements run before Main (e.g. the Figure-8 ts/cp
+	// construction for MAX slicing, or the materialize/delete/re-insert
+	// sequence of sequenced modifications).
+	Setup []sqlast.Stmt
+	// NeedsConstantPeriods marks MAX-sliced queries whose Setup builds
+	// the taupsm_ts/taupsm_cp tables; executors may substitute a native
+	// constant-period computation for that Setup. Other translations'
+	// Setup statements must always run.
+	NeedsConstantPeriods bool
+	// Main is the rewritten statement.
+	Main sqlast.Stmt
+	// Teardown statements run after Main (dropping temp objects).
+	Teardown []sqlast.Stmt
+
+	// Context is the sequenced temporal context [Begin, End) as
+	// expressions (literals for defaulted contexts).
+	ContextBegin, ContextEnd sqlast.Expr
+
+	// TemporalTables are the temporal tables reachable from the
+	// statement (directly or through routines), in first-seen order.
+	TemporalTables []string
+
+	// UsesPerPeriodCursor reports that the PERST translation processes
+	// cursors on a per-period basis via auxiliary tables (the
+	// heuristic's clause (b), paper §VII-F).
+	UsesPerPeriodCursor bool
+}
+
+// SQL renders the complete translation as a script.
+func (t *Translation) SQL() string {
+	var stmts []sqlast.Stmt
+	stmts = append(stmts, t.Routines...)
+	stmts = append(stmts, t.Setup...)
+	if t.Main != nil {
+		stmts = append(stmts, t.Main)
+	}
+	stmts = append(stmts, t.Teardown...)
+	return sqlast.Script(stmts)
+}
+
+// Translator converts Temporal SQL/PSM statements to conventional
+// SQL/PSM against a schema.
+type Translator struct {
+	Info SchemaInfo
+}
+
+// NewTranslator returns a Translator over the given schema.
+func NewTranslator(info SchemaInfo) *Translator {
+	return &Translator{Info: info}
+}
+
+// defaultContext is the whole-timeline temporal context used when a
+// sequenced statement has no explicit period.
+func defaultContext() (sqlast.Expr, sqlast.Expr) {
+	return &sqlast.Literal{Val: types.NewDate(types.MustDate(1, 1, 1))},
+		&sqlast.Literal{Val: types.NewDate(types.Forever)}
+}
+
+// Translate rewrites one Temporal SQL/PSM statement. Statements without
+// a modifier get current semantics; VALIDTIME statements are sliced
+// with the requested strategy (StrategyAuto applies the heuristic after
+// attempting PERST); NONSEQUENCED VALIDTIME statements pass through.
+func (tr *Translator) Translate(stmt sqlast.Stmt, strategy Strategy) (*Translation, error) {
+	if v, ok := stmt.(*sqlast.CreateViewStmt); ok && v.Mod != sqlast.ModCurrent {
+		return tr.translateView(v)
+	}
+	ts, ok := stmt.(*sqlast.TemporalStmt)
+	if !ok {
+		return tr.translateCurrent(stmt)
+	}
+	switch ts.Mod {
+	case sqlast.ModCurrent:
+		return tr.translateCurrent(ts.Body)
+	case sqlast.ModNonsequenced:
+		return tr.translateNonsequenced(ts.Body)
+	case sqlast.ModSequenced:
+		var begin, end sqlast.Expr
+		if ts.Period != nil {
+			begin, end = ts.Period.Begin, ts.Period.End
+		} else {
+			begin, end = defaultContext()
+		}
+		return tr.translateSequenced(ts.Body, begin, end, strategy, ts.Dim)
+	}
+	return nil, fmt.Errorf("unknown temporal modifier %v", ts.Mod)
+}
+
+func (tr *Translator) translateSequenced(body sqlast.Stmt, begin, end sqlast.Expr, strategy Strategy, dim sqlast.TemporalDimension) (*Translation, error) {
+	if v, ok := body.(*sqlast.CreateViewStmt); ok {
+		if dim == sqlast.DimTransaction {
+			return nil, fmt.Errorf("sequenced transaction-time views are not supported")
+		}
+		sv := sqlast.CloneStmt(v).(*sqlast.CreateViewStmt)
+		sv.Mod = sqlast.ModSequenced
+		return tr.translateView(sv)
+	}
+	switch strategy {
+	case StrategyMax:
+		return tr.maxSlice(body, begin, end, dim)
+	case StrategyPerStatement:
+		return tr.perStatement(body, begin, end, dim)
+	default: // StrategyAuto: prefer PERST, falling back to MAX
+		t, err := tr.perStatement(body, begin, end, dim)
+		if err == nil {
+			return t, nil
+		}
+		if errors.Is(err, ErrNotTransformable) {
+			return tr.maxSlice(body, begin, end, dim)
+		}
+		return nil, err
+	}
+}
+
+// translateNonsequenced strips the modifier: timestamps are ordinary
+// columns the user manipulates explicitly. Inner sequenced queries in
+// reachable routines are legal in this context (paper §IV-A); routines
+// are used as stored, with any inner NONSEQUENCED modifiers stripped.
+func (tr *Translator) translateNonsequenced(body sqlast.Stmt) (*Translation, error) {
+	a, err := tr.analyze(body)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.checkNoManualTransactionDML(body); err != nil {
+		return nil, err
+	}
+	out := &Translation{Main: sqlast.CloneStmt(body), TemporalTables: a.temporalTables}
+	// Inner sequenced statements inside routines would need their own
+	// sequenced rewrite; plain SPJ ones are rewritten, others rejected.
+	for _, rn := range a.routines {
+		if a.modifierIn[rn] {
+			routines, err := tr.nonseqRoutines(a, rn)
+			if err != nil {
+				return nil, err
+			}
+			out.Routines = append(out.Routines, routines...)
+			renameCalls(out.Main, a, "nonseq_", func(name string) bool { return a.modifierIn[name] })
+		}
+	}
+	return out, nil
+}

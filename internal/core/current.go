@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/sqlast"
+)
+
+// Current semantics (paper §IV-C): the statement behaves as a regular
+// statement on the current timeslice. The transform adds
+//
+//	t.begin_time <= CURRENT_DATE AND CURRENT_DATE < t.end_time
+//
+// to every WHERE clause whose FROM mentions a temporal table — in the
+// statement itself and in curr_-prefixed clones of every reachable
+// temporal routine. Current modifications maintain validity periods.
+
+func currentDate() sqlast.Expr { return &sqlast.FuncCall{Name: "CURRENT_DATE"} }
+
+func foreverLit() sqlast.Expr {
+	_, e := defaultContext()
+	return e
+}
+
+// currentOverlap builds alias.begin_time <= CURRENT_DATE AND
+// CURRENT_DATE < alias.end_time.
+func currentOverlap(alias string) sqlast.Expr {
+	return andExpr(
+		&sqlast.BinaryExpr{Op: "<=", L: col(alias, "begin_time"), R: currentDate()},
+		&sqlast.BinaryExpr{Op: "<", L: currentDate(), R: col(alias, "end_time")},
+	)
+}
+
+// addCurrentPredicates adds the current-timeslice predicate for every
+// temporal table in every SELECT under stmt.
+func (tr *Translator) addCurrentPredicates(stmt sqlast.Node) {
+	forEachSelect(stmt, func(sel *sqlast.SelectStmt) {
+		for _, fe := range fromEntries(sel) {
+			if tr.Info.IsTemporalTable(fe.Name) {
+				sel.Where = andExpr(sel.Where, currentOverlap(fe.Alias))
+			}
+		}
+	})
+}
+
+func (tr *Translator) translateCurrent(body sqlast.Stmt) (*Translation, error) {
+	switch body.(type) {
+	case *sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt,
+		*sqlast.DropTableStmt, *sqlast.DropViewStmt, *sqlast.DropRoutineStmt,
+		*sqlast.AlterAddValidTime:
+		// Definitions are stored as written — the invocation context
+		// determines routine semantics later (§IV-A) — and schema
+		// statements pass through.
+		return &Translation{Main: sqlast.CloneStmt(body)}, nil
+	}
+	a, err := tr.analyze(body)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.checkNoInnerModifiers(a); err != nil {
+		return nil, err
+	}
+	out := &Translation{Strategy: StrategyAuto, TemporalTables: a.temporalTables}
+
+	// curr_ clones for every reachable temporal routine; non-temporal
+	// routines are used unchanged (the compile-time optimization).
+	for _, rn := range a.routines {
+		if !a.temporalRoutine(rn) {
+			continue
+		}
+		def := sqlast.CloneStmt(a.routineDef[strings.ToLower(rn)])
+		switch d := def.(type) {
+		case *sqlast.CreateFunctionStmt:
+			d.Name = "curr_" + d.Name
+			d.Replace = true
+		case *sqlast.CreateProcedureStmt:
+			d.Name = "curr_" + d.Name
+			d.Replace = true
+		}
+		tr.addCurrentPredicates(def)
+		renameCalls(def, a, "curr_", a.temporalRoutine)
+		out.Routines = append(out.Routines, def)
+	}
+
+	main := sqlast.CloneStmt(body)
+	renameCalls(main, a, "curr_", a.temporalRoutine)
+
+	switch m := main.(type) {
+	case *sqlast.SelectStmt, *sqlast.SetOpExpr, *sqlast.CompoundStmt, *sqlast.CallStmt:
+		tr.addCurrentPredicates(m)
+		out.Main = m
+	case *sqlast.InsertStmt:
+		return tr.currentInsert(out, m)
+	case *sqlast.UpdateStmt:
+		return tr.currentUpdate(out, m)
+	case *sqlast.DeleteStmt:
+		return tr.currentDelete(out, m)
+	case *sqlast.CreateViewStmt:
+		tr.addCurrentPredicates(m)
+		out.Main = m
+	default:
+		// DDL and other statements pass through.
+		tr.addCurrentPredicates(m)
+		out.Main = m
+	}
+	return out, nil
+}
+
+// currentInsert extends inserted rows with [CURRENT_DATE, forever).
+func (tr *Translator) currentInsert(out *Translation, ins *sqlast.InsertStmt) (*Translation, error) {
+	if !tr.Info.IsTemporalTable(ins.Table) {
+		tr.addCurrentPredicates(ins)
+		out.Main = ins
+		return out, nil
+	}
+	if len(ins.Cols) > 0 {
+		ins.Cols = append(ins.Cols, "begin_time", "end_time")
+	}
+	switch src := ins.Source.(type) {
+	case *sqlast.ValuesExpr:
+		for i := range src.Rows {
+			src.Rows[i] = append(src.Rows[i], currentDate(), foreverLit())
+		}
+	case *sqlast.SelectStmt:
+		tr.addCurrentPredicates(src)
+		src.Items = append(src.Items,
+			sqlast.SelectItem{Expr: currentDate(), Alias: "begin_time"},
+			sqlast.SelectItem{Expr: foreverLit(), Alias: "end_time"})
+	default:
+		return nil, fmt.Errorf("current INSERT into temporal table %s requires VALUES or SELECT source", ins.Table)
+	}
+	out.Main = ins
+	return out, nil
+}
+
+// currentDelete closes the validity of currently valid matching rows:
+// logical deletion preserves history.
+func (tr *Translator) currentDelete(out *Translation, del *sqlast.DeleteStmt) (*Translation, error) {
+	if !tr.Info.IsTemporalTable(del.Table) {
+		tr.addCurrentPredicates(del)
+		out.Main = del
+		return out, nil
+	}
+	alias := del.Alias
+	if alias == "" {
+		alias = del.Table
+	}
+	where := andExpr(del.Where, currentOverlap(alias))
+	out.Main = &sqlast.UpdateStmt{
+		Table: del.Table, Alias: del.Alias,
+		Sets:  []sqlast.SetClause{{Column: "end_time", Value: currentDate()}},
+		Where: where,
+	}
+	return out, nil
+}
+
+// currentUpdate inserts new versions valid from CURRENT_DATE and closes
+// the old ones.
+func (tr *Translator) currentUpdate(out *Translation, upd *sqlast.UpdateStmt) (*Translation, error) {
+	if !tr.Info.IsTemporalTable(upd.Table) {
+		tr.addCurrentPredicates(upd)
+		out.Main = upd
+		return out, nil
+	}
+	cols := tr.tableColumns(upd.Table)
+	if cols == nil {
+		return nil, fmt.Errorf("unknown temporal table %s", upd.Table)
+	}
+	alias := upd.Alias
+	if alias == "" {
+		alias = upd.Table
+	}
+	// Guard excludes rows inserted today so the close step doesn't
+	// immediately terminate the new versions.
+	guard := &sqlast.BinaryExpr{Op: "<", L: col(alias, "begin_time"), R: currentDate()}
+	where := andExpr(andExpr(sqlast.CloneExpr(upd.Where), currentOverlap(alias)), guard)
+
+	// 1. INSERT new versions built from the old rows with SET applied.
+	items := make([]sqlast.SelectItem, 0, len(cols))
+	for _, c := range cols[:len(cols)-2] { // data columns
+		var e sqlast.Expr = col(alias, c)
+		for _, sc := range upd.Sets {
+			if strings.EqualFold(sc.Column, c) {
+				e = sqlast.CloneExpr(sc.Value)
+			}
+		}
+		items = append(items, sqlast.SelectItem{Expr: e})
+	}
+	items = append(items,
+		sqlast.SelectItem{Expr: currentDate()},
+		sqlast.SelectItem{Expr: foreverLit()})
+	insert := &sqlast.InsertStmt{Table: upd.Table, Source: &sqlast.SelectStmt{
+		Items: items,
+		From:  []sqlast.TableRef{&sqlast.BaseTable{Name: upd.Table, Alias: alias}},
+		Where: sqlast.CloneExpr(where),
+	}}
+
+	// 2. Close the old versions.
+	closeOld := &sqlast.UpdateStmt{
+		Table: upd.Table, Alias: upd.Alias,
+		Sets:  []sqlast.SetClause{{Column: "end_time", Value: currentDate()}},
+		Where: where,
+	}
+	out.Setup = append(out.Setup, insert)
+	out.Main = closeOld
+	return out, nil
+}
+
+// tableColumns returns a table's column names via the optional
+// extended interface; nil when unavailable.
+func (tr *Translator) tableColumns(name string) []string {
+	if ci, ok := tr.Info.(interface{ TableColumns(string) []string }); ok {
+		return ci.TableColumns(name)
+	}
+	return nil
+}

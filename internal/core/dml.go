@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"taupsm/internal/sqlast"
+)
+
+// Sequenced modifications (VALIDTIME [(P1, P2)] INSERT/UPDATE/DELETE):
+// the modification applies independently at every instant of the
+// period, which in period-timestamped storage means splitting rows that
+// straddle the period boundaries. The transform materializes the
+// affected rows in a temporary table, deletes the originals, and
+// re-inserts the preserved remnants (plus the modified portion for
+// UPDATE) — all in conventional SQL, usable by both slicing strategies.
+
+const seqDMLTemp = "taupsm_dml"
+
+// overlapPred builds alias.begin_time < P2 AND P1 < alias.end_time.
+func overlapPred(alias string, begin, end sqlast.Expr) sqlast.Expr {
+	return andExpr(
+		&sqlast.BinaryExpr{Op: "<", L: col(alias, "begin_time"), R: sqlast.CloneExpr(end)},
+		&sqlast.BinaryExpr{Op: "<", L: sqlast.CloneExpr(begin), R: col(alias, "end_time")},
+	)
+}
+
+func (tr *Translator) sequencedDML(body sqlast.Stmt, begin, end sqlast.Expr, strategy Strategy, dim sqlast.TemporalDimension) (*Translation, error) {
+	if dim == sqlast.DimTransaction {
+		return nil, fmt.Errorf("sequenced transaction-time modifications would rewrite the audit past; transaction time is append-only")
+	}
+	if err := tr.checkNoManualTransactionDML(body); err != nil {
+		return nil, err
+	}
+	a, err := tr.analyzeDim(body, dim)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.checkNoInnerModifiers(a); err != nil {
+		return nil, err
+	}
+	if len(a.routines) > 0 {
+		return nil, fmt.Errorf("sequenced modifications invoking stored routines are not supported")
+	}
+	out := &Translation{Strategy: strategy, ContextBegin: begin, ContextEnd: end, TemporalTables: a.temporalTables}
+
+	switch s := body.(type) {
+	case *sqlast.InsertStmt:
+		return tr.seqInsert(out, s, begin, end)
+	case *sqlast.DeleteStmt:
+		return tr.seqDelete(out, s, begin, end)
+	case *sqlast.UpdateStmt:
+		return tr.seqUpdate(out, s, begin, end)
+	}
+	return nil, fmt.Errorf("unsupported sequenced modification %T", body)
+}
+
+// seqInsert inserts rows valid over exactly [P1, P2).
+func (tr *Translator) seqInsert(out *Translation, ins *sqlast.InsertStmt, begin, end sqlast.Expr) (*Translation, error) {
+	st := sqlast.CloneStmt(ins).(*sqlast.InsertStmt)
+	if !tr.Info.IsTemporalTable(st.Table) {
+		return nil, fmt.Errorf("sequenced INSERT requires a temporal target table, %s is not temporal", st.Table)
+	}
+	if len(st.Cols) > 0 {
+		st.Cols = append(st.Cols, "begin_time", "end_time")
+	}
+	switch src := st.Source.(type) {
+	case *sqlast.ValuesExpr:
+		for i := range src.Rows {
+			src.Rows[i] = append(src.Rows[i], sqlast.CloneExpr(begin), sqlast.CloneExpr(end))
+		}
+	case *sqlast.SelectStmt:
+		src.Items = append(src.Items,
+			sqlast.SelectItem{Expr: sqlast.CloneExpr(begin), Alias: "begin_time"},
+			sqlast.SelectItem{Expr: sqlast.CloneExpr(end), Alias: "end_time"})
+	default:
+		return nil, fmt.Errorf("sequenced INSERT requires a VALUES or SELECT source")
+	}
+	out.Main = st
+	return out, nil
+}
+
+// checkRowLocalWhere rejects WHERE clauses that reference other tables:
+// sequenced DML supports row-local predicates on the target table.
+func checkRowLocalWhere(where sqlast.Expr) error {
+	bad := false
+	sqlast.Walk(where, func(n sqlast.Node) bool {
+		switch n.(type) {
+		case *sqlast.SubqueryExpr, *sqlast.ExistsExpr:
+			bad = true
+			return false
+		case *sqlast.InExpr:
+			if in := n.(*sqlast.InExpr); in.Sub != nil {
+				bad = true
+			}
+		}
+		return true
+	})
+	if bad {
+		return fmt.Errorf("sequenced modifications support only row-local WHERE predicates on the target table")
+	}
+	return nil
+}
+
+// seqDelete removes validity inside [P1, P2), preserving the parts of
+// straddling rows outside the period.
+func (tr *Translator) seqDelete(out *Translation, del *sqlast.DeleteStmt, begin, end sqlast.Expr) (*Translation, error) {
+	if !tr.Info.IsTemporalTable(del.Table) {
+		return nil, fmt.Errorf("sequenced DELETE requires a temporal target table, %s is not temporal", del.Table)
+	}
+	if err := checkRowLocalWhere(del.Where); err != nil {
+		return nil, err
+	}
+	alias := del.Alias
+	if alias == "" {
+		alias = del.Table
+	}
+	affected := andExpr(sqlast.CloneExpr(del.Where), overlapPred(alias, begin, end))
+
+	cols := tr.tableColumns(del.Table)
+	if cols == nil {
+		return nil, fmt.Errorf("unknown temporal table %s", del.Table)
+	}
+	dataCols := cols[:len(cols)-2]
+
+	// 1. Materialize the affected rows.
+	out.Setup = append(out.Setup,
+		&sqlast.DropTableStmt{Name: seqDMLTemp, IfExists: true},
+		&sqlast.CreateTableStmt{Name: seqDMLTemp, Temporary: true, WithData: true,
+			AsQuery: &sqlast.SelectStmt{
+				Items: []sqlast.SelectItem{{Star: true}},
+				From:  []sqlast.TableRef{&sqlast.BaseTable{Name: del.Table, Alias: alias}},
+				Where: sqlast.CloneExpr(affected),
+			}},
+		// 2. Delete the originals.
+		&sqlast.DeleteStmt{Table: del.Table, Alias: del.Alias, Where: sqlast.CloneExpr(affected)},
+		// 3. Re-insert the left remnants [b, P1).
+		remnantInsert(del.Table, dataCols, "begin_time",
+			&sqlast.Literal{}, begin, end, true),
+		// 4. Re-insert the right remnants [P2, e).
+		remnantInsert(del.Table, dataCols, "end_time",
+			&sqlast.Literal{}, begin, end, false),
+	)
+	out.Main = &sqlast.DropTableStmt{Name: seqDMLTemp, IfExists: true}
+	return out, nil
+}
+
+// remnantInsert builds INSERT INTO target SELECT data..., for the left
+// (left=true: [begin_time, P1) where begin_time < P1) or right remnant
+// ([P2, end_time) where end_time > P2) of the materialized rows.
+func remnantInsert(target string, dataCols []string, _ string, _ sqlast.Expr, p1, p2 sqlast.Expr, left bool) sqlast.Stmt {
+	items := make([]sqlast.SelectItem, 0, len(dataCols)+2)
+	for _, c := range dataCols {
+		items = append(items, sqlast.SelectItem{Expr: col("", c)})
+	}
+	var where sqlast.Expr
+	if left {
+		items = append(items,
+			sqlast.SelectItem{Expr: col("", "begin_time")},
+			sqlast.SelectItem{Expr: sqlast.CloneExpr(p1)})
+		where = &sqlast.BinaryExpr{Op: "<", L: col("", "begin_time"), R: sqlast.CloneExpr(p1)}
+	} else {
+		items = append(items,
+			sqlast.SelectItem{Expr: sqlast.CloneExpr(p2)},
+			sqlast.SelectItem{Expr: col("", "end_time")})
+		where = &sqlast.BinaryExpr{Op: ">", L: col("", "end_time"), R: sqlast.CloneExpr(p2)}
+	}
+	return &sqlast.InsertStmt{Table: target, Source: &sqlast.SelectStmt{
+		Items: items,
+		From:  []sqlast.TableRef{&sqlast.BaseTable{Name: seqDMLTemp}},
+		Where: where,
+	}}
+}
+
+// seqUpdate applies the SET clauses inside [P1, P2) only, preserving
+// the original values outside.
+func (tr *Translator) seqUpdate(out *Translation, upd *sqlast.UpdateStmt, begin, end sqlast.Expr) (*Translation, error) {
+	if !tr.Info.IsTemporalTable(upd.Table) {
+		return nil, fmt.Errorf("sequenced UPDATE requires a temporal target table, %s is not temporal", upd.Table)
+	}
+	if err := checkRowLocalWhere(upd.Where); err != nil {
+		return nil, err
+	}
+	alias := upd.Alias
+	if alias == "" {
+		alias = upd.Table
+	}
+	affected := andExpr(sqlast.CloneExpr(upd.Where), overlapPred(alias, begin, end))
+
+	cols := tr.tableColumns(upd.Table)
+	if cols == nil {
+		return nil, fmt.Errorf("unknown temporal table %s", upd.Table)
+	}
+	dataCols := cols[:len(cols)-2]
+
+	// Updated portion: SET applied, period clipped to the overlap.
+	updItems := make([]sqlast.SelectItem, 0, len(cols))
+	for _, c := range dataCols {
+		var e sqlast.Expr = col("", c)
+		for _, sc := range upd.Sets {
+			if equalFoldName(sc.Column, c) {
+				e = sqlast.CloneExpr(sc.Value)
+			}
+		}
+		updItems = append(updItems, sqlast.SelectItem{Expr: e})
+	}
+	updItems = append(updItems,
+		sqlast.SelectItem{Expr: &sqlast.FuncCall{Name: "LAST_INSTANCE",
+			Args: []sqlast.Expr{col("", "begin_time"), sqlast.CloneExpr(begin)}}},
+		sqlast.SelectItem{Expr: &sqlast.FuncCall{Name: "FIRST_INSTANCE",
+			Args: []sqlast.Expr{col("", "end_time"), sqlast.CloneExpr(end)}}})
+
+	out.Setup = append(out.Setup,
+		&sqlast.DropTableStmt{Name: seqDMLTemp, IfExists: true},
+		&sqlast.CreateTableStmt{Name: seqDMLTemp, Temporary: true, WithData: true,
+			AsQuery: &sqlast.SelectStmt{
+				Items: []sqlast.SelectItem{{Star: true}},
+				From:  []sqlast.TableRef{&sqlast.BaseTable{Name: upd.Table, Alias: alias}},
+				Where: sqlast.CloneExpr(affected),
+			}},
+		&sqlast.DeleteStmt{Table: upd.Table, Alias: upd.Alias, Where: sqlast.CloneExpr(affected)},
+		remnantInsert(upd.Table, dataCols, "", nil, begin, end, true),
+		remnantInsert(upd.Table, dataCols, "", nil, begin, end, false),
+		&sqlast.InsertStmt{Table: upd.Table, Source: &sqlast.SelectStmt{
+			Items: updItems,
+			From:  []sqlast.TableRef{&sqlast.BaseTable{Name: seqDMLTemp}},
+		}},
+	)
+	out.Main = &sqlast.DropTableStmt{Name: seqDMLTemp, IfExists: true}
+	return out, nil
+}
+
+func equalFoldName(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'a' <= ca && ca <= 'z' {
+			ca -= 'a' - 'A'
+		}
+		if 'a' <= cb && cb <= 'z' {
+			cb -= 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/sqlast"
+)
+
+// Maximally-fragmented slicing (paper §V): compute the constant periods
+// of every reachable temporal table into a cp table, evaluate the
+// original query once per constant period (by joining cp), and pass
+// cp.begin_time into every reachable temporal routine, whose internal
+// queries gain an overlaps-the-instant predicate. MAX always applies.
+
+const (
+	tsTable = "taupsm_ts"
+	cpTable = "taupsm_cp"
+	cpAlias = "cp"
+)
+
+// maxOverlap builds alias.begin_time <= at AND at < alias.end_time —
+// overlap with the beginning of the constant period, which suffices
+// because nothing changes during a constant period (§V-B).
+func maxOverlap(alias string, at sqlast.Expr) sqlast.Expr {
+	return andExpr(
+		&sqlast.BinaryExpr{Op: "<=", L: col(alias, "begin_time"), R: sqlast.CloneExpr(at)},
+		&sqlast.BinaryExpr{Op: "<", L: sqlast.CloneExpr(at), R: col(alias, "end_time")},
+	)
+}
+
+// addMaxPredicates adds the point-overlap predicate for every temporal
+// table in every SELECT under stmt, evaluating at instant `at`.
+func (tr *Translator) addMaxPredicates(stmt sqlast.Node, at sqlast.Expr) {
+	forEachSelect(stmt, func(sel *sqlast.SelectStmt) {
+		for _, fe := range fromEntries(sel) {
+			if tr.Info.IsTemporalTable(fe.Name) {
+				sel.Where = andExpr(sel.Where, maxOverlap(fe.Alias, at))
+			}
+		}
+	})
+}
+
+// renameMaxCalls renames invocations of temporal routines to max_name
+// and appends the slicing instant as an extra argument (§V-B, §V-C).
+func renameMaxCalls(stmt sqlast.Stmt, a *analysis, at sqlast.Expr) {
+	sqlast.MapExprs(stmt, func(e sqlast.Expr) sqlast.Expr {
+		if fc, ok := e.(*sqlast.FuncCall); ok && a.temporalRoutine(fc.Name) {
+			fc.Name = "max_" + fc.Name
+			fc.Args = append(fc.Args, sqlast.CloneExpr(at))
+		}
+		return e
+	})
+	sqlast.Walk(stmt, func(n sqlast.Node) bool {
+		if cs, ok := n.(*sqlast.CallStmt); ok && a.temporalRoutine(cs.Name) {
+			cs.Name = "max_" + cs.Name
+			cs.Args = append(cs.Args, sqlast.CloneExpr(at))
+		}
+		return true
+	})
+}
+
+// maxRoutine produces the max_ clone of a temporal routine: an extra
+// begin_time_in parameter, point-overlap predicates on its queries, and
+// the instant propagated to nested temporal routines.
+func (tr *Translator) maxRoutine(a *analysis, name string) sqlast.Stmt {
+	at := &sqlast.ColumnRef{Column: "begin_time_in"}
+	def := sqlast.CloneStmt(a.routineDef[strings.ToLower(name)])
+	param := sqlast.ParamDef{Name: "begin_time_in", Type: sqlast.TypeName{Base: "DATE"}}
+	switch d := def.(type) {
+	case *sqlast.CreateFunctionStmt:
+		d.Name = "max_" + d.Name
+		d.Params = append(d.Params, param)
+		d.Replace = true
+	case *sqlast.CreateProcedureStmt:
+		d.Name = "max_" + d.Name
+		d.Params = append(d.Params, param)
+		d.Replace = true
+	}
+	tr.addMaxPredicates(def, at)
+	renameMaxCalls(def, a, at)
+	return def
+}
+
+// constantPeriodSetup emits the Figure-8 SQL that materializes the
+// time-point table ts and the constant-period table cp for the given
+// temporal tables over context [begin, end).
+func constantPeriodSetup(tables []string, begin, end sqlast.Expr) (setup, teardown []sqlast.Stmt) {
+	setup = append(setup,
+		&sqlast.DropTableStmt{Name: tsTable, IfExists: true},
+		&sqlast.DropTableStmt{Name: cpTable, IfExists: true},
+		&sqlast.CreateTableStmt{Name: tsTable, Temporary: true,
+			Cols: []sqlast.ColumnDef{{Name: "time_point", Type: sqlast.TypeName{Base: "DATE"}}}},
+	)
+
+	// INSERT INTO ts SELECT begin_time FROM t1 UNION SELECT end_time
+	// FROM t1 UNION ... UNION VALUES (P1), (P2)
+	var union sqlast.QueryExpr
+	addSel := func(q sqlast.QueryExpr) {
+		if union == nil {
+			union = q
+		} else {
+			union = &sqlast.SetOpExpr{Op: "UNION", L: union, R: q}
+		}
+	}
+	for _, t := range tables {
+		for _, c := range []string{"begin_time", "end_time"} {
+			addSel(&sqlast.SelectStmt{
+				Items: []sqlast.SelectItem{{Expr: col("", c), Alias: "time_point"}},
+				From:  []sqlast.TableRef{&sqlast.BaseTable{Name: t}},
+			})
+		}
+	}
+	addSel(&sqlast.ValuesExpr{Rows: [][]sqlast.Expr{
+		{sqlast.CloneExpr(begin)}, {sqlast.CloneExpr(end)},
+	}})
+	setup = append(setup, &sqlast.InsertStmt{Table: tsTable, Source: union})
+
+	// CREATE TEMPORARY TABLE cp AS (self-join with NOT EXISTS): the
+	// adjacent pairs of time points within the context.
+	tp := func(alias string) sqlast.Expr { return col(alias, "time_point") }
+	where := andExpr(
+		&sqlast.BinaryExpr{Op: "<", L: tp("ts1"), R: tp("ts2")},
+		andExpr(
+			&sqlast.BinaryExpr{Op: "<=", L: sqlast.CloneExpr(begin), R: tp("ts1")},
+			andExpr(
+				&sqlast.BinaryExpr{Op: "<", L: tp("ts1"), R: sqlast.CloneExpr(end)},
+				&sqlast.BinaryExpr{Op: "<=", L: tp("ts2"), R: sqlast.CloneExpr(end)},
+			),
+		),
+	)
+	notExists := &sqlast.ExistsExpr{Not: true, Sub: &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: col("", "time_point")}},
+		From:  []sqlast.TableRef{&sqlast.BaseTable{Name: tsTable, Alias: "ts3"}},
+		Where: andExpr(
+			&sqlast.BinaryExpr{Op: "<", L: tp("ts1"), R: tp("ts3")},
+			&sqlast.BinaryExpr{Op: "<", L: tp("ts3"), R: tp("ts2")},
+		),
+	}}
+	cpQuery := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{
+			{Expr: tp("ts1"), Alias: "begin_time"},
+			{Expr: tp("ts2"), Alias: "end_time"},
+		},
+		From: []sqlast.TableRef{
+			&sqlast.BaseTable{Name: tsTable, Alias: "ts1"},
+			&sqlast.BaseTable{Name: tsTable, Alias: "ts2"},
+		},
+		Where: andExpr(where, notExists),
+	}
+	setup = append(setup, &sqlast.CreateTableStmt{Name: cpTable, Temporary: true, AsQuery: cpQuery, WithData: true})
+
+	teardown = append(teardown,
+		&sqlast.DropTableStmt{Name: tsTable, IfExists: true},
+		&sqlast.DropTableStmt{Name: cpTable, IfExists: true},
+	)
+	return setup, teardown
+}
+
+func (tr *Translator) maxSlice(body sqlast.Stmt, begin, end sqlast.Expr, dim sqlast.TemporalDimension) (*Translation, error) {
+	switch body.(type) {
+	case *sqlast.InsertStmt, *sqlast.UpdateStmt, *sqlast.DeleteStmt:
+		return tr.sequencedDML(body, begin, end, StrategyMax, dim)
+	}
+	a, err := tr.analyzeDim(body, dim)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.checkSingleDimension(); err != nil {
+		return nil, err
+	}
+	if err := tr.checkNoInnerModifiers(a); err != nil {
+		return nil, err
+	}
+	out := &Translation{
+		Strategy: StrategyMax, ContextBegin: begin, ContextEnd: end,
+		TemporalTables: a.temporalTables,
+	}
+
+	if _, ok := body.(sqlast.QueryExpr); !ok {
+		return nil, fmt.Errorf("maximally-fragmented slicing: unsupported statement %T under VALIDTIME", body)
+	}
+
+	// Sequenced query over purely snapshot data: the result holds over
+	// the whole context.
+	if len(a.temporalTables) == 0 {
+		main := sqlast.CloneStmt(body).(sqlast.QueryExpr)
+		prependPeriodItems(main, sqlast.CloneExpr(begin), sqlast.CloneExpr(end))
+		out.Main = main.(sqlast.Stmt)
+		return out, nil
+	}
+
+	for _, rn := range a.routines {
+		if a.temporalRoutine(rn) {
+			out.Routines = append(out.Routines, tr.maxRoutine(a, rn))
+		}
+	}
+
+	out.Setup, out.Teardown = constantPeriodSetup(a.temporalTables, begin, end)
+	out.NeedsConstantPeriods = true
+
+	main := sqlast.CloneStmt(body)
+	at := col(cpAlias, "begin_time")
+
+	// Every SELECT (including subqueries) evaluates at the instant
+	// cp.begin_time; subqueries reference cp through correlation.
+	tr.addMaxPredicates(main, at)
+	renameMaxCalls(main, a, at)
+
+	// The outermost SELECT block(s) additionally join cp and return
+	// the constant period as the row timestamp.
+	addCpToTopSelects(main.(sqlast.QueryExpr))
+
+	out.Main = main
+	return out, nil
+}
+
+// addCpToTopSelects joins cp into the top-level SELECT block(s) of a
+// query tree and prepends cp.begin_time/cp.end_time to the select list.
+// Aggregating selects additionally group by the constant period so each
+// period aggregates its own timeslice (sequenced aggregation).
+func addCpToTopSelects(q sqlast.QueryExpr) {
+	switch x := q.(type) {
+	case *sqlast.SelectStmt:
+		// cp goes first so lateral table functions taking
+		// cp.begin_time as an argument can see it in scope.
+		x.From = append([]sqlast.TableRef{&sqlast.BaseTable{Name: cpTable, Alias: cpAlias}}, x.From...)
+		x.Items = append([]sqlast.SelectItem{
+			{Expr: col(cpAlias, "begin_time"), Alias: "begin_time"},
+			{Expr: col(cpAlias, "end_time"), Alias: "end_time"},
+		}, x.Items...)
+		if len(x.GroupBy) > 0 || hasAggregates(x) {
+			x.GroupBy = append(x.GroupBy,
+				col(cpAlias, "begin_time"), col(cpAlias, "end_time"))
+		}
+	case *sqlast.SetOpExpr:
+		addCpToTopSelects(x.L)
+		addCpToTopSelects(x.R)
+	}
+}
+
+// hasAggregates reports aggregate function calls in the select list or
+// HAVING clause, not descending into subqueries.
+func hasAggregates(sel *sqlast.SelectStmt) bool {
+	found := false
+	visit := func(n sqlast.Node) bool {
+		switch x := n.(type) {
+		case *sqlast.SubqueryExpr, *sqlast.ExistsExpr:
+			return false
+		case *sqlast.FuncCall:
+			switch strings.ToUpper(x.Name) {
+			case "COUNT", "SUM", "AVG", "MIN", "MAX":
+				found = true
+			}
+		}
+		return !found
+	}
+	for _, it := range sel.Items {
+		if it.Expr != nil {
+			sqlast.Walk(it.Expr, visit)
+		}
+	}
+	if sel.Having != nil {
+		sqlast.Walk(sel.Having, visit)
+	}
+	return found
+}
+
+// prependPeriodItems prepends constant begin/end items to the select
+// list(s) of a query tree.
+func prependPeriodItems(q sqlast.QueryExpr, begin, end sqlast.Expr) {
+	switch x := q.(type) {
+	case *sqlast.SelectStmt:
+		x.Items = append([]sqlast.SelectItem{
+			{Expr: sqlast.CloneExpr(begin), Alias: "begin_time"},
+			{Expr: sqlast.CloneExpr(end), Alias: "end_time"},
+		}, x.Items...)
+	case *sqlast.SetOpExpr:
+		prependPeriodItems(x.L, begin, end)
+		prependPeriodItems(x.R, begin, end)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/sqlast"
+)
+
+// Nonsequenced semantics (paper §IV-B): the valid-time timestamps are
+// ordinary columns the user manipulates explicitly, so the statement
+// itself needs no rewriting. A routine containing temporal statement
+// modifiers is only legal here; its inner statements are resolved —
+// NONSEQUENCED modifiers are stripped, and inner sequenced (VALIDTIME)
+// SELECT statements are rewritten with the standard sequenced-SELECT
+// transformation when they do not themselves invoke temporal routines.
+
+// nonseqRoutines produces the nonseq_ clone of the named routine (and
+// transitively of modifier-carrying routines it calls).
+func (tr *Translator) nonseqRoutines(a *analysis, name string) ([]sqlast.Stmt, error) {
+	def := sqlast.CloneStmt(a.routineDef[strings.ToLower(name)])
+	switch d := def.(type) {
+	case *sqlast.CreateFunctionStmt:
+		d.Name = "nonseq_" + d.Name
+		d.Replace = true
+	case *sqlast.CreateProcedureStmt:
+		d.Name = "nonseq_" + d.Name
+		d.Replace = true
+	}
+	if err := tr.resolveInnerModifiers(def, a); err != nil {
+		return nil, fmt.Errorf("routine %s: %w", name, err)
+	}
+	renameCalls(def, a, "nonseq_", func(n string) bool { return a.modifierIn[strings.ToLower(n)] })
+	out := []sqlast.Stmt{def}
+	for _, callee := range a.callees[strings.ToLower(name)] {
+		if a.modifierIn[strings.ToLower(callee)] {
+			more, err := tr.nonseqRoutines(a, callee)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, more...)
+		}
+	}
+	return out, nil
+}
+
+// resolveInnerModifiers rewrites the TemporalStmt nodes inside a
+// routine used in a nonsequenced context.
+func (tr *Translator) resolveInnerModifiers(def sqlast.Stmt, a *analysis) error {
+	var firstErr error
+	replace := func(ts *sqlast.TemporalStmt) sqlast.Stmt {
+		switch ts.Mod {
+		case sqlast.ModNonsequenced, sqlast.ModCurrent:
+			return ts.Body
+		case sqlast.ModSequenced:
+			sel, ok := ts.Body.(*sqlast.SelectStmt)
+			if !ok {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("inner VALIDTIME on %T is not supported inside routines", ts.Body)
+				}
+				return ts
+			}
+			begin, end := defaultContext()
+			if ts.Period != nil {
+				begin, end = ts.Period.Begin, ts.Period.End
+			}
+			counter := 0
+			sc := &seqCtx{a: a, pBegin: begin, pEnd: end,
+				localTemporal: map[string]bool{}, lateralCounter: &counter}
+			if err := tr.rewriteSequencedSelect(sel, sc); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			return sel
+		}
+		return ts
+	}
+	// TemporalStmt nodes appear as cursor queries, FOR queries, and
+	// block statements; rewrite each occurrence in place.
+	sqlast.Walk(def, func(n sqlast.Node) bool {
+		switch x := n.(type) {
+		case *sqlast.CompoundStmt:
+			for _, c := range x.Cursors {
+				if ts, ok := c.Query.(*sqlast.TemporalStmt); ok {
+					c.Query = replace(ts)
+				}
+			}
+			for i, s := range x.Stmts {
+				if ts, ok := s.(*sqlast.TemporalStmt); ok {
+					x.Stmts[i] = replace(ts)
+				}
+			}
+		case *sqlast.ForStmt:
+			if ts, ok := x.Query.(*sqlast.TemporalStmt); ok {
+				x.Query = replace(ts)
+			}
+		}
+		return true
+	})
+	return firstErr
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/sqlast"
+)
+
+// This file implements the sequenced rewrite of a single SELECT over
+// period-timestamped operands: the classical SQL/Temporal
+// transformation of Figure 4. The result carries begin_time/end_time
+// columns computed as the intersection of the operands' periods
+// (LAST_INSTANCE of begins, FIRST_INSTANCE of ends), with pairwise
+// overlap predicates guaranteeing a non-empty intersection.
+
+// temporalOperand is one FROM-clause element carrying a validity
+// period: a temporal base table, a time-varying variable's table, or a
+// lateral ps_-function result.
+type temporalOperand struct {
+	Alias string
+	// BeginCol/EndCol name the period columns (begin_time/end_time).
+	BeginCol, EndCol string
+}
+
+func operandRef(op temporalOperand, begin bool) sqlast.Expr {
+	if begin {
+		return col(op.Alias, op.BeginCol)
+	}
+	return col(op.Alias, op.EndCol)
+}
+
+// chainInstance folds exprs with FIRST_INSTANCE/LAST_INSTANCE calls.
+func chainInstance(fn string, exprs []sqlast.Expr) sqlast.Expr {
+	if len(exprs) == 0 {
+		return nil
+	}
+	out := exprs[0]
+	for _, e := range exprs[1:] {
+		out = &sqlast.FuncCall{Name: fn, Args: []sqlast.Expr{out, e}}
+	}
+	return out
+}
+
+// intersectionBegin builds LAST_INSTANCE(op1.begin, op2.begin, ..., pBegin).
+func intersectionBegin(ops []temporalOperand, pBegin sqlast.Expr) sqlast.Expr {
+	var exprs []sqlast.Expr
+	for _, op := range ops {
+		exprs = append(exprs, operandRef(op, true))
+	}
+	if pBegin != nil {
+		exprs = append(exprs, sqlast.CloneExpr(pBegin))
+	}
+	return chainInstance("LAST_INSTANCE", exprs)
+}
+
+// intersectionEnd builds FIRST_INSTANCE(op1.end, op2.end, ..., pEnd).
+func intersectionEnd(ops []temporalOperand, pEnd sqlast.Expr) sqlast.Expr {
+	var exprs []sqlast.Expr
+	for _, op := range ops {
+		exprs = append(exprs, operandRef(op, false))
+	}
+	if pEnd != nil {
+		exprs = append(exprs, sqlast.CloneExpr(pEnd))
+	}
+	return chainInstance("FIRST_INSTANCE", exprs)
+}
+
+// overlapConditions builds the pairwise overlap predicates between
+// operands plus each operand's overlap with the context [pBegin, pEnd).
+func overlapConditions(ops []temporalOperand, pBegin, pEnd sqlast.Expr) sqlast.Expr {
+	var cond sqlast.Expr
+	for i := 0; i < len(ops); i++ {
+		for j := i + 1; j < len(ops); j++ {
+			cond = andExpr(cond, &sqlast.BinaryExpr{Op: "<",
+				L: operandRef(ops[i], true), R: operandRef(ops[j], false)})
+			cond = andExpr(cond, &sqlast.BinaryExpr{Op: "<",
+				L: operandRef(ops[j], true), R: operandRef(ops[i], false)})
+		}
+	}
+	for _, op := range ops {
+		if pEnd != nil {
+			cond = andExpr(cond, &sqlast.BinaryExpr{Op: "<",
+				L: operandRef(op, true), R: sqlast.CloneExpr(pEnd)})
+		}
+		if pBegin != nil {
+			cond = andExpr(cond, &sqlast.BinaryExpr{Op: "<",
+				L: sqlast.CloneExpr(pBegin), R: operandRef(op, false)})
+		}
+	}
+	return cond
+}
+
+// hasTemporalSubquery reports whether any subquery under e references a
+// temporal table or temporal routine — constructs per-statement slicing
+// cannot handle inside a sequenced SELECT (the paper's "per-statement
+// mapping is not complete"; MAX covers them by point evaluation).
+func (tr *Translator) hasTemporalSubquery(n sqlast.Node, a *analysis, localTemporal map[string]bool) bool {
+	found := false
+	var checkQuery func(q sqlast.Node)
+	checkQuery = func(q sqlast.Node) {
+		sqlast.Walk(q, func(m sqlast.Node) bool {
+			switch y := m.(type) {
+			case *sqlast.BaseTable:
+				if tr.Info.IsTemporalTable(y.Name) || localTemporal[strings.ToLower(y.Name)] {
+					found = true
+				}
+			case *sqlast.FuncCall:
+				if a.temporalRoutine(y.Name) {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	sqlast.Walk(n, func(m sqlast.Node) bool {
+		switch x := m.(type) {
+		case *sqlast.SubqueryExpr:
+			checkQuery(x.Query)
+			return false
+		case *sqlast.ExistsExpr:
+			checkQuery(x.Sub)
+			return false
+		case *sqlast.InExpr:
+			if x.Sub != nil {
+				checkQuery(x.Sub)
+			}
+			return true
+		}
+		return !found
+	})
+	return found
+}
+
+// seqCtx carries the state of a sequenced (per-statement) query
+// rewrite.
+type seqCtx struct {
+	a              *analysis
+	pBegin, pEnd   sqlast.Expr
+	localTemporal  map[string]bool // temp tables / tv vars acting as temporal operands
+	lateralCounter *int
+}
+
+func (sc *seqCtx) freshAlias() string {
+	*sc.lateralCounter++
+	return fmt.Sprintf("taupsm_f%d", *sc.lateralCounter)
+}
+
+// rewriteSequencedSelect rewrites sel (in place, on a clone owned by
+// the caller) to its sequenced equivalent over [pBegin, pEnd):
+//
+//  1. every invocation of a temporal routine becomes a lateral
+//     TABLE(ps_name(args, pBegin, pEnd)) AS taupsm_fN reference whose
+//     taupsm_result column replaces the call;
+//  2. begin_time/end_time items computed from the intersection of all
+//     temporal operands are prepended to the select list;
+//  3. pairwise overlap predicates are added to WHERE.
+//
+// It returns ErrNotTransformable for constructs per-statement slicing
+// cannot express (temporal subqueries, aggregates over temporal data).
+func (tr *Translator) rewriteSequencedSelect(sel *sqlast.SelectStmt, sc *seqCtx) error {
+	// Reject temporal subqueries and temporal aggregation.
+	if tr.hasTemporalSubquery(sel, sc.a, sc.localTemporal) {
+		return fmt.Errorf("%w: sequenced subquery over temporal data", ErrNotTransformable)
+	}
+
+	// Identify temporal operands already in FROM.
+	var ops []temporalOperand
+	for i, ref := range sel.From {
+		switch x := ref.(type) {
+		case *sqlast.BaseTable:
+			if tr.Info.IsTemporalTable(x.Name) || sc.localTemporal[strings.ToLower(x.Name)] {
+				alias := x.Alias
+				if alias == "" {
+					alias = x.Name
+				}
+				ops = append(ops, temporalOperand{Alias: alias, BeginCol: "begin_time", EndCol: "end_time"})
+			}
+		case *sqlast.TableFunc:
+			// A routine invoked in the FROM clause (τPSM q19): rename
+			// to its ps_ form and treat the result as temporal.
+			if sc.a.temporalRoutine(x.Call.Name) {
+				x.Call.Name = "ps_" + x.Call.Name
+				x.Call.Args = append(x.Call.Args, sqlast.CloneExpr(sc.pBegin), sqlast.CloneExpr(sc.pEnd))
+				if len(x.Cols) > 0 {
+					x.Cols = append(x.Cols, "begin_time", "end_time")
+				}
+				ops = append(ops, temporalOperand{Alias: x.Alias, BeginCol: "begin_time", EndCol: "end_time"})
+			}
+			_ = i
+		case *sqlast.JoinExpr:
+			var visit func(r sqlast.TableRef)
+			visit = func(r sqlast.TableRef) {
+				switch y := r.(type) {
+				case *sqlast.BaseTable:
+					if tr.Info.IsTemporalTable(y.Name) || sc.localTemporal[strings.ToLower(y.Name)] {
+						alias := y.Alias
+						if alias == "" {
+							alias = y.Name
+						}
+						ops = append(ops, temporalOperand{Alias: alias, BeginCol: "begin_time", EndCol: "end_time"})
+					}
+				case *sqlast.JoinExpr:
+					visit(y.L)
+					visit(y.R)
+				}
+			}
+			visit(x)
+		}
+	}
+
+	// Check aggregate use over temporal data: if the select has
+	// aggregates and any temporal operand, PERST cannot slice it.
+	hasAgg := false
+	for _, it := range sel.Items {
+		if it.Expr != nil {
+			sqlast.Walk(it.Expr, func(n sqlast.Node) bool {
+				if fc, ok := n.(*sqlast.FuncCall); ok {
+					switch strings.ToUpper(fc.Name) {
+					case "COUNT", "SUM", "AVG", "MIN", "MAX":
+						hasAgg = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Replace temporal routine invocations with lateral TABLE refs.
+	var replaceErr error
+	sqlast.MapExprs(sel, func(e sqlast.Expr) sqlast.Expr {
+		fc, ok := e.(*sqlast.FuncCall)
+		if !ok || !sc.a.temporalRoutine(fc.Name) {
+			return e
+		}
+		alias := sc.freshAlias()
+		call := &sqlast.FuncCall{Name: "ps_" + fc.Name, Args: append(fc.Args,
+			sqlast.CloneExpr(sc.pBegin), sqlast.CloneExpr(sc.pEnd))}
+		sel.From = append(sel.From, &sqlast.TableFunc{Call: call, Alias: alias})
+		ops = append(ops, temporalOperand{Alias: alias, BeginCol: "begin_time", EndCol: "end_time"})
+		return &sqlast.ColumnRef{Table: alias, Column: "taupsm_result"}
+	})
+	if replaceErr != nil {
+		return replaceErr
+	}
+
+	if hasAgg && len(ops) > 0 {
+		return fmt.Errorf("%w: sequenced aggregation requires constant periods", ErrNotTransformable)
+	}
+	if len(sel.GroupBy) > 0 && len(ops) > 0 {
+		return fmt.Errorf("%w: sequenced GROUP BY requires constant periods", ErrNotTransformable)
+	}
+
+	// Prepend the result period and add overlap predicates.
+	begin := intersectionBegin(ops, sc.pBegin)
+	end := intersectionEnd(ops, sc.pEnd)
+	if begin == nil { // no temporal operands: constant over the context
+		begin = sqlast.CloneExpr(sc.pBegin)
+		end = sqlast.CloneExpr(sc.pEnd)
+	}
+	sel.Items = append([]sqlast.SelectItem{
+		{Expr: begin, Alias: "begin_time"},
+		{Expr: end, Alias: "end_time"},
+	}, sel.Items...)
+	if cond := overlapConditions(ops, sc.pBegin, sc.pEnd); cond != nil {
+		sel.Where = andExpr(sel.Where, cond)
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/types"
+)
+
+// aggregate function names.
+var aggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+func isAggregate(name string) bool { return aggFuncs[strings.ToUpper(name)] }
+
+// collectAggregates finds aggregate function call nodes in the select
+// list, HAVING, and ORDER BY of sel, without descending into
+// subqueries (whose aggregates belong to the subquery).
+func collectAggregates(sel *sqlast.SelectStmt) []*sqlast.FuncCall {
+	var out []*sqlast.FuncCall
+	visit := func(n sqlast.Node) bool {
+		switch x := n.(type) {
+		case *sqlast.SubqueryExpr, *sqlast.ExistsExpr:
+			return false
+		case *sqlast.FuncCall:
+			if isAggregate(x.Name) {
+				out = append(out, x)
+				return false // no nested aggregates
+			}
+		}
+		return true
+	}
+	for _, it := range sel.Items {
+		if it.Expr != nil {
+			sqlast.Walk(it.Expr, visit)
+		}
+	}
+	if sel.Having != nil {
+		sqlast.Walk(sel.Having, visit)
+	}
+	for _, o := range sel.OrderBy {
+		sqlast.Walk(o.Expr, visit)
+	}
+	return out
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count    int64
+	sum      float64
+	sumInt   int64
+	isFloat  bool
+	min, max types.Value
+	distinct map[string]bool
+	seenAny  bool
+}
+
+func (a *aggState) add(fc *sqlast.FuncCall, v types.Value) {
+	if fc.Star {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	if fc.Distinct {
+		if a.distinct == nil {
+			a.distinct = make(map[string]bool)
+		}
+		k := v.HashKey()
+		if a.distinct[k] {
+			return
+		}
+		a.distinct[k] = true
+	}
+	a.count++
+	switch v.Kind {
+	case types.KindFloat:
+		a.isFloat = true
+		a.sum += v.F
+	case types.KindInt, types.KindBool, types.KindDate:
+		a.sumInt += v.I
+		a.sum += float64(v.I)
+	}
+	if !a.seenAny {
+		a.min, a.max = v, v
+		a.seenAny = true
+	} else {
+		if c, ok := types.Compare(v, a.min); ok && c < 0 {
+			a.min = v
+		}
+		if c, ok := types.Compare(v, a.max); ok && c > 0 {
+			a.max = v
+		}
+	}
+}
+
+func (a *aggState) result(fc *sqlast.FuncCall) types.Value {
+	switch strings.ToUpper(fc.Name) {
+	case "COUNT":
+		return types.NewInt(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return types.Null
+		}
+		if a.isFloat {
+			return types.NewFloat(a.sum)
+		}
+		return types.NewInt(a.sumInt)
+	case "AVG":
+		if a.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(a.sum / float64(a.count))
+	case "MIN":
+		if !a.seenAny {
+			return types.Null
+		}
+		return a.min
+	case "MAX":
+		if !a.seenAny {
+			return types.Null
+		}
+		return a.max
+	}
+	return types.Null
+}
+
+// evalGrouped implements GROUP BY / HAVING / aggregate evaluation over
+// the joined relation.
+func (db *DB) evalGrouped(ctx *execCtx, sel *sqlast.SelectStmt, acc *rel, aggs []*sqlast.FuncCall) (*Result, error) {
+	type group struct {
+		rep    [][]types.Value // representative row for group expressions
+		states []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	for _, row := range acc.rows {
+		scope := bindScope(ctx.scope, acc.metas, row)
+		rctx := ctx.withScope(scope)
+		var key string
+		if len(sel.GroupBy) > 0 {
+			var b strings.Builder
+			for _, g := range sel.GroupBy {
+				v, err := db.evalExpr(rctx, g)
+				if err != nil {
+					return nil, err
+				}
+				b.WriteString(v.HashKey())
+				b.WriteByte('|')
+			}
+			key = b.String()
+		}
+		gr := groups[key]
+		if gr == nil {
+			gr = &group{rep: row, states: make([]*aggState, len(aggs))}
+			for i := range gr.states {
+				gr.states[i] = &aggState{}
+			}
+			groups[key] = gr
+			order = append(order, key)
+		}
+		for i, fc := range aggs {
+			if fc.Star {
+				gr.states[i].add(fc, types.Null)
+				continue
+			}
+			v, err := db.evalExpr(rctx, fc.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			gr.states[i].add(fc, v)
+		}
+	}
+
+	// Grand aggregate over an empty input still yields one row.
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		gr := &group{rep: nil, states: make([]*aggState, len(aggs))}
+		for i := range gr.states {
+			gr.states[i] = &aggState{}
+		}
+		groups[""] = gr
+		order = append(order, "")
+	}
+
+	res := &Result{}
+	for i, it := range sel.Items {
+		if it.Star || it.TableStar != "" {
+			return nil, fmt.Errorf("SELECT * cannot be combined with GROUP BY or aggregates")
+		}
+		res.Cols = append(res.Cols, itemName(it, i))
+	}
+
+	var rows []projRow
+	for _, key := range order {
+		gr := groups[key]
+		var scope *rowScope
+		if gr.rep != nil {
+			scope = bindScope(ctx.scope, acc.metas, gr.rep)
+		} else {
+			// empty-input grand aggregate: bind NULL rows
+			nullRow := make([][]types.Value, len(acc.metas))
+			for i, m := range acc.metas {
+				nullRow[i] = make([]types.Value, len(m.cols))
+			}
+			scope = bindScope(ctx.scope, acc.metas, nullRow)
+		}
+		gctx := ctx.withScope(scope)
+		gctx.aggVals = make(map[*sqlast.FuncCall]types.Value, len(aggs))
+		for i, fc := range aggs {
+			gctx.aggVals[fc] = gr.states[i].result(fc)
+		}
+		if sel.Having != nil {
+			hv, err := db.evalExpr(gctx, sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			if types.TriboolFromValue(hv) != types.True {
+				continue
+			}
+		}
+		var vals []types.Value
+		for _, it := range sel.Items {
+			v, err := db.evalExpr(gctx, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		pr := projRow{vals: vals}
+		if len(sel.OrderBy) > 0 {
+			keys, err := db.orderKeys(gctx, sel, vals)
+			if err != nil {
+				return nil, err
+			}
+			pr.keys = keys
+		}
+		rows = append(rows, pr)
+	}
+	return db.finishResult(ctx, sel, res, rows)
+}

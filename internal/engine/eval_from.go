@@ -1,0 +1,562 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/storage"
+	"taupsm/internal/types"
+)
+
+// entryMeta describes one correlation name contributed by a FROM
+// source: its alias and column names.
+type entryMeta struct {
+	alias string
+	cols  []string
+}
+
+// rel is an intermediate relation: a list of correlation entries and
+// rows, where each row holds one value slice per entry.
+type rel struct {
+	metas []entryMeta
+	rows  [][][]types.Value
+}
+
+// bindScope builds a rowScope over the relation's entries for row i,
+// chained to parent.
+func bindScope(parent *rowScope, metas []entryMeta, row [][]types.Value) *rowScope {
+	s := &rowScope{parent: parent, entries: make([]scopeEntry, len(metas))}
+	for i, m := range metas {
+		s.entries[i] = scopeEntry{alias: m.alias, cols: m.cols, row: row[i]}
+	}
+	return s
+}
+
+// sourceMetas computes the correlation entries a table reference will
+// contribute, without loading data.
+func (db *DB) sourceMetas(ctx *execCtx, ref sqlast.TableRef) ([]entryMeta, error) {
+	switch r := ref.(type) {
+	case *sqlast.BaseTable:
+		alias := r.Alias
+		if alias == "" {
+			alias = r.Name
+		}
+		if ctx.vars != nil {
+			if tv := ctx.vars.getTable(r.Name); tv != nil {
+				return []entryMeta{{alias: alias, cols: tv.Schema.Names()}}, nil
+			}
+		}
+		if t := db.Cat.Table(r.Name); t != nil {
+			return []entryMeta{{alias: alias, cols: t.Schema.Names()}}, nil
+		}
+		if v := db.Cat.View(r.Name); v != nil {
+			cols := v.Cols
+			if len(cols) == 0 {
+				var err error
+				cols, err = db.inferQueryCols(ctx, v.Query)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return []entryMeta{{alias: alias, cols: cols}}, nil
+		}
+		return nil, fmt.Errorf("table or view %s does not exist", r.Name)
+	case *sqlast.DerivedTable:
+		cols := r.Cols
+		if len(cols) == 0 {
+			var err error
+			cols, err = db.inferQueryCols(ctx, r.Query)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return []entryMeta{{alias: r.Alias, cols: cols}}, nil
+	case *sqlast.TableFunc:
+		cols := r.Cols
+		if len(cols) == 0 {
+			rt := db.Cat.Routine(r.Call.Name)
+			if rt == nil || rt.Kind != storage.KindFunction {
+				return nil, fmt.Errorf("table function %s does not exist", r.Call.Name)
+			}
+			if !rt.Fn.Returns.IsCollection() {
+				return nil, fmt.Errorf("function %s does not return a collection type", r.Call.Name)
+			}
+			for _, f := range rt.Fn.Returns.Row {
+				cols = append(cols, f.Name)
+			}
+		}
+		return []entryMeta{{alias: r.Alias, cols: cols}}, nil
+	case *sqlast.JoinExpr:
+		lm, err := db.sourceMetas(ctx, r.L)
+		if err != nil {
+			return nil, err
+		}
+		rm, err := db.sourceMetas(ctx, r.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(lm, rm...), nil
+	}
+	return nil, fmt.Errorf("engine: unsupported table reference %T", ref)
+}
+
+// inferQueryCols derives the output column names of a query without
+// evaluating it.
+func (db *DB) inferQueryCols(ctx *execCtx, q sqlast.QueryExpr) ([]string, error) {
+	switch x := q.(type) {
+	case *sqlast.SelectStmt:
+		var metas []entryMeta
+		for _, fr := range x.From {
+			ms, err := db.sourceMetas(ctx, fr)
+			if err != nil {
+				return nil, err
+			}
+			metas = append(metas, ms...)
+		}
+		var out []string
+		for i, it := range x.Items {
+			switch {
+			case it.Star:
+				for _, m := range metas {
+					out = append(out, m.cols...)
+				}
+			case it.TableStar != "":
+				found := false
+				for _, m := range metas {
+					if strings.EqualFold(m.alias, it.TableStar) {
+						out = append(out, m.cols...)
+						found = true
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("unknown correlation name %s.*", it.TableStar)
+				}
+			case it.Alias != "":
+				out = append(out, it.Alias)
+			default:
+				if cr, ok := it.Expr.(*sqlast.ColumnRef); ok {
+					out = append(out, cr.Column)
+				} else {
+					out = append(out, fmt.Sprintf("col%d", i+1))
+				}
+			}
+		}
+		return out, nil
+	case *sqlast.SetOpExpr:
+		return db.inferQueryCols(ctx, x.L)
+	case *sqlast.ValuesExpr:
+		if len(x.Rows) == 0 {
+			return nil, nil
+		}
+		out := make([]string, len(x.Rows[0]))
+		for i := range out {
+			out[i] = fmt.Sprintf("col%d", i+1)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported query %T", q)
+}
+
+// loadSource materializes a non-lateral table reference as a relation,
+// applying pushdown filters (conjuncts referencing only this source's
+// aliases). It uses a hash-index lookup when an equality conjunct
+// compares a column with an expression that is constant w.r.t. this
+// query level.
+func (db *DB) loadSource(ctx *execCtx, ref sqlast.TableRef, metas []entryMeta, pushdown []*conjunct) (*rel, error) {
+	switch r := ref.(type) {
+	case *sqlast.BaseTable:
+		t := db.resolveTable(ctx, r.Name)
+		if t != nil {
+			return db.scanTable(ctx, t, metas[0], pushdown)
+		}
+		if v := db.Cat.View(r.Name); v != nil {
+			if ctx.depth > db.MaxRecursion {
+				return nil, fmt.Errorf("view nesting too deep at %s", r.Name)
+			}
+			sub := *ctx
+			sub.depth++
+			res, err := db.evalQuery(&sub, v.Query)
+			if err != nil {
+				return nil, err
+			}
+			return db.resultToRel(ctx, res, metas[0], pushdown)
+		}
+		return nil, fmt.Errorf("table or view %s does not exist", r.Name)
+	case *sqlast.DerivedTable:
+		res, err := db.evalQuery(ctx, r.Query)
+		if err != nil {
+			return nil, err
+		}
+		return db.resultToRel(ctx, res, metas[0], pushdown)
+	case *sqlast.JoinExpr:
+		return db.evalJoinRef(ctx, r, pushdown)
+	}
+	return nil, fmt.Errorf("engine: unsupported table reference %T", ref)
+}
+
+// resolveTable finds a stored table or table-valued variable.
+func (db *DB) resolveTable(ctx *execCtx, name string) *storage.Table {
+	if ctx.vars != nil {
+		if tv := ctx.vars.getTable(name); tv != nil {
+			return tv
+		}
+	}
+	return db.Cat.Table(name)
+}
+
+// scanTable filters a stored table by pushdown conjuncts, preferring a
+// hash-index path for an equality on a column.
+func (db *DB) scanTable(ctx *execCtx, t *storage.Table, meta entryMeta, pushdown []*conjunct) (*rel, error) {
+	out := &rel{metas: []entryMeta{meta}}
+	scope := &rowScope{parent: ctx.scope, entries: []scopeEntry{{alias: meta.alias, cols: meta.cols}}}
+	sctx := ctx.withScope(scope)
+
+	// Index path: find conjunct of form <col> = <constant-here expr>.
+	var candidates []int
+	usedIdx := -1
+	for ci, c := range pushdown {
+		if db.DisableIndexes {
+			break
+		}
+		col, valExpr := c.indexable(meta.alias, meta.cols)
+		if col == "" {
+			continue
+		}
+		ord := t.Schema.Index(col)
+		if ord < 0 {
+			continue
+		}
+		v, err := db.evalExpr(ctx, valExpr)
+		if err != nil {
+			// Not actually constant here (references this row); skip.
+			continue
+		}
+		if v.IsNull() {
+			// col = NULL is never true: the scan yields no rows.
+			candidates = nil
+		} else {
+			candidates = t.Lookup(ord, v)
+		}
+		usedIdx = ci
+		break
+	}
+
+	check := func(row []types.Value) (bool, error) {
+		scope.entries[0].row = row
+		for i, c := range pushdown {
+			if i == usedIdx {
+				continue
+			}
+			v, err := db.evalExpr(sctx, c.expr)
+			if err != nil {
+				return false, err
+			}
+			if types.TriboolFromValue(v) != types.True {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	if usedIdx >= 0 {
+		db.Stats.RowsScanned += int64(len(candidates))
+		for _, i := range candidates {
+			ok, err := check(t.Rows[i])
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.rows = append(out.rows, [][]types.Value{t.Rows[i]})
+			}
+		}
+		return out, nil
+	}
+	db.Stats.RowsScanned += int64(len(t.Rows))
+	for _, row := range t.Rows {
+		ok, err := check(row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.rows = append(out.rows, [][]types.Value{row})
+		}
+	}
+	return out, nil
+}
+
+// resultToRel wraps a materialized result as a relation, applying
+// pushdown filters.
+func (db *DB) resultToRel(ctx *execCtx, res *Result, meta entryMeta, pushdown []*conjunct) (*rel, error) {
+	if len(meta.cols) != len(res.Cols) && len(meta.cols) > 0 && len(res.Cols) > 0 {
+		if len(meta.cols) != len(res.Cols) {
+			return nil, fmt.Errorf("correlation %s declares %d columns but query produces %d",
+				meta.alias, len(meta.cols), len(res.Cols))
+		}
+	}
+	out := &rel{metas: []entryMeta{meta}}
+	scope := &rowScope{parent: ctx.scope, entries: []scopeEntry{{alias: meta.alias, cols: meta.cols}}}
+	sctx := ctx.withScope(scope)
+	for _, row := range res.Rows {
+		scope.entries[0].row = row
+		keep := true
+		for _, c := range pushdown {
+			v, err := db.evalExpr(sctx, c.expr)
+			if err != nil {
+				return nil, err
+			}
+			if types.TriboolFromValue(v) != types.True {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.rows = append(out.rows, [][]types.Value{row})
+		}
+	}
+	return out, nil
+}
+
+// evalJoinRef evaluates an explicit JOIN ... ON tree.
+func (db *DB) evalJoinRef(ctx *execCtx, j *sqlast.JoinExpr, pushdown []*conjunct) (*rel, error) {
+	lm, err := db.sourceMetas(ctx, j.L)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := db.sourceMetas(ctx, j.R)
+	if err != nil {
+		return nil, err
+	}
+	var lpush, rpush []*conjunct
+	for _, c := range pushdown {
+		switch {
+		case c.subsetOf(lm):
+			lpush = append(lpush, c)
+		case c.subsetOf(rm) && j.Type == "INNER":
+			rpush = append(rpush, c)
+		}
+	}
+	left, err := db.loadOrLateral(ctx, j.L, lm, lpush)
+	if err != nil {
+		return nil, err
+	}
+	right, err := db.loadOrLateral(ctx, j.R, rm, rpush)
+	if err != nil {
+		return nil, err
+	}
+	onConj := splitConjuncts(j.On, append(append([]entryMeta{}, lm...), rm...))
+	combined, err := db.joinRels(ctx, left, right, onConj, j.Type == "LEFT")
+	if err != nil {
+		return nil, err
+	}
+	// Residual pushdown (conjuncts spanning both sides already in ON;
+	// any remaining pushdown conjunct applies post-join for INNER).
+	var rest []*conjunct
+	for _, c := range pushdown {
+		if !contains(lpush, c) && !contains(rpush, c) {
+			rest = append(rest, c)
+		}
+	}
+	if len(rest) > 0 {
+		if j.Type == "LEFT" {
+			// Applied later by the caller as residual; re-filter here
+			// would be wrong only if conjunct references the null side;
+			// keep conservative and filter after join.
+		}
+		filtered := combined.rows[:0:0]
+		for _, row := range combined.rows {
+			scope := bindScope(ctx.scope, combined.metas, row)
+			keep := true
+			for _, c := range rest {
+				v, err := db.evalExpr(ctx.withScope(scope), c.expr)
+				if err != nil {
+					return nil, err
+				}
+				if types.TriboolFromValue(v) != types.True {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				filtered = append(filtered, row)
+			}
+		}
+		combined.rows = filtered
+	}
+	return combined, nil
+}
+
+func contains(cs []*conjunct, c *conjunct) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (db *DB) loadOrLateral(ctx *execCtx, ref sqlast.TableRef, metas []entryMeta, pushdown []*conjunct) (*rel, error) {
+	if tf, ok := ref.(*sqlast.TableFunc); ok {
+		// A table function inside a JOIN tree is evaluated with only
+		// the outer scope (not lateral to the join's left side).
+		rows, err := db.tableFuncRows(ctx, tf, metas[0])
+		if err != nil {
+			return nil, err
+		}
+		out := &rel{metas: metas}
+		for _, r := range rows {
+			out.rows = append(out.rows, [][]types.Value{r})
+		}
+		return out, nil
+	}
+	return db.loadSource(ctx, ref, metas, pushdown)
+}
+
+// tableFuncRows invokes a collection-returning function and returns its
+// rows.
+func (db *DB) tableFuncRows(ctx *execCtx, tf *sqlast.TableFunc, meta entryMeta) ([][]types.Value, error) {
+	v, err := db.evalFuncCall(ctx, tf.Call)
+	if err != nil {
+		return nil, err
+	}
+	if v.IsNull() {
+		return nil, nil
+	}
+	if v.Kind != types.KindTable {
+		return nil, fmt.Errorf("function %s used in FROM must return a collection", tf.Call.Name)
+	}
+	t, ok := v.Aux.(*storage.Table)
+	if !ok {
+		return nil, fmt.Errorf("function %s returned an invalid collection", tf.Call.Name)
+	}
+	if len(t.Schema.Cols) != len(meta.cols) {
+		return nil, fmt.Errorf("function %s returned %d columns, expected %d",
+			tf.Call.Name, len(t.Schema.Cols), len(meta.cols))
+	}
+	return t.Rows, nil
+}
+
+// joinRels joins two relations on the given conjuncts, hash-joining on
+// equality conjuncts when possible. leftOuter preserves unmatched left
+// rows with NULL extension.
+func (db *DB) joinRels(ctx *execCtx, left, right *rel, on []*conjunct, leftOuter bool) (*rel, error) {
+	out := &rel{metas: append(append([]entryMeta{}, left.metas...), right.metas...)}
+
+	// split equi conjuncts: one side ⊆ left metas, other ⊆ right metas
+	var lkeys, rkeys []sqlast.Expr
+	var rest []*conjunct
+	for _, c := range on {
+		if l, r, ok := c.equiSides(left.metas, right.metas); ok {
+			lkeys = append(lkeys, l)
+			rkeys = append(rkeys, r)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	db.orderByCost(rest)
+
+	checkRest := func(row [][]types.Value) (bool, error) {
+		if len(rest) == 0 {
+			return true, nil
+		}
+		scope := bindScope(ctx.scope, out.metas, row)
+		rctx := ctx.withScope(scope)
+		for _, c := range rest {
+			v, err := db.evalExpr(rctx, c.expr)
+			if err != nil {
+				return false, err
+			}
+			if types.TriboolFromValue(v) != types.True {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	nullRight := make([][]types.Value, len(right.metas))
+	for i, m := range right.metas {
+		nr := make([]types.Value, len(m.cols))
+		nullRight[i] = nr
+	}
+
+	if len(lkeys) > 0 {
+		// hash join
+		index := make(map[string][][][]types.Value, len(right.rows))
+		for _, rrow := range right.rows {
+			scope := bindScope(ctx.scope, right.metas, rrow)
+			rctx := ctx.withScope(scope)
+			key, null, err := db.keyOf(rctx, rkeys)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue
+			}
+			index[key] = append(index[key], rrow)
+		}
+		for _, lrow := range left.rows {
+			scope := bindScope(ctx.scope, left.metas, lrow)
+			lctx := ctx.withScope(scope)
+			key, null, err := db.keyOf(lctx, lkeys)
+			matched := false
+			if err != nil {
+				return nil, err
+			}
+			if !null {
+				for _, rrow := range index[key] {
+					combined := append(append([][]types.Value{}, lrow...), rrow...)
+					ok, err := checkRest(combined)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						out.rows = append(out.rows, combined)
+						matched = true
+					}
+				}
+			}
+			if leftOuter && !matched {
+				out.rows = append(out.rows, append(append([][]types.Value{}, lrow...), nullRight...))
+			}
+		}
+		return out, nil
+	}
+
+	// nested loop
+	for _, lrow := range left.rows {
+		matched := false
+		for _, rrow := range right.rows {
+			combined := append(append([][]types.Value{}, lrow...), rrow...)
+			ok, err := checkRest(combined)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.rows = append(out.rows, combined)
+				matched = true
+			}
+		}
+		if leftOuter && !matched {
+			out.rows = append(out.rows, append(append([][]types.Value{}, lrow...), nullRight...))
+		}
+	}
+	return out, nil
+}
+
+// keyOf evaluates key expressions and returns a composite hash key;
+// null=true when any key is NULL (such rows never join).
+func (db *DB) keyOf(ctx *execCtx, keys []sqlast.Expr) (string, bool, error) {
+	var b strings.Builder
+	for _, k := range keys {
+		v, err := db.evalExpr(ctx, k)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		b.WriteString(v.HashKey())
+		b.WriteByte('|')
+	}
+	return b.String(), false, nil
+}

@@ -1,0 +1,668 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/storage"
+	"taupsm/internal/types"
+)
+
+// ---------- variable frames ----------
+
+// varFrame is one lexical scope of PSM variables: scalar values,
+// table-valued (collection) variables, cursors, and condition handlers.
+// Frames chain through parent within a routine; routine boundaries
+// start a fresh chain.
+type varFrame struct {
+	parent   *varFrame
+	vals     map[string]types.Value
+	types    map[string]sqlast.TypeName
+	tables   map[string]*storage.Table
+	cursors  map[string]*cursor
+	handlers []*sqlast.HandlerDecl
+}
+
+func newFrame(parent *varFrame) *varFrame {
+	return &varFrame{
+		parent:  parent,
+		vals:    make(map[string]types.Value),
+		types:   make(map[string]sqlast.TypeName),
+		tables:  make(map[string]*storage.Table),
+		cursors: make(map[string]*cursor),
+	}
+}
+
+func (f *varFrame) get(name string) (types.Value, bool) {
+	k := strings.ToLower(name)
+	for fr := f; fr != nil; fr = fr.parent {
+		if v, ok := fr.vals[k]; ok {
+			return v, true
+		}
+		if t, ok := fr.tables[k]; ok {
+			return types.NewTable(t), true
+		}
+	}
+	return types.Null, false
+}
+
+func (f *varFrame) getTable(name string) *storage.Table {
+	k := strings.ToLower(name)
+	for fr := f; fr != nil; fr = fr.parent {
+		if t, ok := fr.tables[k]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+func (f *varFrame) set(name string, v types.Value) error {
+	k := strings.ToLower(name)
+	for fr := f; fr != nil; fr = fr.parent {
+		if _, ok := fr.vals[k]; ok {
+			if ty, has := fr.types[k]; has {
+				cv, err := coerce(v, ty)
+				if err != nil {
+					return err
+				}
+				v = cv
+			}
+			fr.vals[k] = v
+			return nil
+		}
+		if _, ok := fr.tables[k]; ok {
+			if v.Kind == types.KindTable {
+				if t, ok := v.Aux.(*storage.Table); ok {
+					fr.tables[k] = t
+					return nil
+				}
+			}
+			return fmt.Errorf("cannot assign a scalar to table-valued variable %s", name)
+		}
+	}
+	return fmt.Errorf("variable %s is not declared", name)
+}
+
+func (f *varFrame) getCursor(name string) *cursor {
+	k := strings.ToLower(name)
+	for fr := f; fr != nil; fr = fr.parent {
+		if c, ok := fr.cursors[k]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// cursor is a declared cursor: its query and, when open, the
+// materialized result and position.
+type cursor struct {
+	query sqlast.Stmt
+	res   *Result
+	pos   int
+	open  bool
+}
+
+// ---------- control-flow signals ----------
+
+type returnSignal struct{ val types.Value }
+
+func (returnSignal) Error() string { return "RETURN outside a function" }
+
+type leaveSignal struct{ label string }
+
+func (s leaveSignal) Error() string { return "no enclosing statement labeled " + s.label }
+
+type iterateSignal struct{ label string }
+
+func (s iterateSignal) Error() string { return "no enclosing loop labeled " + s.label }
+
+// exitHandlerSignal unwinds to the compound block whose frame declared
+// an EXIT handler.
+type exitHandlerSignal struct{ frame *varFrame }
+
+func (exitHandlerSignal) Error() string { return "unwinding to EXIT handler scope" }
+
+// conditionErr is a raised SQL condition (SIGNAL or engine-raised).
+type conditionErr struct {
+	state string // SQLSTATE, "02000" for NOT FOUND
+	msg   string
+}
+
+func (e *conditionErr) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("SQLSTATE %s: %s", e.state, e.msg)
+	}
+	return "SQLSTATE " + e.state
+}
+
+func isControlSignal(err error) bool {
+	switch err.(type) {
+	case returnSignal, leaveSignal, iterateSignal, exitHandlerSignal:
+		return true
+	}
+	return false
+}
+
+// raiseCondition finds and runs the innermost matching handler for a
+// condition. It returns (handled, err): when handled with a CONTINUE
+// handler err is nil; with an EXIT handler err is an exitHandlerSignal.
+func (db *DB) raiseCondition(ctx *execCtx, cond *conditionErr) (bool, error) {
+	for fr := ctx.vars; fr != nil; fr = fr.parent {
+		for _, h := range fr.handlers {
+			if !handlerMatches(h.Condition, cond) {
+				continue
+			}
+			hctx := *ctx
+			hctx.vars = fr
+			if err := db.execPSM(&hctx, h.Action); err != nil {
+				return true, err
+			}
+			if h.Kind == "EXIT" {
+				return true, exitHandlerSignal{frame: fr}
+			}
+			return true, nil
+		}
+	}
+	return false, cond
+}
+
+func handlerMatches(handlerCond string, cond *conditionErr) bool {
+	switch {
+	case handlerCond == "NOT FOUND":
+		return cond.state == "02000"
+	case handlerCond == "SQLEXCEPTION":
+		return !strings.HasPrefix(cond.state, "02") && cond.state != "00000"
+	case strings.HasPrefix(handlerCond, "SQLSTATE"):
+		return strings.Contains(handlerCond, "'"+cond.state+"'")
+	}
+	return false
+}
+
+// ---------- routine invocation ----------
+
+// callFunction invokes a stored function with the given argument
+// expressions (evaluated in the caller's context).
+func (db *DB) callFunction(ctx *execCtx, r *storage.Routine, argExprs []sqlast.Expr) (types.Value, error) {
+	params := r.Params()
+	if len(argExprs) != len(params) {
+		return types.Null, fmt.Errorf("function %s expects %d arguments, got %d", r.Name, len(params), len(argExprs))
+	}
+	if ctx.depth >= db.MaxRecursion {
+		return types.Null, fmt.Errorf("routine call nesting exceeds %d at %s", db.MaxRecursion, r.Name)
+	}
+	frame := newFrame(nil)
+	for i, p := range params {
+		v, err := db.evalExpr(ctx, argExprs[i])
+		if err != nil {
+			return types.Null, err
+		}
+		k := strings.ToLower(p.Name)
+		if p.Type.IsCollection() {
+			if t, ok := v.Aux.(*storage.Table); ok && v.Kind == types.KindTable {
+				frame.tables[k] = t
+			} else {
+				frame.tables[k] = newCollectionTable(p.Name, p.Type)
+			}
+			continue
+		}
+		cv, err := coerce(v, p.Type)
+		if err != nil {
+			return types.Null, err
+		}
+		frame.vals[k] = cv
+		frame.types[k] = p.Type
+	}
+	db.Stats.RoutineCalls++
+	fctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1}
+	err := db.execPSM(fctx, r.Body())
+	if err == nil {
+		return types.Null, fmt.Errorf("function %s ended without RETURN", r.Name)
+	}
+	if rs, ok := err.(returnSignal); ok {
+		if r.Fn.Returns.IsCollection() || rs.val.Kind == types.KindTable {
+			return rs.val, nil
+		}
+		return coerce(rs.val, r.Fn.Returns)
+	}
+	return types.Null, fmt.Errorf("in function %s: %w", r.Name, err)
+}
+
+// execCall invokes a stored procedure, copying OUT/INOUT parameters
+// back into the caller's variables.
+func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
+	r := db.Cat.Routine(s.Name)
+	if r == nil {
+		return nil, fmt.Errorf("procedure %s does not exist", s.Name)
+	}
+	if r.Kind != storage.KindProcedure {
+		return nil, fmt.Errorf("%s is a function; invoke it in an expression", s.Name)
+	}
+	params := r.Params()
+	if len(s.Args) != len(params) {
+		return nil, fmt.Errorf("procedure %s expects %d arguments, got %d", s.Name, len(params), len(s.Args))
+	}
+	if ctx.depth >= db.MaxRecursion {
+		return nil, fmt.Errorf("routine call nesting exceeds %d at %s", db.MaxRecursion, s.Name)
+	}
+	frame := newFrame(nil)
+	type outBinding struct {
+		param string
+		arg   string
+	}
+	var outs []outBinding
+	for i, p := range params {
+		k := strings.ToLower(p.Name)
+		frame.types[k] = p.Type
+		switch p.Mode {
+		case sqlast.ModeIn:
+			v, err := db.evalExpr(ctx, s.Args[i])
+			if err != nil {
+				return nil, err
+			}
+			if p.Type.IsCollection() {
+				if t, ok := v.Aux.(*storage.Table); ok && v.Kind == types.KindTable {
+					frame.tables[k] = t
+				} else {
+					frame.tables[k] = newCollectionTable(p.Name, p.Type)
+				}
+				continue
+			}
+			cv, err := coerce(v, p.Type)
+			if err != nil {
+				return nil, err
+			}
+			frame.vals[k] = cv
+		case sqlast.ModeOut, sqlast.ModeInOut:
+			cr, ok := s.Args[i].(*sqlast.ColumnRef)
+			if !ok || cr.Table != "" {
+				return nil, fmt.Errorf("argument %d of %s must be a variable (parameter %s is %s)",
+					i+1, s.Name, p.Name, p.Mode)
+			}
+			if ctx.vars == nil {
+				return nil, fmt.Errorf("OUT parameter %s requires a variable context", p.Name)
+			}
+			if p.Mode == sqlast.ModeInOut {
+				v, ok := ctx.vars.get(cr.Column)
+				if !ok {
+					return nil, fmt.Errorf("variable %s is not declared", cr.Column)
+				}
+				if p.Type.IsCollection() {
+					if t, ok := v.Aux.(*storage.Table); ok && v.Kind == types.KindTable {
+						frame.tables[k] = t
+					} else {
+						frame.tables[k] = newCollectionTable(p.Name, p.Type)
+					}
+				} else {
+					frame.vals[k] = v
+				}
+			} else if p.Type.IsCollection() {
+				frame.tables[k] = newCollectionTable(p.Name, p.Type)
+			} else {
+				frame.vals[k] = types.Null
+			}
+			outs = append(outs, outBinding{param: k, arg: cr.Column})
+		}
+	}
+	db.Stats.RoutineCalls++
+	pctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1}
+	err := db.execPSM(pctx, r.Body())
+	if err != nil {
+		if _, ok := err.(returnSignal); !ok {
+			return nil, fmt.Errorf("in procedure %s: %w", s.Name, err)
+		}
+	}
+	for _, ob := range outs {
+		v, _ := frame.get(ob.param)
+		if err := ctx.vars.set(ob.arg, v); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{}, nil
+}
+
+// ---------- PSM statement execution ----------
+
+// execPSM executes a PSM statement. Control flow is communicated via
+// the signal error types above.
+func (db *DB) execPSM(ctx *execCtx, stmt sqlast.Stmt) error {
+	db.Stats.Statements++
+	switch s := stmt.(type) {
+	case *sqlast.CompoundStmt:
+		return db.execCompound(ctx, s)
+	case *sqlast.SetStmt:
+		v, err := db.evalExpr(ctx, s.Value)
+		if err != nil {
+			return err
+		}
+		return ctx.vars.set(s.Target, v)
+	case *sqlast.IfStmt:
+		cond, err := db.evalExpr(ctx, s.Cond)
+		if err != nil {
+			return err
+		}
+		if types.TriboolFromValue(cond) == types.True {
+			return db.execStmts(ctx, s.Then)
+		}
+		for _, ei := range s.ElseIfs {
+			cv, err := db.evalExpr(ctx, ei.Cond)
+			if err != nil {
+				return err
+			}
+			if types.TriboolFromValue(cv) == types.True {
+				return db.execStmts(ctx, ei.Then)
+			}
+		}
+		if s.Else != nil {
+			return db.execStmts(ctx, s.Else)
+		}
+		return nil
+	case *sqlast.CaseStmt:
+		return db.execCaseStmt(ctx, s)
+	case *sqlast.WhileStmt:
+		for {
+			cond, err := db.evalExpr(ctx, s.Cond)
+			if err != nil {
+				return err
+			}
+			if types.TriboolFromValue(cond) != types.True {
+				return nil
+			}
+			if stop, err := db.runLoopBody(ctx, s.Label, s.Body); stop || err != nil {
+				return err
+			}
+		}
+	case *sqlast.RepeatStmt:
+		for {
+			if stop, err := db.runLoopBody(ctx, s.Label, s.Body); stop || err != nil {
+				return err
+			}
+			cond, err := db.evalExpr(ctx, s.Until)
+			if err != nil {
+				return err
+			}
+			if types.TriboolFromValue(cond) == types.True {
+				return nil
+			}
+		}
+	case *sqlast.LoopStmt:
+		for {
+			if stop, err := db.runLoopBody(ctx, s.Label, s.Body); stop || err != nil {
+				return err
+			}
+		}
+	case *sqlast.ForStmt:
+		return db.execFor(ctx, s)
+	case *sqlast.LeaveStmt:
+		return leaveSignal{label: strings.ToLower(s.Label)}
+	case *sqlast.IterateStmt:
+		return iterateSignal{label: strings.ToLower(s.Label)}
+	case *sqlast.ReturnStmt:
+		if s.Value == nil {
+			return returnSignal{val: types.Null}
+		}
+		v, err := db.evalExpr(ctx, s.Value)
+		if err != nil {
+			return err
+		}
+		return returnSignal{val: v}
+	case *sqlast.CallStmt:
+		_, err := db.execCall(ctx, s)
+		return err
+	case *sqlast.OpenStmt:
+		c := ctx.vars.getCursor(s.Cursor)
+		if c == nil {
+			return fmt.Errorf("cursor %s is not declared", s.Cursor)
+		}
+		res, err := db.execCursorQuery(ctx, c.query)
+		if err != nil {
+			return err
+		}
+		c.res, c.pos, c.open = res, 0, true
+		return nil
+	case *sqlast.FetchStmt:
+		return db.execFetch(ctx, s)
+	case *sqlast.CloseStmt:
+		c := ctx.vars.getCursor(s.Cursor)
+		if c == nil {
+			return fmt.Errorf("cursor %s is not declared", s.Cursor)
+		}
+		if !c.open {
+			return fmt.Errorf("cursor %s is not open", s.Cursor)
+		}
+		c.open, c.res = false, nil
+		return nil
+	case *sqlast.SignalStmt:
+		cond := &conditionErr{state: s.SQLState, msg: s.Message}
+		_, err := db.raiseCondition(ctx, cond)
+		return err
+	default:
+		// Plain SQL statement inside a routine body.
+		_, err := db.exec(ctx, stmt)
+		return err
+	}
+}
+
+func (db *DB) execCompound(ctx *execCtx, s *sqlast.CompoundStmt) error {
+	frame := newFrame(ctx.vars)
+	cctx := *ctx
+	cctx.vars = frame
+
+	for _, d := range s.VarDecls {
+		var def types.Value
+		if d.Default != nil {
+			v, err := db.evalExpr(&cctx, d.Default)
+			if err != nil {
+				return err
+			}
+			def = v
+		}
+		for _, name := range d.Names {
+			k := strings.ToLower(name)
+			if d.Type.IsCollection() {
+				frame.tables[k] = newCollectionTable(name, d.Type)
+				continue
+			}
+			cv, err := coerce(def, d.Type)
+			if err != nil {
+				return err
+			}
+			frame.vals[k] = cv
+			frame.types[k] = d.Type
+		}
+	}
+	for _, cd := range s.Cursors {
+		frame.cursors[strings.ToLower(cd.Name)] = &cursor{query: cd.Query}
+	}
+	frame.handlers = s.Handlers
+
+	for _, st := range s.Stmts {
+		err := db.execPSM(&cctx, st)
+		if err == nil {
+			continue
+		}
+		switch e := err.(type) {
+		case returnSignal, iterateSignal:
+			return err
+		case leaveSignal:
+			if s.Label != "" && strings.EqualFold(e.label, s.Label) {
+				return nil
+			}
+			return err
+		case exitHandlerSignal:
+			if e.frame == frame {
+				return nil
+			}
+			return err
+		case *conditionErr:
+			handled, herr := db.raiseCondition(&cctx, e)
+			if !handled {
+				return err
+			}
+			if herr != nil {
+				if ex, ok := herr.(exitHandlerSignal); ok && ex.frame == frame {
+					return nil
+				}
+				return herr
+			}
+			// CONTINUE handler: resume with the next statement.
+		default:
+			// Generic engine error becomes SQLEXCEPTION.
+			cond := &conditionErr{state: "58000", msg: err.Error()}
+			handled, herr := db.raiseCondition(&cctx, cond)
+			if !handled {
+				return err
+			}
+			if herr != nil {
+				if ex, ok := herr.(exitHandlerSignal); ok && ex.frame == frame {
+					return nil
+				}
+				return herr
+			}
+		}
+	}
+	return nil
+}
+
+// newCollectionTable creates the backing table of a table-valued
+// variable from a ROW(...) ARRAY type.
+func newCollectionTable(name string, ty sqlast.TypeName) *storage.Table {
+	cols := make([]storage.Column, len(ty.Row))
+	for i, f := range ty.Row {
+		cols[i] = storage.Column{Name: f.Name, Type: f.Type}
+	}
+	return storage.NewTable(name, storage.NewSchema(cols))
+}
+
+func (db *DB) execStmts(ctx *execCtx, stmts []sqlast.Stmt) error {
+	for _, st := range stmts {
+		if err := db.execPSM(ctx, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runLoopBody executes a loop body once. stop=true means the loop
+// should terminate normally (LEAVE of this loop's label).
+func (db *DB) runLoopBody(ctx *execCtx, label string, body []sqlast.Stmt) (bool, error) {
+	err := db.execStmts(ctx, body)
+	if err == nil {
+		return false, nil
+	}
+	switch e := err.(type) {
+	case leaveSignal:
+		if label != "" && strings.EqualFold(e.label, label) {
+			return true, nil
+		}
+	case iterateSignal:
+		if label != "" && strings.EqualFold(e.label, label) {
+			return false, nil
+		}
+	}
+	return true, err
+}
+
+func (db *DB) execCaseStmt(ctx *execCtx, s *sqlast.CaseStmt) error {
+	if s.Operand != nil {
+		op, err := db.evalExpr(ctx, s.Operand)
+		if err != nil {
+			return err
+		}
+		for _, w := range s.Whens {
+			wv, err := db.evalExpr(ctx, w.When)
+			if err != nil {
+				return err
+			}
+			if types.CompareOp("=", op, wv) == types.True {
+				return db.execStmts(ctx, w.Then)
+			}
+		}
+	} else {
+		for _, w := range s.Whens {
+			wv, err := db.evalExpr(ctx, w.When)
+			if err != nil {
+				return err
+			}
+			if types.TriboolFromValue(wv) == types.True {
+				return db.execStmts(ctx, w.Then)
+			}
+		}
+	}
+	if s.Else != nil {
+		return db.execStmts(ctx, s.Else)
+	}
+	// A searched CASE statement with no matching WHEN and no ELSE
+	// raises "case not found" per the standard.
+	return &conditionErr{state: "20000", msg: "case not found for CASE statement"}
+}
+
+// execCursorQuery evaluates the query of a cursor or FOR loop.
+func (db *DB) execCursorQuery(ctx *execCtx, q sqlast.Stmt) (*Result, error) {
+	if ts, ok := q.(*sqlast.TemporalStmt); ok {
+		if ts.Mod == sqlast.ModCurrent {
+			q = ts.Body
+		} else {
+			return nil, fmt.Errorf("engine: temporal cursor query reached the conventional engine")
+		}
+	}
+	qe, ok := q.(sqlast.QueryExpr)
+	if !ok {
+		return nil, fmt.Errorf("cursor query must be a SELECT")
+	}
+	return db.evalQuery(ctx, qe)
+}
+
+func (db *DB) execFetch(ctx *execCtx, s *sqlast.FetchStmt) error {
+	c := ctx.vars.getCursor(s.Cursor)
+	if c == nil {
+		return fmt.Errorf("cursor %s is not declared", s.Cursor)
+	}
+	if !c.open {
+		return fmt.Errorf("cursor %s is not open", s.Cursor)
+	}
+	if c.pos >= len(c.res.Rows) {
+		_, err := db.raiseCondition(ctx, &conditionErr{state: "02000", msg: "no data"})
+		return err
+	}
+	row := c.res.Rows[c.pos]
+	c.pos++
+	if len(s.Into) != len(row) {
+		return fmt.Errorf("FETCH %s: %d variables for %d columns", s.Cursor, len(s.Into), len(row))
+	}
+	for i, name := range s.Into {
+		if err := ctx.vars.set(name, row[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) execFor(ctx *execCtx, s *sqlast.ForStmt) error {
+	res, err := db.execCursorQuery(ctx, s.Query)
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		scope := &rowScope{parent: ctx.scope, entries: []scopeEntry{{
+			alias: s.LoopVar, cols: res.Cols, row: row,
+		}}}
+		lctx := ctx.withScope(scope)
+		lerr := db.execStmts(lctx, s.Body)
+		if lerr == nil {
+			continue
+		}
+		switch e := lerr.(type) {
+		case leaveSignal:
+			if s.Label != "" && strings.EqualFold(e.label, s.Label) {
+				return nil
+			}
+		case iterateSignal:
+			if s.Label != "" && strings.EqualFold(e.label, s.Label) {
+				continue
+			}
+		}
+		return lerr
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+
+	"taupsm/internal/types"
+)
+
+func TestTypeNameSQL(t *testing.T) {
+	cases := map[string]TypeName{
+		"INTEGER":        {Base: "INTEGER"},
+		"CHAR(10)":       {Base: "CHAR", Length: 10},
+		"DECIMAL(8, 2)":  {Base: "DECIMAL", Length: 8, Scale: 2},
+		"ROW(a INTEGER)": {Base: "ROW", Row: []ColumnDef{{Name: "a", Type: TypeName{Base: "INTEGER"}}}},
+		"ROW(v CHAR(5), begin_time DATE) ARRAY": {Base: "ROW", Array: true, Row: []ColumnDef{
+			{Name: "v", Type: TypeName{Base: "CHAR", Length: 5}},
+			{Name: "begin_time", Type: TypeName{Base: "DATE"}},
+		}},
+	}
+	for want, ty := range cases {
+		if got := ty.SQL(); got != want {
+			t.Errorf("TypeName.SQL() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTypeNameKind(t *testing.T) {
+	cases := map[types.Kind][]string{
+		types.KindInt:    {"INTEGER", "INT", "SMALLINT", "BIGINT"},
+		types.KindFloat:  {"DECIMAL", "FLOAT", "DOUBLE", "REAL", "NUMERIC"},
+		types.KindString: {"CHAR", "VARCHAR", "CHARACTER"},
+		types.KindDate:   {"DATE"},
+		types.KindBool:   {"BOOLEAN"},
+	}
+	for want, bases := range cases {
+		for _, b := range bases {
+			if got := (TypeName{Base: b}).Kind(); got != want {
+				t.Errorf("Kind(%s) = %v, want %v", b, got, want)
+			}
+		}
+	}
+	if !(TypeName{Base: "ROW", Array: true}).IsCollection() {
+		t.Error("ROW ARRAY must be a collection")
+	}
+	if (TypeName{Base: "ROW"}).IsCollection() {
+		t.Error("plain ROW is not a collection")
+	}
+}
+
+func TestModifierAndModeStrings(t *testing.T) {
+	if ModCurrent.String() != "" || ModSequenced.String() != "VALIDTIME" ||
+		ModNonsequenced.String() != "NONSEQUENCED VALIDTIME" {
+		t.Error("modifier strings")
+	}
+	if DimValid.Keyword() != "VALIDTIME" || DimTransaction.Keyword() != "TRANSACTIONTIME" {
+		t.Error("dimension keywords")
+	}
+	if ModeIn.String() != "IN" || ModeOut.String() != "OUT" || ModeInOut.String() != "INOUT" {
+		t.Error("parameter modes")
+	}
+}
+
+func TestScript(t *testing.T) {
+	out := Script([]Stmt{
+		&DropTableStmt{Name: "a"},
+		&DropTableStmt{Name: "b", IfExists: true},
+	})
+	if out != "DROP TABLE a;\nDROP TABLE IF EXISTS b;\n" {
+		t.Fatalf("Script() = %q", out)
+	}
+}
+
+func TestPrinterParenthesization(t *testing.T) {
+	// programmatically built trees a human wouldn't write must still
+	// print with enough parentheses to mean the same thing
+	cmp := func(l, r Expr) Expr { return &BinaryExpr{Op: "=", L: l, R: r} }
+	lit := func(n int64) Expr { return &Literal{Val: types.NewInt(n)} }
+
+	nested := cmp(cmp(lit(1), lit(2)), lit(3)) // (1 = 2) = 3
+	if got := nested.SQL(); got != "(1 = 2) = 3" {
+		t.Errorf("nested comparison: %q", got)
+	}
+	negMul := &UnaryExpr{Op: "-", X: &BinaryExpr{Op: "*", L: lit(2), R: lit(3)}}
+	if got := negMul.SQL(); got != "-(2 * 3)" {
+		t.Errorf("unary minus over product: %q", got)
+	}
+	isn := &IsNullExpr{X: cmp(lit(1), lit(1))}
+	if got := isn.SQL(); got != "(1 = 1) IS NULL" {
+		t.Errorf("IS NULL over comparison: %q", got)
+	}
+	andInBetween := &BetweenExpr{X: lit(1),
+		Lo: &BinaryExpr{Op: "AND", L: lit(1), R: lit(1)}, Hi: lit(9)}
+	if !strings.Contains(andInBetween.SQL(), "(1 AND 1)") {
+		t.Errorf("AND inside BETWEEN needs parens: %q", andInBetween.SQL())
+	}
+}
+
+func TestCompoundPrinting(t *testing.T) {
+	c := &CompoundStmt{
+		Label:  "blk",
+		Atomic: true,
+		VarDecls: []*VarDecl{{Names: []string{"x", "y"}, Type: TypeName{Base: "INTEGER"},
+			Default: &Literal{Val: types.NewInt(0)}}},
+		Cursors: []*CursorDecl{{Name: "c1", Query: &SelectStmt{
+			Items: []SelectItem{{Expr: &ColumnRef{Column: "a"}}},
+			From:  []TableRef{&BaseTable{Name: "t"}},
+		}}},
+		Handlers: []*HandlerDecl{{Kind: "CONTINUE", Condition: "NOT FOUND",
+			Action: &SetStmt{Target: "x", Value: &Literal{Val: types.NewInt(1)}}}},
+		Stmts: []Stmt{
+			&OpenStmt{Cursor: "c1"},
+			&FetchStmt{Cursor: "c1", Into: []string{"x"}},
+			&CloseStmt{Cursor: "c1"},
+		},
+	}
+	out := c.SQL()
+	for _, want := range []string{
+		"blk: BEGIN ATOMIC", "DECLARE x, y INTEGER DEFAULT 0;",
+		"DECLARE c1 CURSOR FOR", "DECLARE CONTINUE HANDLER FOR NOT FOUND",
+		"OPEN c1;", "FETCH c1 INTO x;", "CLOSE c1;", "END blk",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compound printing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWalkSkipsChildrenOnFalse(t *testing.T) {
+	s := &SelectStmt{
+		Items: []SelectItem{{Expr: &SubqueryExpr{Query: &SelectStmt{
+			Items: []SelectItem{{Expr: &ColumnRef{Column: "inner_col"}}},
+		}}}},
+	}
+	var names []string
+	Walk(s, func(n Node) bool {
+		if cr, ok := n.(*ColumnRef); ok {
+			names = append(names, cr.Column)
+		}
+		if _, ok := n.(*SubqueryExpr); ok {
+			return false
+		}
+		return true
+	})
+	if len(names) != 0 {
+		t.Fatalf("Walk must not descend into skipped subquery: %v", names)
+	}
+}
+
+func TestCloneNilSafety(t *testing.T) {
+	if CloneExpr(nil) != nil || CloneStmt(nil) != nil || CloneQuery(nil) != nil {
+		t.Fatal("clone of nil must be nil")
+	}
+}

@@ -1,0 +1,246 @@
+package sqlast
+
+// Deep cloning. The transforms in internal/core clone a routine or
+// query first, then rewrite the clone in place, so the catalog's
+// original AST is never mutated.
+
+// CloneExpr returns a deep copy of an expression.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Literal:
+		c := *x
+		return &c
+	case *ColumnRef:
+		c := *x
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: CloneExpr(x.X)}
+	case *IsNullExpr:
+		return &IsNullExpr{X: CloneExpr(x.X), Not: x.Not}
+	case *BetweenExpr:
+		return &BetweenExpr{X: CloneExpr(x.X), Lo: CloneExpr(x.Lo), Hi: CloneExpr(x.Hi), Not: x.Not}
+	case *InExpr:
+		c := &InExpr{X: CloneExpr(x.X), Not: x.Not}
+		for _, it := range x.List {
+			c.List = append(c.List, CloneExpr(it))
+		}
+		if x.Sub != nil {
+			c.Sub = CloneQuery(x.Sub)
+		}
+		return c
+	case *ExistsExpr:
+		return &ExistsExpr{Sub: CloneQuery(x.Sub), Not: x.Not}
+	case *LikeExpr:
+		return &LikeExpr{X: CloneExpr(x.X), Pattern: CloneExpr(x.Pattern), Not: x.Not}
+	case *CaseExpr:
+		c := &CaseExpr{Operand: CloneExpr(x.Operand), Else: CloneExpr(x.Else)}
+		for _, w := range x.Whens {
+			c.Whens = append(c.Whens, WhenClause{When: CloneExpr(w.When), Then: CloneExpr(w.Then)})
+		}
+		return c
+	case *CastExpr:
+		return &CastExpr{X: CloneExpr(x.X), Type: x.Type}
+	case *FuncCall:
+		c := &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
+	case *SubqueryExpr:
+		return &SubqueryExpr{Query: CloneQuery(x.Query)}
+	}
+	panic("sqlast.CloneExpr: unknown expression type")
+}
+
+// CloneQuery returns a deep copy of a query body.
+func CloneQuery(q QueryExpr) QueryExpr {
+	if q == nil {
+		return nil
+	}
+	switch x := q.(type) {
+	case *SelectStmt:
+		return cloneSelect(x)
+	case *SetOpExpr:
+		c := &SetOpExpr{Op: x.Op, All: x.All, L: CloneQuery(x.L), R: CloneQuery(x.R)}
+		for _, o := range x.OrderBy {
+			c.OrderBy = append(c.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+		}
+		return c
+	case *ValuesExpr:
+		c := &ValuesExpr{}
+		for _, row := range x.Rows {
+			var r []Expr
+			for _, e := range row {
+				r = append(r, CloneExpr(e))
+			}
+			c.Rows = append(c.Rows, r)
+		}
+		return c
+	}
+	panic("sqlast.CloneQuery: unknown query type")
+}
+
+func cloneSelect(s *SelectStmt) *SelectStmt {
+	c := &SelectStmt{Distinct: s.Distinct, Where: CloneExpr(s.Where), Having: CloneExpr(s.Having), Limit: CloneExpr(s.Limit)}
+	for _, it := range s.Items {
+		c.Items = append(c.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias, Star: it.Star, TableStar: it.TableStar})
+	}
+	for _, r := range s.From {
+		c.From = append(c.From, CloneTableRef(r))
+	}
+	for _, g := range s.GroupBy {
+		c.GroupBy = append(c.GroupBy, CloneExpr(g))
+	}
+	for _, o := range s.OrderBy {
+		c.OrderBy = append(c.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+	}
+	return c
+}
+
+// CloneTableRef returns a deep copy of a FROM-clause element.
+func CloneTableRef(r TableRef) TableRef {
+	switch x := r.(type) {
+	case *BaseTable:
+		c := *x
+		return &c
+	case *DerivedTable:
+		return &DerivedTable{Query: CloneQuery(x.Query), Alias: x.Alias, Cols: append([]string(nil), x.Cols...)}
+	case *TableFunc:
+		return &TableFunc{Call: CloneExpr(x.Call).(*FuncCall), Alias: x.Alias, Cols: append([]string(nil), x.Cols...)}
+	case *JoinExpr:
+		return &JoinExpr{L: CloneTableRef(x.L), R: CloneTableRef(x.R), Type: x.Type, On: CloneExpr(x.On)}
+	}
+	panic("sqlast.CloneTableRef: unknown table reference type")
+}
+
+func cloneStmts(ss []Stmt) []Stmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]Stmt, len(ss))
+	for i, s := range ss {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// CloneStmt returns a deep copy of any statement.
+func CloneStmt(s Stmt) Stmt {
+	if s == nil {
+		return nil
+	}
+	switch x := s.(type) {
+	case *SelectStmt:
+		return cloneSelect(x)
+	case *SetOpExpr:
+		return CloneQuery(x).(*SetOpExpr)
+	case *TemporalStmt:
+		c := &TemporalStmt{Mod: x.Mod, Dim: x.Dim, Body: CloneStmt(x.Body)}
+		if x.Period != nil {
+			c.Period = &PeriodSpec{Begin: CloneExpr(x.Period.Begin), End: CloneExpr(x.Period.End)}
+		}
+		return c
+	case *InsertStmt:
+		return &InsertStmt{Table: x.Table, VarTarget: x.VarTarget, Cols: append([]string(nil), x.Cols...), Source: CloneQuery(x.Source)}
+	case *UpdateStmt:
+		c := &UpdateStmt{Table: x.Table, VarTarget: x.VarTarget, Alias: x.Alias, Where: CloneExpr(x.Where)}
+		for _, sc := range x.Sets {
+			c.Sets = append(c.Sets, SetClause{Column: sc.Column, Value: CloneExpr(sc.Value)})
+		}
+		return c
+	case *DeleteStmt:
+		return &DeleteStmt{Table: x.Table, VarTarget: x.VarTarget, Alias: x.Alias, Where: CloneExpr(x.Where)}
+	case *CreateTableStmt:
+		c := *x
+		c.Cols = append([]ColumnDef(nil), x.Cols...)
+		if x.AsQuery != nil {
+			c.AsQuery = CloneQuery(x.AsQuery)
+		}
+		return &c
+	case *DropTableStmt:
+		c := *x
+		return &c
+	case *CreateViewStmt:
+		return &CreateViewStmt{Name: x.Name, Cols: append([]string(nil), x.Cols...), Query: CloneQuery(x.Query), Mod: x.Mod}
+	case *DropViewStmt:
+		c := *x
+		return &c
+	case *AlterAddValidTime:
+		c := *x
+		return &c
+	case *CreateFunctionStmt:
+		return &CreateFunctionStmt{Name: x.Name, Params: append([]ParamDef(nil), x.Params...), Returns: x.Returns,
+			Options: append([]string(nil), x.Options...), Body: CloneStmt(x.Body), Replace: x.Replace}
+	case *CreateProcedureStmt:
+		return &CreateProcedureStmt{Name: x.Name, Params: append([]ParamDef(nil), x.Params...),
+			Options: append([]string(nil), x.Options...), Body: CloneStmt(x.Body), Replace: x.Replace}
+	case *DropRoutineStmt:
+		c := *x
+		return &c
+	case *CompoundStmt:
+		c := &CompoundStmt{Label: x.Label, Atomic: x.Atomic, Stmts: cloneStmts(x.Stmts)}
+		for _, d := range x.VarDecls {
+			c.VarDecls = append(c.VarDecls, &VarDecl{Names: append([]string(nil), d.Names...), Type: d.Type, Default: CloneExpr(d.Default)})
+		}
+		for _, cd := range x.Cursors {
+			c.Cursors = append(c.Cursors, &CursorDecl{Name: cd.Name, Query: CloneStmt(cd.Query)})
+		}
+		for _, h := range x.Handlers {
+			c.Handlers = append(c.Handlers, &HandlerDecl{Kind: h.Kind, Condition: h.Condition, Action: CloneStmt(h.Action)})
+		}
+		return c
+	case *SetStmt:
+		return &SetStmt{Target: x.Target, Value: CloneExpr(x.Value)}
+	case *IfStmt:
+		c := &IfStmt{Cond: CloneExpr(x.Cond), Then: cloneStmts(x.Then), Else: cloneStmts(x.Else)}
+		for _, ei := range x.ElseIfs {
+			c.ElseIfs = append(c.ElseIfs, ElseIf{Cond: CloneExpr(ei.Cond), Then: cloneStmts(ei.Then)})
+		}
+		return c
+	case *CaseStmt:
+		c := &CaseStmt{Operand: CloneExpr(x.Operand), Else: cloneStmts(x.Else)}
+		for _, w := range x.Whens {
+			c.Whens = append(c.Whens, CaseWhenStmt{When: CloneExpr(w.When), Then: cloneStmts(w.Then)})
+		}
+		return c
+	case *WhileStmt:
+		return &WhileStmt{Label: x.Label, Cond: CloneExpr(x.Cond), Body: cloneStmts(x.Body)}
+	case *RepeatStmt:
+		return &RepeatStmt{Label: x.Label, Body: cloneStmts(x.Body), Until: CloneExpr(x.Until)}
+	case *LoopStmt:
+		return &LoopStmt{Label: x.Label, Body: cloneStmts(x.Body)}
+	case *ForStmt:
+		return &ForStmt{Label: x.Label, LoopVar: x.LoopVar, Cursor: x.Cursor, Query: CloneStmt(x.Query), Body: cloneStmts(x.Body)}
+	case *LeaveStmt:
+		c := *x
+		return &c
+	case *IterateStmt:
+		c := *x
+		return &c
+	case *ReturnStmt:
+		return &ReturnStmt{Value: CloneExpr(x.Value)}
+	case *CallStmt:
+		c := &CallStmt{Name: x.Name}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
+	case *OpenStmt:
+		c := *x
+		return &c
+	case *FetchStmt:
+		return &FetchStmt{Cursor: x.Cursor, Into: append([]string(nil), x.Into...)}
+	case *CloseStmt:
+		c := *x
+		return &c
+	case *SignalStmt:
+		c := *x
+		return &c
+	}
+	panic("sqlast.CloneStmt: unknown statement type")
+}

@@ -1,0 +1,764 @@
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The printer renders AST nodes back to SQL/PSM source text. It is the
+// output half of the source-to-source stratum: transformed routines and
+// queries are printed and can be re-parsed, executed, or shown to users.
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.b.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteString("  ")
+	}
+}
+
+func (p *printer) ws(s string) { p.b.WriteString(s) }
+
+// ---------- types ----------
+
+// SQL renders the type name.
+func (t TypeName) SQL() string {
+	switch {
+	case t.Base == "ROW":
+		var parts []string
+		for _, f := range t.Row {
+			parts = append(parts, f.Name+" "+f.Type.SQL())
+		}
+		s := "ROW(" + strings.Join(parts, ", ") + ")"
+		if t.Array {
+			s += " ARRAY"
+		}
+		return s
+	case t.Length > 0 && t.Scale > 0:
+		return fmt.Sprintf("%s(%d, %d)", t.Base, t.Length, t.Scale)
+	case t.Length > 0:
+		return fmt.Sprintf("%s(%d)", t.Base, t.Length)
+	default:
+		return t.Base
+	}
+}
+
+// ---------- expressions ----------
+
+func (e *Literal) SQL() string { return e.Val.SQLLiteral() }
+
+func (e *ColumnRef) SQL() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Column
+	}
+	return e.Column
+}
+
+// Expression precedence levels, mirroring the parser's grammar:
+//
+//	1 OR   2 AND   3 NOT   4 predicate (comparison, IS NULL, BETWEEN,
+//	IN, LIKE — non-associative)   5 additive (+ - ||)
+//	6 multiplicative   7 unary minus   8 primary
+//
+// The printer parenthesizes any operand whose level is too low for its
+// position so that SQL() output always re-parses to the same tree —
+// important because the transforms build expression trees
+// programmatically in shapes a human would not write.
+func exprLevel(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		switch x.Op {
+		case "OR":
+			return 1
+		case "AND":
+			return 2
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			return 4
+		case "+", "-", "||":
+			return 5
+		case "*", "/":
+			return 6
+		}
+		return 8
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return 3
+		}
+		return 7
+	case *IsNullExpr, *BetweenExpr, *InExpr, *LikeExpr:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// operand prints child, parenthesizing unless its level is at least
+// min. nonAssoc additionally parenthesizes an exact-level child (for
+// the non-associative predicate position).
+func operand(child Expr, min int, nonAssoc bool) string {
+	s := child.SQL()
+	lv := exprLevel(child)
+	if lv < min || (nonAssoc && lv == min) {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (e *BinaryExpr) SQL() string {
+	switch e.Op {
+	case "OR":
+		return operand(e.L, 1, false) + " OR " + operand(e.R, 1, false)
+	case "AND":
+		return operand(e.L, 2, false) + " AND " + operand(e.R, 2, false)
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		// comparisons are non-associative; operands are additive
+		return operand(e.L, 5, false) + " " + e.Op + " " + operand(e.R, 5, false)
+	case "+", "||":
+		return operand(e.L, 5, false) + " " + e.Op + " " + operand(e.R, 6, false)
+	case "-":
+		return operand(e.L, 5, false) + " - " + operand(e.R, 6, false)
+	case "*":
+		return operand(e.L, 6, false) + " * " + operand(e.R, 7, false)
+	case "/":
+		return operand(e.L, 6, false) + " / " + operand(e.R, 7, false)
+	}
+	return operand(e.L, 8, false) + " " + e.Op + " " + operand(e.R, 8, false)
+}
+
+func (e *UnaryExpr) SQL() string {
+	if e.Op == "NOT" {
+		return "NOT " + operand(e.X, 3, false)
+	}
+	return e.Op + operand(e.X, 8, false)
+}
+
+func (e *IsNullExpr) SQL() string {
+	if e.Not {
+		return operand(e.X, 5, false) + " IS NOT NULL"
+	}
+	return operand(e.X, 5, false) + " IS NULL"
+}
+
+func (e *BetweenExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	// Hi must not swallow a following AND: keep it at multiplicative
+	// level when it contains AND... additive suffices since AND is
+	// level 2 and gets parenthesized by the min-5 rule.
+	return operand(e.X, 5, false) + " " + not + "BETWEEN " + operand(e.Lo, 5, false) + " AND " + operand(e.Hi, 5, false)
+}
+
+func (e *InExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	if e.Sub != nil {
+		return operand(e.X, 5, false) + " " + not + "IN (" + e.Sub.SQL() + ")"
+	}
+	var parts []string
+	for _, x := range e.List {
+		parts = append(parts, x.SQL())
+	}
+	return operand(e.X, 5, false) + " " + not + "IN (" + strings.Join(parts, ", ") + ")"
+}
+
+func (e *ExistsExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return not + "EXISTS (" + e.Sub.SQL() + ")"
+}
+
+func (e *LikeExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return operand(e.X, 5, false) + " " + not + "LIKE " + operand(e.Pattern, 5, false)
+}
+
+func (e *CaseExpr) SQL() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	if e.Operand != nil {
+		b.WriteString(" " + e.Operand.SQL())
+	}
+	for _, w := range e.Whens {
+		b.WriteString(" WHEN " + w.When.SQL() + " THEN " + w.Then.SQL())
+	}
+	if e.Else != nil {
+		b.WriteString(" ELSE " + e.Else.SQL())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+func (e *CastExpr) SQL() string {
+	return "CAST(" + e.X.SQL() + " AS " + e.Type.SQL() + ")"
+}
+
+// niladicBuiltins print without parentheses, matching SQL syntax.
+var niladicBuiltins = map[string]bool{
+	"CURRENT_DATE": true, "CURRENT_TIME": true, "CURRENT_TIMESTAMP": true,
+}
+
+func (e *FuncCall) SQL() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	if len(e.Args) == 0 && niladicBuiltins[strings.ToUpper(e.Name)] {
+		return strings.ToUpper(e.Name)
+	}
+	var parts []string
+	for _, a := range e.Args {
+		parts = append(parts, a.SQL())
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + strings.Join(parts, ", ") + ")"
+}
+
+func (e *SubqueryExpr) SQL() string { return "(" + e.Query.SQL() + ")" }
+
+// ---------- queries ----------
+
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	var items []string
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			items = append(items, "*")
+		case it.TableStar != "":
+			items = append(items, it.TableStar+".*")
+		default:
+			x := it.Expr.SQL()
+			if it.Alias != "" {
+				x += " AS " + it.Alias
+			}
+			items = append(items, x)
+		}
+	}
+	b.WriteString(strings.Join(items, ", "))
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		var refs []string
+		for _, r := range s.From {
+			refs = append(refs, r.SQL())
+		}
+		b.WriteString(strings.Join(refs, ", "))
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		var gs []string
+		for _, g := range s.GroupBy {
+			gs = append(gs, g.SQL())
+		}
+		b.WriteString(" GROUP BY " + strings.Join(gs, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY " + orderBySQL(s.OrderBy))
+	}
+	if s.Limit != nil {
+		b.WriteString(" FETCH FIRST " + s.Limit.SQL() + " ROWS ONLY")
+	}
+	return b.String()
+}
+
+func orderBySQL(items []OrderItem) string {
+	var os []string
+	for _, o := range items {
+		x := o.Expr.SQL()
+		if o.Desc {
+			x += " DESC"
+		}
+		os = append(os, x)
+	}
+	return strings.Join(os, ", ")
+}
+
+func (s *SetOpExpr) SQL() string {
+	op := s.Op
+	if s.All {
+		op += " ALL"
+	}
+	out := s.L.SQL() + " " + op + " " + s.R.SQL()
+	if len(s.OrderBy) > 0 {
+		out += " ORDER BY " + orderBySQL(s.OrderBy)
+	}
+	return out
+}
+
+func (v *ValuesExpr) SQL() string {
+	var rows []string
+	for _, r := range v.Rows {
+		var vals []string
+		for _, e := range r {
+			vals = append(vals, e.SQL())
+		}
+		rows = append(rows, "("+strings.Join(vals, ", ")+")")
+	}
+	return "VALUES " + strings.Join(rows, ", ")
+}
+
+// ---------- table refs ----------
+
+func (t *BaseTable) SQL() string {
+	if t.Alias != "" && t.Alias != t.Name {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+func (t *DerivedTable) SQL() string {
+	s := "(" + t.Query.SQL() + ") AS " + t.Alias
+	if len(t.Cols) > 0 {
+		s += "(" + strings.Join(t.Cols, ", ") + ")"
+	}
+	return s
+}
+
+func (t *TableFunc) SQL() string {
+	s := "TABLE(" + t.Call.SQL() + ") AS " + t.Alias
+	if len(t.Cols) > 0 {
+		s += "(" + strings.Join(t.Cols, ", ") + ")"
+	}
+	return s
+}
+
+func (t *JoinExpr) SQL() string {
+	return t.L.SQL() + " " + t.Type + " JOIN " + t.R.SQL() + " ON " + t.On.SQL()
+}
+
+// ---------- temporal wrapper ----------
+
+func (t *TemporalStmt) SQL() string {
+	var prefix string
+	switch t.Mod {
+	case ModSequenced:
+		prefix = t.Dim.Keyword()
+		if t.Period != nil {
+			prefix += " (" + t.Period.Begin.SQL() + ", " + t.Period.End.SQL() + ")"
+		}
+	case ModNonsequenced:
+		prefix = "NONSEQUENCED " + t.Dim.Keyword()
+	}
+	if prefix == "" {
+		return t.Body.SQL()
+	}
+	return prefix + " " + t.Body.SQL()
+}
+
+// ---------- DML ----------
+
+func (s *InsertStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	if s.VarTarget {
+		b.WriteString("TABLE ")
+	}
+	b.WriteString(s.Table)
+	if len(s.Cols) > 0 {
+		b.WriteString(" (" + strings.Join(s.Cols, ", ") + ")")
+	}
+	b.WriteString(" " + s.Source.SQL())
+	return b.String()
+}
+
+func (s *UpdateStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	if s.VarTarget {
+		b.WriteString("TABLE ")
+	}
+	b.WriteString(s.Table)
+	if s.Alias != "" {
+		b.WriteString(" AS " + s.Alias)
+	}
+	var sets []string
+	for _, sc := range s.Sets {
+		sets = append(sets, sc.Column+" = "+sc.Value.SQL())
+	}
+	b.WriteString(" SET " + strings.Join(sets, ", "))
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	return b.String()
+}
+
+func (s *DeleteStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	if s.VarTarget {
+		b.WriteString("TABLE ")
+	}
+	b.WriteString(s.Table)
+	if s.Alias != "" {
+		b.WriteString(" AS " + s.Alias)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	return b.String()
+}
+
+// ---------- DDL ----------
+
+func (s *CreateTableStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("CREATE ")
+	if s.Temporary {
+		b.WriteString("TEMPORARY ")
+	}
+	b.WriteString("TABLE " + s.Name)
+	if len(s.Cols) > 0 {
+		var cols []string
+		for _, c := range s.Cols {
+			cols = append(cols, c.Name+" "+c.Type.SQL())
+		}
+		b.WriteString(" (" + strings.Join(cols, ", ") + ")")
+	}
+	if s.AsQuery != nil {
+		b.WriteString(" AS (" + s.AsQuery.SQL() + ")")
+		if s.WithData {
+			b.WriteString(" WITH DATA")
+		}
+	}
+	if s.ValidTime {
+		b.WriteString(" AS VALIDTIME")
+	}
+	if s.TransactionTime {
+		b.WriteString(" AS TRANSACTIONTIME")
+	}
+	return b.String()
+}
+
+func (s *DropTableStmt) SQL() string {
+	x := "DROP TABLE "
+	if s.IfExists {
+		x += "IF EXISTS "
+	}
+	return x + s.Name
+}
+
+func (s *CreateViewStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("CREATE VIEW " + s.Name)
+	if len(s.Cols) > 0 {
+		b.WriteString(" (" + strings.Join(s.Cols, ", ") + ")")
+	}
+	b.WriteString(" AS ")
+	if m := s.Mod.String(); m != "" {
+		b.WriteString(m + " ")
+	}
+	b.WriteString("(" + s.Query.SQL() + ")")
+	return b.String()
+}
+
+func (s *DropViewStmt) SQL() string {
+	x := "DROP VIEW "
+	if s.IfExists {
+		x += "IF EXISTS "
+	}
+	return x + s.Name
+}
+
+func (s *AlterAddValidTime) SQL() string {
+	if s.Transaction {
+		return "ALTER TABLE " + s.Table + " ADD TRANSACTIONTIME"
+	}
+	return "ALTER TABLE " + s.Table + " ADD VALIDTIME"
+}
+
+func routineHeader(kind, name string, params []ParamDef, proc bool) string {
+	var ps []string
+	for _, p := range params {
+		if proc {
+			ps = append(ps, p.Mode.String()+" "+p.Name+" "+p.Type.SQL())
+		} else {
+			ps = append(ps, p.Name+" "+p.Type.SQL())
+		}
+	}
+	return "CREATE " + kind + " " + name + " (" + strings.Join(ps, ", ") + ")"
+}
+
+func (s *CreateFunctionStmt) SQL() string {
+	p := &printer{}
+	p.ws(routineHeader("FUNCTION", s.Name, s.Params, false))
+	p.nl()
+	p.ws("RETURNS " + s.Returns.SQL())
+	for _, o := range s.Options {
+		p.nl()
+		p.ws(o)
+	}
+	p.nl()
+	printStmt(p, s.Body)
+	return p.b.String()
+}
+
+func (s *CreateProcedureStmt) SQL() string {
+	p := &printer{}
+	p.ws(routineHeader("PROCEDURE", s.Name, s.Params, true))
+	for _, o := range s.Options {
+		p.nl()
+		p.ws(o)
+	}
+	p.nl()
+	printStmt(p, s.Body)
+	return p.b.String()
+}
+
+func (s *DropRoutineStmt) SQL() string {
+	x := "DROP " + s.Kind + " "
+	if s.IfExists {
+		x += "IF EXISTS "
+	}
+	return x + s.Name
+}
+
+// ---------- PSM ----------
+
+func printBody(p *printer, stmts []Stmt) {
+	p.indent++
+	for _, st := range stmts {
+		p.nl()
+		printStmt(p, st)
+		p.ws(";")
+	}
+	p.indent--
+}
+
+// printStmt prints a statement at the printer's current indentation.
+func printStmt(p *printer, s Stmt) {
+	switch st := s.(type) {
+	case *CompoundStmt:
+		if st.Label != "" {
+			p.ws(st.Label + ": ")
+		}
+		p.ws("BEGIN")
+		if st.Atomic {
+			p.ws(" ATOMIC")
+		}
+		p.indent++
+		for _, d := range st.VarDecls {
+			p.nl()
+			p.ws("DECLARE " + strings.Join(d.Names, ", ") + " " + d.Type.SQL())
+			if d.Default != nil {
+				p.ws(" DEFAULT " + d.Default.SQL())
+			}
+			p.ws(";")
+		}
+		for _, c := range st.Cursors {
+			p.nl()
+			p.ws("DECLARE " + c.Name + " CURSOR FOR " + c.Query.SQL() + ";")
+		}
+		for _, h := range st.Handlers {
+			p.nl()
+			p.ws("DECLARE " + h.Kind + " HANDLER FOR " + h.Condition + " ")
+			printStmt(p, h.Action)
+			p.ws(";")
+		}
+		p.indent--
+		printBody(p, st.Stmts)
+		p.nl()
+		p.ws("END")
+		if st.Label != "" {
+			p.ws(" " + st.Label)
+		}
+	case *SetStmt:
+		p.ws("SET " + st.Target + " = " + st.Value.SQL())
+	case *IfStmt:
+		p.ws("IF " + st.Cond.SQL() + " THEN")
+		printBody(p, st.Then)
+		for _, ei := range st.ElseIfs {
+			p.nl()
+			p.ws("ELSEIF " + ei.Cond.SQL() + " THEN")
+			printBody(p, ei.Then)
+		}
+		if st.Else != nil {
+			p.nl()
+			p.ws("ELSE")
+			printBody(p, st.Else)
+		}
+		p.nl()
+		p.ws("END IF")
+	case *CaseStmt:
+		p.ws("CASE")
+		if st.Operand != nil {
+			p.ws(" " + st.Operand.SQL())
+		}
+		for _, w := range st.Whens {
+			p.nl()
+			p.ws("WHEN " + w.When.SQL() + " THEN")
+			printBody(p, w.Then)
+		}
+		if st.Else != nil {
+			p.nl()
+			p.ws("ELSE")
+			printBody(p, st.Else)
+		}
+		p.nl()
+		p.ws("END CASE")
+	case *WhileStmt:
+		if st.Label != "" {
+			p.ws(st.Label + ": ")
+		}
+		p.ws("WHILE " + st.Cond.SQL() + " DO")
+		printBody(p, st.Body)
+		p.nl()
+		p.ws("END WHILE")
+		if st.Label != "" {
+			p.ws(" " + st.Label)
+		}
+	case *RepeatStmt:
+		if st.Label != "" {
+			p.ws(st.Label + ": ")
+		}
+		p.ws("REPEAT")
+		printBody(p, st.Body)
+		p.nl()
+		p.ws("UNTIL " + st.Until.SQL() + " END REPEAT")
+		if st.Label != "" {
+			p.ws(" " + st.Label)
+		}
+	case *LoopStmt:
+		if st.Label != "" {
+			p.ws(st.Label + ": ")
+		}
+		p.ws("LOOP")
+		printBody(p, st.Body)
+		p.nl()
+		p.ws("END LOOP")
+		if st.Label != "" {
+			p.ws(" " + st.Label)
+		}
+	case *ForStmt:
+		if st.Label != "" {
+			p.ws(st.Label + ": ")
+		}
+		p.ws("FOR " + st.LoopVar + " AS ")
+		if st.Cursor != "" {
+			p.ws(st.Cursor + " CURSOR FOR ")
+		}
+		p.ws(st.Query.SQL() + " DO")
+		printBody(p, st.Body)
+		p.nl()
+		p.ws("END FOR")
+		if st.Label != "" {
+			p.ws(" " + st.Label)
+		}
+	case *LeaveStmt:
+		p.ws("LEAVE " + st.Label)
+	case *IterateStmt:
+		p.ws("ITERATE " + st.Label)
+	case *ReturnStmt:
+		p.ws("RETURN")
+		if st.Value != nil {
+			p.ws(" " + st.Value.SQL())
+		}
+	case *CallStmt:
+		var args []string
+		for _, a := range st.Args {
+			args = append(args, a.SQL())
+		}
+		p.ws("CALL " + st.Name + "(" + strings.Join(args, ", ") + ")")
+	case *OpenStmt:
+		p.ws("OPEN " + st.Cursor)
+	case *FetchStmt:
+		p.ws("FETCH " + st.Cursor + " INTO " + strings.Join(st.Into, ", "))
+	case *CloseStmt:
+		p.ws("CLOSE " + st.Cursor)
+	case *SignalStmt:
+		p.ws("SIGNAL SQLSTATE '" + st.SQLState + "'")
+		if st.Message != "" {
+			p.ws(" SET MESSAGE_TEXT = '" + st.Message + "'")
+		}
+	default:
+		// Plain SQL statements print on one line.
+		p.ws(s.SQL())
+	}
+}
+
+func stmtSQL(s Stmt) string {
+	p := &printer{}
+	printStmt(p, s)
+	return p.b.String()
+}
+
+// SQL renders PSM statements; these share the block printer.
+func (s *CompoundStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders the SET statement.
+func (s *SetStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders the IF statement.
+func (s *IfStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders the CASE statement.
+func (s *CaseStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders the WHILE statement.
+func (s *WhileStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders the REPEAT statement.
+func (s *RepeatStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders the LOOP statement.
+func (s *LoopStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders the FOR statement.
+func (s *ForStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders LEAVE.
+func (s *LeaveStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders ITERATE.
+func (s *IterateStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders RETURN.
+func (s *ReturnStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders CALL.
+func (s *CallStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders OPEN.
+func (s *OpenStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders FETCH.
+func (s *FetchStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders CLOSE.
+func (s *CloseStmt) SQL() string { return stmtSQL(s) }
+
+// SQL renders SIGNAL.
+func (s *SignalStmt) SQL() string { return stmtSQL(s) }
+
+// Script renders a sequence of top-level statements separated by
+// semicolons, the form accepted back by the parser.
+func Script(stmts []Stmt) string {
+	var b strings.Builder
+	for _, s := range stmts {
+		b.WriteString(s.SQL())
+		b.WriteString(";\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package sqlast
+
+// PSM statement nodes: SQL control statements (ISO 9075-4).
+
+// VarDecl declares one or more local variables: DECLARE a, b INT
+// DEFAULT 0. Collection-typed variables (ROW(...) ARRAY) behave as
+// table-valued variables at runtime.
+type VarDecl struct {
+	Names   []string
+	Type    TypeName
+	Default Expr
+}
+
+// CursorDecl declares a cursor over a query. The query may carry a
+// temporal modifier in Temporal SQL/PSM source (rejected by the
+// translator outside nonsequenced contexts, per paper §IV-A).
+type CursorDecl struct {
+	Name  string
+	Query Stmt // *SelectStmt/*SetOpExpr wrapped or *TemporalStmt
+}
+
+// HandlerDecl declares a condition handler:
+// DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1.
+type HandlerDecl struct {
+	Kind      string // CONTINUE or EXIT
+	Condition string // NOT FOUND, SQLEXCEPTION, or SQLSTATE 'xxxxx'
+	Action    Stmt
+}
+
+// CompoundStmt is a [label:] BEGIN [ATOMIC] ... END [label] block.
+type CompoundStmt struct {
+	Label    string
+	Atomic   bool
+	VarDecls []*VarDecl
+	Cursors  []*CursorDecl
+	Handlers []*HandlerDecl
+	Stmts    []Stmt
+}
+
+func (*CompoundStmt) stmtNode() {}
+
+// SetStmt assigns an expression to a variable: SET v = expr.
+type SetStmt struct {
+	Target string
+	Value  Expr
+}
+
+func (*SetStmt) stmtNode() {}
+
+// ElseIf is one ELSEIF arm of an IF statement.
+type ElseIf struct {
+	Cond Expr
+	Then []Stmt
+}
+
+// IfStmt is IF ... THEN ... [ELSEIF ...]* [ELSE ...] END IF.
+type IfStmt struct {
+	Cond    Expr
+	Then    []Stmt
+	ElseIfs []ElseIf
+	Else    []Stmt
+}
+
+func (*IfStmt) stmtNode() {}
+
+// CaseWhenStmt is one WHEN arm of a CASE statement.
+type CaseWhenStmt struct {
+	When Expr
+	Then []Stmt
+}
+
+// CaseStmt is a simple or searched CASE statement.
+type CaseStmt struct {
+	Operand Expr
+	Whens   []CaseWhenStmt
+	Else    []Stmt
+}
+
+func (*CaseStmt) stmtNode() {}
+
+// WhileStmt is [label:] WHILE cond DO ... END WHILE [label].
+type WhileStmt struct {
+	Label string
+	Cond  Expr
+	Body  []Stmt
+}
+
+func (*WhileStmt) stmtNode() {}
+
+// RepeatStmt is [label:] REPEAT ... UNTIL cond END REPEAT [label].
+type RepeatStmt struct {
+	Label string
+	Body  []Stmt
+	Until Expr
+}
+
+func (*RepeatStmt) stmtNode() {}
+
+// LoopStmt is [label:] LOOP ... END LOOP [label].
+type LoopStmt struct {
+	Label string
+	Body  []Stmt
+}
+
+func (*LoopStmt) stmtNode() {}
+
+// ForStmt is [label:] FOR loopvar AS [cursor CURSOR FOR] query DO ...
+// END FOR: iterate a query's result, binding its columns.
+type ForStmt struct {
+	Label   string
+	LoopVar string
+	Cursor  string
+	Query   Stmt // query or *TemporalStmt
+	Body    []Stmt
+}
+
+func (*ForStmt) stmtNode() {}
+
+// LeaveStmt exits the labeled statement.
+type LeaveStmt struct {
+	Label string
+}
+
+func (*LeaveStmt) stmtNode() {}
+
+// IterateStmt restarts the labeled loop.
+type IterateStmt struct {
+	Label string
+}
+
+func (*IterateStmt) stmtNode() {}
+
+// ReturnStmt returns a value from a function.
+type ReturnStmt struct {
+	Value Expr
+}
+
+func (*ReturnStmt) stmtNode() {}
+
+// CallStmt invokes a stored procedure. Arguments for OUT/INOUT
+// parameters must be variable references.
+type CallStmt struct {
+	Name string
+	Args []Expr
+}
+
+func (*CallStmt) stmtNode() {}
+
+// OpenStmt opens a declared cursor.
+type OpenStmt struct {
+	Cursor string
+}
+
+func (*OpenStmt) stmtNode() {}
+
+// FetchStmt is FETCH [FROM] cursor INTO v1, v2, ...
+type FetchStmt struct {
+	Cursor string
+	Into   []string
+}
+
+func (*FetchStmt) stmtNode() {}
+
+// CloseStmt closes a cursor.
+type CloseStmt struct {
+	Cursor string
+}
+
+func (*CloseStmt) stmtNode() {}
+
+// SignalStmt raises a condition: SIGNAL SQLSTATE 'xxxxx' SET
+// MESSAGE_TEXT = '...'.
+type SignalStmt struct {
+	SQLState string
+	Message  string
+}
+
+func (*SignalStmt) stmtNode() {}

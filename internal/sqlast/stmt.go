@@ -1,0 +1,237 @@
+package sqlast
+
+// ---------- Queries ----------
+
+// SelectItem is one element of a select list: an expression with an
+// optional alias, `*`, or `t.*`.
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	TableStar string // "t" for t.*
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a single SELECT block.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // FETCH FIRST n ROWS ONLY
+}
+
+func (*SelectStmt) queryNode() {}
+func (*SelectStmt) stmtNode()  {} // a bare SELECT is also a statement
+
+// SetOpExpr combines two query bodies with UNION/EXCEPT/INTERSECT.
+type SetOpExpr struct {
+	Op      string // UNION, EXCEPT, INTERSECT
+	All     bool
+	L, R    QueryExpr
+	OrderBy []OrderItem
+}
+
+func (*SetOpExpr) queryNode() {}
+func (*SetOpExpr) stmtNode()  {}
+
+// ValuesExpr is a VALUES row constructor used as an INSERT source.
+type ValuesExpr struct {
+	Rows [][]Expr
+}
+
+func (*ValuesExpr) queryNode() {}
+
+// ---------- FROM clause ----------
+
+// BaseTable references a stored table or view.
+type BaseTable struct {
+	Name  string
+	Alias string
+}
+
+func (*BaseTable) tableRefNode() {}
+
+// DerivedTable is a parenthesized subquery in FROM.
+type DerivedTable struct {
+	Query QueryExpr
+	Alias string
+	Cols  []string
+}
+
+func (*DerivedTable) tableRefNode() {}
+
+// TableFunc is a (lateral) table-function reference:
+// TABLE(f(args)) AS t — the form per-statement slicing uses to join a
+// routine's temporal-table return value into the invoking query.
+type TableFunc struct {
+	Call  *FuncCall
+	Alias string
+	Cols  []string
+}
+
+func (*TableFunc) tableRefNode() {}
+
+// JoinExpr is an explicit JOIN with an ON condition.
+type JoinExpr struct {
+	L, R TableRef
+	Type string // INNER, LEFT
+	On   Expr
+}
+
+func (*JoinExpr) tableRefNode() {}
+
+// ---------- Temporal wrapper ----------
+
+// PeriodSpec is the optional temporal context of a sequenced modifier:
+// VALIDTIME (BT, ET) — restricting evaluation to [BT, ET).
+type PeriodSpec struct {
+	Begin Expr
+	End   Expr
+}
+
+// TemporalStmt wraps a statement with a temporal statement modifier
+// (paper §IV-B). Body is a query, DML statement, view or cursor
+// definition.
+type TemporalStmt struct {
+	Mod    TemporalModifier
+	Dim    TemporalDimension
+	Period *PeriodSpec // only for ModSequenced, optional
+	Body   Stmt
+}
+
+func (*TemporalStmt) stmtNode() {}
+
+// ---------- DML ----------
+
+// InsertStmt inserts rows from a VALUES list or a query. Table-valued
+// PSM variables are targeted with the TABLE keyword (VarTarget).
+type InsertStmt struct {
+	Table     string
+	VarTarget bool // INSERT INTO TABLE <variable>
+	Cols      []string
+	Source    QueryExpr
+}
+
+func (*InsertStmt) stmtNode() {}
+
+// SetClause is one column assignment in UPDATE.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt updates rows in a table or table-valued variable.
+type UpdateStmt struct {
+	Table     string
+	VarTarget bool
+	Alias     string
+	Sets      []SetClause
+	Where     Expr
+}
+
+func (*UpdateStmt) stmtNode() {}
+
+// DeleteStmt deletes rows from a table or table-valued variable.
+type DeleteStmt struct {
+	Table     string
+	VarTarget bool
+	Alias     string
+	Where     Expr
+}
+
+func (*DeleteStmt) stmtNode() {}
+
+// ---------- DDL ----------
+
+// CreateTableStmt creates a table, optionally temporary, optionally
+// populated from a query (AS (query) WITH DATA), optionally with
+// valid-time support (AS VALIDTIME), which appends begin_time/end_time.
+type CreateTableStmt struct {
+	Name            string
+	Temporary       bool
+	Cols            []ColumnDef
+	AsQuery         QueryExpr
+	WithData        bool
+	ValidTime       bool
+	TransactionTime bool
+}
+
+func (*CreateTableStmt) stmtNode() {}
+
+// DropTableStmt drops a table.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropTableStmt) stmtNode() {}
+
+// CreateViewStmt creates a view; Mod carries an optional temporal
+// modifier on the view body.
+type CreateViewStmt struct {
+	Name  string
+	Cols  []string
+	Query QueryExpr
+	Mod   TemporalModifier
+}
+
+func (*CreateViewStmt) stmtNode() {}
+
+// DropViewStmt drops a view.
+type DropViewStmt struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropViewStmt) stmtNode() {}
+
+// AlterAddValidTime is ALTER TABLE t ADD VALIDTIME (or ADD
+// TRANSACTIONTIME): renders an existing snapshot table temporal (rows
+// become valid over [today, forever)).
+type AlterAddValidTime struct {
+	Table       string
+	Transaction bool
+}
+
+func (*AlterAddValidTime) stmtNode() {}
+
+// CreateFunctionStmt defines a stored SQL function (PSM).
+type CreateFunctionStmt struct {
+	Name    string
+	Params  []ParamDef
+	Returns TypeName
+	Options []string // READS SQL DATA, LANGUAGE SQL, DETERMINISTIC, ...
+	Body    Stmt     // usually *CompoundStmt or *ReturnStmt
+	Replace bool
+}
+
+func (*CreateFunctionStmt) stmtNode() {}
+
+// CreateProcedureStmt defines a stored procedure (PSM).
+type CreateProcedureStmt struct {
+	Name    string
+	Params  []ParamDef
+	Options []string
+	Body    Stmt
+	Replace bool
+}
+
+func (*CreateProcedureStmt) stmtNode() {}
+
+// DropRoutineStmt drops a FUNCTION or PROCEDURE.
+type DropRoutineStmt struct {
+	Kind     string // FUNCTION or PROCEDURE
+	Name     string
+	IfExists bool
+}
+
+func (*DropRoutineStmt) stmtNode() {}

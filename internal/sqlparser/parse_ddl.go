@@ -1,0 +1,373 @@
+package sqlparser
+
+import (
+	"strings"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/sqlscan"
+)
+
+func (p *parser) parseCreate() (sqlast.Stmt, error) {
+	if err := p.expectKw("CREATE"); err != nil {
+		return nil, err
+	}
+	replace := false
+	if p.isWord("OR") || p.isKw("OR") {
+		// CREATE OR REPLACE ...
+		p.next()
+		if err := p.expectWord("REPLACE"); err != nil {
+			return nil, err
+		}
+		replace = true
+	}
+	switch {
+	case p.isKw("TABLE") || ((p.isWord("TEMPORARY") || p.isWord("TEMP") || p.isWord("GLOBAL")) && !p.isKw("VIEW")):
+		return p.parseCreateTable()
+	case p.isKw("VIEW"):
+		return p.parseCreateView()
+	case p.isKw("FUNCTION"):
+		return p.parseCreateFunction(replace)
+	case p.isKw("PROCEDURE"):
+		return p.parseCreateProcedure(replace)
+	}
+	return nil, p.errf("expected TABLE, VIEW, FUNCTION or PROCEDURE after CREATE, found %q", p.tok().Text)
+}
+
+func (p *parser) parseCreateTable() (sqlast.Stmt, error) {
+	st := &sqlast.CreateTableStmt{}
+	if p.acceptWord("GLOBAL") {
+		// GLOBAL TEMPORARY
+	}
+	if p.acceptWord("TEMPORARY") || p.acceptWord("TEMP") {
+		st.Temporary = true
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if p.isOp("(") && !p.queryAhead(1) {
+		p.next()
+		for {
+			cn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ct, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, sqlast.ColumnDef{Name: cn, Type: ct})
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("AS") {
+		if p.acceptKw("VALIDTIME") {
+			st.ValidTime = true
+			return st, nil
+		}
+		if p.acceptKw("TRANSACTIONTIME") {
+			st.TransactionTime = true
+			return st, nil
+		}
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.AsQuery = q
+		if p.acceptKw("WITH") {
+			if err := p.expectWord("DATA"); err != nil {
+				return nil, err
+			}
+			st.WithData = true
+		} else {
+			// WITH DATA is the default in this dialect.
+			st.WithData = true
+		}
+		if p.acceptKw("AS") {
+			switch {
+			case p.acceptKw("VALIDTIME"):
+				st.ValidTime = true
+			case p.acceptKw("TRANSACTIONTIME"):
+				st.TransactionTime = true
+			default:
+				return nil, p.errf("expected VALIDTIME or TRANSACTIONTIME after AS")
+			}
+		}
+	}
+	if len(st.Cols) == 0 && st.AsQuery == nil {
+		return nil, p.errf("CREATE TABLE %s requires a column list or AS (query)", st.Name)
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreateView() (sqlast.Stmt, error) {
+	if err := p.expectKw("VIEW"); err != nil {
+		return nil, err
+	}
+	st := &sqlast.CreateViewStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if p.isOp("(") && !p.queryAhead(1) {
+		p.next()
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("AS"); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("NONSEQUENCED") {
+		if err := p.expectKw("VALIDTIME"); err != nil {
+			return nil, err
+		}
+		st.Mod = sqlast.ModNonsequenced
+	} else if p.acceptKw("VALIDTIME") {
+		st.Mod = sqlast.ModSequenced
+	}
+	q, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	st.Query = q
+	return st, nil
+}
+
+func (p *parser) parseDrop() (sqlast.Stmt, error) {
+	if err := p.expectKw("DROP"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKw("TABLE"):
+		ifx := p.acceptIfExists()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.DropTableStmt{Name: name, IfExists: ifx}, nil
+	case p.acceptKw("VIEW"):
+		ifx := p.acceptIfExists()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.DropViewStmt{Name: name, IfExists: ifx}, nil
+	case p.acceptKw("FUNCTION"), p.isKw("PROCEDURE"):
+		kind := "FUNCTION"
+		if p.acceptKw("PROCEDURE") {
+			kind = "PROCEDURE"
+		}
+		ifx := p.acceptIfExists()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.DropRoutineStmt{Kind: kind, Name: name, IfExists: ifx}, nil
+	}
+	return nil, p.errf("expected TABLE, VIEW, FUNCTION or PROCEDURE after DROP")
+}
+
+func (p *parser) acceptIfExists() bool {
+	if p.isKw("IF") && isWordTok(p.peek(1), "EXISTS") {
+		p.next()
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAlter() (sqlast.Stmt, error) {
+	if err := p.expectKw("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ADD"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKw("VALIDTIME"):
+		return &sqlast.AlterAddValidTime{Table: name}, nil
+	case p.acceptKw("TRANSACTIONTIME"):
+		return &sqlast.AlterAddValidTime{Table: name, Transaction: true}, nil
+	}
+	return nil, p.errf("expected VALIDTIME or TRANSACTIONTIME after ADD")
+}
+
+// parseRoutineOptions consumes routine characteristics (READS SQL DATA,
+// LANGUAGE SQL, DETERMINISTIC, ...) until the routine body starts.
+func (p *parser) parseRoutineOptions() []string {
+	var opts []string
+	for {
+		switch {
+		case p.isWord("READS"), p.isWord("MODIFIES"):
+			w := strings.ToUpper(p.next().Text)
+			if p.acceptWord("SQL") {
+				if p.acceptWord("DATA") {
+					opts = append(opts, w+" SQL DATA")
+				} else {
+					opts = append(opts, w+" SQL")
+				}
+			} else {
+				opts = append(opts, w)
+			}
+		case p.isWord("CONTAINS"):
+			p.next()
+			p.acceptWord("SQL")
+			opts = append(opts, "CONTAINS SQL")
+		case p.isWord("LANGUAGE"):
+			p.next()
+			l := "LANGUAGE"
+			if p.tok().Kind == sqlscan.Ident {
+				l += " " + strings.ToUpper(p.next().Text)
+			}
+			opts = append(opts, l)
+		case p.isWord("DETERMINISTIC"):
+			p.next()
+			opts = append(opts, "DETERMINISTIC")
+		case p.isKw("NOT") && isWordTok(p.peek(1), "DETERMINISTIC"):
+			p.next()
+			p.next()
+			opts = append(opts, "NOT DETERMINISTIC")
+		case p.isWord("SPECIFIC"):
+			p.next()
+			if p.tok().Kind == sqlscan.Ident {
+				p.next()
+			}
+		default:
+			return opts
+		}
+	}
+}
+
+func (p *parser) parseParamList(proc bool) ([]sqlast.ParamDef, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var out []sqlast.ParamDef
+	if p.acceptOp(")") {
+		return out, nil
+	}
+	for {
+		var pd sqlast.ParamDef
+		if proc {
+			switch {
+			case p.acceptKw("OUT"):
+				pd.Mode = sqlast.ModeOut
+			case p.acceptKw("INOUT"):
+				pd.Mode = sqlast.ModeInOut
+			case p.isKw("IN"):
+				p.next()
+				pd.Mode = sqlast.ModeIn
+			}
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		pd.Name = name
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pd.Type = ty
+		out = append(out, pd)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseCreateFunction(replace bool) (sqlast.Stmt, error) {
+	if err := p.expectKw("FUNCTION"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParamList(false)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("RETURNS"); err != nil {
+		return nil, err
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	opts := p.parseRoutineOptions()
+	body, err := p.parseRoutineBody()
+	if err != nil {
+		return nil, err
+	}
+	return &sqlast.CreateFunctionStmt{Name: name, Params: params, Returns: ret, Options: opts, Body: body, Replace: replace}, nil
+}
+
+func (p *parser) parseCreateProcedure(replace bool) (sqlast.Stmt, error) {
+	if err := p.expectKw("PROCEDURE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParamList(true)
+	if err != nil {
+		return nil, err
+	}
+	opts := p.parseRoutineOptions()
+	body, err := p.parseRoutineBody()
+	if err != nil {
+		return nil, err
+	}
+	return &sqlast.CreateProcedureStmt{Name: name, Params: params, Options: opts, Body: body, Replace: replace}, nil
+}
+
+// parseRoutineBody parses a BEGIN...END compound or a single
+// RETURN/statement body.
+func (p *parser) parseRoutineBody() (sqlast.Stmt, error) {
+	if p.isKw("BEGIN") || (p.tok().Kind == sqlscan.Ident && p.peek(1).Kind == sqlscan.Op && p.peek(1).Text == ":" && isWordTok(p.peek(2), "BEGIN")) {
+		label := ""
+		if !p.isKw("BEGIN") {
+			label, _ = p.ident()
+			p.next() // ':'
+		}
+		return p.parseCompound(label)
+	}
+	if p.isKw("RETURN") {
+		return p.parsePSMStatement()
+	}
+	return p.parsePSMStatement()
+}

@@ -1,0 +1,505 @@
+package sqlparser
+
+import (
+	"strings"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/sqlscan"
+)
+
+// parseCompound parses BEGIN [ATOMIC] decls stmts END [label].
+func (p *parser) parseCompound(label string) (sqlast.Stmt, error) {
+	if err := p.expectKw("BEGIN"); err != nil {
+		return nil, err
+	}
+	c := &sqlast.CompoundStmt{Label: label}
+	if p.acceptWord("ATOMIC") {
+		c.Atomic = true
+	}
+	for !p.isKw("END") {
+		if p.tok().Kind == sqlscan.EOF {
+			return nil, p.errf("unexpected end of input inside BEGIN...END")
+		}
+		if p.isKw("DECLARE") {
+			if err := p.parseDeclare(c); err != nil {
+				return nil, err
+			}
+		} else {
+			s, err := p.parsePSMStatement()
+			if err != nil {
+				return nil, err
+			}
+			c.Stmts = append(c.Stmts, s)
+		}
+		if !p.acceptOp(";") {
+			break
+		}
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	if label != "" && p.isWord(label) {
+		p.next()
+	} else if p.tok().Kind == sqlscan.Ident && c.Label == "" && !p.isOp(";") {
+		// tolerate a trailing label we didn't capture
+	}
+	return c, nil
+}
+
+func (p *parser) parseDeclare(c *sqlast.CompoundStmt) error {
+	if err := p.expectKw("DECLARE"); err != nil {
+		return err
+	}
+	// handler?
+	if p.isKw("CONTINUE") || p.isKw("EXIT") {
+		kind := p.next().Text
+		if err := p.expectKw("HANDLER"); err != nil {
+			return err
+		}
+		if err := p.expectKw("FOR"); err != nil {
+			return err
+		}
+		var cond string
+		switch {
+		case p.isKw("NOT"):
+			p.next()
+			if err := p.expectWord("FOUND"); err != nil {
+				return err
+			}
+			cond = "NOT FOUND"
+		case p.isWord("SQLEXCEPTION"):
+			p.next()
+			cond = "SQLEXCEPTION"
+		case p.isWord("SQLSTATE"):
+			p.next()
+			p.acceptWord("VALUE")
+			if p.tok().Kind != sqlscan.String {
+				return p.errf("expected SQLSTATE string literal")
+			}
+			cond = "SQLSTATE '" + p.next().Text + "'"
+		default:
+			return p.errf("expected NOT FOUND, SQLEXCEPTION or SQLSTATE in handler declaration")
+		}
+		action, err := p.parsePSMStatement()
+		if err != nil {
+			return err
+		}
+		c.Handlers = append(c.Handlers, &sqlast.HandlerDecl{Kind: kind, Condition: cond, Action: action})
+		return nil
+	}
+	// variable or cursor
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if p.acceptKw("CURSOR") {
+		if err := p.expectKw("FOR"); err != nil {
+			return err
+		}
+		q, err := p.parseCursorQuery()
+		if err != nil {
+			return err
+		}
+		c.Cursors = append(c.Cursors, &sqlast.CursorDecl{Name: name, Query: q})
+		return nil
+	}
+	names := []string{name}
+	for p.acceptOp(",") {
+		n, err := p.ident()
+		if err != nil {
+			return err
+		}
+		names = append(names, n)
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	d := &sqlast.VarDecl{Names: names, Type: ty}
+	if p.acceptKw("DEFAULT") {
+		def, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		d.Default = def
+	}
+	c.VarDecls = append(c.VarDecls, d)
+	return nil
+}
+
+// parseCursorQuery parses the query of a cursor or FOR statement,
+// allowing an optional temporal modifier (meaningful only in
+// nonsequenced contexts, enforced by the translator).
+func (p *parser) parseCursorQuery() (sqlast.Stmt, error) {
+	if p.isKw("VALIDTIME") || p.isKw("NONSEQUENCED") {
+		return p.parseTemporalStmt()
+	}
+	q, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return q.(sqlast.Stmt), nil
+}
+
+// parsePSMStatement parses a statement occurring inside a routine body
+// (which includes plain SQL statements).
+func (p *parser) parsePSMStatement() (sqlast.Stmt, error) {
+	// label: WHILE/LOOP/REPEAT/FOR/BEGIN
+	if p.tok().Kind == sqlscan.Ident && p.peek(1).Kind == sqlscan.Op && p.peek(1).Text == ":" {
+		label, _ := p.ident()
+		p.next() // ':'
+		switch {
+		case p.isKw("WHILE"):
+			return p.parseWhile(label)
+		case p.isKw("REPEAT"):
+			return p.parseRepeat(label)
+		case p.isKw("LOOP"):
+			return p.parseLoop(label)
+		case p.isKw("FOR"):
+			return p.parseFor(label)
+		case p.isKw("BEGIN"):
+			return p.parseCompound(label)
+		}
+		return nil, p.errf("label must precede WHILE, REPEAT, LOOP, FOR or BEGIN")
+	}
+	switch {
+	case p.isKw("BEGIN"):
+		return p.parseCompound("")
+	case p.isKw("SET"):
+		return p.parseSetStmt()
+	case p.isKw("IF"):
+		return p.parseIf()
+	case p.isKw("CASE"):
+		return p.parseCaseStmt()
+	case p.isKw("WHILE"):
+		return p.parseWhile("")
+	case p.isKw("REPEAT"):
+		return p.parseRepeat("")
+	case p.isKw("LOOP"):
+		return p.parseLoop("")
+	case p.isKw("FOR"):
+		return p.parseFor("")
+	case p.isKw("LEAVE"):
+		p.next()
+		l, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.LeaveStmt{Label: l}, nil
+	case p.isKw("ITERATE"):
+		p.next()
+		l, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.IterateStmt{Label: l}, nil
+	case p.isKw("RETURN"):
+		p.next()
+		r := &sqlast.ReturnStmt{}
+		if !p.isOp(";") && !p.isKw("END") && p.tok().Kind != sqlscan.EOF {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = v
+		}
+		return r, nil
+	case p.isKw("OPEN"):
+		p.next()
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.OpenStmt{Cursor: cname}, nil
+	case p.isKw("FETCH"):
+		p.next()
+		p.acceptKw("FROM")
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("INTO"); err != nil {
+			return nil, err
+		}
+		f := &sqlast.FetchStmt{Cursor: cname}
+		for {
+			v, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			f.Into = append(f.Into, v)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		return f, nil
+	case p.isKw("CLOSE"):
+		p.next()
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.CloseStmt{Cursor: cname}, nil
+	case p.isKw("SIGNAL"):
+		p.next()
+		if err := p.expectWord("SQLSTATE"); err != nil {
+			return nil, err
+		}
+		if p.tok().Kind != sqlscan.String {
+			return nil, p.errf("expected SQLSTATE string literal")
+		}
+		st := &sqlast.SignalStmt{SQLState: p.next().Text}
+		if p.acceptKw("SET") {
+			if err := p.expectWord("MESSAGE_TEXT"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("="); err != nil {
+				return nil, err
+			}
+			if p.tok().Kind != sqlscan.String {
+				return nil, p.errf("expected message string literal")
+			}
+			st.Message = p.next().Text
+		}
+		return st, nil
+	default:
+		return p.parseStatement()
+	}
+}
+
+func (p *parser) parseIf() (sqlast.Stmt, error) {
+	if err := p.expectKw("IF"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("THEN"); err != nil {
+		return nil, err
+	}
+	st := &sqlast.IfStmt{Cond: cond}
+	if st.Then, err = p.parseStmtListUntil("ELSEIF", "ELSE", "END"); err != nil {
+		return nil, err
+	}
+	for p.isKw("ELSEIF") {
+		p.next()
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtListUntil("ELSEIF", "ELSE", "END")
+		if err != nil {
+			return nil, err
+		}
+		st.ElseIfs = append(st.ElseIfs, sqlast.ElseIf{Cond: c, Then: body})
+	}
+	if p.acceptKw("ELSE") {
+		if st.Else, err = p.parseStmtListUntil("END"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("IF"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseCaseStmt() (sqlast.Stmt, error) {
+	if err := p.expectKw("CASE"); err != nil {
+		return nil, err
+	}
+	st := &sqlast.CaseStmt{}
+	var err error
+	if !p.isKw("WHEN") {
+		if st.Operand, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	for p.acceptKw("WHEN") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtListUntil("WHEN", "ELSE", "END")
+		if err != nil {
+			return nil, err
+		}
+		st.Whens = append(st.Whens, sqlast.CaseWhenStmt{When: w, Then: body})
+	}
+	if p.acceptKw("ELSE") {
+		if st.Else, err = p.parseStmtListUntil("END"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("CASE"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseWhile(label string) (sqlast.Stmt, error) {
+	if err := p.expectKw("WHILE"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("DO"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtListUntil("END")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("WHILE"); err != nil {
+		return nil, err
+	}
+	if label != "" {
+		p.acceptWord(label)
+	}
+	return &sqlast.WhileStmt{Label: label, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseRepeat(label string) (sqlast.Stmt, error) {
+	if err := p.expectKw("REPEAT"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtListUntil("UNTIL")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("UNTIL"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("REPEAT"); err != nil {
+		return nil, err
+	}
+	if label != "" {
+		p.acceptWord(label)
+	}
+	return &sqlast.RepeatStmt{Label: label, Body: body, Until: cond}, nil
+}
+
+func (p *parser) parseLoop(label string) (sqlast.Stmt, error) {
+	if err := p.expectKw("LOOP"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtListUntil("END")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("LOOP"); err != nil {
+		return nil, err
+	}
+	if label != "" {
+		p.acceptWord(label)
+	}
+	return &sqlast.LoopStmt{Label: label, Body: body}, nil
+}
+
+func (p *parser) parseFor(label string) (sqlast.Stmt, error) {
+	if err := p.expectKw("FOR"); err != nil {
+		return nil, err
+	}
+	st := &sqlast.ForStmt{Label: label}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.LoopVar = name
+	if err := p.expectKw("AS"); err != nil {
+		return nil, err
+	}
+	// optional: cursorname CURSOR FOR
+	if p.tok().Kind == sqlscan.Ident && isWordTok(p.peek(1), "CURSOR") {
+		st.Cursor, _ = p.ident()
+		p.next() // CURSOR
+		if err := p.expectKw("FOR"); err != nil {
+			return nil, err
+		}
+	}
+	q, err := p.parseCursorQuery()
+	if err != nil {
+		return nil, err
+	}
+	st.Query = q
+	if err := p.expectKw("DO"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtListUntil("END")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FOR"); err != nil {
+		return nil, err
+	}
+	if label != "" {
+		p.acceptWord(label)
+	}
+	st.Body = body
+	return st, nil
+}
+
+// parseStmtListUntil parses semicolon-separated statements until one of
+// the stop keywords appears at statement start.
+func (p *parser) parseStmtListUntil(stops ...string) ([]sqlast.Stmt, error) {
+	var out []sqlast.Stmt
+	for {
+		if p.tok().Kind == sqlscan.EOF {
+			return nil, p.errf("unexpected end of input, expected %s", strings.Join(stops, "/"))
+		}
+		stopped := false
+		for _, s := range stops {
+			if p.isKw(s) {
+				stopped = true
+				break
+			}
+		}
+		if stopped {
+			return out, nil
+		}
+		st, err := p.parsePSMStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if !p.acceptOp(";") {
+			for _, s := range stops {
+				if p.isKw(s) {
+					return out, nil
+				}
+			}
+			return nil, p.errf("expected ';' after statement, found %q", p.tok().Text)
+		}
+	}
+}

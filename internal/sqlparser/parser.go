@@ -1,0 +1,477 @@
+// Package sqlparser is a recursive-descent parser for the SQL + PSM
+// dialect taupsm implements: queries (joins, subqueries, aggregates,
+// set operations), DML, DDL, stored routines with the full PSM control
+// statement set, and the SQL/Temporal statement modifiers.
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/sqlscan"
+	"taupsm/internal/types"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos sqlscan.Pos
+	Msg string
+}
+
+// Error renders the position-prefixed message.
+func (e *Error) Error() string { return fmt.Sprintf("parse error at %s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []sqlscan.Token
+	i    int
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]sqlast.Stmt, error) {
+	toks, err := sqlscan.ScanAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []sqlast.Stmt
+	for {
+		for p.acceptOp(";") {
+		}
+		if p.tok().Kind == sqlscan.EOF {
+			return out, nil
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.acceptOp(";") && p.tok().Kind != sqlscan.EOF {
+			return nil, p.errf("expected ';' or end of input, found %q", p.tok().Text)
+		}
+	}
+}
+
+// ParseStatement parses exactly one statement.
+func ParseStatement(src string) (sqlast.Stmt, error) {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("expected exactly one statement, found %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseExpr parses a standalone scalar expression (used by tests and
+// the public API's helper surface).
+func ParseExpr(src string) (sqlast.Expr, error) {
+	toks, err := sqlscan.ScanAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok().Kind != sqlscan.EOF {
+		return nil, p.errf("unexpected trailing input %q", p.tok().Text)
+	}
+	return e, nil
+}
+
+// ---------- token helpers ----------
+
+func (p *parser) tok() sqlscan.Token { return p.toks[p.i] }
+
+func (p *parser) peek(n int) sqlscan.Token {
+	if p.i+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *parser) next() sqlscan.Token {
+	t := p.toks[p.i]
+	if t.Kind != sqlscan.EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.tok().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isKw reports whether the current token is the reserved keyword kw.
+func (p *parser) isKw(kw string) bool {
+	t := p.tok()
+	return t.Kind == sqlscan.Keyword && t.Text == kw
+}
+
+// isWord reports whether the current token is kw, whether reserved or a
+// plain identifier (case-insensitive) — used for contextual keywords.
+func (p *parser) isWord(w string) bool {
+	t := p.tok()
+	return (t.Kind == sqlscan.Keyword || t.Kind == sqlscan.Ident) && strings.EqualFold(t.Text, w)
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptWord(w string) bool {
+	if p.isWord(w) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, found %q", kw, p.tok().Text)
+	}
+	return nil
+}
+
+func (p *parser) expectWord(w string) error {
+	if !p.acceptWord(w) {
+		return p.errf("expected %s, found %q", w, p.tok().Text)
+	}
+	return nil
+}
+
+func (p *parser) isOp(op string) bool {
+	t := p.tok()
+	return t.Kind == sqlscan.Op && t.Text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.isOp(op) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, found %q", op, p.tok().Text)
+	}
+	return nil
+}
+
+// ident consumes an identifier (contextual keywords allowed).
+func (p *parser) ident() (string, error) {
+	t := p.tok()
+	if t.Kind == sqlscan.Ident {
+		p.next()
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, found %q", t.Text)
+}
+
+// ---------- statement dispatch ----------
+
+func (p *parser) parseStatement() (sqlast.Stmt, error) {
+	switch {
+	case p.isKw("VALIDTIME"), p.isKw("NONSEQUENCED"), p.isKw("TRANSACTIONTIME"):
+		return p.parseTemporalStmt()
+	case p.isKw("SELECT"), p.isOp("("):
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return q.(sqlast.Stmt), nil
+	case p.isKw("INSERT"):
+		return p.parseInsert()
+	case p.isKw("UPDATE"):
+		return p.parseUpdate()
+	case p.isKw("DELETE"):
+		return p.parseDelete()
+	case p.isKw("CREATE"):
+		return p.parseCreate()
+	case p.isKw("DROP"):
+		return p.parseDrop()
+	case p.isKw("ALTER"):
+		return p.parseAlter()
+	case p.isKw("CALL"):
+		return p.parseCall()
+	case p.isKw("BEGIN"):
+		return p.parseCompound("")
+	case p.isKw("SET"):
+		return p.parseSetStmt()
+	case p.isKw("VALUES"):
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if s, ok := q.(sqlast.Stmt); ok {
+			return s, nil
+		}
+		return nil, p.errf("VALUES is only valid as an INSERT source")
+	default:
+		return nil, p.errf("unexpected token %q at start of statement", p.tok().Text)
+	}
+}
+
+// parseTemporalStmt parses a temporal statement modifier followed by a
+// query or DML statement (paper §IV-B).
+func (p *parser) parseTemporalStmt() (sqlast.Stmt, error) {
+	ts := &sqlast.TemporalStmt{}
+	if p.acceptKw("NONSEQUENCED") {
+		switch {
+		case p.acceptKw("VALIDTIME"):
+		case p.acceptKw("TRANSACTIONTIME"):
+			ts.Dim = sqlast.DimTransaction
+		default:
+			return nil, p.errf("expected VALIDTIME or TRANSACTIONTIME, found %q", p.tok().Text)
+		}
+		ts.Mod = sqlast.ModNonsequenced
+	} else {
+		switch {
+		case p.acceptKw("VALIDTIME"):
+		case p.acceptKw("TRANSACTIONTIME"):
+			ts.Dim = sqlast.DimTransaction
+		default:
+			return nil, p.errf("expected VALIDTIME or TRANSACTIONTIME, found %q", p.tok().Text)
+		}
+		ts.Mod = sqlast.ModSequenced
+		if p.isOp("(") && !p.queryAhead(1) {
+			p.next()
+			begin, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(","); err != nil {
+				return nil, err
+			}
+			end, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			ts.Period = &sqlast.PeriodSpec{Begin: begin, End: end}
+		}
+	}
+	body, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	ts.Body = body
+	return ts, nil
+}
+
+// queryAhead reports whether the token at offset n starts a query.
+func (p *parser) queryAhead(n int) bool {
+	t := p.peek(n)
+	if t.Kind != sqlscan.Keyword {
+		return false
+	}
+	return t.Text == "SELECT" || t.Text == "VALUES" || t.Text == "VALIDTIME" ||
+		t.Text == "NONSEQUENCED" || t.Text == "TRANSACTIONTIME"
+}
+
+// ---------- DML ----------
+
+func (p *parser) parseInsert() (sqlast.Stmt, error) {
+	if err := p.expectKw("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	st := &sqlast.InsertStmt{}
+	if p.acceptKw("TABLE") {
+		st.VarTarget = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.isOp("(") && !p.queryAhead(1) {
+		p.next()
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	src, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	st.Source = src
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (sqlast.Stmt, error) {
+	if err := p.expectKw("UPDATE"); err != nil {
+		return nil, err
+	}
+	st := &sqlast.UpdateStmt{}
+	if p.acceptKw("TABLE") {
+		st.VarTarget = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.acceptKw("AS") {
+		if st.Alias, err = p.ident(); err != nil {
+			return nil, err
+		}
+	} else if p.tok().Kind == sqlscan.Ident && !p.isKw("SET") {
+		st.Alias, _ = p.ident()
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, sqlast.SetClause{Column: col, Value: val})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		if st.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (sqlast.Stmt, error) {
+	if err := p.expectKw("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	st := &sqlast.DeleteStmt{}
+	if p.acceptKw("TABLE") {
+		st.VarTarget = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.acceptKw("AS") {
+		if st.Alias, err = p.ident(); err != nil {
+			return nil, err
+		}
+	} else if p.tok().Kind == sqlscan.Ident {
+		st.Alias, _ = p.ident()
+	}
+	if p.acceptKw("WHERE") {
+		if st.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseCall() (sqlast.Stmt, error) {
+	if err := p.expectKw("CALL"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &sqlast.CallStmt{Name: name}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if !p.acceptOp(")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Args = append(st.Args, a)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// parseSetStmt parses the PSM assignment SET v = expr.
+func (p *parser) parseSetStmt() (sqlast.Stmt, error) {
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &sqlast.SetStmt{Target: name, Value: val}, nil
+}
+
+// number parses an integer token.
+func (p *parser) number() (int, error) {
+	t := p.tok()
+	if t.Kind != sqlscan.Number {
+		return 0, p.errf("expected number, found %q", t.Text)
+	}
+	p.next()
+	n, err := strconv.Atoi(t.Text)
+	if err != nil {
+		return 0, p.errf("invalid integer %q", t.Text)
+	}
+	return n, nil
+}
+
+// makeLiteral builds a numeric literal value from token text.
+func makeNumber(text string) types.Value {
+	if strings.ContainsRune(text, '.') {
+		f, _ := strconv.ParseFloat(text, 64)
+		return types.NewFloat(f)
+	}
+	n, _ := strconv.ParseInt(text, 10, 64)
+	return types.NewInt(n)
+}

@@ -1,0 +1,200 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/types"
+)
+
+// Property-based printer/parser round-trip: generate random ASTs,
+// print them, parse the print, and require the reparse to print
+// identically. This pins the printer and parser to each other over a
+// far larger space than the hand-written cases.
+
+type astGen struct {
+	rng   *rand.Rand
+	depth int
+}
+
+func (g *astGen) ident() string {
+	names := []string{"a", "b", "c", "col1", "price", "title", "begin_time", "end_time", "item_id"}
+	return names[g.rng.Intn(len(names))]
+}
+
+func (g *astGen) table() string {
+	names := []string{"t", "u", "item", "author", "cp"}
+	return names[g.rng.Intn(len(names))]
+}
+
+func (g *astGen) literal() sqlast.Expr {
+	switch g.rng.Intn(5) {
+	case 0:
+		return &sqlast.Literal{Val: types.NewInt(g.rng.Int63n(1000))}
+	case 1:
+		return &sqlast.Literal{Val: types.NewFloat(float64(g.rng.Intn(100)) + 0.5)}
+	case 2:
+		return &sqlast.Literal{Val: types.NewString("s")}
+	case 3:
+		return &sqlast.Literal{Val: types.NewDate(types.MustDate(2010, 1+g.rng.Intn(12), 1+g.rng.Intn(28)))}
+	default:
+		return &sqlast.Literal{Val: types.Null}
+	}
+}
+
+func (g *astGen) expr() sqlast.Expr {
+	g.depth++
+	defer func() { g.depth-- }()
+	if g.depth > 4 {
+		return g.literal()
+	}
+	switch g.rng.Intn(12) {
+	case 0, 1:
+		return g.literal()
+	case 2:
+		return &sqlast.ColumnRef{Column: g.ident()}
+	case 3:
+		return &sqlast.ColumnRef{Table: g.table(), Column: g.ident()}
+	case 4:
+		ops := []string{"+", "-", "*", "/", "||"}
+		return &sqlast.BinaryExpr{Op: ops[g.rng.Intn(len(ops))], L: g.expr(), R: g.expr()}
+	case 5:
+		ops := []string{"=", "<>", "<", "<=", ">", ">="}
+		return &sqlast.BinaryExpr{Op: ops[g.rng.Intn(len(ops))], L: g.expr(), R: g.expr()}
+	case 6:
+		return &sqlast.BinaryExpr{Op: "AND", L: g.predicate(), R: g.predicate()}
+	case 7:
+		return &sqlast.IsNullExpr{X: g.expr(), Not: g.rng.Intn(2) == 0}
+	case 8:
+		return &sqlast.BetweenExpr{X: g.expr(), Lo: g.expr(), Hi: g.expr(), Not: g.rng.Intn(2) == 0}
+	case 9:
+		n := 1 + g.rng.Intn(3)
+		in := &sqlast.InExpr{X: g.expr(), Not: g.rng.Intn(2) == 0}
+		for i := 0; i < n; i++ {
+			in.List = append(in.List, g.literal())
+		}
+		return in
+	case 10:
+		c := &sqlast.CaseExpr{}
+		for i := 0; i <= g.rng.Intn(2); i++ {
+			c.Whens = append(c.Whens, sqlast.WhenClause{When: g.predicate(), Then: g.expr()})
+		}
+		if g.rng.Intn(2) == 0 {
+			c.Else = g.expr()
+		}
+		return c
+	default:
+		fc := &sqlast.FuncCall{Name: "f" + g.ident()}
+		for i := 0; i < g.rng.Intn(3); i++ {
+			fc.Args = append(fc.Args, g.expr())
+		}
+		return fc
+	}
+}
+
+func (g *astGen) predicate() sqlast.Expr {
+	return &sqlast.BinaryExpr{Op: "=", L: g.expr(), R: g.expr()}
+}
+
+func (g *astGen) selectStmt() *sqlast.SelectStmt {
+	g.depth++
+	defer func() { g.depth-- }()
+	s := &sqlast.SelectStmt{Distinct: g.rng.Intn(4) == 0}
+	for i := 0; i <= g.rng.Intn(3); i++ {
+		it := sqlast.SelectItem{Expr: g.expr()}
+		if g.rng.Intn(2) == 0 {
+			it.Alias = "x" + g.ident()
+		}
+		s.Items = append(s.Items, it)
+	}
+	for i := 0; i <= g.rng.Intn(2); i++ {
+		var ref sqlast.TableRef
+		switch {
+		case g.depth < 3 && g.rng.Intn(4) == 0:
+			ref = &sqlast.DerivedTable{Query: g.selectStmt(), Alias: "d" + g.ident()}
+		default:
+			ref = &sqlast.BaseTable{Name: g.table(), Alias: "r" + g.ident()}
+		}
+		s.From = append(s.From, ref)
+	}
+	if g.rng.Intn(2) == 0 {
+		s.Where = g.predicate()
+	}
+	if g.rng.Intn(4) == 0 {
+		s.GroupBy = []sqlast.Expr{&sqlast.ColumnRef{Column: g.ident()}}
+		s.Having = g.predicate()
+	}
+	if g.rng.Intn(3) == 0 {
+		s.OrderBy = []sqlast.OrderItem{{Expr: &sqlast.ColumnRef{Column: g.ident()}, Desc: g.rng.Intn(2) == 0}}
+	}
+	return s
+}
+
+func TestQuickRoundTripExpressions(t *testing.T) {
+	f := func(seed int64) bool {
+		g := &astGen{rng: rand.New(rand.NewSource(seed))}
+		e := g.expr()
+		printed := e.SQL()
+		re, err := ParseExpr(printed)
+		if err != nil {
+			t.Logf("seed %d: parse error on %q: %v", seed, printed, err)
+			return false
+		}
+		again := re.SQL()
+		if printed != again {
+			t.Logf("seed %d: %q reprinted as %q", seed, printed, again)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripSelects(t *testing.T) {
+	f := func(seed int64) bool {
+		g := &astGen{rng: rand.New(rand.NewSource(seed))}
+		s := g.selectStmt()
+		printed := s.SQL()
+		rs, err := ParseStatement(printed)
+		if err != nil {
+			t.Logf("seed %d: parse error on %q: %v", seed, printed, err)
+			return false
+		}
+		again := rs.SQL()
+		if printed != again {
+			t.Logf("seed %d: %q reprinted as %q", seed, printed, again)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Clones must be deep: printing the clone after mutating the original
+// must differ from the original's new print but match the original's
+// old print.
+func TestQuickCloneIsDeep(t *testing.T) {
+	f := func(seed int64) bool {
+		g := &astGen{rng: rand.New(rand.NewSource(seed))}
+		s := g.selectStmt()
+		before := s.SQL()
+		c := sqlast.CloneStmt(s)
+		// mutate every column ref in the original
+		sqlast.MapExprs(s, func(e sqlast.Expr) sqlast.Expr {
+			if cr, ok := e.(*sqlast.ColumnRef); ok {
+				cr.Column = "mutated"
+			}
+			return e
+		})
+		return c.SQL() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package sqlscan tokenizes SQL/PSM source text: identifiers and
+// keywords (case-insensitive), quoted identifiers, string/number/date
+// literals, operators, and both comment styles (-- and /* */).
+package sqlscan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies a token.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	EOF TokenKind = iota
+	Ident
+	Keyword
+	Number
+	String
+	Op
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are uppercased; idents keep original case
+	Pos  Pos
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position for error messages.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// keywords is the reserved-word set of the dialect. Identifiers that
+// match (case-insensitively) are tokenized as Keyword with uppercase
+// text.
+var keywords = map[string]bool{}
+
+func init() {
+	// Only genuinely structural words are reserved; everything else
+	// (type names, routine options, ATOMIC, ROW, ARRAY, CURRENT_DATE,
+	// ...) is matched contextually by the parser so that ordinary
+	// column names such as "name" or "data" stay usable.
+	for _, w := range []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+		"DISTINCT", "ALL", "AS", "ON", "JOIN", "INNER", "LEFT",
+		"UNION", "EXCEPT", "INTERSECT", "VALUES", "INSERT", "INTO", "UPDATE", "SET",
+		"DELETE", "CREATE", "DROP", "TABLE", "VIEW", "ALTER", "ADD",
+		"AND", "OR", "NOT", "NULL", "IS", "IN", "EXISTS", "BETWEEN", "LIKE", "CASE",
+		"WHEN", "THEN", "ELSE", "END", "CAST", "TRUE", "FALSE",
+		"FUNCTION", "PROCEDURE", "RETURNS", "RETURN", "BEGIN", "DECLARE",
+		"DEFAULT", "IF", "ELSEIF", "WHILE", "DO", "REPEAT", "UNTIL", "LOOP", "FOR",
+		"LEAVE", "ITERATE", "CALL", "CURSOR", "OPEN", "FETCH", "CLOSE", "HANDLER",
+		"CONTINUE", "EXIT", "SIGNAL", "VALIDTIME", "NONSEQUENCED", "TRANSACTIONTIME",
+		"OUT", "INOUT", "WITH",
+	} {
+		keywords[w] = true
+	}
+}
+
+// Scanner tokenizes an input string.
+type Scanner struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a Scanner over src.
+func New(src string) *Scanner {
+	return &Scanner{src: src, line: 1, col: 1}
+}
+
+func (s *Scanner) peekByte() byte {
+	if s.off >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off]
+}
+
+func (s *Scanner) peekByteAt(i int) byte {
+	if s.off+i >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off+i]
+}
+
+func (s *Scanner) advance() byte {
+	c := s.src[s.off]
+	s.off++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+func (s *Scanner) pos() Pos { return Pos{Line: s.line, Col: s.col} }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// skipTrivia consumes whitespace and comments.
+func (s *Scanner) skipTrivia() error {
+	for s.off < len(s.src) {
+		c := s.peekByte()
+		switch {
+		case isSpace(c):
+			s.advance()
+		case c == '-' && s.peekByteAt(1) == '-':
+			for s.off < len(s.src) && s.peekByte() != '\n' {
+				s.advance()
+			}
+		case c == '/' && s.peekByteAt(1) == '*':
+			start := s.pos()
+			s.advance()
+			s.advance()
+			for {
+				if s.off >= len(s.src) {
+					return fmt.Errorf("%s: unterminated block comment", start)
+				}
+				if s.peekByte() == '*' && s.peekByteAt(1) == '/' {
+					s.advance()
+					s.advance()
+					break
+				}
+				s.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (s *Scanner) Next() (Token, error) {
+	if err := s.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	pos := s.pos()
+	if s.off >= len(s.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := s.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := s.off
+		for s.off < len(s.src) && isIdentPart(s.peekByte()) {
+			s.advance()
+		}
+		word := s.src[start:s.off]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: Keyword, Text: up, Pos: pos}, nil
+		}
+		return Token{Kind: Ident, Text: word, Pos: pos}, nil
+	case isDigit(c) || (c == '.' && isDigit(s.peekByteAt(1))):
+		start := s.off
+		seenDot := false
+		for s.off < len(s.src) {
+			c := s.peekByte()
+			if isDigit(c) {
+				s.advance()
+			} else if c == '.' && !seenDot && isDigit(s.peekByteAt(1)) {
+				seenDot = true
+				s.advance()
+			} else {
+				break
+			}
+		}
+		return Token{Kind: Number, Text: s.src[start:s.off], Pos: pos}, nil
+	case c == '\'':
+		s.advance()
+		var b strings.Builder
+		for {
+			if s.off >= len(s.src) {
+				return Token{}, fmt.Errorf("%s: unterminated string literal", pos)
+			}
+			ch := s.advance()
+			if ch == '\'' {
+				if s.peekByte() == '\'' { // escaped quote
+					s.advance()
+					b.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			b.WriteByte(ch)
+		}
+		return Token{Kind: String, Text: b.String(), Pos: pos}, nil
+	case c == '"':
+		s.advance()
+		start := s.off
+		for s.off < len(s.src) && s.peekByte() != '"' {
+			s.advance()
+		}
+		if s.off >= len(s.src) {
+			return Token{}, fmt.Errorf("%s: unterminated quoted identifier", pos)
+		}
+		word := s.src[start:s.off]
+		s.advance()
+		return Token{Kind: Ident, Text: word, Pos: pos}, nil
+	default:
+		// operators and punctuation
+		two := ""
+		if s.off+1 < len(s.src) {
+			two = s.src[s.off : s.off+2]
+		}
+		switch two {
+		case "<>", "<=", ">=", "!=", "||":
+			s.advance()
+			s.advance()
+			return Token{Kind: Op, Text: two, Pos: pos}, nil
+		}
+		switch c {
+		case '+', '-', '*', '/', '(', ')', ',', ';', '=', '<', '>', '.', ':':
+			s.advance()
+			return Token{Kind: Op, Text: string(c), Pos: pos}, nil
+		}
+		return Token{}, fmt.Errorf("%s: unexpected character %q", pos, string(c))
+	}
+}
+
+// ScanAll tokenizes the whole input, ending with an EOF token.
+func ScanAll(src string) ([]Token, error) {
+	s := New(src)
+	var out []Token
+	for {
+		t, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package sqlscan
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanBasics(t *testing.T) {
+	toks, err := ScanAll(`SELECT a, b2 FROM t WHERE x = 'it''s' AND y <= 3.14`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{Keyword, "SELECT"}, {Ident, "a"}, {Op, ","}, {Ident, "b2"},
+		{Keyword, "FROM"}, {Ident, "t"}, {Keyword, "WHERE"},
+		{Ident, "x"}, {Op, "="}, {String, "it's"}, {Keyword, "AND"},
+		{Ident, "y"}, {Op, "<="}, {Number, "3.14"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Fatalf("token %d: got (%v, %q), want (%v, %q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := ScanAll("select SeLeCt SELECT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:3] {
+		if tok.Kind != Keyword || tok.Text != "SELECT" {
+			t.Fatalf("expected uppercased keyword, got %+v", tok)
+		}
+	}
+}
+
+func TestNonReservedWordsAreIdents(t *testing.T) {
+	// column-ish names that are keywords in other dialects
+	for _, w := range []string{"name", "data", "date", "first", "rows", "language", "temporary", "row", "array", "atomic"} {
+		toks, err := ScanAll(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if toks[0].Kind != Ident {
+			t.Errorf("%q should scan as identifier, got %v", w, toks[0].Kind)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := ScanAll(`
+		-- line comment with SELECT keywords
+		a /* block
+		   comment */ b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+	if _, err := ScanAll("a /* unterminated"); err == nil {
+		t.Fatal("expected error for unterminated block comment")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks, err := ScanAll(`<> <= >= != || + - * / ( ) , ; . < > = :`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<>", "<=", ">=", "!=", "||", "+", "-", "*", "/", "(", ")", ",", ";", ".", "<", ">", "=", ":"}
+	for i, w := range want {
+		if toks[i].Kind != Op || toks[i].Text != w {
+			t.Fatalf("op %d: got %+v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestQuotedIdentifier(t *testing.T) {
+	toks, err := ScanAll(`"Select"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != Ident || toks[0].Text != "Select" {
+		t.Fatalf("quoted identifier: %+v", toks[0])
+	}
+	if _, err := ScanAll(`"unterminated`); err == nil {
+		t.Fatal("expected error for unterminated quoted identifier")
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	if _, err := ScanAll(`'unterminated`); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := ScanAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("first token pos: %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("second token pos: %v", toks[1].Pos)
+	}
+	if toks[1].Pos.String() != "2:3" {
+		t.Fatalf("pos rendering: %s", toks[1].Pos)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := ScanAll("1 2.5 .5 10.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "1" || toks[1].Text != "2.5" || toks[2].Text != ".5" {
+		t.Fatalf("numbers: %v", toks)
+	}
+	// "10." scans as number 10 then dot
+	if toks[3].Text != "10" || toks[4].Text != "." {
+		t.Fatalf("trailing dot: %v %v", toks[3], toks[4])
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	if _, err := ScanAll("a ? b"); err == nil {
+		t.Fatal("expected error for unexpected character")
+	}
+}

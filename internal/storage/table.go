@@ -1,0 +1,277 @@
+// Package storage provides the in-memory relational storage taupsm
+// executes against: schemas, tables (including temporal tables carrying
+// begin_time/end_time columns), views, stored routines, and lazily
+// built hash indexes that the engine uses for equality lookups.
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/types"
+)
+
+// Column is one column of a stored table.
+type Column struct {
+	Name string
+	Type sqlast.TypeName
+}
+
+// Schema is an ordered list of columns with name lookup.
+type Schema struct {
+	Cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns; names are matched
+// case-insensitively.
+func NewSchema(cols []Column) *Schema {
+	s := &Schema{Cols: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		s.byName[strings.ToLower(c.Name)] = i
+	}
+	return s
+}
+
+// Index returns the ordinal of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Table is an in-memory table. For temporal tables (ValidTime true) the
+// final two columns are begin_time and end_time (DATE), maintained by
+// DDL when the table is created or altered with valid-time support.
+type Table struct {
+	Name      string
+	Schema    *Schema
+	Rows      [][]types.Value
+	ValidTime bool
+	// TransactionTime marks an audit table: the same physical
+	// begin_time/end_time layout as a valid-time table, but the
+	// periods are system-maintained (set from CURRENT_DATE by the
+	// current-semantics transform) and may not be written manually.
+	TransactionTime bool
+	Temporary       bool
+
+	version int64
+	indexes map[int]*hashIndex
+}
+
+type hashIndex struct {
+	version int64
+	m       map[string][]int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema, indexes: make(map[int]*hashIndex)}
+}
+
+// Insert appends a row; the row length must match the schema.
+func (t *Table) Insert(row []types.Value) error {
+	if len(row) != len(t.Schema.Cols) {
+		return fmt.Errorf("table %s: row has %d values, schema has %d columns",
+			t.Name, len(row), len(t.Schema.Cols))
+	}
+	t.Rows = append(t.Rows, row)
+	t.version++
+	return nil
+}
+
+// Bump invalidates indexes after in-place modification of Rows.
+func (t *Table) Bump() { t.version++ }
+
+// Lookup returns the ordinals of rows whose column col equals v,
+// building (or rebuilding) a hash index on demand. The returned slice
+// must not be modified.
+func (t *Table) Lookup(col int, v types.Value) []int {
+	idx := t.indexes[col]
+	if idx == nil || idx.version != t.version {
+		idx = &hashIndex{version: t.version, m: make(map[string][]int, len(t.Rows))}
+		for i, r := range t.Rows {
+			k := r[col].HashKey()
+			idx.m[k] = append(idx.m[k], i)
+		}
+		t.indexes[col] = idx
+	}
+	return idx.m[v.HashKey()]
+}
+
+// BeginCol returns the ordinal of begin_time for a temporal table.
+func (t *Table) BeginCol() int { return len(t.Schema.Cols) - 2 }
+
+// EndCol returns the ordinal of end_time for a temporal table.
+func (t *Table) EndCol() int { return len(t.Schema.Cols) - 1 }
+
+// View is a named stored query, optionally with a temporal modifier on
+// its body (used by generated MAX-slicing code for the cp view).
+type View struct {
+	Name  string
+	Cols  []string
+	Query sqlast.QueryExpr
+	Mod   sqlast.TemporalModifier
+}
+
+// RoutineKind distinguishes functions from procedures.
+type RoutineKind uint8
+
+// Routine kinds.
+const (
+	KindFunction RoutineKind = iota
+	KindProcedure
+)
+
+// Routine is a stored routine definition kept as AST.
+type Routine struct {
+	Kind RoutineKind
+	Name string
+	Fn   *sqlast.CreateFunctionStmt
+	Proc *sqlast.CreateProcedureStmt
+}
+
+// Params returns the routine's parameter list.
+func (r *Routine) Params() []sqlast.ParamDef {
+	if r.Kind == KindFunction {
+		return r.Fn.Params
+	}
+	return r.Proc.Params
+}
+
+// Body returns the routine's body statement.
+func (r *Routine) Body() sqlast.Stmt {
+	if r.Kind == KindFunction {
+		return r.Fn.Body
+	}
+	return r.Proc.Body
+}
+
+// Catalog holds all named schema objects. It is safe for concurrent
+// readers; writers (DDL) take the exclusive lock.
+type Catalog struct {
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	views    map[string]*View
+	routines map[string]*Routine
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:   make(map[string]*Table),
+		views:    make(map[string]*View),
+		routines: make(map[string]*Routine),
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Table returns the named table or nil.
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[key(name)]
+}
+
+// PutTable registers a table, replacing any previous definition.
+func (c *Catalog) PutTable(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[key(t.Name)] = t
+}
+
+// DropTable removes a table; it reports whether it existed.
+func (c *Catalog) DropTable(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key(name)]; !ok {
+		return false
+	}
+	delete(c.tables, key(name))
+	return true
+}
+
+// View returns the named view or nil.
+func (c *Catalog) View(name string) *View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.views[key(name)]
+}
+
+// PutView registers a view.
+func (c *Catalog) PutView(v *View) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.views[key(v.Name)] = v
+}
+
+// DropView removes a view; it reports whether it existed.
+func (c *Catalog) DropView(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.views[key(name)]; !ok {
+		return false
+	}
+	delete(c.views, key(name))
+	return true
+}
+
+// Routine returns the named routine or nil.
+func (c *Catalog) Routine(name string) *Routine {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.routines[key(name)]
+}
+
+// PutRoutine registers a routine, replacing any previous definition.
+func (c *Catalog) PutRoutine(r *Routine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.routines[key(r.Name)] = r
+}
+
+// DropRoutine removes a routine; it reports whether it existed.
+func (c *Catalog) DropRoutine(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.routines[key(name)]; !ok {
+		return false
+	}
+	delete(c.routines, key(name))
+	return true
+}
+
+// TableNames returns the names of all tables (unsorted).
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// RoutineNames returns the names of all routines (unsorted).
+func (c *Catalog) RoutineNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.routines))
+	for _, r := range c.routines {
+		out = append(out, r.Name)
+	}
+	return out
+}

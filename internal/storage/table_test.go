@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"testing"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/types"
+)
+
+func testSchema() *Schema {
+	return NewSchema([]Column{
+		{Name: "id", Type: sqlast.TypeName{Base: "INTEGER"}},
+		{Name: "Name", Type: sqlast.TypeName{Base: "VARCHAR", Length: 20}},
+	})
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema()
+	if s.Index("id") != 0 || s.Index("ID") != 0 {
+		t.Fatal("case-insensitive column lookup")
+	}
+	if s.Index("name") != 1 || s.Index("NAME") != 1 {
+		t.Fatal("mixed-case declared name")
+	}
+	if s.Index("missing") != -1 {
+		t.Fatal("missing column must be -1")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[1] != "Name" {
+		t.Fatalf("names: %v", names)
+	}
+}
+
+func TestTableInsertAndLookup(t *testing.T) {
+	tab := NewTable("t", testSchema())
+	for i := 0; i < 10; i++ {
+		if err := tab.Insert([]types.Value{types.NewInt(int64(i % 3)), types.NewString("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.Insert([]types.Value{types.NewInt(1)}); err == nil {
+		t.Fatal("expected arity error")
+	}
+	hits := tab.Lookup(0, types.NewInt(1))
+	if len(hits) != 3 {
+		t.Fatalf("expected 3 hits for id=1, got %d", len(hits))
+	}
+	for _, i := range hits {
+		if tab.Rows[i][0].Int() != 1 {
+			t.Fatal("lookup returned wrong row")
+		}
+	}
+	if len(tab.Lookup(0, types.NewInt(99))) != 0 {
+		t.Fatal("lookup miss must be empty")
+	}
+}
+
+func TestIndexInvalidation(t *testing.T) {
+	tab := NewTable("t", testSchema())
+	_ = tab.Insert([]types.Value{types.NewInt(1), types.NewString("a")})
+	if n := len(tab.Lookup(0, types.NewInt(1))); n != 1 {
+		t.Fatalf("initial lookup: %d", n)
+	}
+	// in-place modification + Bump invalidates
+	tab.Rows[0][0] = types.NewInt(2)
+	tab.Bump()
+	if n := len(tab.Lookup(0, types.NewInt(1))); n != 0 {
+		t.Fatalf("stale index after Bump: %d hits", n)
+	}
+	if n := len(tab.Lookup(0, types.NewInt(2))); n != 1 {
+		t.Fatalf("rebuilt index: %d hits", n)
+	}
+	// insert also invalidates
+	_ = tab.Insert([]types.Value{types.NewInt(2), types.NewString("b")})
+	if n := len(tab.Lookup(0, types.NewInt(2))); n != 2 {
+		t.Fatalf("index after insert: %d hits", n)
+	}
+}
+
+func TestTemporalColumnOrdinals(t *testing.T) {
+	tab := NewTable("tt", NewSchema([]Column{
+		{Name: "a", Type: sqlast.TypeName{Base: "INTEGER"}},
+		{Name: "begin_time", Type: sqlast.TypeName{Base: "DATE"}},
+		{Name: "end_time", Type: sqlast.TypeName{Base: "DATE"}},
+	}))
+	tab.ValidTime = true
+	if tab.BeginCol() != 1 || tab.EndCol() != 2 {
+		t.Fatalf("timestamp ordinals: %d %d", tab.BeginCol(), tab.EndCol())
+	}
+}
+
+func TestCatalogCRUD(t *testing.T) {
+	c := NewCatalog()
+	tab := NewTable("Item", testSchema())
+	c.PutTable(tab)
+	if c.Table("item") != tab || c.Table("ITEM") != tab {
+		t.Fatal("case-insensitive table lookup")
+	}
+	if !c.DropTable("iTem") || c.Table("item") != nil {
+		t.Fatal("drop table")
+	}
+	if c.DropTable("item") {
+		t.Fatal("double drop must report false")
+	}
+
+	v := &View{Name: "v1", Cols: []string{"a"}}
+	c.PutView(v)
+	if c.View("V1") != v {
+		t.Fatal("view lookup")
+	}
+	if !c.DropView("v1") || c.DropView("v1") {
+		t.Fatal("view drop")
+	}
+
+	r := &Routine{Kind: KindFunction, Name: "F", Fn: &sqlast.CreateFunctionStmt{Name: "F"}}
+	c.PutRoutine(r)
+	if c.Routine("f") != r {
+		t.Fatal("routine lookup")
+	}
+	if len(c.RoutineNames()) != 1 {
+		t.Fatal("routine names")
+	}
+	if !c.DropRoutine("F") || c.DropRoutine("F") {
+		t.Fatal("routine drop")
+	}
+}
+
+func TestRoutineAccessors(t *testing.T) {
+	fn := &sqlast.CreateFunctionStmt{
+		Name:   "f",
+		Params: []sqlast.ParamDef{{Name: "x", Type: sqlast.TypeName{Base: "INTEGER"}}},
+		Body:   &sqlast.ReturnStmt{},
+	}
+	r := &Routine{Kind: KindFunction, Name: "f", Fn: fn}
+	if len(r.Params()) != 1 || r.Body() != fn.Body {
+		t.Fatal("function accessors")
+	}
+	pr := &sqlast.CreateProcedureStmt{
+		Name:   "p",
+		Params: []sqlast.ParamDef{{Name: "a"}, {Name: "b"}},
+		Body:   &sqlast.CompoundStmt{},
+	}
+	rp := &Routine{Kind: KindProcedure, Name: "p", Proc: pr}
+	if len(rp.Params()) != 2 || rp.Body() != pr.Body {
+		t.Fatal("procedure accessors")
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	c := NewCatalog()
+	c.PutTable(NewTable("a", testSchema()))
+	c.PutTable(NewTable("b", testSchema()))
+	if len(c.TableNames()) != 2 {
+		t.Fatal("table names")
+	}
+}

@@ -1,0 +1,384 @@
+// Package taubench reproduces the τPSM benchmark of the paper's §VII:
+// the shredded DC/SD bookstore schema rendered temporal by a change
+// simulation (datasets DS1/DS2/DS3 in three sizes), the sixteen PSM
+// benchmark queries q2..q20 (each highlighting one SQL/PSM construct),
+// and the experiment harness regenerating Figures 12-15 and the §VII-B
+// and §VII-F in-text tables.
+package taubench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taupsm"
+	"taupsm/internal/storage"
+	"taupsm/internal/types"
+)
+
+// Size scales a dataset. The paper's SMALL/MEDIUM/LARGE are 12MB, 34MB
+// and 260MB on DB2; here they are scaled to in-memory row counts with
+// the same ratios (LARGE ≈ 20x SMALL in changed rows).
+type Size int
+
+// Dataset sizes.
+const (
+	Small Size = iota
+	Medium
+	Large
+)
+
+// String names the size as in the paper's plots.
+func (s Size) String() string {
+	switch s {
+	case Medium:
+		return "MEDIUM"
+	case Large:
+		return "LARGE"
+	}
+	return "SMALL"
+}
+
+// factor scales entity and change counts.
+func (s Size) factor() int {
+	switch s {
+	case Medium:
+		return 3
+	case Large:
+		return 10
+	}
+	return 1
+}
+
+// Spec describes one τPSM dataset: DS1 (weekly changes, uniform item
+// selection), DS2 (weekly, Gaussian hot spots), DS3 (daily changes,
+// uniform; ~6.7x the slices with the same total change count).
+type Spec struct {
+	Name string
+	Size Size
+
+	Items      int
+	Authors    int
+	Publishers int
+
+	Slices         int  // number of change steps over the 2-year line
+	StepDays       int  // days between steps (7 weekly, 1 daily)
+	ChangesPerStep int  // changes applied at each step
+	HotSpot        bool // Gaussian item selection (DS2)
+
+	Seed int64
+}
+
+// timeline start: two years of valid time, as in τBench.
+var (
+	timelineStart = types.MustDate(2010, 1, 1)
+	timelineEnd   = types.MustDate(2012, 1, 1)
+)
+
+// TimelineStart returns the first instant of the generated history.
+func TimelineStart() int64 { return timelineStart }
+
+// TimelineEnd returns the instant just past the generated history.
+func TimelineEnd() int64 { return timelineEnd }
+
+// DS1 is the weekly/uniform dataset: 104 slices over two years.
+func DS1(size Size) Spec {
+	f := size.factor()
+	return Spec{Name: "DS1", Size: size,
+		Items: 200 * f, Authors: 125 * f, Publishers: 40,
+		Slices: 104, StepDays: 7, ChangesPerStep: 24 * f, Seed: 1}
+}
+
+// DS2 is DS1 with Gaussian hot-spot item selection.
+func DS2(size Size) Spec {
+	s := DS1(size)
+	s.Name = "DS2"
+	s.HotSpot = true
+	s.Seed = 2
+	return s
+}
+
+// DS3 changes daily: 693 slices with (approximately) the same total
+// change count as DS1, making the number of slices the varying factor.
+func DS3(size Size) Spec {
+	f := size.factor()
+	return Spec{Name: "DS3", Size: size,
+		Items: 200 * f, Authors: 125 * f, Publishers: 40,
+		Slices: 693, StepDays: 1, ChangesPerStep: (24*f*104 + 692) / 693, Seed: 3}
+}
+
+// SpecByName resolves "DS1".."DS3".
+func SpecByName(name string, size Size) (Spec, error) {
+	switch name {
+	case "DS1":
+		return DS1(size), nil
+	case "DS2":
+		return DS2(size), nil
+	case "DS3":
+		return DS3(size), nil
+	}
+	return Spec{}, fmt.Errorf("unknown dataset %q (want DS1, DS2 or DS3)", name)
+}
+
+// Schema is the shredded DC/SD bookstore schema with valid-time
+// support on all six tables.
+const Schema = `
+CREATE TABLE item (
+  item_id CHAR(10), title VARCHAR(100), isbn CHAR(13),
+  number_of_pages INTEGER, price FLOAT, pub_date DATE, subject VARCHAR(30)
+) AS VALIDTIME;
+CREATE TABLE author (
+  author_id CHAR(10), first_name VARCHAR(30), last_name VARCHAR(30),
+  country VARCHAR(20), date_of_birth DATE
+) AS VALIDTIME;
+CREATE TABLE publisher (
+  publisher_id CHAR(10), name VARCHAR(50), city VARCHAR(30), country VARCHAR(20)
+) AS VALIDTIME;
+CREATE TABLE related_items (item_id CHAR(10), related_id CHAR(10)) AS VALIDTIME;
+CREATE TABLE item_author (item_id CHAR(10), author_id CHAR(10)) AS VALIDTIME;
+CREATE TABLE item_publisher (item_id CHAR(10), publisher_id CHAR(10)) AS VALIDTIME;
+`
+
+var subjects = []string{"Databases", "Systems", "Networks", "Theory", "Graphics", "Security", "Languages", "History"}
+var countries = []string{"USA", "Canada", "UK", "Germany", "France", "Japan", "Brazil", "India"}
+var firstNames = []string{"Ben", "Amy", "Carl", "Dana", "Eli", "Fay", "Gus", "Hana", "Ivan", "June",
+	"Kai", "Lena", "Milo", "Nora", "Otis", "Pia", "Quin", "Rosa", "Seth", "Tess"}
+var lastNames = []string{"Stone", "Reed", "Tan", "Urbina", "Voss", "Wolfe", "Xu", "Young", "Zorn", "Abel"}
+var cities = []string{"Tucson", "Kingston", "San Jose", "Berlin", "Tokyo", "Lyon", "Porto", "Pune"}
+
+// version is one open row of a temporal table during simulation.
+type version struct {
+	row   []types.Value
+	begin int64
+}
+
+// genTable accumulates versions for one table during the simulation,
+// indexed by the first column for O(1) change targeting.
+type genTable struct {
+	closed  [][]types.Value // fully timestamped rows
+	current []*version      // open rows (end with end_time = forever)
+	index   map[string][]*version
+	ncols   int // data columns (excluding timestamps)
+}
+
+func newGenTable(ncols int) *genTable {
+	return &genTable{ncols: ncols, index: make(map[string][]*version)}
+}
+
+func (g *genTable) add(begin int64, vals ...types.Value) *version {
+	v := &version{row: vals, begin: begin}
+	g.current = append(g.current, v)
+	g.index[vals[0].S] = append(g.index[vals[0].S], v)
+	return v
+}
+
+// first returns an open version keyed by the first column, or nil.
+func (g *genTable) first(key types.Value) *version {
+	vs := g.index[key.S]
+	if len(vs) == 0 {
+		return nil
+	}
+	return vs[0]
+}
+
+// change closes the version at time t and opens a new one with the
+// mutated row. If the version already begins at t it is mutated in
+// place (two changes in the same granule collapse).
+func (g *genTable) change(v *version, t int64, mutate func(row []types.Value)) {
+	if v.begin == t {
+		mutate(v.row)
+		return
+	}
+	closedRow := append(append([]types.Value{}, v.row...), types.NewDate(v.begin), types.NewDate(t))
+	g.closed = append(g.closed, closedRow)
+	newRow := append([]types.Value{}, v.row...)
+	mutate(newRow)
+	v.row = newRow
+	v.begin = t
+}
+
+// flush writes all rows into a storage table.
+func (g *genTable) flush(t *storage.Table) {
+	for _, r := range g.closed {
+		t.Rows = append(t.Rows, r)
+	}
+	for _, v := range g.current {
+		row := append(append([]types.Value{}, v.row...), types.NewDate(v.begin), types.NewDate(types.Forever))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Bump()
+}
+
+// Load creates the τPSM schema in db and populates it with the
+// simulated history described by spec. It returns generation
+// statistics used by the harness.
+func Load(db *taupsm.DB, spec Spec) (*LoadStats, error) {
+	if _, err := db.Exec(Schema); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	items := newGenTable(7)
+	authors := newGenTable(5)
+	publishers := newGenTable(4)
+	related := newGenTable(2)
+	itemAuthor := newGenTable(2)
+	itemPublisher := newGenTable(2)
+
+	id := func(prefix string, i int) types.Value {
+		return types.NewString(fmt.Sprintf("%s%d", prefix, i))
+	}
+
+	// Initial state, valid from the timeline start.
+	start := timelineStart
+	for i := 0; i < spec.Authors; i++ {
+		authors.add(start,
+			id("a", i),
+			types.NewString(firstNames[i%len(firstNames)]),
+			types.NewString(lastNames[(i/len(firstNames))%len(lastNames)]),
+			types.NewString(countries[i%len(countries)]),
+			types.NewDate(types.MustDate(1940+i%60, 1+i%12, 1+i%28)))
+	}
+	for i := 0; i < spec.Publishers; i++ {
+		publishers.add(start,
+			id("p", i),
+			types.NewString(fmt.Sprintf("Publisher House %d", i)),
+			types.NewString(cities[i%len(cities)]),
+			types.NewString(countries[i%len(countries)]))
+	}
+	for i := 0; i < spec.Items; i++ {
+		items.add(start,
+			id("i", i),
+			types.NewString(fmt.Sprintf("Book Title %d", i)),
+			types.NewString(fmt.Sprintf("978%010d", i)),
+			types.NewInt(int64(80+rng.Intn(900))),
+			types.NewFloat(5+float64(rng.Intn(9000))/100),
+			types.NewDate(start-int64(rng.Intn(3650))),
+			types.NewString(subjects[i%len(subjects)]))
+		// 1-3 authors per item
+		na := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		for a := 0; a < na; a++ {
+			aid := rng.Intn(spec.Authors)
+			if seen[aid] {
+				continue
+			}
+			seen[aid] = true
+			itemAuthor.add(start, id("i", i), id("a", aid))
+		}
+		itemPublisher.add(start, id("i", i), id("p", rng.Intn(spec.Publishers)))
+		// ~1.5 related items per item
+		for r := 0; r < 1+rng.Intn(2); r++ {
+			related.add(start, id("i", i), id("i", rng.Intn(spec.Items)))
+		}
+	}
+
+	// pickItem selects an item index uniformly or from a Gaussian
+	// centered on the hot spot (DS2).
+	pickItem := func() int {
+		if !spec.HotSpot {
+			return rng.Intn(spec.Items)
+		}
+		for {
+			g := rng.NormFloat64()*float64(spec.Items)/10 + float64(spec.Items)/2
+			i := int(math.Round(g))
+			if i >= 0 && i < spec.Items {
+				return i
+			}
+		}
+	}
+
+	stats := &LoadStats{Spec: spec}
+	// Change simulation: at each step time, apply ChangesPerStep
+	// random changes.
+	for s := 1; s <= spec.Slices; s++ {
+		t := start + int64(s*spec.StepDays)
+		if t >= timelineEnd {
+			break
+		}
+		for c := 0; c < spec.ChangesPerStep; c++ {
+			stats.Changes++
+			switch k := rng.Intn(10); {
+			case k < 4: // item attribute change
+				it := pickItem()
+				v := items.first(id("i", it))
+				delta := 1 + float64(rng.Intn(200))/100
+				items.change(v, t, func(row []types.Value) {
+					switch rng.Intn(3) {
+					case 0:
+						row[4] = types.NewFloat(math.Round((row[4].Float()+delta)*100) / 100)
+					case 1:
+						row[3] = types.NewInt(row[3].Int() + 8)
+					default:
+						row[6] = types.NewString(subjects[rng.Intn(len(subjects))])
+					}
+				})
+			case k < 6: // author attribute change
+				a := rng.Intn(spec.Authors)
+				v := authors.first(id("a", a))
+				authors.change(v, t, func(row []types.Value) {
+					switch rng.Intn(3) {
+					case 0:
+						row[1] = types.NewString(firstNames[rng.Intn(len(firstNames))])
+					case 1:
+						row[2] = types.NewString(lastNames[rng.Intn(len(lastNames))])
+					default:
+						row[3] = types.NewString(countries[rng.Intn(len(countries))])
+					}
+				})
+			case k < 7: // publisher attribute change
+				p := rng.Intn(spec.Publishers)
+				v := publishers.first(id("p", p))
+				publishers.change(v, t, func(row []types.Value) {
+					if rng.Intn(2) == 0 {
+						row[2] = types.NewString(cities[rng.Intn(len(cities))])
+					} else {
+						row[3] = types.NewString(countries[rng.Intn(len(countries))])
+					}
+				})
+			case k < 9: // item_author rewire: item changes one author
+				it := pickItem()
+				v := itemAuthor.first(id("i", it))
+				if v == nil {
+					continue
+				}
+				na := rng.Intn(spec.Authors)
+				itemAuthor.change(v, t, func(row []types.Value) {
+					row[1] = id("a", na)
+				})
+			default: // related_items rewire
+				it := pickItem()
+				v := related.first(id("i", it))
+				if v == nil {
+					continue
+				}
+				nr := rng.Intn(spec.Items)
+				related.change(v, t, func(row []types.Value) {
+					row[1] = id("i", nr)
+				})
+			}
+		}
+	}
+
+	// Flush into storage.
+	cat := db.Engine().Cat
+	for _, pair := range []struct {
+		name string
+		gen  *genTable
+	}{
+		{"item", items}, {"author", authors}, {"publisher", publishers},
+		{"related_items", related}, {"item_author", itemAuthor}, {"item_publisher", itemPublisher},
+	} {
+		tab := cat.Table(pair.name)
+		pair.gen.flush(tab)
+		stats.Rows += len(tab.Rows)
+	}
+	return stats, nil
+}
+
+// LoadStats summarizes a generated dataset.
+type LoadStats struct {
+	Spec    Spec
+	Rows    int // total rows across the six temporal tables
+	Changes int // change events applied
+}

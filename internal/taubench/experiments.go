@@ -1,0 +1,201 @@
+package taubench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"taupsm"
+	"taupsm/internal/core"
+	"taupsm/internal/sqlparser"
+)
+
+// Experiment drivers regenerating the paper's evaluation artifacts.
+// Each returns the measurements plus a formatted text rendering of the
+// same series the corresponding figure plots.
+
+// Fig12 is the temporal-context sweep on DS1-SMALL: 16 queries x
+// {1d, 1w, 1m, 1y} x {MAX, PERST}, with the derived query classes.
+func Fig12() ([]Measurement, string, error) {
+	return contextSweepFigure("Figure 12 - runtime vs temporal context, DS1-SMALL", DS1(Small),
+		func(q Query) string { return q.ClassSmall })
+}
+
+// Fig13 is the same sweep on DS1-LARGE, compared against the paper's
+// Figure-13 classes (several queries change class with size, §VII-C).
+func Fig13() ([]Measurement, string, error) {
+	return contextSweepFigure("Figure 13 - runtime vs temporal context, DS1-LARGE", DS1(Large),
+		func(q Query) string { return q.ClassLarge })
+}
+
+func contextSweepFigure(title string, spec Spec, paperClass func(Query) string) ([]Measurement, string, error) {
+	r, err := NewRunner(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	ms := r.ContextSweep(ContextLengths)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n(dataset rows: %d, changes: %d)\n\n", title, r.Stats.Rows, r.Stats.Changes)
+	b.WriteString(FormatTable(ms, func(m Measurement) string { return ContextLabel(m.Context) }))
+	b.WriteString("\nquery classes (A=PERST always, B=crossover, C=MAX always, D=MAX first):\n")
+	for _, q := range Queries() {
+		fmt.Fprintf(&b, "  %-5s measured=%s paper=%s\n", q.Name, Classify(ms, q.Name), paperClass(q))
+	}
+	return ms, b.String(), nil
+}
+
+// Fig14 is the scalability experiment: sizes SMALL/MEDIUM/LARGE at a
+// fixed one-month context.
+func Fig14() ([]Measurement, string, error) {
+	var all []Measurement
+	var b strings.Builder
+	b.WriteString("Figure 14 - runtime vs dataset size (DS1, 1-month context)\n\n")
+	for _, size := range []Size{Small, Medium, Large} {
+		r, err := NewRunner(DS1(size))
+		if err != nil {
+			return nil, "", err
+		}
+		for _, q := range Queries() {
+			all = append(all, r.RunSequenced(q, taupsm.Max, 30))
+			all = append(all, r.RunSequenced(q, taupsm.PerStatement, 30))
+		}
+	}
+	b.WriteString(FormatTable(all, func(m Measurement) string { return m.Size.String() }))
+	return all, b.String(), nil
+}
+
+// Fig15 compares data characteristics: DS1 (weekly/uniform), DS2
+// (weekly/Gaussian) and DS3 (daily/uniform), SMALL, 1-month context.
+func Fig15() ([]Measurement, string, error) {
+	var all []Measurement
+	var b strings.Builder
+	b.WriteString("Figure 15 - varying data characteristics (SMALL, 1-month context)\n\n")
+	for _, spec := range []Spec{DS1(Small), DS2(Small), DS3(Small)} {
+		r, err := NewRunner(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		for _, q := range Queries() {
+			all = append(all, r.RunSequenced(q, taupsm.Max, 30))
+			all = append(all, r.RunSequenced(q, taupsm.PerStatement, 30))
+		}
+	}
+	b.WriteString(FormatTable(all, func(m Measurement) string { return m.Dataset }))
+	return all, b.String(), nil
+}
+
+// LoCExperiment regenerates the §VII-B code-expansion accounting.
+func LoCExperiment() (string, error) {
+	r, err := NewRunner(Spec{Name: "DS1", Size: Small,
+		Items: 20, Authors: 15, Publishers: 6, Slices: 4, StepDays: 7, ChangesPerStep: 4, Seed: 1})
+	if err != nil {
+		return "", err
+	}
+	es, err := CodeExpansion(r.DB)
+	if err != nil {
+		return "", err
+	}
+	return FormatExpansion(es), nil
+}
+
+// HeuristicPoint is one replayed data point for the §VII-F evaluation.
+type HeuristicPoint struct {
+	Measurement Measurement
+	Winner      taupsm.Strategy // measured faster strategy
+	Chosen      taupsm.Strategy // heuristic's choice
+}
+
+// queryFeatures probes the PERST translation for the heuristic's
+// clause (a)/(b) inputs.
+func queryFeatures(r *Runner, q Query, contextDays int) core.Features {
+	f := core.Features{PerstTransformable: q.PerstOK, ContextDays: int64(contextDays)}
+	stmt, err := sqlparser.ParseStatement(sequencedSQL(q, contextDays))
+	if err != nil {
+		return f
+	}
+	t, err := r.DB.TranslateStmt(stmt, taupsm.PerStatement)
+	if err != nil {
+		if errors.Is(err, core.ErrNotTransformable) {
+			f.PerstTransformable = false
+		}
+		return f
+	}
+	f.UsesPerPeriodCursor = t.UsesPerPeriodCursor
+	f.TemporalRows = r.Stats.Rows
+	return f
+}
+
+// HeuristicEval replays measurements through the §VII-F heuristic:
+// for every (query, x) point with both strategies measured, it compares
+// the measured winner to the heuristic's choice. Rows maps
+// (dataset, size) to the reachable temporal row count proxy.
+func HeuristicEval(points []HeuristicPoint) string {
+	var total, perstWins, wrong int
+	for _, p := range points {
+		total++
+		if p.Winner == taupsm.PerStatement {
+			perstWins++
+		}
+		if p.Chosen != p.Winner {
+			wrong++
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Heuristic evaluation (paper SVII-F)\n\n")
+	fmt.Fprintf(&b, "data points:          %d   (paper: 160)\n", total)
+	if total > 0 {
+		fmt.Fprintf(&b, "PERST faster:         %d (%.0f%%)   (paper: ~70%%)\n",
+			perstWins, 100*float64(perstWins)/float64(total))
+		fmt.Fprintf(&b, "heuristic wrong:      %d (%.0f%%)   (paper: ~13%%)\n",
+			wrong, 100*float64(wrong)/float64(total))
+	}
+	return b.String()
+}
+
+// CollectHeuristicPoints pairs the measurements of one experiment run
+// with heuristic decisions; runnerOf resolves the runner that produced
+// a measurement (for feature probing).
+func CollectHeuristicPoints(ms []Measurement, runnerOf func(Measurement) *Runner) []HeuristicPoint {
+	type key struct {
+		ds    string
+		size  Size
+		query string
+		ctx   int
+	}
+	grouped := map[key][2]*Measurement{}
+	var order []key
+	for i := range ms {
+		m := &ms[i]
+		k := key{m.Dataset, m.Size, m.Query, m.Context}
+		pair, seen := grouped[k]
+		if !seen {
+			order = append(order, k)
+		}
+		if m.Strategy == taupsm.Max {
+			pair[0] = m
+		} else {
+			pair[1] = m
+		}
+		grouped[k] = pair
+	}
+	var out []HeuristicPoint
+	for _, k := range order {
+		pair := grouped[k]
+		if pair[0] == nil || pair[0].Err != nil {
+			continue
+		}
+		winner := taupsm.Max
+		if pair[1] != nil && pair[1].Err == nil && pair[1].Elapsed < pair[0].Elapsed {
+			winner = taupsm.PerStatement
+		}
+		q, _ := QueryByName(k.query)
+		r := runnerOf(*pair[0])
+		f := queryFeatures(r, q, k.ctx)
+		out = append(out, HeuristicPoint{
+			Measurement: *pair[0],
+			Winner:      winner,
+			Chosen:      core.Choose(f),
+		})
+	}
+	return out
+}

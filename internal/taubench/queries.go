@@ -1,0 +1,388 @@
+package taubench
+
+// The sixteen τPSM benchmark queries (paper §VII-A2), each highlighting
+// one SQL/PSM construct. Every query consists of routine definitions
+// (conventional SQL/PSM, stored as written) and a query invoking them;
+// the sequenced variant is obtained by prepending VALIDTIME, exactly as
+// in the paper ("all the user had to do was to prepend VALIDTIME").
+
+// Query is one benchmark query.
+type Query struct {
+	// Name is the paper's identifier (q2 ... q20).
+	Name string
+	// Feature is the highlighted construct.
+	Feature string
+	// ClassSmall is the paper's Figure-12 class on DS1-SMALL:
+	// A = PERST always faster, B = crossover between 1w and 1m,
+	// C = MAX always faster, D = MAX first then converging.
+	ClassSmall string
+	// ClassLarge is the class on DS1-LARGE (Figure 13); SVII-C notes
+	// q3, q6 move B->A; q9, q10 move D->B; q7, q7b move A->C.
+	ClassLarge string
+	// Routines is the routine-definition script.
+	Routines string
+	// Text is the query body (no temporal modifier).
+	Text string
+	// PerstOK reports whether per-statement slicing applies (false
+	// only for q17b's non-nested FETCH).
+	PerstOK bool
+}
+
+// Queries returns the τPSM query suite in the paper's order.
+func Queries() []Query {
+	return []Query{
+		{
+			Name: "q2", ClassLarge: "B", Feature: "SET with a SELECT row", ClassSmall: "B", PerstOK: true,
+			Routines: `
+CREATE FUNCTION get_author_name (aid CHAR(10))
+RETURNS VARCHAR(30)
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE fname VARCHAR(30);
+  SET fname = (SELECT first_name FROM author WHERE author_id = aid);
+  RETURN fname;
+END`,
+			Text: `SELECT i.title FROM item i, item_author ia
+WHERE i.item_id = ia.item_id AND get_author_name(ia.author_id) = 'Ben'`,
+		},
+		{
+			Name: "q2b", ClassLarge: "B", Feature: "multiple SET statements", ClassSmall: "B", PerstOK: true,
+			Routines: `
+CREATE FUNCTION get_author_full_name (aid CHAR(10))
+RETURNS VARCHAR(61)
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE fn VARCHAR(30);
+  DECLARE ln VARCHAR(30);
+  DECLARE fullname VARCHAR(61);
+  SET fn = (SELECT first_name FROM author WHERE author_id = aid);
+  SET ln = (SELECT last_name FROM author WHERE author_id = aid);
+  SET fullname = fn || ' ' || ln;
+  RETURN fullname;
+END`,
+			Text: `SELECT i.title FROM item i, item_author ia
+WHERE i.item_id = ia.item_id AND get_author_full_name(ia.author_id) = 'Ben Stone'`,
+		},
+		{
+			Name: "q3", ClassLarge: "A", Feature: "RETURN with a SELECT row", ClassSmall: "B", PerstOK: true,
+			Routines: `
+CREATE FUNCTION get_item_price (iid CHAR(10))
+RETURNS FLOAT
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  RETURN (SELECT price FROM item WHERE item_id = iid);
+END`,
+			Text: `SELECT ia.item_id, ia.author_id FROM item_author ia
+WHERE get_item_price(ia.item_id) < 20`,
+		},
+		{
+			Name: "q5", ClassLarge: "D", Feature: "a function in the SELECT list", ClassSmall: "D", PerstOK: true,
+			Routines: `
+CREATE FUNCTION get_publisher_name (pid CHAR(10))
+RETURNS VARCHAR(50)
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE nm VARCHAR(50);
+  SET nm = (SELECT name FROM publisher WHERE publisher_id = pid);
+  RETURN nm;
+END`,
+			Text: `SELECT ip.item_id, get_publisher_name(ip.publisher_id)
+FROM item_publisher ip, item i
+WHERE i.item_id = ip.item_id AND i.subject = 'Systems'`,
+		},
+		{
+			Name: "q6", ClassLarge: "A", Feature: "the CASE statement", ClassSmall: "B", PerstOK: true,
+			Routines: `
+CREATE FUNCTION describe_book (iid CHAR(10), kind INTEGER)
+RETURNS VARCHAR(100)
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE r VARCHAR(100);
+  CASE kind
+    WHEN 1 THEN SET r = (SELECT title FROM item WHERE item_id = iid);
+    WHEN 2 THEN SET r = (SELECT subject FROM item WHERE item_id = iid);
+    ELSE SET r = 'unknown';
+  END CASE;
+  RETURN r;
+END`,
+			Text: `SELECT ia.item_id FROM item_author ia
+WHERE describe_book(ia.item_id, 2) = 'Databases'`,
+		},
+		{
+			Name: "q7", ClassLarge: "C", Feature: "the WHILE statement", ClassSmall: "A", PerstOK: true,
+			Routines: `
+CREATE FUNCTION count_related (iid CHAR(10))
+RETURNS INTEGER
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE done INTEGER DEFAULT 0;
+  DECLARE n INTEGER DEFAULT 0;
+  DECLARE rid CHAR(10) DEFAULT '';
+  DECLARE cur CURSOR FOR SELECT related_id FROM related_items WHERE item_id = iid;
+  DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+  OPEN cur;
+  wl: WHILE done = 0 DO
+    FETCH cur INTO rid;
+    IF done = 0 THEN
+      SET n = n + 1;
+    END IF;
+  END WHILE wl;
+  CLOSE cur;
+  RETURN n;
+END`,
+			Text: `SELECT i.item_id FROM item i
+WHERE i.subject = 'Theory' AND count_related(i.item_id) >= 2`,
+		},
+		{
+			Name: "q7b", ClassLarge: "C", Feature: "the REPEAT statement", ClassSmall: "A", PerstOK: true,
+			Routines: `
+CREATE FUNCTION count_related_r (iid CHAR(10))
+RETURNS INTEGER
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE done INTEGER DEFAULT 0;
+  DECLARE n INTEGER DEFAULT 0;
+  DECLARE rid CHAR(10) DEFAULT '';
+  DECLARE cur CURSOR FOR SELECT related_id FROM related_items WHERE item_id = iid;
+  DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+  OPEN cur;
+  rl: REPEAT
+    FETCH cur INTO rid;
+    IF done = 0 THEN
+      SET n = n + 1;
+    END IF;
+  UNTIL done = 1 END REPEAT rl;
+  CLOSE cur;
+  RETURN n;
+END`,
+			Text: `SELECT i.item_id FROM item i
+WHERE i.subject = 'Graphics' AND count_related_r(i.item_id) >= 2`,
+		},
+		{
+			Name: "q8", ClassLarge: "B", Feature: "a loop name with the FOR statement", ClassSmall: "B", PerstOK: true,
+			Routines: `
+CREATE FUNCTION sum_subject_prices (sub VARCHAR(30))
+RETURNS FLOAT
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE total FLOAT DEFAULT 0.0;
+  floop: FOR r AS SELECT price FROM item WHERE subject = sub DO
+    SET total = total + r.price;
+  END FOR floop;
+  RETURN total;
+END`,
+			Text: `SELECT p.publisher_id FROM publisher p
+WHERE p.country = 'Canada' AND sum_subject_prices('Security') > 100`,
+		},
+		{
+			Name: "q9", ClassLarge: "B", Feature: "a CALL within a procedure", ClassSmall: "D", PerstOK: true,
+			Routines: `
+CREATE PROCEDURE fetch_price (IN iid CHAR(10), OUT p FLOAT)
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  SET p = (SELECT price FROM item WHERE item_id = iid);
+END;
+CREATE PROCEDURE price_with_tax (IN iid CHAR(10), OUT t FLOAT)
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE base FLOAT DEFAULT 0.0;
+  CALL fetch_price(iid, base);
+  SET t = base * 1.1;
+END;
+CREATE FUNCTION taxed_price (iid CHAR(10))
+RETURNS FLOAT
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE t FLOAT DEFAULT 0.0;
+  CALL price_with_tax(iid, t);
+  RETURN t;
+END`,
+			Text: `SELECT i.item_id FROM item i
+WHERE i.subject = 'Networks' AND taxed_price(i.item_id) > 55`,
+		},
+		{
+			Name: "q10", ClassLarge: "B", Feature: "an IF without a CURSOR", ClassSmall: "D", PerstOK: true,
+			Routines: `
+CREATE FUNCTION name_or_country (aid CHAR(10), which INTEGER)
+RETURNS VARCHAR(30)
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE r VARCHAR(30);
+  IF which = 1 THEN
+    SET r = (SELECT first_name FROM author WHERE author_id = aid);
+  ELSE
+    SET r = (SELECT country FROM author WHERE author_id = aid);
+  END IF;
+  RETURN r;
+END`,
+			Text: `SELECT ia.item_id FROM item_author ia
+WHERE name_or_country(ia.author_id, 2) = 'Canada'`,
+		},
+		{
+			Name: "q11", ClassLarge: "A", Feature: "creation of a temporary table", ClassSmall: "A", PerstOK: true,
+			Routines: `
+CREATE FUNCTION count_subject_books (sub VARCHAR(30))
+RETURNS INTEGER
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE done INTEGER DEFAULT 0;
+  DECLARE n INTEGER DEFAULT 0;
+  DECLARE tid CHAR(10) DEFAULT '';
+  DECLARE cur CURSOR FOR SELECT tid_col FROM tmp_subject_items;
+  DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+  CREATE TEMPORARY TABLE tmp_subject_items (tid_col CHAR(10));
+  INSERT INTO tmp_subject_items SELECT item_id FROM item WHERE subject = sub;
+  OPEN cur;
+  wl: WHILE done = 0 DO
+    FETCH cur INTO tid;
+    IF done = 0 THEN
+      SET n = n + 1;
+    END IF;
+  END WHILE wl;
+  CLOSE cur;
+  DROP TABLE tmp_subject_items;
+  RETURN n;
+END`,
+			Text: `SELECT p.publisher_id FROM publisher p
+WHERE p.country = 'UK' AND count_subject_books('History') > 10`,
+		},
+		{
+			Name: "q14", ClassLarge: "A", Feature: "a local cursor with FETCH, OPEN and CLOSE", ClassSmall: "A", PerstOK: true,
+			Routines: `
+CREATE FUNCTION publisher_of (iid CHAR(10))
+RETURNS VARCHAR(50)
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE done INTEGER DEFAULT 0;
+  DECLARE nm VARCHAR(50) DEFAULT 'none';
+  DECLARE cur CURSOR FOR
+    SELECT p.name FROM publisher p, item_publisher ip
+    WHERE ip.item_id = iid AND p.publisher_id = ip.publisher_id;
+  DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+  OPEN cur;
+  wl: WHILE done = 0 DO
+    FETCH cur INTO nm;
+  END WHILE wl;
+  CLOSE cur;
+  RETURN nm;
+END`,
+			Text: `SELECT i.item_id FROM item i
+WHERE i.subject = 'Systems' AND publisher_of(i.item_id) = 'Publisher House 7'`,
+		},
+		{
+			Name: "q17", ClassLarge: "C", Feature: "the LEAVE statement", ClassSmall: "C", PerstOK: true,
+			Routines: `
+CREATE FUNCTION count_by_country (cty VARCHAR(20))
+RETURNS INTEGER
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE done INTEGER DEFAULT 0;
+  DECLARE n INTEGER DEFAULT 0;
+  DECLARE nm VARCHAR(30) DEFAULT '';
+  DECLARE cur CURSOR FOR SELECT first_name FROM author WHERE country = cty;
+  DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+  OPEN cur;
+  lp: LOOP
+    FETCH cur INTO nm;
+    IF done = 1 THEN
+      LEAVE lp;
+    END IF;
+    SET n = n + 1;
+  END LOOP lp;
+  CLOSE cur;
+  RETURN n;
+END`,
+			Text: `SELECT p.publisher_id FROM publisher p
+WHERE p.country = 'Japan' AND count_by_country('Japan') > 5`,
+		},
+		{
+			Name: "q17b", ClassLarge: "-", Feature: "a non-nested FETCH statement", ClassSmall: "-", PerstOK: false,
+			Routines: `
+CREATE FUNCTION mixed_scan (sub VARCHAR(30))
+RETURNS INTEGER
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE done INTEGER DEFAULT 0;
+  DECLARE iid CHAR(10) DEFAULT '';
+  DECLARE n INTEGER DEFAULT 0;
+  DECLARE all_items CURSOR FOR SELECT item_id FROM item WHERE subject = sub;
+  DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+  OPEN all_items;
+  FETCH all_items INTO iid;
+  wl: WHILE done = 0 DO
+    FOR r AS SELECT a.first_name AS fn FROM author a, item_author ia
+        WHERE ia.item_id = iid AND a.author_id = ia.author_id DO
+      SET n = n + 1;
+      FETCH all_items INTO iid;
+      IF done = 1 THEN
+        LEAVE wl;
+      END IF;
+    END FOR;
+    FETCH all_items INTO iid;
+  END WHILE wl;
+  CLOSE all_items;
+  RETURN n;
+END`,
+			Text: `SELECT p.publisher_id FROM publisher p
+WHERE p.country = 'France' AND mixed_scan('Languages') > 0`,
+		},
+		{
+			Name: "q19", ClassLarge: "A", Feature: "a function called in the FROM clause", ClassSmall: "A", PerstOK: true,
+			Routines: `
+CREATE FUNCTION authors_of (iid CHAR(10))
+RETURNS ROW(aid CHAR(10)) ARRAY
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE acc ROW(aid CHAR(10)) ARRAY;
+  INSERT INTO TABLE acc SELECT author_id FROM item_author WHERE item_id = iid;
+  RETURN acc;
+END`,
+			Text: `SELECT i.title, f.aid FROM item i, TABLE(authors_of(i.item_id)) AS f
+WHERE i.subject = 'Databases'`,
+		},
+		{
+			Name: "q20", ClassLarge: "D", Feature: "a SET statement", ClassSmall: "D", PerstOK: true,
+			Routines: `
+CREATE FUNCTION discounted_price (iid CHAR(10))
+RETURNS FLOAT
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE p FLOAT;
+  DECLARE d FLOAT;
+  SET p = (SELECT price FROM item WHERE item_id = iid);
+  SET d = p * 0.9;
+  RETURN d;
+END`,
+			Text: `SELECT i.item_id FROM item i
+WHERE i.subject = 'Databases' AND discounted_price(i.item_id) > 45`,
+		},
+	}
+}
+
+// QueryByName finds a benchmark query by its paper identifier.
+func QueryByName(name string) (Query, bool) {
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Query{}, false
+}

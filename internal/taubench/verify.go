@@ -1,0 +1,123 @@
+package taubench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"taupsm"
+	"taupsm/internal/types"
+)
+
+// Correctness checking (paper §VII-B): "we compared the result of
+// evaluating each nontemporal query on a timeslice of the temporal
+// database on each day with the result of a timeslice on that day of
+// the result of both transformations of the temporal version of the
+// query" — commutativity — "and ensured that the results of maximal
+// slicing and per-statement slicing were equivalent".
+
+// SampleDays returns representative instants across the two-year
+// timeline: the start, every stride-th day, and the day before the end.
+func SampleDays(stride int) []int64 {
+	var out []int64
+	for d := timelineStart; d < timelineEnd; d += int64(stride) {
+		out = append(out, d)
+	}
+	out = append(out, timelineEnd-1)
+	return out
+}
+
+// timeslice projects the rows of a sequenced result (begin_time,
+// end_time, data...) valid at instant d, as a sorted multiset.
+func timeslice(res *taupsm.Result, d int64) []string {
+	day := types.FormatDate(d)
+	var out []string
+	for _, row := range res.Rows {
+		if row[0].String() <= day && day < row[1].String() {
+			var vals []string
+			for _, v := range row[2:] {
+				vals = append(vals, v.String())
+			}
+			out = append(out, strings.Join(vals, "|"))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rowsOf renders a current result as a sorted multiset.
+func rowsOf(res *taupsm.Result) []string {
+	var out []string
+	for _, row := range res.Rows {
+		var vals []string
+		for _, v := range row {
+			vals = append(vals, v.String())
+		}
+		out = append(out, strings.Join(vals, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckCommutativity verifies, for each sampled day d, that the
+// timeslice at d of the sequenced result equals the nontemporal query
+// evaluated on the timeslice at d (i.e. the current query with
+// CURRENT_DATE = d).
+func (r *Runner) CheckCommutativity(q Query, strategy taupsm.Strategy, days []int64) error {
+	r.DB.SetStrategy(strategy)
+	defer r.DB.SetStrategy(taupsm.Auto)
+	seq, err := r.DB.Query(sequencedSQL(q, int(timelineEnd-timelineStart)))
+	if err != nil {
+		return fmt.Errorf("%s/%v sequenced: %w", q.Name, strategy, err)
+	}
+	savedNow := r.DB.Engine().Now
+	defer func() { r.DB.Engine().Now = savedNow }()
+	for _, d := range days {
+		slice := timeslice(seq, d)
+		r.DB.Engine().Now = d
+		cur, err := r.DB.Query(q.Text)
+		if err != nil {
+			return fmt.Errorf("%s current at %s: %w", q.Name, types.FormatDate(d), err)
+		}
+		curRows := rowsOf(cur)
+		if strings.Join(slice, ";") != strings.Join(curRows, ";") {
+			return fmt.Errorf("%s/%v: timeslice at %s has %d rows, current query has %d rows\nslice:   %v\ncurrent: %v",
+				q.Name, strategy, types.FormatDate(d), len(slice), len(curRows),
+				head(slice, 6), head(curRows, 6))
+		}
+	}
+	return nil
+}
+
+// CheckStrategiesAgree verifies that MAX and PERST produce equivalent
+// sequenced results (same timeslice at every sampled day).
+func (r *Runner) CheckStrategiesAgree(q Query, days []int64) error {
+	full := int(timelineEnd - timelineStart)
+	r.DB.SetStrategy(taupsm.Max)
+	maxRes, err := r.DB.Query(sequencedSQL(q, full))
+	if err != nil {
+		r.DB.SetStrategy(taupsm.Auto)
+		return fmt.Errorf("%s MAX: %w", q.Name, err)
+	}
+	r.DB.SetStrategy(taupsm.PerStatement)
+	psRes, err := r.DB.Query(sequencedSQL(q, full))
+	r.DB.SetStrategy(taupsm.Auto)
+	if err != nil {
+		return fmt.Errorf("%s PERST: %w", q.Name, err)
+	}
+	for _, d := range days {
+		ms, ps := timeslice(maxRes, d), timeslice(psRes, d)
+		if strings.Join(ms, ";") != strings.Join(ps, ";") {
+			return fmt.Errorf("%s: MAX and PERST disagree at %s\nMAX:   %v\nPERST: %v",
+				q.Name, types.FormatDate(d), head(ms, 6), head(ps, 6))
+		}
+	}
+	return nil
+}
+
+func head(ss []string, n int) []string {
+	if len(ss) <= n {
+		return ss
+	}
+	return append(append([]string{}, ss[:n]...), "...")
+}

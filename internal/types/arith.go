@@ -1,0 +1,174 @@
+package types
+
+import "fmt"
+
+// Tribool is SQL three-valued logic: True, False, or Unknown.
+type Tribool uint8
+
+// The three truth values of SQL predicates.
+const (
+	False Tribool = iota
+	True
+	Unknown
+)
+
+// TriboolOf lifts a Go bool into a Tribool.
+func TriboolOf(b bool) Tribool {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And is three-valued conjunction.
+func (t Tribool) And(o Tribool) Tribool {
+	if t == False || o == False {
+		return False
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return True
+}
+
+// Or is three-valued disjunction.
+func (t Tribool) Or(o Tribool) Tribool {
+	if t == True || o == True {
+		return True
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return False
+}
+
+// Not is three-valued negation.
+func (t Tribool) Not() Tribool {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+// Value converts the tribool to a SQL value (Unknown becomes NULL).
+func (t Tribool) Value() Value {
+	switch t {
+	case True:
+		return NewBool(true)
+	case False:
+		return NewBool(false)
+	}
+	return Null
+}
+
+// TriboolFromValue interprets a SQL value as a predicate result.
+func TriboolFromValue(v Value) Tribool {
+	if v.IsNull() {
+		return Unknown
+	}
+	if v.Bool() || (v.Kind == KindInt && v.I != 0) {
+		return True
+	}
+	return False
+}
+
+// Arith applies a SQL arithmetic operator (+, -, *, /) to two values.
+// NULL operands yield NULL; DATE +/- INTEGER shifts by days (DB2-style
+// date arithmetic at DATE granularity); DATE - DATE yields days.
+func Arith(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if a.Kind == KindDate || b.Kind == KindDate {
+		return dateArith(op, a, b)
+	}
+	if a.Kind == KindString || b.Kind == KindString {
+		if op == "||" {
+			return NewString(a.Text() + b.Text()), nil
+		}
+		return Null, fmt.Errorf("cannot apply %s to %s and %s", op, a.Kind, b.Kind)
+	}
+	if op == "||" {
+		return NewString(a.Text() + b.Text()), nil
+	}
+	if a.Kind == KindFloat || b.Kind == KindFloat {
+		af, bf := a.Float(), b.Float()
+		switch op {
+		case "+":
+			return NewFloat(af + bf), nil
+		case "-":
+			return NewFloat(af - bf), nil
+		case "*":
+			return NewFloat(af * bf), nil
+		case "/":
+			if bf == 0 {
+				return Null, fmt.Errorf("division by zero")
+			}
+			return NewFloat(af / bf), nil
+		}
+		return Null, fmt.Errorf("unknown arithmetic operator %q", op)
+	}
+	ai, bi := a.Int(), b.Int()
+	switch op {
+	case "+":
+		return NewInt(ai + bi), nil
+	case "-":
+		return NewInt(ai - bi), nil
+	case "*":
+		return NewInt(ai * bi), nil
+	case "/":
+		if bi == 0 {
+			return Null, fmt.Errorf("division by zero")
+		}
+		return NewInt(ai / bi), nil
+	}
+	return Null, fmt.Errorf("unknown arithmetic operator %q", op)
+}
+
+func dateArith(op string, a, b Value) (Value, error) {
+	switch {
+	case a.Kind == KindDate && b.Kind == KindDate:
+		if op == "-" {
+			return NewInt(a.I - b.I), nil
+		}
+		return Null, fmt.Errorf("cannot apply %s to two DATEs", op)
+	case a.Kind == KindDate:
+		switch op {
+		case "+":
+			return NewDate(a.I + b.Int()), nil
+		case "-":
+			return NewDate(a.I - b.Int()), nil
+		}
+	case b.Kind == KindDate:
+		if op == "+" {
+			return NewDate(b.I + a.Int()), nil
+		}
+	}
+	return Null, fmt.Errorf("cannot apply %s to %s and %s", op, a.Kind, b.Kind)
+}
+
+// CompareOp evaluates a SQL comparison operator with 3VL semantics.
+func CompareOp(op string, a, b Value) Tribool {
+	c, ok := Compare(a, b)
+	if !ok {
+		return Unknown
+	}
+	switch op {
+	case "=":
+		return TriboolOf(c == 0)
+	case "<>", "!=":
+		return TriboolOf(c != 0)
+	case "<":
+		return TriboolOf(c < 0)
+	case "<=":
+		return TriboolOf(c <= 0)
+	case ">":
+		return TriboolOf(c > 0)
+	case ">=":
+		return TriboolOf(c >= 0)
+	}
+	return Unknown
+}

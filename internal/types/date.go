@@ -1,0 +1,107 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dates are stored as int64 days since the Unix epoch (1970-01-01).
+// Conversions use Howard Hinnant's proleptic-Gregorian civil algorithms,
+// which are exact over the full SQL DATE range.
+
+// Forever is the epoch-day encoding of 9999-12-31, used as the
+// "until changed" end time of current rows, mirroring the convention
+// temporal databases use for open-ended validity.
+var Forever = MustDate(9999, 12, 31)
+
+// CivilToDays converts a calendar date to epoch days.
+func CivilToDays(y, m, d int) int64 {
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	var era int64
+	if yy >= 0 {
+		era = yy / 400
+	} else {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1     // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*146097 + doe - 719468
+}
+
+// DaysToCivil converts epoch days to a calendar date.
+func DaysToCivil(z int64) (y, m, d int) {
+	z += 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100) // [0, 365]
+	mp := (5*doy + 2) / 153                  // [0, 11]
+	d = int(doy - (153*mp+2)/5 + 1)
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	y = int(yy)
+	if m <= 2 {
+		y++
+	}
+	return
+}
+
+// MustDate returns the epoch days of y-m-d; it panics on an impossible
+// calendar date and is intended for constants in tests and generators.
+func MustDate(y, m, d int) int64 {
+	days := CivilToDays(y, m, d)
+	yy, mm, dd := DaysToCivil(days)
+	if yy != y || mm != m || dd != d {
+		panic(fmt.Sprintf("types.MustDate: invalid date %04d-%02d-%02d", y, m, d))
+	}
+	return days
+}
+
+// ParseDate parses 'YYYY-MM-DD' into epoch days.
+func ParseDate(s string) (int64, error) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("invalid DATE literal %q (want YYYY-MM-DD)", s)
+	}
+	y, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	d, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, fmt.Errorf("invalid DATE literal %q (want YYYY-MM-DD)", s)
+	}
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, fmt.Errorf("invalid DATE literal %q: month or day out of range", s)
+	}
+	days := CivilToDays(y, m, d)
+	yy, mm, dd := DaysToCivil(days)
+	if yy != y || mm != m || dd != d {
+		return 0, fmt.Errorf("invalid DATE literal %q: no such calendar day", s)
+	}
+	return days, nil
+}
+
+// FormatDate renders epoch days as 'YYYY-MM-DD'.
+func FormatDate(days int64) string {
+	y, m, d := DaysToCivil(days)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}

@@ -1,0 +1,83 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCivilRoundTripQuick(t *testing.T) {
+	f := func(n int32) bool {
+		days := int64(n % 4_000_000)
+		y, m, d := DaysToCivil(days)
+		return CivilToDays(y, m, d) == days
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCivilAgreesWithTimePackage(t *testing.T) {
+	// cross-check against the standard library over a wide range
+	for days := int64(-100_000); days <= 100_000; days += 137 {
+		tm := time.Unix(days*86400, 0).UTC()
+		y, m, d := DaysToCivil(days)
+		if y != tm.Year() || m != int(tm.Month()) || d != tm.Day() {
+			t.Fatalf("days=%d: got %04d-%02d-%02d, time pkg says %s", days, y, m, d, tm.Format("2006-01-02"))
+		}
+	}
+}
+
+func TestKnownDates(t *testing.T) {
+	if CivilToDays(1970, 1, 1) != 0 {
+		t.Fatal("epoch must be day 0")
+	}
+	if CivilToDays(1970, 1, 2) != 1 {
+		t.Fatal("day after epoch")
+	}
+	if CivilToDays(1969, 12, 31) != -1 {
+		t.Fatal("day before epoch")
+	}
+	// leap years
+	if CivilToDays(2000, 3, 1)-CivilToDays(2000, 2, 28) != 2 {
+		t.Fatal("2000 is a leap year")
+	}
+	if CivilToDays(1900, 3, 1)-CivilToDays(1900, 2, 28) != 1 {
+		t.Fatal("1900 is not a leap year")
+	}
+	if CivilToDays(2012, 3, 1)-CivilToDays(2012, 2, 29) != 1 {
+		t.Fatal("2012-02-29 exists")
+	}
+}
+
+func TestParseFormatDate(t *testing.T) {
+	for _, s := range []string{"2010-01-01", "1999-12-31", "2012-02-29", "0001-01-01", "9999-12-31"} {
+		d, err := ParseDate(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if got := FormatDate(d); got != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+	}
+	for _, s := range []string{"", "2010", "2010-13-01", "2010-00-10", "2010-02-30", "2011-02-29", "abcd-ef-gh", "2010/01/01"} {
+		if _, err := ParseDate(s); err == nil {
+			t.Errorf("expected error for %q", s)
+		}
+	}
+}
+
+func TestMustDatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid date")
+		}
+	}()
+	MustDate(2011, 2, 29)
+}
+
+func TestForever(t *testing.T) {
+	if FormatDate(Forever) != "9999-12-31" {
+		t.Fatalf("Forever = %s", FormatDate(Forever))
+	}
+}

@@ -1,0 +1,133 @@
+package taupsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property test for sequenced modifications: apply a random sequence of
+// sequenced UPDATEs and DELETEs to a temporal table and, in parallel,
+// to a brute-force per-day model (a map day -> value per key). After
+// every step, the table's timeslice at each day must equal the model —
+// the very definition of sequenced semantics.
+func TestSequencedDMLAgainstPerDayModel(t *testing.T) {
+	const horizon = 120 // days
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			db := Open()
+			db.SetNow(2020, 1, 1)
+			db.MustExec(`CREATE TABLE reading (sensor CHAR(5), val INTEGER) AS VALIDTIME`)
+
+			// model[sensor][day] = value (or absent)
+			sensors := []string{"s1", "s2", "s3"}
+			model := map[string]map[int]int{}
+			base := int64(18262) // 2020-01-01 in epoch days
+			day := func(offset int) string {
+				d := base + int64(offset)
+				y, m, dd := civil(d)
+				return fmt.Sprintf("%04d-%02d-%02d", y, m, dd)
+			}
+
+			// initial rows covering the whole horizon
+			for i, s := range sensors {
+				model[s] = map[int]int{}
+				for d := 0; d < horizon; d++ {
+					model[s][d] = i * 100
+				}
+				db.MustExec(fmt.Sprintf(
+					`NONSEQUENCED VALIDTIME INSERT INTO reading VALUES ('%s', %d, DATE '%s', DATE '%s')`,
+					s, i*100, day(0), day(horizon)))
+			}
+
+			check := func(step string) {
+				res, err := db.Query(`NONSEQUENCED VALIDTIME SELECT sensor, val, begin_time, end_time FROM reading`)
+				if err != nil {
+					t.Fatalf("%s: %v", step, err)
+				}
+				got := map[string]map[int][]int{}
+				for _, row := range res.Rows {
+					s := row[0].String()
+					v := int(row[1].Int())
+					b, e := row[2].String(), row[3].String()
+					for d := 0; d < horizon; d++ {
+						ds := day(d)
+						if b <= ds && ds < e {
+							if got[s] == nil {
+								got[s] = map[int][]int{}
+							}
+							got[s][d] = append(got[s][d], v)
+						}
+					}
+				}
+				for _, s := range sensors {
+					for d := 0; d < horizon; d++ {
+						want, ok := model[s][d]
+						vals := got[s][d]
+						if !ok {
+							if len(vals) != 0 {
+								t.Fatalf("%s: %s day %d: model deleted, table has %v", step, s, d, vals)
+							}
+							continue
+						}
+						if len(vals) != 1 || vals[0] != want {
+							t.Fatalf("%s: %s day %d: model %d, table %v", step, s, d, want, vals)
+						}
+					}
+				}
+			}
+
+			check("initial")
+			for step := 0; step < 12; step++ {
+				s := sensors[rng.Intn(len(sensors))]
+				p1 := rng.Intn(horizon)
+				p2 := p1 + 1 + rng.Intn(horizon-p1)
+				if rng.Intn(3) == 0 {
+					// sequenced delete over [p1, p2)
+					db.MustExec(fmt.Sprintf(
+						`VALIDTIME (DATE '%s', DATE '%s') DELETE FROM reading WHERE sensor = '%s'`,
+						day(p1), day(p2), s))
+					for d := p1; d < p2; d++ {
+						delete(model[s], d)
+					}
+				} else {
+					nv := rng.Intn(1000)
+					db.MustExec(fmt.Sprintf(
+						`VALIDTIME (DATE '%s', DATE '%s') UPDATE reading SET val = %d WHERE sensor = '%s'`,
+						day(p1), day(p2), nv, s))
+					for d := p1; d < p2; d++ {
+						if _, ok := model[s][d]; ok {
+							model[s][d] = nv
+						}
+					}
+				}
+				check(fmt.Sprintf("step %d", step))
+			}
+		})
+	}
+}
+
+// civil converts epoch days to (y, m, d) without importing internals.
+func civil(z int64) (int, int, int) {
+	z += 719468
+	era := z / 146097
+	if z < 0 {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d := int(doy - (153*mp+2)/5 + 1)
+	m := int(mp + 3)
+	if mp >= 10 {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		y++
+	}
+	return int(y), m, d
+}

@@ -1,0 +1,201 @@
+package taupsm
+
+import (
+	"strings"
+	"testing"
+)
+
+// Transaction-time tables: the engine records what the database stated
+// over time; timestamps are system-maintained (set from CURRENT_DATE by
+// the current-semantics transform), append-only, and queryable with the
+// TRANSACTIONTIME statement modifiers. The paper notes everything shown
+// for valid time "also applies to transaction time" (§III); bitemporal
+// tables remain future work there and here.
+
+func ttDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	db.SetNow(2024, 1, 1)
+	db.MustExec(`CREATE TABLE account (id CHAR(10), balance FLOAT) AS TRANSACTIONTIME`)
+	db.MustExec(`INSERT INTO account VALUES ('a1', 100.0)`)
+	db.SetNow(2024, 2, 1)
+	db.MustExec(`UPDATE account SET balance = 150.0 WHERE id = 'a1'`)
+	db.SetNow(2024, 3, 1)
+	db.MustExec(`UPDATE account SET balance = 120.0 WHERE id = 'a1'`)
+	return db
+}
+
+func TestTransactionTimeAudit(t *testing.T) {
+	db := ttDB(t)
+	// Current query: the latest recorded state.
+	res, err := db.Query(`SELECT balance FROM account WHERE id = 'a1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res, "120.0")
+	// The full audit trail via NONSEQUENCED TRANSACTIONTIME.
+	res, err = db.Query(`NONSEQUENCED TRANSACTIONTIME
+		SELECT balance, begin_time, end_time FROM account ORDER BY begin_time`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res,
+		"100.0|2024-01-01|2024-02-01",
+		"150.0|2024-02-01|2024-03-01",
+		"120.0|2024-03-01|9999-12-31")
+}
+
+func TestTransactionTimeSequencedQuery(t *testing.T) {
+	db := ttDB(t)
+	for _, s := range []Strategy{Max, PerStatement} {
+		db.SetStrategy(s)
+		res, err := db.Query(`TRANSACTIONTIME (DATE '2024-01-01', DATE '2024-04-01')
+			SELECT balance FROM account WHERE id = 'a1'`)
+		if err != nil {
+			t.Fatalf("strategy %v: %v", s, err)
+		}
+		got := coalesceRows(res)
+		want := []string{
+			"100.0 [2024-01-01,2024-02-01)",
+			"120.0 [2024-03-01,2024-04-01)",
+			"150.0 [2024-02-01,2024-03-01)",
+		}
+		if strings.Join(got, ";") != strings.Join(want, ";") {
+			t.Fatalf("strategy %v:\ngot  %v\nwant %v", s, got, want)
+		}
+	}
+}
+
+func TestTransactionTimeThroughRoutine(t *testing.T) {
+	db := ttDB(t)
+	db.MustExec(`
+CREATE FUNCTION balance_of (aid CHAR(10))
+RETURNS FLOAT
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE b FLOAT;
+  SET b = (SELECT balance FROM account WHERE id = aid);
+  RETURN b;
+END`)
+	// "as best known now" through the routine
+	res, err := db.Query(`SELECT balance_of('a1') FROM account WHERE id = 'a1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res, "120.0")
+	// the recorded history through the routine, sliced
+	db.SetStrategy(Max)
+	res, err = db.Query(`TRANSACTIONTIME (DATE '2024-01-15', DATE '2024-02-15')
+		SELECT balance_of('a1') FROM account WHERE id = 'a1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := coalesceRows(res)
+	want := []string{
+		"100.0 [2024-01-15,2024-02-01)",
+		"150.0 [2024-02-01,2024-02-15)",
+	}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTransactionTimeDelete(t *testing.T) {
+	db := ttDB(t)
+	db.SetNow(2024, 4, 1)
+	db.MustExec(`DELETE FROM account WHERE id = 'a1'`)
+	res, err := db.Query(`SELECT COUNT(*) FROM account`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res, "0") // logically deleted now
+	res, err = db.Query(`NONSEQUENCED TRANSACTIONTIME
+		SELECT COUNT(*) FROM account WHERE end_time = DATE '2024-04-01'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res, "1") // the closed version survives in the audit
+}
+
+func TestTransactionTimeIsAppendOnly(t *testing.T) {
+	db := ttDB(t)
+	// Manual timestamps are forbidden.
+	if _, err := db.Exec(`NONSEQUENCED TRANSACTIONTIME
+		INSERT INTO account VALUES ('a2', 1.0, DATE '2000-01-01', DATE '2001-01-01')`); err == nil {
+		t.Fatal("manual transaction timestamps must be rejected")
+	}
+	// Rewriting the recorded past is forbidden.
+	if _, err := db.Exec(`TRANSACTIONTIME (DATE '2024-01-01', DATE '2024-02-01')
+		UPDATE account SET balance = 999 WHERE id = 'a1'`); err == nil {
+		t.Fatal("sequenced transaction-time update must be rejected")
+	}
+	if _, err := db.Exec(`VALIDTIME (DATE '2024-01-01', DATE '2024-02-01')
+		DELETE FROM account WHERE id = 'a1'`); err == nil {
+		t.Fatal("sequenced delete against a transaction-time table must be rejected")
+	}
+}
+
+func TestDimensionMixingRejected(t *testing.T) {
+	db := ttDB(t)
+	db.MustExec(`CREATE TABLE vt (id CHAR(10), v FLOAT) AS VALIDTIME`)
+	db.SetStrategy(Max)
+	if _, err := db.Query(`VALIDTIME SELECT a.balance FROM account a, vt WHERE vt.id = a.id`); err == nil {
+		t.Fatal("VALIDTIME slicing over a transaction-time table must be rejected")
+	}
+	if _, err := db.Query(`TRANSACTIONTIME SELECT a.balance FROM account a, vt WHERE vt.id = a.id`); err == nil {
+		t.Fatal("TRANSACTIONTIME slicing over a valid-time table must be rejected")
+	}
+}
+
+func TestBitemporalRejected(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE bt (a INTEGER) AS VALIDTIME AS TRANSACTIONTIME`); err == nil {
+		t.Fatal("bitemporal tables must be rejected")
+	}
+}
+
+func TestAlterAddTransactionTime(t *testing.T) {
+	db := Open()
+	db.SetNow(2024, 6, 1)
+	db.MustExec(`CREATE TABLE log (msg VARCHAR(50)); INSERT INTO log VALUES ('hello')`)
+	db.MustExec(`ALTER TABLE log ADD TRANSACTIONTIME`)
+	res, err := db.Query(`NONSEQUENCED TRANSACTIONTIME SELECT msg, begin_time FROM log`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res, "hello|2024-06-01")
+	if _, err := db.Exec(`ALTER TABLE log ADD VALIDTIME`); err == nil {
+		t.Fatal("double temporal support must be rejected")
+	}
+}
+
+func TestTransactionTimeCommutativity(t *testing.T) {
+	// Timeslice of the TT-sequenced result at recording day d equals
+	// the current query as of d.
+	db := ttDB(t)
+	db.SetStrategy(Max)
+	seq, err := db.Query(`TRANSACTIONTIME SELECT balance FROM account WHERE id = 'a1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, day := range []string{"2024-01-01", "2024-01-20", "2024-02-01", "2024-02-28", "2024-03-15"} {
+		var slice []string
+		for _, row := range seq.Rows {
+			if row[0].String() <= day && day < row[1].String() {
+				slice = append(slice, row[2].String())
+			}
+		}
+		db2 := ttDB(t)
+		parts := strings.Split(day, "-")
+		db2.SetNow(atoi(parts[0]), atoi(parts[1]), atoi(parts[2]))
+		cur, err := db2.Query(`SELECT balance FROM account WHERE id = 'a1'`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curRows := sortedRows(cur)
+		if strings.Join(slice, ";") != strings.Join(curRows, ";") {
+			t.Fatalf("day %s: timeslice %v != as-of state %v", day, slice, curRows)
+		}
+	}
+}
