@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race verify bench report clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full gate: static checks plus the race-enabled test run.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# report regenerates the machine-readable benchmark artifact.
+report:
+	$(GO) run ./cmd/taubench -exp report -reps 3 -json BENCH_1.json
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,13 @@
 //	taubench -exp fig12            # one experiment
 //	taubench -exp all              # everything (slow: builds LARGE data)
 //	taubench -exp sweep -dataset DS2 -size MEDIUM -queries q2,q7
+//	taubench -exp report -reps 5 -json BENCH_1.json
+//
+// The report experiment emits the structured benchmark artifact:
+// median/p95 latencies plus the fragment and constant-period counts of
+// every query × strategy × context cell, as JSON. The -slow flag
+// enables a slow-query log on stderr for any measured statement over
+// the threshold (it applies to sweep and report).
 package main
 
 import (
@@ -16,19 +23,23 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"taupsm"
 	"taupsm/internal/taubench"
 )
 
 func main() {
-	exp := flag.String("exp", "fig12", "experiment: fig12, fig13, fig14, fig15, loc, heuristic, classes, sweep, all")
-	dataset := flag.String("dataset", "DS1", "dataset for -exp sweep: DS1, DS2, DS3")
-	sizeFlag := flag.String("size", "SMALL", "size for -exp sweep: SMALL, MEDIUM, LARGE")
+	exp := flag.String("exp", "fig12", "experiment: fig12, fig13, fig14, fig15, loc, heuristic, classes, sweep, report, all")
+	dataset := flag.String("dataset", "DS1", "dataset for -exp sweep/report: DS1, DS2, DS3")
+	sizeFlag := flag.String("size", "SMALL", "size for -exp sweep/report: SMALL, MEDIUM, LARGE")
 	queriesFlag := flag.String("queries", "", "comma-separated query filter for -exp sweep (default: all)")
+	jsonPath := flag.String("json", "", "for -exp report: write JSON to this file instead of stdout")
+	reps := flag.Int("reps", 3, "for -exp report: repetitions per cell")
+	slow := flag.Duration("slow", 0, "log measured statements at least this slow to stderr (0 disables)")
 	flag.Parse()
 
-	if err := run(*exp, *dataset, *sizeFlag, *queriesFlag); err != nil {
+	if err := run(*exp, *dataset, *sizeFlag, *queriesFlag, *jsonPath, *reps, *slow); err != nil {
 		fmt.Fprintln(os.Stderr, "taubench:", err)
 		os.Exit(1)
 	}
@@ -46,7 +57,7 @@ func parseSize(s string) (taubench.Size, error) {
 	return 0, fmt.Errorf("unknown size %q", s)
 }
 
-func run(exp, dataset, sizeFlag, queriesFlag string) error {
+func run(exp, dataset, sizeFlag, queriesFlag, jsonPath string, reps int, slow time.Duration) error {
 	switch exp {
 	case "fig12":
 		_, out, err := taubench.Fig12()
@@ -103,6 +114,9 @@ func run(exp, dataset, sizeFlag, queriesFlag string) error {
 		if err != nil {
 			return err
 		}
+		if slow > 0 {
+			r.SlowThreshold, r.SlowLog = slow, os.Stderr
+		}
 		want := map[string]bool{}
 		for _, q := range strings.Split(queriesFlag, ",") {
 			if q = strings.TrimSpace(q); q != "" {
@@ -124,10 +138,38 @@ func run(exp, dataset, sizeFlag, queriesFlag string) error {
 			return taubench.ContextLabel(m.Context)
 		}))
 		return nil
+	case "report":
+		size, err := parseSize(sizeFlag)
+		if err != nil {
+			return err
+		}
+		spec, err := taubench.SpecByName(dataset, size)
+		if err != nil {
+			return err
+		}
+		r, err := taubench.NewRunner(spec)
+		if err != nil {
+			return err
+		}
+		if slow > 0 {
+			r.SlowThreshold, r.SlowLog = slow, os.Stderr
+		}
+		rep := r.BuildReport(taubench.ContextLengths, reps)
+		out := os.Stdout
+		if jsonPath != "" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+			fmt.Fprintf(os.Stderr, "taubench: wrote %s (%d cells)\n", jsonPath, len(rep.Queries))
+		}
+		return rep.WriteJSON(out)
 	case "all":
 		for _, e := range []string{"loc", "fig12", "fig15", "fig14", "fig13", "heuristic"} {
 			fmt.Printf("==================== %s ====================\n", e)
-			if err := run(e, dataset, sizeFlag, queriesFlag); err != nil {
+			if err := run(e, dataset, sizeFlag, queriesFlag, "", reps, slow); err != nil {
 				return err
 			}
 			fmt.Println()

@@ -7,13 +7,15 @@
 //	taupsm -mode exec script.sql          # run a script, print results
 //	taupsm -mode translate -strategy max query.sql
 //	taupsm -mode translate -strategy perst -          # read stdin
+//	taupsm -mode repl                     # interactive shell
 //
 // In exec mode every statement is translated by the stratum and run;
 // results of queries are printed as text tables. In translate mode the
 // final statement of the input is translated and the conventional
 // SQL/PSM is printed without executing it; earlier statements (DDL,
 // routine definitions) are executed to build the schema the translator
-// needs.
+// needs. The repl mode reads statements interactively and adds
+// backslash commands (\timing, \metrics, \strategy, \help).
 package main
 
 import (
@@ -28,13 +30,24 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "exec", "exec or translate")
+	mode := flag.String("mode", "exec", "exec, translate, or repl")
 	strategy := flag.String("strategy", "auto", "sequenced slicing strategy: auto, max, perst")
 	now := flag.String("now", "", "fix CURRENT_DATE (YYYY-MM-DD)")
 	flag.Parse()
 
+	if *mode == "repl" {
+		db, err := newDB(*strategy, *now)
+		if err == nil {
+			err = runREPL(os.Stdin, os.Stdout, db)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taupsm:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: taupsm [-mode exec|translate] [-strategy auto|max|perst] <file.sql | ->")
+		fmt.Fprintln(os.Stderr, "usage: taupsm [-mode exec|translate|repl] [-strategy auto|max|perst] <file.sql | ->")
 		os.Exit(2)
 	}
 	if err := run(*mode, *strategy, *now, flag.Arg(0)); err != nil {
@@ -55,8 +68,26 @@ func parseStrategy(s string) (taupsm.Strategy, error) {
 	return taupsm.Auto, fmt.Errorf("unknown strategy %q", s)
 }
 
-func run(mode, strategyFlag, now, path string) error {
+// newDB opens a database configured by the -strategy and -now flags.
+func newDB(strategyFlag, now string) (*taupsm.DB, error) {
 	strategy, err := parseStrategy(strategyFlag)
+	if err != nil {
+		return nil, err
+	}
+	db := taupsm.Open()
+	db.SetStrategy(strategy)
+	if now != "" {
+		var y, m, d int
+		if _, err := fmt.Sscanf(now, "%d-%d-%d", &y, &m, &d); err != nil {
+			return nil, fmt.Errorf("invalid -now %q: %w", now, err)
+		}
+		db.SetNow(y, m, d)
+	}
+	return db, nil
+}
+
+func run(mode, strategyFlag, now, path string) error {
+	db, err := newDB(strategyFlag, now)
 	if err != nil {
 		return err
 	}
@@ -68,16 +99,6 @@ func run(mode, strategyFlag, now, path string) error {
 	}
 	if err != nil {
 		return err
-	}
-
-	db := taupsm.Open()
-	db.SetStrategy(strategy)
-	if now != "" {
-		var y, m, d int
-		if _, err := fmt.Sscanf(now, "%d-%d-%d", &y, &m, &d); err != nil {
-			return fmt.Errorf("invalid -now %q: %w", now, err)
-		}
-		db.SetNow(y, m, d)
 	}
 
 	stmts, err := sqlparser.ParseScript(string(src))
@@ -93,7 +114,7 @@ func run(mode, strategyFlag, now, path string) error {
 		for _, s := range stmts {
 			res, err := db.ExecParsed(s)
 			if err != nil {
-				return err
+				return fmt.Errorf("%w\n  statement: %s", err, s.SQL())
 			}
 			if len(res.Columns) > 0 {
 				fmt.Println(res.String())
@@ -103,12 +124,13 @@ func run(mode, strategyFlag, now, path string) error {
 	case "translate":
 		for _, s := range stmts[:len(stmts)-1] {
 			if _, err := db.ExecParsed(s); err != nil {
-				return err
+				return fmt.Errorf("%w\n  statement: %s", err, s.SQL())
 			}
 		}
-		t, err := db.TranslateStmt(stmts[len(stmts)-1], strategy)
+		last := stmts[len(stmts)-1]
+		t, err := db.TranslateStmt(last, db.Strategy())
 		if err != nil {
-			return err
+			return fmt.Errorf("%w\n  statement: %s", err, last.SQL())
 		}
 		fmt.Printf("-- strategy: %s\n%s", t.Strategy, t.SQL())
 		return nil

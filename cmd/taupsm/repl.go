@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"taupsm"
+	"taupsm/internal/sqlparser"
+)
+
+// repl is the interactive shell: statements accumulate until a
+// terminating semicolon completes a parseable script, backslash
+// commands control the session.
+type repl struct {
+	db     *taupsm.DB
+	out    io.Writer
+	timing bool
+	buf    strings.Builder
+}
+
+const replHelp = `Backslash commands:
+  \timing [on|off]   toggle printing per-statement elapsed time
+  \metrics           print the metrics registry (counters, latencies)
+  \strategy [s]      show or set the slicing strategy: auto, max, perst
+  \r                 clear the statement buffer
+  \help, \?          this help
+  \q                 quit
+Statements end with ';' and may span lines. EXPLAIN <statement> shows
+the translation plan and slicing statistics without executing.
+`
+
+// runREPL drives the shell until \q or EOF.
+func runREPL(in io.Reader, out io.Writer, db *taupsm.DB) error {
+	r := &repl{db: db, out: out}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	r.prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, `\`):
+			if quit := r.meta(trimmed); quit {
+				return sc.Err()
+			}
+		case trimmed == "" && r.buf.Len() == 0:
+		default:
+			r.buf.WriteString(line)
+			r.buf.WriteByte('\n')
+			if strings.HasSuffix(strings.TrimSpace(r.buf.String()), ";") {
+				r.submit()
+			}
+		}
+		r.prompt()
+	}
+	if strings.TrimSpace(r.buf.String()) != "" {
+		r.buf.WriteString(";")
+		r.submit()
+	}
+	return sc.Err()
+}
+
+func (r *repl) prompt() {
+	if r.buf.Len() == 0 {
+		fmt.Fprint(r.out, "taupsm> ")
+	} else {
+		fmt.Fprint(r.out, "   ...> ")
+	}
+}
+
+// meta handles a backslash command; it reports whether to quit.
+func (r *repl) meta(cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return true
+	case `\timing`:
+		switch {
+		case len(fields) > 1 && fields[1] == "on":
+			r.timing = true
+		case len(fields) > 1 && fields[1] == "off":
+			r.timing = false
+		default:
+			r.timing = !r.timing
+		}
+		state := "off"
+		if r.timing {
+			state = "on"
+		}
+		fmt.Fprintf(r.out, "Timing is %s.\n", state)
+	case `\metrics`:
+		fmt.Fprint(r.out, r.db.Metrics().String())
+	case `\strategy`:
+		if len(fields) > 1 {
+			s, err := parseStrategy(fields[1])
+			if err != nil {
+				fmt.Fprintf(r.out, "error: %v\n", err)
+				return false
+			}
+			r.db.SetStrategy(s)
+		}
+		fmt.Fprintf(r.out, "Strategy is %s.\n", r.db.Strategy())
+	case `\r`, `\reset`:
+		r.buf.Reset()
+		fmt.Fprintln(r.out, "Statement buffer cleared.")
+	case `\help`, `\?`:
+		fmt.Fprint(r.out, replHelp)
+	default:
+		fmt.Fprintf(r.out, "unknown command %s; try \\help\n", fields[0])
+	}
+	return false
+}
+
+// incompleteInput reports a parse error that means "keep reading":
+// the statement is syntactically unfinished, not wrong.
+func incompleteInput(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "unexpected end of input") ||
+		strings.Contains(msg, `found ""`) ||
+		strings.Contains(msg, "unterminated")
+}
+
+// submit parses the buffered input and, when it forms a complete
+// script, executes it statement by statement. Errors echo the
+// offending statement so multi-statement input pinpoints the failure.
+func (r *repl) submit() {
+	src := r.buf.String()
+	stmts, err := sqlparser.ParseScript(src)
+	if err != nil {
+		if incompleteInput(err) {
+			return // an inner ';' (PSM body); keep buffering
+		}
+		r.buf.Reset()
+		fmt.Fprintf(r.out, "error: %v\nstatement: %s\n", err, strings.TrimSpace(src))
+		return
+	}
+	r.buf.Reset()
+	for _, s := range stmts {
+		start := time.Now()
+		res, err := r.db.ExecParsed(s)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(r.out, "error: %v\nstatement: %s\n", err, s.SQL())
+			return
+		}
+		if len(res.Columns) > 0 {
+			fmt.Fprint(r.out, res.String())
+			fmt.Fprintf(r.out, "(%d rows)\n", len(res.Rows))
+		} else if res.Affected > 0 {
+			fmt.Fprintf(r.out, "(%d rows affected)\n", res.Affected)
+		}
+		if r.timing {
+			fmt.Fprintf(r.out, "Time: %s\n", elapsed.Round(time.Microsecond))
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"taupsm"
+)
+
+// replOut feeds input lines to the REPL and returns everything it
+// printed.
+func replOut(t *testing.T, db *taupsm.DB, input string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := runREPL(strings.NewReader(input), &out, db); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestREPLExecutesStatements(t *testing.T) {
+	out := replOut(t, taupsm.Open(), `
+CREATE TABLE author (author_id CHAR(10), first_name CHAR(50)) AS VALIDTIME;
+NONSEQUENCED VALIDTIME INSERT INTO author VALUES
+  ('a1', 'Ben', DATE '2010-01-01', DATE '2010-07-01');
+VALIDTIME SELECT first_name FROM author;
+\q
+`)
+	if !strings.Contains(out, "Ben") {
+		t.Fatalf("query result missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "(1 rows affected)") {
+		t.Fatalf("affected-rows note missing:\n%s", out)
+	}
+}
+
+// A routine body holds inner semicolons; the REPL must keep buffering
+// until the statement is complete.
+func TestREPLBuffersCompoundStatements(t *testing.T) {
+	out := replOut(t, taupsm.Open(), `
+CREATE TABLE author (author_id CHAR(10), first_name CHAR(50)) AS VALIDTIME;
+CREATE FUNCTION get_author_name (aid CHAR(10))
+RETURNS CHAR(50)
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE fname CHAR(50);
+  SET fname = (SELECT first_name FROM author WHERE author_id = aid);
+  RETURN fname;
+END;
+SELECT get_author_name('a1') FROM author;
+\q
+`)
+	if strings.Contains(out, "error:") {
+		t.Fatalf("unexpected error:\n%s", out)
+	}
+	// the continuation prompt must have appeared while buffering
+	if !strings.Contains(out, "...>") {
+		t.Fatalf("no continuation prompt:\n%s", out)
+	}
+}
+
+// Errors echo the offending statement, so a failure inside a
+// multi-statement line is attributable.
+func TestREPLEchoesFailingStatement(t *testing.T) {
+	out := replOut(t, taupsm.Open(), `
+CREATE TABLE t (x CHAR(5)); SELECT x FROM missing_table;
+\q
+`)
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("no error reported:\n%s", out)
+	}
+	if !strings.Contains(out, "statement: SELECT x FROM missing_table") {
+		t.Fatalf("offending statement not echoed:\n%s", out)
+	}
+}
+
+func TestREPLParseErrorEchoesInput(t *testing.T) {
+	out := replOut(t, taupsm.Open(), "SELEC nonsense;\n\\q\n")
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "statement: SELEC nonsense") {
+		t.Fatalf("parse error not echoed:\n%s", out)
+	}
+}
+
+func TestREPLTimingAndMetrics(t *testing.T) {
+	out := replOut(t, taupsm.Open(), `
+\timing
+CREATE TABLE t (x CHAR(5));
+\metrics
+\timing off
+\q
+`)
+	if !strings.Contains(out, "Timing is on.") {
+		t.Fatalf("timing toggle missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Time: ") {
+		t.Fatalf("no elapsed time printed:\n%s", out)
+	}
+	if !strings.Contains(out, "stratum.statements_total 1") {
+		t.Fatalf("metrics exposition missing statement counter:\n%s", out)
+	}
+	if !strings.Contains(out, "stratum.parse_ns") {
+		t.Fatalf("metrics exposition missing latency histogram:\n%s", out)
+	}
+	if !strings.Contains(out, "Timing is off.") {
+		t.Fatalf("timing off missing:\n%s", out)
+	}
+}
+
+func TestREPLStrategyAndMisc(t *testing.T) {
+	out := replOut(t, taupsm.Open(), `
+\strategy
+\strategy max
+\strategy bogus
+\help
+partial input
+\r
+\unknown
+\q
+`)
+	for _, want := range []string{
+		"Strategy is AUTO.",
+		"Strategy is MAX.",
+		`unknown strategy "bogus"`,
+		"Backslash commands:",
+		"Statement buffer cleared.",
+		`unknown command \unknown`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// EOF with a dangling unterminated statement still executes it (the
+// REPL appends the final semicolon).
+func TestREPLDanglingStatementOnEOF(t *testing.T) {
+	out := replOut(t, taupsm.Open(), "CREATE TABLE t (x CHAR(5))\n")
+	if strings.Contains(out, "error:") {
+		t.Fatalf("dangling statement failed:\n%s", out)
+	}
+}

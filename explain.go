@@ -1,0 +1,168 @@
+package taupsm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"taupsm/internal/core"
+	"taupsm/internal/sqlast"
+	"taupsm/internal/temporal"
+	"taupsm/internal/types"
+)
+
+// Explain describes how one Temporal SQL/PSM statement would execute —
+// the translation plan and the slicing statistics — without executing
+// it. It is produced by DB.Explain and by the SQL-level
+// `EXPLAIN <statement>` (e.g. `EXPLAIN VALIDTIME SELECT ...`).
+//
+// The slicing numbers are exact, not estimates: ConstantPeriods and
+// Fragments are computed from the stored data with the same code the
+// executor uses, so running the statement immediately afterwards
+// reports the same values through DB.Metrics (stratum.constant_periods
+// and stratum.fragments).
+type Explain struct {
+	// Kind is the statement's temporal class: current, sequenced, or
+	// nonsequenced.
+	Kind string
+	// Strategy is the slicing strategy a sequenced statement would use
+	// (after resolving Auto with the §VII-F heuristic).
+	Strategy Strategy
+	// AutoReason names the heuristic clause that decided Strategy when
+	// the database strategy is Auto; empty for fixed strategies.
+	AutoReason string
+	// TemporalTables are the temporal tables reachable from the
+	// statement, directly or through routines.
+	TemporalTables []string
+	// Routines counts the transformed routine clones (curr_/max_/ps_)
+	// the translation registers before running.
+	Routines int
+	// ContextBegin/ContextEnd are the resolved temporal context bounds
+	// (sequenced statements only).
+	ContextBegin, ContextEnd string
+	// ConstantPeriods is the number of constant periods MAX slicing
+	// computes for the context — the number of times MAX evaluates the
+	// statement. Zero for PERST and non-sequenced statements.
+	ConstantPeriods int
+	// Fragments counts the stored row fragments of the reachable
+	// temporal tables overlapping the context — the candidate
+	// fragments a sequenced statement evaluates.
+	Fragments int
+	// UsesPerPeriodCursor reports the PERST per-period cursor pattern
+	// (the heuristic's clause b).
+	UsesPerPeriodCursor bool
+	// SQL is the conventional SQL/PSM script the statement compiles to.
+	SQL string
+}
+
+// Explain parses one statement (a bare statement or an EXPLAIN
+// statement) and describes how it would execute, without executing it.
+func (db *DB) Explain(src string) (*Explain, error) {
+	stmts, err := db.parseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("expected exactly one statement, found %d", len(stmts))
+	}
+	stmt := stmts[0]
+	if ex, ok := stmt.(*sqlast.ExplainStmt); ok {
+		stmt = ex.Body
+	}
+	return db.ExplainParsed(stmt)
+}
+
+// ExplainParsed is Explain over a parsed statement.
+func (db *DB) ExplainParsed(stmt sqlast.Stmt) (*Explain, error) {
+	if _, ok := stmt.(*sqlast.ExplainStmt); ok {
+		return nil, fmt.Errorf("EXPLAIN cannot be nested")
+	}
+	db.sm.explain.Inc()
+	e := &Explain{Kind: stmtKind(stmt)}
+
+	var t *core.Translation
+	var err error
+	if ts, ok := stmt.(*sqlast.TemporalStmt); ok && ts.Mod == sqlast.ModSequenced {
+		strategy := db.strategy
+		if strategy == Auto {
+			var reason core.Reason
+			strategy, reason = db.chooseStrategy(ts)
+			e.AutoReason = string(reason)
+		}
+		t, err = db.tr.Translate(stmt, strategy)
+		if err != nil && errors.Is(err, core.ErrNotTransformable) && strategy == PerStatement && db.strategy == Auto {
+			t, err = db.tr.Translate(stmt, Max)
+		}
+	} else {
+		t, err = db.tr.Translate(stmt, db.strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	e.Strategy = t.Strategy
+	e.TemporalTables = append([]string(nil), t.TemporalTables...)
+	e.Routines = len(t.Routines)
+	e.UsesPerPeriodCursor = t.UsesPerPeriodCursor
+	e.SQL = t.SQL()
+
+	if t.ContextBegin != nil {
+		ctx, cerr := db.contextPeriod(t)
+		if cerr != nil {
+			return nil, cerr
+		}
+		e.ContextBegin = types.FormatDate(ctx.Begin)
+		e.ContextEnd = types.FormatDate(ctx.End)
+		e.Fragments = db.countFragments(t.TemporalTables, ctx)
+		if t.NeedsConstantPeriods {
+			e.ConstantPeriods = len(temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables), ctx))
+		}
+	}
+	return e, nil
+}
+
+// Result renders the explanation as a two-column (property, value)
+// result set — what the SQL-level EXPLAIN statement returns.
+func (e *Explain) Result() *Result {
+	out := &Result{Columns: []string{"property", "value"}}
+	add := func(prop, val string) {
+		out.Rows = append(out.Rows, []Value{
+			{inner: types.NewString(prop)}, {inner: types.NewString(val)},
+		})
+	}
+	add("kind", e.Kind)
+	if e.Kind == "sequenced" {
+		add("strategy", e.Strategy.String())
+		if e.AutoReason != "" {
+			add("auto_reason", e.AutoReason)
+		}
+		add("context", fmt.Sprintf("[%s, %s)", e.ContextBegin, e.ContextEnd))
+	}
+	if len(e.TemporalTables) > 0 {
+		add("temporal_tables", strings.Join(e.TemporalTables, ", "))
+	}
+	if e.Routines > 0 {
+		add("routines", fmt.Sprintf("%d", e.Routines))
+	}
+	if e.Kind == "sequenced" {
+		if e.Strategy == Max {
+			add("constant_periods", fmt.Sprintf("%d", e.ConstantPeriods))
+		}
+		add("fragments", fmt.Sprintf("%d", e.Fragments))
+		if e.UsesPerPeriodCursor {
+			add("per_period_cursor", "true")
+		}
+	}
+	for i, line := range strings.Split(strings.TrimRight(e.SQL, "\n"), "\n") {
+		prop := ""
+		if i == 0 {
+			prop = "plan"
+		}
+		add(prop, line)
+	}
+	return out
+}
+
+// String renders the explanation as the same aligned text table the
+// SQL-level EXPLAIN prints.
+func (e *Explain) String() string { return e.Result().String() }

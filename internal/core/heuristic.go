@@ -42,16 +42,48 @@ var (
 	ShortContextDays   = int64(7)
 )
 
+// Reason labels which clause of the §VII-F heuristic decided the
+// strategy; the observability layer records it so a strategy choice is
+// explainable after the fact (EXPLAIN output, stratum.auto.* metrics).
+type Reason string
+
+// The heuristic's decision reasons.
+const (
+	// ReasonNotTransformable: clause (a) — the PERST transformation
+	// rules do not apply, MAX is the only option.
+	ReasonNotTransformable Reason = "perst_not_transformable"
+	// ReasonPerPeriodCursor: clause (b) — PERST would process cursors
+	// per period on a large data set.
+	ReasonPerPeriodCursor Reason = "per_period_cursor"
+	// ReasonShortContext: clause (c) — small database and short
+	// temporal context make MAX's fixed cost negligible.
+	ReasonShortContext Reason = "short_context"
+	// ReasonDefault: none of the clauses fired; PERST wins ~70% of the
+	// measured configurations.
+	ReasonDefault Reason = "perst_default"
+	// ReasonProbeError: the PERST probe translation failed with an
+	// error other than ErrNotTransformable; the stratum conservatively
+	// picks MAX. (Recorded by the stratum, never returned by Choose.)
+	ReasonProbeError Reason = "perst_probe_error"
+)
+
 // Choose applies the §VII-F heuristic.
 func Choose(f Features) Strategy {
+	s, _ := ChooseExplained(f)
+	return s
+}
+
+// ChooseExplained applies the §VII-F heuristic and reports which
+// clause decided.
+func ChooseExplained(f Features) (Strategy, Reason) {
 	if !f.PerstTransformable {
-		return StrategyMax // (a)
+		return StrategyMax, ReasonNotTransformable // (a)
 	}
 	if f.UsesPerPeriodCursor && f.TemporalRows >= LargeRowsThreshold {
-		return StrategyMax // (b)
+		return StrategyMax, ReasonPerPeriodCursor // (b)
 	}
 	if f.TemporalRows <= SmallRowsThreshold && f.ContextDays <= ShortContextDays {
-		return StrategyMax // (c)
+		return StrategyMax, ReasonShortContext // (c)
 	}
-	return StrategyPerStatement
+	return StrategyPerStatement, ReasonDefault
 }

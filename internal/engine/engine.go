@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"taupsm/internal/obs"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/sqlparser"
 	"taupsm/internal/storage"
@@ -28,6 +29,7 @@ import (
 type Stats struct {
 	RoutineCalls int64 // stored routine invocations
 	RowsScanned  int64 // base-table rows visited by scans and lookups
+	RowsReturned int64 // rows produced by executed query statements
 	Statements   int64 // statements executed (including PSM statements)
 	LogWrites    int64 // rows appended to tables (models DBMS log pressure)
 }
@@ -39,6 +41,21 @@ func (s *Stats) Reset() { *s = Stats{} }
 type DB struct {
 	Cat   *storage.Catalog
 	Stats Stats
+
+	// Tracer, when non-nil, receives an "engine.query" span per
+	// executed query statement and an "engine.routine" span per stored
+	// routine invocation (one per evaluated fragment under MAX
+	// slicing). Hot paths nil-check it first, so the disabled cost is
+	// one pointer comparison.
+	Tracer obs.Tracer
+
+	// Metrics, when set alongside Tracer, additionally receives
+	// routine-invocation latencies in the engine.routine_ns histogram.
+	// The stratum shares its registry here.
+	Metrics *obs.Metrics
+
+	// routineNS caches the engine.routine_ns histogram handle.
+	routineNS *obs.Histogram
 
 	// Now is the engine's CURRENT_DATE in epoch days. Fixing it makes
 	// current-semantics results deterministic in tests.
@@ -114,9 +131,11 @@ func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
 		}
 		return nil, fmt.Errorf("engine: temporal statement modifier %s reached the conventional engine; translate it with the stratum first", s.Mod)
 	case *sqlast.SelectStmt:
-		return db.evalQuery(ctx, s)
+		return db.execQuery(ctx, s)
 	case *sqlast.SetOpExpr:
-		return db.evalQuery(ctx, s)
+		return db.execQuery(ctx, s)
+	case *sqlast.ExplainStmt:
+		return nil, fmt.Errorf("engine: EXPLAIN reached the conventional engine; it is a stratum-level statement")
 	case *sqlast.InsertStmt:
 		return db.execInsert(ctx, s)
 	case *sqlast.UpdateStmt:
@@ -269,6 +288,52 @@ func kindToType(k types.Kind) sqlast.TypeName {
 		return sqlast.TypeName{Base: "BOOLEAN"}
 	default:
 		return sqlast.TypeName{Base: "VARCHAR"}
+	}
+}
+
+// execQuery evaluates a query statement, counting rows returned and
+// emitting an "engine.query" span when a tracer is attached.
+func (db *DB) execQuery(ctx *execCtx, q sqlast.QueryExpr) (*Result, error) {
+	if db.Tracer == nil {
+		res, err := db.evalQuery(ctx, q)
+		if err == nil {
+			db.Stats.RowsReturned += int64(len(res.Rows))
+		}
+		return res, err
+	}
+	start := time.Now()
+	res, err := db.evalQuery(ctx, q)
+	d := time.Since(start)
+	rows := 0
+	if err == nil {
+		rows = len(res.Rows)
+		db.Stats.RowsReturned += int64(rows)
+	}
+	db.Tracer.Span(obs.Span{Name: "engine.query", Start: start, Dur: d,
+		Attrs: []obs.Attr{obs.AInt("rows", int64(rows))}})
+	return res, err
+}
+
+// traceRoutine times one stored-routine invocation when a tracer is
+// attached; it returns nil (for a one-branch fast path) otherwise. The
+// per-invocation latency also feeds the engine.routine_ns histogram —
+// under MAX slicing that is the per-fragment evaluation timing, one
+// invocation per (satisfying tuple, constant period).
+func (db *DB) traceRoutine(name string) func() {
+	if db.Tracer == nil {
+		return nil
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		db.Tracer.Span(obs.Span{Name: "engine.routine", Start: start, Dur: d,
+			Attrs: []obs.Attr{obs.A("routine", name)}})
+		if db.Metrics != nil {
+			if db.routineNS == nil {
+				db.routineNS = db.Metrics.Histogram("engine.routine_ns")
+			}
+			db.routineNS.Record(d)
+		}
 	}
 }
 

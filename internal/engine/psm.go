@@ -214,6 +214,9 @@ func (db *DB) callFunction(ctx *execCtx, r *storage.Routine, argExprs []sqlast.E
 		frame.types[k] = p.Type
 	}
 	db.Stats.RoutineCalls++
+	if done := db.traceRoutine(r.Name); done != nil {
+		defer done()
+	}
 	fctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1}
 	err := db.execPSM(fctx, r.Body())
 	if err == nil {
@@ -305,6 +308,9 @@ func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
 		}
 	}
 	db.Stats.RoutineCalls++
+	if done := db.traceRoutine(s.Name); done != nil {
+		defer done()
+	}
 	pctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1}
 	err := db.execPSM(pctx, r.Body())
 	if err != nil {

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic last-value metric (e.g. the constant-period count
+// of the most recent MAX-sliced statement).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histogram geometry: bucket i holds durations d with
+// upper(i-1) < d <= upper(i), where upper(i) = 1µs·2^i. The first
+// bucket also absorbs everything at or below 1µs, the last bucket
+// everything above ~2.3 hours. 32 buckets cover the full range any
+// statement plausibly takes.
+const (
+	histBuckets  = 32
+	histUnitNS   = int64(time.Microsecond)
+	histOverflow = histBuckets - 1
+)
+
+// Histogram is a lightweight latency histogram over exponential
+// (power-of-two) buckets from 1µs up. Recording is two atomic adds and
+// an atomic increment; quantiles are approximated by the upper bound
+// of the bucket that crosses the requested rank.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	q := (int64(d) + histUnitNS - 1) / histUnitNS // ceil(d / 1µs)
+	if q <= 1 {
+		return 0
+	}
+	// bits.Len64(q-1) == ceil(log2(q)) for q >= 2.
+	i := bits.Len64(uint64(q - 1))
+	if i > histOverflow {
+		return histOverflow
+	}
+	return i
+}
+
+// bucketUpper is the inclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(histUnitNS << uint(i))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile approximates the q-quantile (0 < q <= 1) as the upper bound
+// of the bucket containing that rank; it returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histOverflow)
+}
+
+// reset zeroes the histogram.
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Metrics is a named registry of counters, gauges, and histograms.
+// Get-or-create accessors take a lock; the returned handles are
+// lock-free, so hot paths should cache them.
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// Value returns the current value of the named counter or gauge, or 0
+// if no such metric exists. Convenience for tests and the EXPLAIN
+// cross-checks.
+func (m *Metrics) Value(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.counters[name]; ok {
+		return c.Value()
+	}
+	if g, ok := m.gauges[name]; ok {
+		return g.Value()
+	}
+	return 0
+}
+
+// Reset zeroes every registered metric (the registry keeps its names
+// and handles, so cached handles stay valid).
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.counters {
+		c.v.Store(0)
+	}
+	for _, g := range m.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range m.histograms {
+		h.reset()
+	}
+}
+
+// String renders every metric as one "name value" line, sorted by
+// name — the expvar-style text exposition. Histograms render their
+// count, mean, p50, p95 and total.
+func (m *Metrics) String() string {
+	m.mu.Lock()
+	type line struct{ name, val string }
+	var lines []line
+	for n, c := range m.counters {
+		lines = append(lines, line{n, fmt.Sprintf("%d", c.Value())})
+	}
+	for n, g := range m.gauges {
+		lines = append(lines, line{n, fmt.Sprintf("%d", g.Value())})
+	}
+	for n, h := range m.histograms {
+		lines = append(lines, line{n, fmt.Sprintf("count=%d mean=%s p50=%s p95=%s total=%s",
+			h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Sum())})
+	}
+	m.mu.Unlock()
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l.name)
+		b.WriteByte(' ')
+		b.WriteString(l.val)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -145,6 +145,8 @@ func CloneStmt(s Stmt) Stmt {
 			c.Period = &PeriodSpec{Begin: CloneExpr(x.Period.Begin), End: CloneExpr(x.Period.End)}
 		}
 		return c
+	case *ExplainStmt:
+		return &ExplainStmt{Body: CloneStmt(x.Body)}
 	case *InsertStmt:
 		return &InsertStmt{Table: x.Table, VarTarget: x.VarTarget, Cols: append([]string(nil), x.Cols...), Source: CloneQuery(x.Source)}
 	case *UpdateStmt:

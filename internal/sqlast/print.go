@@ -368,6 +368,10 @@ func (t *TemporalStmt) SQL() string {
 	return prefix + " " + t.Body.SQL()
 }
 
+func (s *ExplainStmt) SQL() string {
+	return "EXPLAIN " + s.Body.SQL()
+}
+
 // ---------- DML ----------
 
 func (s *InsertStmt) SQL() string {

@@ -110,6 +110,17 @@ type TemporalStmt struct {
 
 func (*TemporalStmt) stmtNode() {}
 
+// ExplainStmt asks the stratum to describe how Body would execute —
+// the chosen slicing strategy, the slicing statistics (constant
+// periods, stored fragments), and the conventional SQL/PSM it compiles
+// to — without executing it. EXPLAIN is a stratum-level statement; it
+// never reaches the conventional engine.
+type ExplainStmt struct {
+	Body Stmt
+}
+
+func (*ExplainStmt) stmtNode() {}
+
 // ---------- DML ----------
 
 // InsertStmt inserts rows from a VALUES list or a query. Table-valued

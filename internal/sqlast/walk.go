@@ -112,6 +112,8 @@ func Walk(n Node, visit func(Node) bool) {
 			Walk(x.Period.End, visit)
 		}
 		Walk(x.Body, visit)
+	case *ExplainStmt:
+		Walk(x.Body, visit)
 	case *InsertStmt:
 		Walk(x.Source, visit)
 	case *UpdateStmt:
@@ -251,6 +253,8 @@ func MapExprs(n Node, f func(Expr) Expr) {
 			x.On = mapExpr(x.On, f)
 		}
 	case *TemporalStmt:
+		MapExprs(x.Body, f)
+	case *ExplainStmt:
 		MapExprs(x.Body, f)
 	case *InsertStmt:
 		MapExprs(x.Source, f)

@@ -183,6 +183,16 @@ func (p *parser) ident() (string, error) {
 
 func (p *parser) parseStatement() (sqlast.Stmt, error) {
 	switch {
+	case p.isKw("EXPLAIN"):
+		p.next()
+		if p.isKw("EXPLAIN") {
+			return nil, p.errf("EXPLAIN cannot be nested")
+		}
+		body, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.ExplainStmt{Body: body}, nil
 	case p.isKw("VALIDTIME"), p.isKw("NONSEQUENCED"), p.isKw("TRANSACTIONTIME"):
 		return p.parseTemporalStmt()
 	case p.isKw("SELECT"), p.isOp("("):

@@ -58,7 +58,7 @@ func init() {
 		"DEFAULT", "IF", "ELSEIF", "WHILE", "DO", "REPEAT", "UNTIL", "LOOP", "FOR",
 		"LEAVE", "ITERATE", "CALL", "CURSOR", "OPEN", "FETCH", "CLOSE", "HANDLER",
 		"CONTINUE", "EXIT", "SIGNAL", "VALIDTIME", "NONSEQUENCED", "TRANSACTIONTIME",
-		"OUT", "INOUT", "WITH",
+		"OUT", "INOUT", "WITH", "EXPLAIN",
 	} {
 		keywords[w] = true
 	}

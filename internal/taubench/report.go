@@ -1,0 +1,112 @@
+package taubench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"taupsm"
+)
+
+// QueryStat aggregates repeated measurements of one benchmark cell
+// (query, strategy, context length) into the machine-readable report.
+// Fragments and ConstantPeriods come from the stratum's EXPLAIN, so
+// the report carries the slicing statistics alongside the latencies.
+type QueryStat struct {
+	Query           string `json:"query"`
+	Strategy        string `json:"strategy"`
+	ContextDays     int    `json:"context_days"`
+	Reps            int    `json:"reps"`
+	MedianNS        int64  `json:"median_ns"`
+	P95NS           int64  `json:"p95_ns"`
+	Rows            int    `json:"rows"`
+	RoutineCalls    int64  `json:"routine_calls"`
+	Fragments       int    `json:"fragments"`
+	ConstantPeriods int    `json:"constant_periods,omitempty"`
+	Error           string `json:"error,omitempty"`
+}
+
+// Report is the structured benchmark artifact (BENCH_*.json): one
+// dataset/size sweep with per-cell latency quantiles.
+type Report struct {
+	Dataset      string      `json:"dataset"`
+	Size         string      `json:"size"`
+	TemporalRows int         `json:"temporal_rows"`
+	Reps         int         `json:"reps"`
+	Generated    string      `json:"generated"`
+	Queries      []QueryStat `json:"queries"`
+}
+
+// MeasureRepeated runs one benchmark cell reps times and aggregates
+// median and p95 latency; slicing statistics come from EXPLAIN.
+func (r *Runner) MeasureRepeated(q Query, strategy taupsm.Strategy, contextDays, reps int) QueryStat {
+	if reps < 1 {
+		reps = 1
+	}
+	stat := QueryStat{
+		Query: q.Name, Strategy: strategy.String(), ContextDays: contextDays, Reps: reps,
+	}
+	elapsed := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		m := r.RunSequenced(q, strategy, contextDays)
+		if m.Err != nil {
+			stat.Error = m.Err.Error()
+			return stat
+		}
+		elapsed = append(elapsed, m.Elapsed)
+		stat.Rows = m.Rows
+		stat.RoutineCalls = m.Calls
+	}
+	sort.Slice(elapsed, func(i, j int) bool { return elapsed[i] < elapsed[j] })
+	stat.MedianNS = int64(elapsed[len(elapsed)/2])
+	p95 := (95*len(elapsed) + 99) / 100 // ceil(0.95 n)
+	stat.P95NS = int64(elapsed[p95-1])
+
+	r.DB.SetStrategy(strategy)
+	defer r.DB.SetStrategy(taupsm.Auto)
+	if e, err := r.DB.Explain(sequencedSQL(q, contextDays)); err == nil {
+		stat.Fragments = e.Fragments
+		stat.ConstantPeriods = e.ConstantPeriods
+	}
+	return stat
+}
+
+// BuildReport sweeps every query at every context length under both
+// strategies, reps times each, into a Report.
+func (r *Runner) BuildReport(contexts []int, reps int) *Report {
+	rep := &Report{
+		Dataset:      r.Stats.Spec.Name,
+		Size:         r.Stats.Spec.Size.String(),
+		TemporalRows: r.Stats.Rows,
+		Reps:         reps,
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, q := range Queries() {
+		for _, c := range contexts {
+			rep.Queries = append(rep.Queries,
+				r.MeasureRepeated(q, taupsm.Max, c, reps),
+				r.MeasureRepeated(q, taupsm.PerStatement, c, reps))
+		}
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// SlowLogLine renders one slow-query log entry; Runner.RunSequenced
+// emits it for measurements over the runner's SlowThreshold.
+func SlowLogLine(m Measurement) string {
+	status := fmt.Sprintf("rows=%d calls=%d", m.Rows, m.Calls)
+	if m.Err != nil {
+		status = "error=" + m.Err.Error()
+	}
+	return fmt.Sprintf("slow query: %s/%s %s strategy=%s context=%s elapsed=%s %s",
+		m.Dataset, m.Size, m.Query, m.Strategy, ContextLabel(m.Context), m.Elapsed, status)
+}

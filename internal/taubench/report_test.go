@@ -1,0 +1,112 @@
+package taubench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"taupsm"
+)
+
+func queryByName(t *testing.T, name string) Query {
+	t.Helper()
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q
+		}
+	}
+	t.Fatalf("no query %s", name)
+	return Query{}
+}
+
+func TestMeasureRepeated(t *testing.T) {
+	r := getRunner(t)
+	q := queryByName(t, "q20")
+
+	stat := r.MeasureRepeated(q, taupsm.Max, 30, 3)
+	if stat.Error != "" {
+		t.Fatalf("unexpected error: %s", stat.Error)
+	}
+	if stat.Query != "q20" || stat.Strategy != "MAX" || stat.ContextDays != 30 || stat.Reps != 3 {
+		t.Fatalf("bad cell identity: %+v", stat)
+	}
+	if stat.MedianNS <= 0 || stat.P95NS < stat.MedianNS {
+		t.Fatalf("bad quantiles: median=%d p95=%d", stat.MedianNS, stat.P95NS)
+	}
+	if stat.Fragments <= 0 || stat.ConstantPeriods <= 0 {
+		t.Fatalf("missing slicing stats: %+v", stat)
+	}
+
+	ps := r.MeasureRepeated(q, taupsm.PerStatement, 30, 2)
+	if ps.Error != "" {
+		t.Fatalf("unexpected error: %s", ps.Error)
+	}
+	if ps.ConstantPeriods != 0 {
+		t.Fatalf("PERST computes no constant periods, got %d", ps.ConstantPeriods)
+	}
+	if ps.Fragments != stat.Fragments {
+		t.Fatalf("fragments differ by strategy: %d vs %d", ps.Fragments, stat.Fragments)
+	}
+}
+
+// q17b is not per-statement transformable: the cell must carry the
+// error instead of numbers.
+func TestMeasureRepeatedError(t *testing.T) {
+	r := getRunner(t)
+	stat := r.MeasureRepeated(queryByName(t, "q17b"), taupsm.PerStatement, 7, 2)
+	if stat.Error == "" {
+		t.Fatal("expected a strategy-not-applicable error")
+	}
+	if stat.MedianNS != 0 {
+		t.Fatalf("errored cell has latency: %+v", stat)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := getRunner(t)
+	rep := r.BuildReport([]int{7}, 1)
+	if rep.Dataset != "DS1" || rep.Size != "SMALL" || rep.TemporalRows == 0 {
+		t.Fatalf("bad report header: %+v", rep)
+	}
+	// every query appears under both strategies
+	if want := 2 * len(Queries()); len(rep.Queries) != want {
+		t.Fatalf("report has %d cells, want %d", len(rep.Queries), want)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(back.Queries) != len(rep.Queries) || back.Generated == "" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	r := getRunner(t)
+	var buf bytes.Buffer
+	r.SlowThreshold, r.SlowLog = time.Nanosecond, &buf
+	defer func() { r.SlowThreshold, r.SlowLog = 0, nil }()
+
+	m := r.RunSequenced(queryByName(t, "q20"), taupsm.Max, 7)
+	if m.Err != nil {
+		t.Fatal(m.Err)
+	}
+	line := buf.String()
+	if !strings.Contains(line, "slow query:") || !strings.Contains(line, "q20") ||
+		!strings.Contains(line, "strategy=MAX") || !strings.Contains(line, "context=1w") {
+		t.Fatalf("bad slow-query log line: %q", line)
+	}
+
+	// Below the threshold nothing is logged.
+	buf.Reset()
+	r.SlowThreshold = time.Hour
+	if r.RunSequenced(queryByName(t, "q20"), taupsm.Max, 7); buf.Len() != 0 {
+		t.Fatalf("unexpected slow log: %q", buf.String())
+	}
+}

@@ -2,6 +2,7 @@ package taubench
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -15,6 +16,11 @@ import (
 type Runner struct {
 	DB    *taupsm.DB
 	Stats *LoadStats
+
+	// SlowThreshold, when positive and SlowLog is set, logs every
+	// sequenced measurement at least this slow to SlowLog.
+	SlowThreshold time.Duration
+	SlowLog       io.Writer
 }
 
 // NewRunner creates a database, generates the dataset, and installs the
@@ -91,9 +97,12 @@ func (r *Runner) RunSequenced(q Query, strategy taupsm.Strategy, contextDays int
 	m.Calls = r.DB.Engine().Stats.RoutineCalls - callsBefore
 	if err != nil {
 		m.Err = err
-		return m
+	} else {
+		m.Rows = len(res.Rows)
 	}
-	m.Rows = len(res.Rows)
+	if r.SlowLog != nil && r.SlowThreshold > 0 && m.Elapsed >= r.SlowThreshold {
+		fmt.Fprintln(r.SlowLog, SlowLogLine(m))
+	}
 	return m
 }
 

@@ -24,9 +24,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"taupsm/internal/core"
 	"taupsm/internal/engine"
+	"taupsm/internal/obs"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/sqlparser"
 	"taupsm/internal/storage"
@@ -54,6 +56,14 @@ type DB struct {
 	tr       *core.Translator
 	strategy Strategy
 
+	// tracer receives spans and events from the stratum and (shared)
+	// from the engine; nil means tracing is off and every
+	// instrumentation site reduces to one pointer comparison.
+	tracer obs.Tracer
+	// metrics is the always-on registry; sm caches its hot handles.
+	metrics *obs.Metrics
+	sm      stratumMetrics
+
 	// UseFigure8SQL, when true, computes the constant periods of MAX
 	// slicing by executing the paper's Figure-8 SQL instead of the
 	// stratum's native computation. Slower; useful to validate the two
@@ -71,9 +81,115 @@ type DB struct {
 // Open creates an empty temporal database.
 func Open() *DB {
 	eng := engine.New()
-	db := &DB{eng: eng, strategy: Auto}
+	db := &DB{eng: eng, strategy: Auto, metrics: obs.NewMetrics()}
+	db.sm = newStratumMetrics(db.metrics)
+	eng.Metrics = db.metrics
 	db.tr = core.NewTranslator(&schemaInfo{cat: eng.Cat})
 	return db
+}
+
+// SetTracer attaches (or, with nil, detaches) a tracer receiving spans
+// and events from every layer: stratum statement phases, strategy
+// decisions, engine query evaluations and routine invocations. A
+// tracer also enables the detailed metrics that require timing or
+// extra bookkeeping (engine.routine_ns, stratum.fragments). Use
+// obs.MultiTracer to fan out to several sinks.
+func (db *DB) SetTracer(t obs.Tracer) {
+	db.tracer = t
+	db.eng.Tracer = t
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (db *DB) Tracer() obs.Tracer { return db.tracer }
+
+// Metrics returns the database's metrics registry: atomic counters,
+// gauges and latency histograms covering the stratum (statement kinds,
+// strategy decisions, constant periods) and the engine (rows scanned
+// and returned, routine invocations). Render it with String().
+func (db *DB) Metrics() *obs.Metrics { return db.metrics }
+
+// stratumMetrics caches the registry handles the stratum updates on
+// every statement, so the hot path never takes the registry lock.
+type stratumMetrics struct {
+	statements    *obs.Counter
+	kind          map[string]*obs.Counter
+	explain       *obs.Counter
+	strategyMax   *obs.Counter
+	strategyPerst *obs.Counter
+	autoDecisions *obs.Counter
+	autoReason    map[core.Reason]*obs.Counter
+	perstFallback *obs.Counter
+	cpLast        *obs.Gauge
+	cpTotal       *obs.Counter
+	fragLast      *obs.Gauge
+	fragTotal     *obs.Counter
+	parseNS       *obs.Histogram
+	translateNS   *obs.Histogram
+	executeNS     *obs.Histogram
+
+	engRowsScanned  *obs.Counter
+	engRowsReturned *obs.Counter
+	engRoutineCalls *obs.Counter
+	engStatements   *obs.Counter
+	engLogWrites    *obs.Counter
+}
+
+func newStratumMetrics(m *obs.Metrics) stratumMetrics {
+	sm := stratumMetrics{
+		statements: m.Counter("stratum.statements_total"),
+		kind: map[string]*obs.Counter{
+			"current":      m.Counter("stratum.statements.current_total"),
+			"sequenced":    m.Counter("stratum.statements.sequenced_total"),
+			"nonsequenced": m.Counter("stratum.statements.nonsequenced_total"),
+		},
+		explain:       m.Counter("stratum.explain_total"),
+		strategyMax:   m.Counter("stratum.strategy.max_total"),
+		strategyPerst: m.Counter("stratum.strategy.perst_total"),
+		autoDecisions: m.Counter("stratum.auto.decisions_total"),
+		autoReason:    map[core.Reason]*obs.Counter{},
+		perstFallback: m.Counter("stratum.perst_fallback_total"),
+		cpLast:        m.Gauge("stratum.constant_periods"),
+		cpTotal:       m.Counter("stratum.constant_periods_total"),
+		fragLast:      m.Gauge("stratum.fragments"),
+		fragTotal:     m.Counter("stratum.fragments_total"),
+		parseNS:       m.Histogram("stratum.parse_ns"),
+		translateNS:   m.Histogram("stratum.translate_ns"),
+		executeNS:     m.Histogram("stratum.execute_ns"),
+
+		engRowsScanned:  m.Counter("engine.rows_scanned_total"),
+		engRowsReturned: m.Counter("engine.rows_returned_total"),
+		engRoutineCalls: m.Counter("engine.routine_calls_total"),
+		engStatements:   m.Counter("engine.statements_total"),
+		engLogWrites:    m.Counter("engine.log_writes_total"),
+	}
+	for _, r := range []core.Reason{
+		core.ReasonNotTransformable, core.ReasonPerPeriodCursor,
+		core.ReasonShortContext, core.ReasonDefault, core.ReasonProbeError,
+	} {
+		sm.autoReason[r] = m.Counter("stratum.auto.reason." + string(r) + "_total")
+	}
+	return sm
+}
+
+// stmtKind classifies a statement by its temporal modifier.
+func stmtKind(stmt sqlast.Stmt) string {
+	switch s := stmt.(type) {
+	case *sqlast.TemporalStmt:
+		switch s.Mod {
+		case sqlast.ModSequenced:
+			return "sequenced"
+		case sqlast.ModNonsequenced:
+			return "nonsequenced"
+		}
+	case *sqlast.CreateViewStmt:
+		switch s.Mod {
+		case sqlast.ModSequenced:
+			return "sequenced"
+		case sqlast.ModNonsequenced:
+			return "nonsequenced"
+		}
+	}
+	return "current"
 }
 
 // SetStrategy fixes the slicing strategy for sequenced statements;
@@ -94,10 +210,26 @@ func (db *DB) SetNow(year, month, day int) {
 // direct conventional execution). Intended for benchmarks and tests.
 func (db *DB) Engine() *engine.DB { return db.eng }
 
+// parseScript parses src, timing the parse phase.
+func (db *DB) parseScript(src string) ([]sqlast.Stmt, error) {
+	start := time.Now()
+	stmts, err := sqlparser.ParseScript(src)
+	d := time.Since(start)
+	db.sm.parseNS.Record(d)
+	if db.tracer != nil {
+		attrs := []obs.Attr{obs.AInt("statements", int64(len(stmts)))}
+		if err != nil {
+			attrs = append(attrs, obs.A("error", err.Error()))
+		}
+		db.tracer.Span(obs.Span{Name: "stratum.parse", Start: start, Dur: d, Attrs: attrs})
+	}
+	return stmts, err
+}
+
 // Exec parses and executes a Temporal SQL/PSM script, returning the
 // result of the last statement.
 func (db *DB) Exec(src string) (*Result, error) {
-	stmts, err := sqlparser.ParseScript(src)
+	stmts, err := db.parseScript(src)
 	if err != nil {
 		return nil, err
 	}
@@ -122,20 +254,37 @@ func (db *DB) MustExec(src string) *Result {
 
 // Query executes a single statement and returns its rows.
 func (db *DB) Query(src string) (*Result, error) {
-	stmt, err := sqlparser.ParseStatement(src)
+	stmts, err := db.parseScript(src)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecParsed(stmt)
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("expected exactly one statement, found %d", len(stmts))
+	}
+	return db.ExecParsed(stmts[0])
 }
 
-// ExecParsed translates and executes one parsed statement.
+// ExecParsed translates and executes one parsed statement. EXPLAIN
+// statements are answered by the stratum without executing their body.
 func (db *DB) ExecParsed(stmt sqlast.Stmt) (*Result, error) {
-	t, err := db.translateStmt(stmt)
+	if ex, ok := stmt.(*sqlast.ExplainStmt); ok {
+		e, err := db.ExplainParsed(ex.Body)
+		if err != nil {
+			return nil, err
+		}
+		return e.Result(), nil
+	}
+	kind := stmtKind(stmt)
+	db.sm.statements.Inc()
+	if c := db.sm.kind[kind]; c != nil {
+		c.Inc()
+	}
+
+	t, err := db.timedTranslate(stmt, kind)
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.runTranslation(t)
+	res, err := db.timedRun(t, kind)
 	if err != nil {
 		return nil, err
 	}
@@ -143,6 +292,58 @@ func (db *DB) ExecParsed(stmt sqlast.Stmt) (*Result, error) {
 		res = coalesceResult(res)
 	}
 	return wrapResult(res), nil
+}
+
+// timedTranslate runs the translation phase, recording its latency and
+// a stratum.translate span.
+func (db *DB) timedTranslate(stmt sqlast.Stmt, kind string) (*core.Translation, error) {
+	start := time.Now()
+	t, err := db.translateStmt(stmt)
+	d := time.Since(start)
+	db.sm.translateNS.Record(d)
+	if db.tracer != nil {
+		attrs := []obs.Attr{obs.A("kind", kind)}
+		if t != nil && kind == "sequenced" {
+			attrs = append(attrs, obs.A("strategy", t.Strategy.String()))
+		}
+		if err != nil {
+			attrs = append(attrs, obs.A("error", err.Error()))
+		}
+		db.tracer.Span(obs.Span{Name: "stratum.translate", Start: start, Dur: d, Attrs: attrs})
+	}
+	return t, err
+}
+
+// timedRun runs the execution phase, recording its latency, a
+// stratum.execute span, and the engine's work (rows scanned/returned,
+// routine invocations) as metric deltas.
+func (db *DB) timedRun(t *core.Translation, kind string) (*engine.Result, error) {
+	before := db.eng.Stats
+	start := time.Now()
+	res, err := db.runTranslation(t)
+	d := time.Since(start)
+	db.sm.executeNS.Record(d)
+	after := db.eng.Stats
+	db.sm.engRowsScanned.Add(after.RowsScanned - before.RowsScanned)
+	db.sm.engRowsReturned.Add(after.RowsReturned - before.RowsReturned)
+	db.sm.engRoutineCalls.Add(after.RoutineCalls - before.RoutineCalls)
+	db.sm.engStatements.Add(after.Statements - before.Statements)
+	db.sm.engLogWrites.Add(after.LogWrites - before.LogWrites)
+	if db.tracer != nil {
+		attrs := []obs.Attr{
+			obs.A("kind", kind),
+			obs.AInt("routine_calls", after.RoutineCalls-before.RoutineCalls),
+			obs.AInt("rows_scanned", after.RowsScanned-before.RowsScanned),
+		}
+		if err == nil && res != nil {
+			attrs = append(attrs, obs.AInt("rows", int64(len(res.Rows))))
+		}
+		if err != nil {
+			attrs = append(attrs, obs.A("error", err.Error()))
+		}
+		db.tracer.Span(obs.Span{Name: "stratum.execute", Start: start, Dur: d, Attrs: attrs})
+	}
+	return res, err
 }
 
 // isSequencedQueryResult reports whether res is the row set of a
@@ -202,7 +403,8 @@ func coalesceResult(res *engine.Result) *engine.Result {
 }
 
 // translateStmt picks the strategy (running the heuristic for Auto)
-// and translates.
+// and translates, recording the strategy decision, the §VII-F reason,
+// and any PERST fallback in the metrics registry.
 func (db *DB) translateStmt(stmt sqlast.Stmt) (*core.Translation, error) {
 	ts, isTemporal := stmt.(*sqlast.TemporalStmt)
 	if !isTemporal || ts.Mod != sqlast.ModSequenced {
@@ -210,17 +412,41 @@ func (db *DB) translateStmt(stmt sqlast.Stmt) (*core.Translation, error) {
 	}
 	strategy := db.strategy
 	if strategy == Auto {
-		strategy = db.chooseStrategy(ts)
+		var reason core.Reason
+		strategy, reason = db.chooseStrategy(ts)
+		db.sm.autoDecisions.Inc()
+		if c := db.sm.autoReason[reason]; c != nil {
+			c.Inc()
+		}
+		if db.tracer != nil {
+			db.tracer.Event(obs.Event{Name: "stratum.auto", Attrs: []obs.Attr{
+				obs.A("strategy", strategy.String()), obs.A("reason", string(reason)),
+			}})
+		}
 	}
 	t, err := db.tr.Translate(stmt, strategy)
 	if err != nil && errors.Is(err, core.ErrNotTransformable) && strategy == PerStatement && db.strategy == Auto {
-		return db.tr.Translate(stmt, Max)
+		db.sm.perstFallback.Inc()
+		if db.tracer != nil {
+			db.tracer.Event(obs.Event{Name: "stratum.perst_fallback",
+				Attrs: []obs.Attr{obs.A("error", err.Error())}})
+		}
+		t, err = db.tr.Translate(stmt, Max)
+	}
+	if err == nil {
+		switch t.Strategy {
+		case Max:
+			db.sm.strategyMax.Inc()
+		case PerStatement:
+			db.sm.strategyPerst.Inc()
+		}
 	}
 	return t, err
 }
 
-// chooseStrategy applies the §VII-F heuristic to a sequenced statement.
-func (db *DB) chooseStrategy(ts *sqlast.TemporalStmt) Strategy {
+// chooseStrategy applies the §VII-F heuristic to a sequenced
+// statement, reporting which clause decided.
+func (db *DB) chooseStrategy(ts *sqlast.TemporalStmt) (Strategy, core.Reason) {
 	f := core.Features{PerstTransformable: true}
 	begin, end := int64(0), int64(0)
 	if ts.Period != nil {
@@ -240,13 +466,13 @@ func (db *DB) chooseStrategy(ts *sqlast.TemporalStmt) Strategy {
 	if err != nil {
 		if errors.Is(err, core.ErrNotTransformable) {
 			f.PerstTransformable = false
-			return core.Choose(f)
+			return core.ChooseExplained(f)
 		}
-		return Max
+		return Max, core.ReasonProbeError
 	}
 	f.UsesPerPeriodCursor = t.UsesPerPeriodCursor
 	f.TemporalRows = db.temporalRowCount()
-	return core.Choose(f)
+	return core.ChooseExplained(f)
 }
 
 // temporalRowCount is the heuristic's "data set size" proxy: total
@@ -289,6 +515,22 @@ func (db *DB) runTranslation(t *core.Translation) (res *engine.Result, err error
 				return nil, fmt.Errorf("translation setup: %w", err)
 			}
 		}
+		if t.NeedsConstantPeriods {
+			// Figure-8 SQL path: the cp table holds the constant periods.
+			if tab := db.eng.Cat.Table("taupsm_cp"); tab != nil {
+				db.sm.cpLast.Set(int64(len(tab.Rows)))
+				db.sm.cpTotal.Add(int64(len(tab.Rows)))
+			}
+		}
+	}
+	// Fragment accounting is detailed-mode only (it walks the reachable
+	// temporal tables), so the no-tracer hot path skips it.
+	if db.tracer != nil && t.ContextBegin != nil {
+		if ctx, err := db.contextPeriod(t); err == nil {
+			n := int64(db.countFragments(t.TemporalTables, ctx))
+			db.sm.fragLast.Set(n)
+			db.sm.fragTotal.Add(n)
+		}
 	}
 	if t.Main == nil {
 		return &engine.Result{}, nil
@@ -296,24 +538,25 @@ func (db *DB) runTranslation(t *core.Translation) (res *engine.Result, err error
 	return db.eng.ExecStmt(t.Main)
 }
 
-// nativeConstantPeriods materializes the taupsm_cp table directly from
-// the storage layer: collect every begin/end instant of the reachable
-// temporal tables, clamp to the context, and emit adjacent pairs. This
-// is semantically identical to executing the Figure-8 SQL (a test
-// proves it) but linear instead of a quadratic self-join.
-func (db *DB) nativeConstantPeriods(t *core.Translation) error {
+// contextPeriod resolves a sequenced translation's temporal context
+// [Begin, End) to concrete instants.
+func (db *DB) contextPeriod(t *core.Translation) (temporal.Period, error) {
 	bv, err := db.eng.EvalConstExpr(t.ContextBegin)
 	if err != nil {
-		return err
+		return temporal.Period{}, err
 	}
 	ev, err := db.eng.EvalConstExpr(t.ContextEnd)
 	if err != nil {
-		return err
+		return temporal.Period{}, err
 	}
-	ctxPeriod := temporal.Period{Begin: bv.Int(), End: ev.Int()}
+	return temporal.Period{Begin: bv.Int(), End: ev.Int()}, nil
+}
 
+// collectTimePoints gathers every begin/end instant stored in the
+// given temporal tables.
+func (db *DB) collectTimePoints(tables []string) []int64 {
 	var points []int64
-	for _, tn := range t.TemporalTables {
+	for _, tn := range tables {
 		tab := db.eng.Cat.Table(tn)
 		if tab == nil {
 			continue
@@ -323,7 +566,42 @@ func (db *DB) nativeConstantPeriods(t *core.Translation) error {
 			points = append(points, row[bc].I, row[ec].I)
 		}
 	}
-	periods := temporal.ConstantPeriods(points, ctxPeriod)
+	return points
+}
+
+// countFragments counts the stored row fragments of the given temporal
+// tables whose validity period overlaps the context — the candidate
+// fragments a sequenced statement evaluates.
+func (db *DB) countFragments(tables []string, ctx temporal.Period) int {
+	n := 0
+	for _, tn := range tables {
+		tab := db.eng.Cat.Table(tn)
+		if tab == nil {
+			continue
+		}
+		bc, ec := tab.BeginCol(), tab.EndCol()
+		for _, row := range tab.Rows {
+			if row[bc].I < ctx.End && ctx.Begin < row[ec].I {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// nativeConstantPeriods materializes the taupsm_cp table directly from
+// the storage layer: collect every begin/end instant of the reachable
+// temporal tables, clamp to the context, and emit adjacent pairs. This
+// is semantically identical to executing the Figure-8 SQL (a test
+// proves it) but linear instead of a quadratic self-join.
+func (db *DB) nativeConstantPeriods(t *core.Translation) error {
+	ctxPeriod, err := db.contextPeriod(t)
+	if err != nil {
+		return err
+	}
+	periods := temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables), ctxPeriod)
+	db.sm.cpLast.Set(int64(len(periods)))
+	db.sm.cpTotal.Add(int64(len(periods)))
 
 	for _, name := range []string{"taupsm_ts", "taupsm_cp"} {
 		db.eng.Cat.DropTable(name)
