@@ -1,0 +1,211 @@
+package taupsm
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/core"
+	"taupsm/internal/sqlast"
+	"taupsm/internal/storage"
+	"taupsm/internal/temporal"
+	"taupsm/internal/types"
+)
+
+// Cache sizes. The caches are wiped wholesale when they outgrow their
+// cap — staleness is handled by validation, the caps only bound memory
+// when many one-shot statements flow through.
+const (
+	parseCacheCap       = 256
+	translationCacheCap = 256
+	cpCacheCap          = 1024
+)
+
+// tableStamp pins one table's identity and data version at cache-fill
+// time. A stamp matches while the same table object (same id — a
+// DROP/CREATE cycle changes it) holds the same row data (version —
+// every DML bumps it). A stamp of a then-missing table matches while
+// the table is still missing.
+type tableStamp struct {
+	name    string
+	id      int64
+	version int64
+}
+
+// tableStamps captures stamps for the named catalog tables.
+func (db *DB) tableStamps(tables []string) []tableStamp {
+	out := make([]tableStamp, 0, len(tables))
+	for _, name := range tables {
+		if t := db.eng.Cat.Table(name); t != nil {
+			out = append(out, tableStamp{name: name, id: t.ID(), version: t.Version()})
+		} else {
+			out = append(out, tableStamp{name: name, id: -1, version: -1})
+		}
+	}
+	return out
+}
+
+func (db *DB) stampsValid(stamps []tableStamp) bool {
+	for _, s := range stamps {
+		t := db.eng.Cat.Table(s.name)
+		if t == nil {
+			if s.id != -1 {
+				return false
+			}
+			continue
+		}
+		if t.ID() != s.id || t.Version() != s.version {
+			return false
+		}
+	}
+	return true
+}
+
+// translationEntry caches one statement's translation. It is valid
+// while no DDL ran (catVersion) and the referenced temporal tables
+// hold the same data (stamps — the Auto heuristic reads row counts, so
+// DML can change the chosen strategy).
+type translationEntry struct {
+	t          *core.Translation
+	catVersion int64
+	stamps     []tableStamp
+	// registered marks that t.Routines have been installed in the
+	// catalog; later executions of this entry skip re-registration
+	// (the catVersion check guarantees they are still there).
+	registered bool
+	// parallelSafe caches the statement-shape analysis gating parallel
+	// fragment evaluation.
+	parallelSafe bool
+}
+
+// renderStmtSQL renders a statement back to SQL text, the translation
+// cache's key ("" when the node cannot render itself). Text keys — not
+// AST pointers — let EXPLAIN probe for would-hit with its separately
+// parsed body, and make repeated Query(src) calls hit regardless of
+// parse-cache state.
+func renderStmtSQL(stmt sqlast.Stmt) string {
+	if s, ok := stmt.(interface{ SQL() string }); ok {
+		return s.SQL()
+	}
+	return ""
+}
+
+func (db *DB) translationKey(stmt sqlast.Stmt) string {
+	text := renderStmtSQL(stmt)
+	if text == "" {
+		return ""
+	}
+	return text + "\x00" + db.strategy.String()
+}
+
+// lookupTranslation returns a valid cached entry for key, or nil. The
+// whole validation runs under db.mu because runTranslation rewrites an
+// entry's catVersion/registered after first execution.
+func (db *DB) lookupTranslation(key string) *translationEntry {
+	if key == "" {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ent := db.tcache[key]
+	if ent == nil || ent.catVersion != db.eng.Cat.Version() || !db.stampsValid(ent.stamps) {
+		return nil
+	}
+	return ent
+}
+
+func (db *DB) storeTranslation(key string, ent *translationEntry) {
+	if key == "" {
+		return
+	}
+	db.mu.Lock()
+	if len(db.tcache) >= translationCacheCap {
+		db.tcache = map[string]*translationEntry{}
+	}
+	db.tcache[key] = ent
+	db.mu.Unlock()
+}
+
+// cpEntry caches the constant-period relation of one (context, table
+// set) pair. The table is shared read-only by later executions and by
+// parallel workers (chunk tables alias its row slice).
+type cpEntry struct {
+	stamps []tableStamp
+	tab    *storage.Table
+}
+
+func cpKey(ctx temporal.Period, tables []string) string {
+	return fmt.Sprintf("%d|%d|%s", ctx.Begin, ctx.End, strings.Join(tables, ","))
+}
+
+// newCPTable materializes constant periods as a taupsm_cp-shaped table
+// (not placed in the catalog — executions bind it as a table variable).
+func newCPTable(periods []temporal.Period) *storage.Table {
+	tab := storage.NewTable("taupsm_cp", storage.NewSchema([]storage.Column{
+		{Name: "begin_time", Type: sqlast.TypeName{Base: "DATE"}},
+		{Name: "end_time", Type: sqlast.TypeName{Base: "DATE"}},
+	}))
+	tab.Temporary = true
+	tab.Rows = make([][]types.Value, len(periods))
+	for i, p := range periods {
+		tab.Rows[i] = []types.Value{types.NewDate(p.Begin), types.NewDate(p.End)}
+	}
+	return tab
+}
+
+// constantPeriodTable returns the constant-period relation for the
+// translation's context, from the cache when the underlying tables are
+// unchanged, computing and caching it otherwise.
+func (db *DB) constantPeriodTable(t *core.Translation, ctx temporal.Period) *storage.Table {
+	key := cpKey(ctx, t.TemporalTables)
+	db.mu.Lock()
+	ent := db.cpcache[key]
+	db.mu.Unlock()
+	if ent != nil && db.stampsValid(ent.stamps) {
+		db.sm.cpHits.Inc()
+		return ent.tab
+	}
+	db.sm.cpMisses.Inc()
+	// Stamps are taken before reading the rows so a racing write can
+	// only make them too old (a spurious recomputation), never too new.
+	stamps := db.tableStamps(t.TemporalTables)
+	periods := temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables), ctx)
+	tab := newCPTable(periods)
+	db.mu.Lock()
+	if len(db.cpcache) >= cpCacheCap {
+		db.cpcache = map[string]*cpEntry{}
+	}
+	db.cpcache[key] = &cpEntry{stamps: stamps, tab: tab}
+	db.mu.Unlock()
+	return tab
+}
+
+// peekCP reports whether the constant-period cache holds a valid entry
+// for key — EXPLAIN's read-only probe: no fill, no hit/miss counters.
+func (db *DB) peekCP(key string) bool {
+	db.mu.Lock()
+	ent := db.cpcache[key]
+	db.mu.Unlock()
+	return ent != nil && db.stampsValid(ent.stamps)
+}
+
+// cachedParse returns the parsed statements for src, keeping a bounded
+// cache of parse results. Reusing the same AST pointers across
+// executions is what lets the engine's plan cache (keyed by node
+// identity) hit on repeated Query(src) calls; the ASTs are never
+// mutated downstream (the translator clones before rewriting and the
+// evaluator treats them as read-only).
+func (db *DB) cachedParse(src string) ([]sqlast.Stmt, bool) {
+	db.mu.Lock()
+	stmts, ok := db.parseCache[src]
+	db.mu.Unlock()
+	return stmts, ok
+}
+
+func (db *DB) storeParse(src string, stmts []sqlast.Stmt) {
+	db.mu.Lock()
+	if len(db.parseCache) >= parseCacheCap {
+		db.parseCache = map[string][]sqlast.Stmt{}
+	}
+	db.parseCache[src] = stmts
+	db.mu.Unlock()
+}

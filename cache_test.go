@@ -1,0 +1,104 @@
+package taupsm
+
+import (
+	"testing"
+)
+
+// Repeated execution of the same sequenced statement hits the
+// translation and constant-period caches; DML on a referenced table
+// invalidates both (the constant periods and the Auto heuristic read
+// the rows), and DDL invalidates the translation cache.
+func TestCachesHitAndInvalidate(t *testing.T) {
+	db := paperDB(t)
+	db.SetStrategy(Max)
+	m := db.Metrics()
+	const q = `VALIDTIME (DATE '2010-01-01', DATE '2011-01-01') SELECT title FROM item`
+
+	run := func() {
+		t.Helper()
+		if _, err := db.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run() // cold: miss + fill
+	if hits, misses := m.Value("stratum.cache.translation_hits_total"), m.Value("stratum.cache.translation_misses_total"); hits != 0 || misses != 1 {
+		t.Fatalf("after cold run: translation hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	if hits, misses := m.Value("stratum.cache.cp_hits_total"), m.Value("stratum.cache.cp_misses_total"); hits != 0 || misses != 1 {
+		t.Fatalf("after cold run: cp hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	run() // warm: both hit
+	run()
+	if hits := m.Value("stratum.cache.translation_hits_total"); hits != 2 {
+		t.Fatalf("translation hits = %d, want 2", hits)
+	}
+	if hits := m.Value("stratum.cache.cp_hits_total"); hits != 2 {
+		t.Fatalf("cp hits = %d, want 2", hits)
+	}
+
+	// DML on the referenced table: both caches must recompute.
+	db.MustExec(`NONSEQUENCED VALIDTIME INSERT INTO item VALUES ('i9', 'New', DATE '2010-02-01', DATE '2010-04-01')`)
+	run()
+	if misses := m.Value("stratum.cache.translation_misses_total"); misses != 2 {
+		t.Fatalf("translation misses after DML = %d, want 2", misses)
+	}
+	if misses := m.Value("stratum.cache.cp_misses_total"); misses != 2 {
+		t.Fatalf("cp misses after DML = %d, want 2", misses)
+	}
+
+	// DDL (unrelated table): the catalog version moved, so the
+	// translation entry is invalid; the constant periods only depend on
+	// the unchanged item table and stay cached.
+	db.MustExec(`CREATE TABLE unrelated (x CHAR(5))`)
+	run()
+	if misses := m.Value("stratum.cache.translation_misses_total"); misses != 3 {
+		t.Fatalf("translation misses after DDL = %d, want 3", misses)
+	}
+	if misses := m.Value("stratum.cache.cp_misses_total"); misses != 2 {
+		t.Fatalf("cp misses after DDL = %d, want 2 (stamps still valid)", misses)
+	}
+}
+
+// The MAX point predicates (table.begin <= cp.begin < table.end) run
+// through the storage layer's sorted-interval index: executing a
+// sequenced MAX query must record interval probes.
+func TestMaxSlicingUsesIntervalIndex(t *testing.T) {
+	db := paperDB(t)
+	db.SetStrategy(Max)
+	m := db.Metrics()
+	if _, err := db.Query(`VALIDTIME (DATE '2010-01-01', DATE '2011-01-01') SELECT title FROM item`); err != nil {
+		t.Fatal(err)
+	}
+	if probes := m.Value("engine.interval_probes_total"); probes == 0 {
+		t.Fatal("engine.interval_probes_total = 0; MAX slicing scanned instead of probing the interval index")
+	}
+}
+
+// The two strategies cache independently: the translation key includes
+// the strategy setting.
+func TestTranslationCacheKeyedByStrategy(t *testing.T) {
+	db := paperDB(t)
+	m := db.Metrics()
+	const q = `VALIDTIME (DATE '2010-01-01', DATE '2011-01-01') SELECT title FROM item`
+
+	db.SetStrategy(Max)
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	db.SetStrategy(PerStatement)
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if misses := m.Value("stratum.cache.translation_misses_total"); misses != 2 {
+		t.Fatalf("translation misses = %d, want 2 (one per strategy)", misses)
+	}
+	db.SetStrategy(Max)
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if hits := m.Value("stratum.cache.translation_hits_total"); hits != 1 {
+		t.Fatalf("translation hits = %d, want 1 (MAX entry still valid)", hits)
+	}
+}

@@ -37,7 +37,9 @@ func main() {
 	jsonPath := flag.String("json", "", "for -exp report: write JSON to this file instead of stdout")
 	reps := flag.Int("reps", 3, "for -exp report: repetitions per cell")
 	slow := flag.Duration("slow", 0, "log measured statements at least this slow to stderr (0 disables)")
+	par := flag.Int("par", 0, "fragment worker-pool size for measured databases (0 = GOMAXPROCS)")
 	flag.Parse()
+	taubench.Parallelism = *par
 
 	if err := run(*exp, *dataset, *sizeFlag, *queriesFlag, *jsonPath, *reps, *slow); err != nil {
 		fmt.Fprintln(os.Stderr, "taubench:", err)

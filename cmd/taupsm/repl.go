@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,9 +23,10 @@ type repl struct {
 }
 
 const replHelp = `Backslash commands:
-  \timing [on|off]   toggle printing per-statement elapsed time
-  \metrics           print the metrics registry (counters, latencies)
+  \timing [on|off]   toggle printing per-statement elapsed time (ms)
+  \metrics [reset]   print the metrics registry, or reset every series
   \strategy [s]      show or set the slicing strategy: auto, max, perst
+  \parallel [n]      show or set the fragment worker-pool size
   \r                 clear the statement buffer
   \help, \?          this help
   \q                 quit
@@ -92,6 +94,11 @@ func (r *repl) meta(cmd string) bool {
 		}
 		fmt.Fprintf(r.out, "Timing is %s.\n", state)
 	case `\metrics`:
+		if len(fields) > 1 && fields[1] == "reset" {
+			r.db.Metrics().Reset()
+			fmt.Fprintln(r.out, "Metrics reset.")
+			return false
+		}
 		fmt.Fprint(r.out, r.db.Metrics().String())
 	case `\strategy`:
 		if len(fields) > 1 {
@@ -103,6 +110,16 @@ func (r *repl) meta(cmd string) bool {
 			r.db.SetStrategy(s)
 		}
 		fmt.Fprintf(r.out, "Strategy is %s.\n", r.db.Strategy())
+	case `\parallel`:
+		if len(fields) > 1 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				fmt.Fprintf(r.out, "error: \\parallel wants a positive integer, got %q\n", fields[1])
+				return false
+			}
+			r.db.SetParallelism(n)
+		}
+		fmt.Fprintf(r.out, "Parallelism is %d.\n", r.db.Parallelism())
 	case `\r`, `\reset`:
 		r.buf.Reset()
 		fmt.Fprintln(r.out, "Statement buffer cleared.")
@@ -153,7 +170,7 @@ func (r *repl) submit() {
 			fmt.Fprintf(r.out, "(%d rows affected)\n", res.Affected)
 		}
 		if r.timing {
-			fmt.Fprintf(r.out, "Time: %s\n", elapsed.Round(time.Microsecond))
+			fmt.Fprintf(r.out, "Time: %.3f ms\n", float64(elapsed.Nanoseconds())/1e6)
 		}
 	}
 }

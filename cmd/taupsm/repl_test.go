@@ -93,8 +93,8 @@ CREATE TABLE t (x CHAR(5));
 	if !strings.Contains(out, "Timing is on.") {
 		t.Fatalf("timing toggle missing:\n%s", out)
 	}
-	if !strings.Contains(out, "Time: ") {
-		t.Fatalf("no elapsed time printed:\n%s", out)
+	if !strings.Contains(out, "Time: ") || !strings.Contains(out, " ms") {
+		t.Fatalf("no millisecond elapsed time printed:\n%s", out)
 	}
 	if !strings.Contains(out, "stratum.statements_total 1") {
 		t.Fatalf("metrics exposition missing statement counter:\n%s", out)
@@ -129,6 +129,38 @@ partial input
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// \metrics reset clears every series, and \parallel shows or sets the
+// fragment worker-pool size.
+func TestREPLMetricsResetAndParallel(t *testing.T) {
+	db := taupsm.Open()
+	out := replOut(t, db, `
+CREATE TABLE t (x CHAR(5));
+\metrics reset
+\metrics
+\parallel 8
+\parallel
+\parallel zero
+\q
+`)
+	if !strings.Contains(out, "Metrics reset.") {
+		t.Fatalf("reset note missing:\n%s", out)
+	}
+	// After the reset, the exposition that follows shows a zeroed
+	// statement counter.
+	if !strings.Contains(out, "stratum.statements_total 0") {
+		t.Fatalf("counter not reset:\n%s", out)
+	}
+	if strings.Count(out, "Parallelism is 8.") != 2 {
+		t.Fatalf("parallel set/show missing:\n%s", out)
+	}
+	if db.Parallelism() != 8 {
+		t.Fatalf("db parallelism = %d, want 8", db.Parallelism())
+	}
+	if !strings.Contains(out, `\parallel wants a positive integer`) {
+		t.Fatalf("bad \\parallel argument not rejected:\n%s", out)
 	}
 }
 

@@ -51,6 +51,18 @@ type Explain struct {
 	// UsesPerPeriodCursor reports the PERST per-period cursor pattern
 	// (the heuristic's clause b).
 	UsesPerPeriodCursor bool
+	// Parallelism is the worker count execution would use for this
+	// statement: min(DB.Parallelism, ConstantPeriods) when the parallel
+	// MAX fragment path applies (statement shape safe, more than one
+	// period, no tracer attached), 1 otherwise. Zero for non-sequenced
+	// statements.
+	Parallelism int
+	// TranslationCacheHit and CPCacheHit report whether the translation
+	// and constant-period caches would serve this statement without
+	// recomputation. The probes are read-only — EXPLAIN neither fills
+	// the caches nor moves their hit/miss counters.
+	TranslationCacheHit bool
+	CPCacheHit          bool
 	// SQL is the conventional SQL/PSM script the statement compiles to.
 	SQL string
 }
@@ -116,6 +128,24 @@ func (db *DB) ExplainParsed(stmt sqlast.Stmt) (*Explain, error) {
 		e.Fragments = db.countFragments(t.TemporalTables, ctx)
 		if t.NeedsConstantPeriods {
 			e.ConstantPeriods = len(temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables), ctx))
+			if !db.UseFigure8SQL {
+				e.CPCacheHit = db.peekCP(cpKey(ctx, t.TemporalTables))
+			}
+		}
+	}
+	if ts, ok := stmt.(*sqlast.TemporalStmt); ok && ts.Mod == sqlast.ModSequenced {
+		// Mirror the execution path exactly: the same cache key a
+		// subsequent ExecParsed would look up, and the same gate
+		// runNative applies before spawning fragment workers.
+		e.TranslationCacheHit = db.lookupTranslation(db.translationKey(stmt)) != nil
+		e.Parallelism = 1
+		if t.NeedsConstantPeriods && !db.UseFigure8SQL && db.tracer == nil {
+			if par := db.Parallelism(); par > 1 && e.ConstantPeriods > 1 && db.computeParallelSafe(t) {
+				e.Parallelism = par
+				if e.ConstantPeriods < par {
+					e.Parallelism = e.ConstantPeriods
+				}
+			}
 		}
 	}
 	return e, nil
@@ -151,6 +181,19 @@ func (e *Explain) Result() *Result {
 		add("fragments", fmt.Sprintf("%d", e.Fragments))
 		if e.UsesPerPeriodCursor {
 			add("per_period_cursor", "true")
+		}
+		if e.Parallelism > 0 {
+			add("parallelism", fmt.Sprintf("%d", e.Parallelism))
+		}
+		hitMiss := func(hit bool) string {
+			if hit {
+				return "hit"
+			}
+			return "miss"
+		}
+		add("translation_cache", hitMiss(e.TranslationCacheHit))
+		if e.Strategy == Max {
+			add("cp_cache", hitMiss(e.CPCacheHit))
 		}
 	}
 	for i, line := range strings.Split(strings.TrimRight(e.SQL, "\n"), "\n") {

@@ -93,6 +93,7 @@ func TestExplainStatementGolden(t *testing.T) {
 	db := Open()
 	db.SetNow(2010, 6, 15)
 	db.SetStrategy(Max)
+	db.SetParallelism(4) // pin: the default degree is machine-dependent
 	db.MustExec(`
 CREATE TABLE author (author_id CHAR(10), first_name CHAR(50)) AS VALIDTIME;
 NONSEQUENCED VALIDTIME INSERT INTO author VALUES
@@ -110,6 +111,9 @@ NONSEQUENCED VALIDTIME INSERT INTO author VALUES
 		"temporal_tables|author",
 		"constant_periods|3",
 		"fragments|2",
+		"parallelism|3",
+		"translation_cache|miss",
+		"cp_cache|miss",
 		"plan|DROP TABLE IF EXISTS taupsm_ts;",
 		"|DROP TABLE IF EXISTS taupsm_cp;",
 		"|CREATE TEMPORARY TABLE taupsm_ts (time_point DATE);",
@@ -134,6 +138,78 @@ NONSEQUENCED VALIDTIME INSERT INTO author VALUES
 		if got[i] != want[i] {
 			t.Fatalf("row %d:\n got %q\nwant %q", i, got[i], want[i])
 		}
+	}
+}
+
+// EXPLAIN reports the planned parallelism degree and whether the
+// translation and constant-period caches would hit, without touching
+// either cache or its counters; after an execution warms the caches
+// the same EXPLAIN reports hits, and DML on a referenced table turns
+// them back into misses.
+func TestExplainCacheAndParallelism(t *testing.T) {
+	db := paperDB(t)
+	db.SetStrategy(Max)
+	db.SetParallelism(4)
+	m := db.Metrics()
+	const q = `VALIDTIME (DATE '2010-01-01', DATE '2011-01-01') SELECT title FROM item`
+
+	counters := func() [4]int64 {
+		return [4]int64{
+			m.Value("stratum.cache.translation_hits_total"),
+			m.Value("stratum.cache.translation_misses_total"),
+			m.Value("stratum.cache.cp_hits_total"),
+			m.Value("stratum.cache.cp_misses_total"),
+		}
+	}
+
+	before := counters()
+	e, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TranslationCacheHit || e.CPCacheHit {
+		t.Fatalf("cold caches reported as hits: %+v", e)
+	}
+	if want := min(4, e.ConstantPeriods); e.Parallelism != want {
+		t.Fatalf("parallelism = %d, want %d (degree 4, %d periods)", e.Parallelism, want, e.ConstantPeriods)
+	}
+	if counters() != before {
+		t.Fatalf("EXPLAIN moved cache counters: %v -> %v", before, counters())
+	}
+
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	e, err = db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.TranslationCacheHit || !e.CPCacheHit {
+		t.Fatalf("warm caches reported as misses: %+v", e)
+	}
+	if m.Value("stratum.parallel.statements_total") == 0 {
+		t.Fatal("parallel path not taken despite EXPLAIN planning it")
+	}
+
+	// DML on a referenced table invalidates both caches (the Auto
+	// heuristic and the constant periods depend on the rows).
+	db.MustExec(`NONSEQUENCED VALIDTIME INSERT INTO item VALUES ('i9', 'New', DATE '2010-02-01', DATE '2010-04-01')`)
+	e, err = db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TranslationCacheHit || e.CPCacheHit {
+		t.Fatalf("caches survived DML on a referenced table: %+v", e)
+	}
+
+	// Serial settings plan a degree of 1.
+	db.SetParallelism(1)
+	e, err = db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Parallelism != 1 {
+		t.Fatalf("parallelism = %d with a serial setting, want 1", e.Parallelism)
 	}
 }
 

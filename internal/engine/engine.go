@@ -13,6 +13,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"taupsm/internal/obs"
@@ -27,11 +28,13 @@ import (
 // a routine once per constant period versus PERST invoking it once per
 // satisfying tuple).
 type Stats struct {
-	RoutineCalls int64 // stored routine invocations
-	RowsScanned  int64 // base-table rows visited by scans and lookups
-	RowsReturned int64 // rows produced by executed query statements
-	Statements   int64 // statements executed (including PSM statements)
-	LogWrites    int64 // rows appended to tables (models DBMS log pressure)
+	RoutineCalls    int64 // stored routine invocations (logical; includes memo hits)
+	RoutineMemoHits int64 // invocations answered from the function-result memo
+	RowsScanned     int64 // base-table rows visited by scans and lookups
+	RowsReturned    int64 // rows produced by executed query statements
+	Statements      int64 // statements executed (including PSM statements)
+	LogWrites       int64 // rows appended to tables (models DBMS log pressure)
+	IntervalProbes  int64 // temporal overlap-index stab queries answered
 }
 
 // Reset zeroes the counters.
@@ -76,9 +79,25 @@ type DB struct {
 	// instead of once per satisfying tuple.
 	DisableCostOrdering bool
 
-	// DisableIndexes turns off the lazily built hash indexes, forcing
-	// full scans for equality lookups. Ablation switch.
+	// DisableIndexes turns off the lazily built hash and interval
+	// indexes, forcing full scans for equality and overlap lookups.
+	// Ablation switch.
 	DisableIndexes bool
+
+	// DisableFnMemo turns off per-statement memoization of pure
+	// stored-function results (see fnmemo.go). Ablation switch.
+	DisableFnMemo bool
+
+	// plans caches the analysis phase of SELECT evaluation, shared by
+	// all sessions of this database (see selPlan).
+	plans *planCache
+
+	// fnPure caches routine-purity verdicts, shared by all sessions.
+	fnPure *sync.Map
+
+	// writeGen counts DML/DDL executed through this session; the
+	// function-result memo wipes itself when it changes.
+	writeGen int64
 }
 
 // New returns an empty database with CURRENT_DATE set to the real
@@ -89,6 +108,8 @@ func New() *DB {
 		Cat:          storage.NewCatalog(),
 		Now:          types.CivilToDays(now.Year(), int(now.Month()), now.Day()),
 		MaxRecursion: 64,
+		plans:        newPlanCache(),
+		fnPure:       &sync.Map{},
 	}
 }
 
@@ -118,12 +139,30 @@ func (db *DB) ExecScript(src string) (*Result, error) {
 
 // ExecStmt executes one (conventional) statement.
 func (db *DB) ExecStmt(stmt sqlast.Stmt) (*Result, error) {
-	ctx := &execCtx{db: db}
+	ctx := &execCtx{db: db, memo: db.newFnMemo()}
 	return db.exec(ctx, stmt)
+}
+
+// newFnMemo returns a fresh per-statement function-result memo, or nil
+// when memoization is off (ablation, or detailed mode — spans must
+// correspond to real executions).
+func (db *DB) newFnMemo() *fnMemoState {
+	if db.DisableFnMemo || db.Tracer != nil {
+		return nil
+	}
+	return &fnMemoState{gen: db.writeGen}
 }
 
 func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
 	db.Stats.Statements++
+	switch stmt.(type) {
+	case *sqlast.InsertStmt, *sqlast.UpdateStmt, *sqlast.DeleteStmt,
+		*sqlast.CreateTableStmt, *sqlast.DropTableStmt,
+		*sqlast.CreateViewStmt, *sqlast.DropViewStmt,
+		*sqlast.AlterAddValidTime, *sqlast.CreateFunctionStmt,
+		*sqlast.CreateProcedureStmt, *sqlast.DropRoutineStmt:
+		db.writeGen++
+	}
 	switch s := stmt.(type) {
 	case *sqlast.TemporalStmt:
 		if s.Mod == sqlast.ModCurrent {
@@ -188,7 +227,7 @@ func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
 		if ctx.vars == nil {
 			// Anonymous block executed at top level.
 			if _, ok := stmt.(*sqlast.CompoundStmt); ok {
-				ctx2 := &execCtx{db: db, vars: newFrame(nil)}
+				ctx2 := &execCtx{db: db, vars: newFrame(nil), memo: ctx.memo}
 				if err := db.execPSM(ctx2, stmt); err != nil {
 					return nil, err
 				}

@@ -138,9 +138,10 @@ func (db *DB) evalGrouped(ctx *execCtx, sel *sqlast.SelectStmt, acc *rel, aggs [
 	groups := make(map[string]*group)
 	var order []string
 
+	gscope := newBoundScope(ctx.scope, acc.metas)
+	rctx := ctx.withScope(gscope)
 	for _, row := range acc.rows {
-		scope := bindScope(ctx.scope, acc.metas, row)
-		rctx := ctx.withScope(scope)
+		gscope.bind(row)
 		var key string
 		if len(sel.GroupBy) > 0 {
 			var b strings.Builder

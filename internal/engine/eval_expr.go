@@ -18,6 +18,8 @@ type execCtx struct {
 	scope   *rowScope
 	aggVals map[*sqlast.FuncCall]types.Value
 	depth   int
+	planRec *planRecorder // non-nil only while building a cached plan
+	memo    *fnMemoState  // per-statement function-result memo (nil = off)
 }
 
 // child returns a copy of ctx with a new scope pushed.
@@ -39,6 +41,62 @@ type scopeEntry struct {
 type rowScope struct {
 	parent  *rowScope
 	entries []scopeEntry
+	idx     *scopeIdx // built once probes shows the scope is hot
+	probes  int
+}
+
+// scopeIdxThreshold is the number of linear-scan lookups a scope level
+// serves before it builds its name index: scopes are usually short-
+// lived (one routine call, one subquery), and two map allocations cost
+// more than a handful of case-folding scans. Only scopes that keep
+// resolving names — scan and join loops over many rows — cross it.
+const scopeIdxThreshold = 64
+
+// scopeRef locates one column within a scope level; entry -1 marks an
+// unqualified name that is ambiguous at this level.
+type scopeRef struct{ entry, col int }
+
+// scopeIdx indexes one scope level's names. Scopes are reused across
+// every row of a scan or join loop (bind replaces only the row
+// pointers), so building the maps once replaces a case-folding scan of
+// every entry and column per row with two hash probes.
+type scopeIdx struct {
+	cols    map[string]scopeRef
+	byAlias map[string]map[string]scopeRef // alias → col → ref, first entry wins
+}
+
+func (sc *rowScope) index() *scopeIdx {
+	if sc.idx != nil {
+		return sc.idx
+	}
+	ix := &scopeIdx{
+		cols:    make(map[string]scopeRef),
+		byAlias: make(map[string]map[string]scopeRef, len(sc.entries)),
+	}
+	for i := range sc.entries {
+		e := &sc.entries[i]
+		al := strings.ToLower(e.alias)
+		var am map[string]scopeRef
+		if _, seen := ix.byAlias[al]; !seen {
+			am = make(map[string]scopeRef, len(e.cols))
+			ix.byAlias[al] = am
+		}
+		for j, c := range e.cols {
+			lc := strings.ToLower(c)
+			if _, dup := ix.cols[lc]; dup {
+				ix.cols[lc] = scopeRef{entry: -1, col: -1}
+			} else {
+				ix.cols[lc] = scopeRef{entry: i, col: j}
+			}
+			if am != nil {
+				if _, dup := am[lc]; !dup {
+					am[lc] = scopeRef{entry: i, col: j}
+				}
+			}
+		}
+	}
+	sc.idx = ix
+	return ix
 }
 
 // lookup resolves a possibly qualified column reference against the
@@ -46,39 +104,74 @@ type rowScope struct {
 // scope (the caller may then try PSM variables).
 func (s *rowScope) lookup(tbl, col string) (types.Value, bool, error) {
 	for sc := s; sc != nil; sc = sc.parent {
+		if sc.idx == nil {
+			if sc.probes < scopeIdxThreshold {
+				sc.probes++
+				v, ok, stop, err := sc.lookupScan(tbl, col)
+				if stop {
+					return v, ok, err
+				}
+				continue
+			}
+			sc.index()
+		}
+		ix := sc.idx
 		if tbl != "" {
-			for i := range sc.entries {
-				e := &sc.entries[i]
-				if strings.EqualFold(e.alias, tbl) {
-					for j, c := range e.cols {
-						if strings.EqualFold(c, col) {
-							return e.row[j], true, nil
-						}
-					}
-					return types.Null, false, fmt.Errorf("column %s.%s does not exist", tbl, col)
-				}
+			am, ok := ix.byAlias[strings.ToLower(tbl)]
+			if !ok {
+				continue
 			}
-			continue
-		}
-		foundIdx := -1
-		var val types.Value
-		for i := range sc.entries {
-			e := &sc.entries[i]
-			for j, c := range e.cols {
-				if strings.EqualFold(c, col) {
-					if foundIdx >= 0 {
-						return types.Null, false, fmt.Errorf("column reference %s is ambiguous", col)
-					}
-					foundIdx = i
-					val = e.row[j]
-				}
+			if r, ok := am[strings.ToLower(col)]; ok {
+				return sc.entries[r.entry].row[r.col], true, nil
 			}
+			return types.Null, false, fmt.Errorf("column %s.%s does not exist", tbl, col)
 		}
-		if foundIdx >= 0 {
-			return val, true, nil
+		if r, ok := ix.cols[strings.ToLower(col)]; ok {
+			if r.entry < 0 {
+				return types.Null, false, fmt.Errorf("column reference %s is ambiguous", col)
+			}
+			return sc.entries[r.entry].row[r.col], true, nil
 		}
 	}
 	return types.Null, false, nil
+}
+
+// lookupScan is the linear-scan resolution of one scope level; stop
+// reports that resolution ends here (found, or a hard error) rather
+// than continuing to the parent level.
+func (sc *rowScope) lookupScan(tbl, col string) (v types.Value, ok, stop bool, err error) {
+	if tbl != "" {
+		for i := range sc.entries {
+			e := &sc.entries[i]
+			if strings.EqualFold(e.alias, tbl) {
+				for j, c := range e.cols {
+					if strings.EqualFold(c, col) {
+						return e.row[j], true, true, nil
+					}
+				}
+				return types.Null, false, true, fmt.Errorf("column %s.%s does not exist", tbl, col)
+			}
+		}
+		return types.Null, false, false, nil
+	}
+	foundIdx := -1
+	var val types.Value
+	for i := range sc.entries {
+		e := &sc.entries[i]
+		for j, c := range e.cols {
+			if strings.EqualFold(c, col) {
+				if foundIdx >= 0 {
+					return types.Null, false, true, fmt.Errorf("column reference %s is ambiguous", col)
+				}
+				foundIdx = i
+				val = e.row[j]
+			}
+		}
+	}
+	if foundIdx >= 0 {
+		return val, true, true, nil
+	}
+	return types.Null, false, false, nil
 }
 
 // evalExpr evaluates a scalar expression in ctx.

@@ -21,6 +21,11 @@ type entryMeta struct {
 type rel struct {
 	metas []entryMeta
 	rows  [][][]types.Value
+	// For a single-source scan of a stored table, tab is that table and
+	// ords[i] is rows[i]'s ordinal in tab.Rows (ascending). joinRels
+	// uses them to probe tab's interval index per outer row.
+	tab  *storage.Table
+	ords []int
 }
 
 // bindScope builds a rowScope over the relation's entries for row i,
@@ -31,6 +36,26 @@ func bindScope(parent *rowScope, metas []entryMeta, row [][]types.Value) *rowSco
 		s.entries[i] = scopeEntry{alias: m.alias, cols: m.cols, row: row[i]}
 	}
 	return s
+}
+
+// newBoundScope builds a rowScope over metas with no rows bound yet;
+// bind points it at successive rows. Reusing one scope across a loop
+// avoids a per-row allocation on the evaluator's hottest paths (safe
+// because nothing retains a scope past the predicate evaluation:
+// routine calls start fresh frames without the scope chain, and
+// subqueries are evaluated eagerly).
+func newBoundScope(parent *rowScope, metas []entryMeta) *rowScope {
+	s := &rowScope{parent: parent, entries: make([]scopeEntry, len(metas))}
+	for i, m := range metas {
+		s.entries[i] = scopeEntry{alias: m.alias, cols: m.cols}
+	}
+	return s
+}
+
+func (s *rowScope) bind(row [][]types.Value) {
+	for i := range s.entries {
+		s.entries[i].row = row[i]
+	}
 }
 
 // sourceMetas computes the correlation entries a table reference will
@@ -44,8 +69,15 @@ func (db *DB) sourceMetas(ctx *execCtx, ref sqlast.TableRef) ([]entryMeta, error
 		}
 		if ctx.vars != nil {
 			if tv := ctx.vars.getTable(r.Name); tv != nil {
-				return []entryMeta{{alias: alias, cols: tv.Schema.Names()}}, nil
+				cols := tv.Schema.Names()
+				if ctx.planRec != nil {
+					ctx.planRec.varTables[strings.ToLower(r.Name)] = cols
+				}
+				return []entryMeta{{alias: alias, cols: cols}}, nil
 			}
+		}
+		if ctx.planRec != nil {
+			ctx.planRec.catNames = append(ctx.planRec.catNames, strings.ToLower(r.Name))
 		}
 		if t := db.Cat.Table(r.Name); t != nil {
 			return []entryMeta{{alias: alias, cols: t.Schema.Names()}}, nil
@@ -208,7 +240,7 @@ func (db *DB) resolveTable(ctx *execCtx, name string) *storage.Table {
 // scanTable filters a stored table by pushdown conjuncts, preferring a
 // hash-index path for an equality on a column.
 func (db *DB) scanTable(ctx *execCtx, t *storage.Table, meta entryMeta, pushdown []*conjunct) (*rel, error) {
-	out := &rel{metas: []entryMeta{meta}}
+	out := &rel{metas: []entryMeta{meta}, tab: t}
 	scope := &rowScope{parent: ctx.scope, entries: []scopeEntry{{alias: meta.alias, cols: meta.cols}}}
 	sctx := ctx.withScope(scope)
 
@@ -259,30 +291,137 @@ func (db *DB) scanTable(ctx *execCtx, t *storage.Table, meta entryMeta, pushdown
 		return true, nil
 	}
 
-	if usedIdx >= 0 {
-		db.Stats.RowsScanned += int64(len(candidates))
-		for _, i := range candidates {
+	scanOrds := func(ords []int) error {
+		db.Stats.RowsScanned += int64(len(ords))
+		for _, i := range ords {
 			ok, err := check(t.Rows[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if ok {
 				out.rows = append(out.rows, [][]types.Value{t.Rows[i]})
+				out.ords = append(out.ords, i)
 			}
+		}
+		return nil
+	}
+
+	if usedIdx >= 0 {
+		if err := scanOrds(candidates); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
+
+	// Interval-index path: the point-overlap pair MAX slicing injects
+	// (t.begin_time <= X AND X < t.end_time, X constant w.r.t. this
+	// scan — typically a routine parameter or outer-query column) is a
+	// stab query the temporal overlap index answers in O(log n + k).
+	// Every pushdown conjunct, including the pair itself, is still
+	// evaluated on the candidates, so rows with non-date endpoints keep
+	// exact SQL semantics.
+	if !db.DisableIndexes {
+		if x := findStab(pushdown, t, meta.alias); x != nil {
+			if v, err := db.evalExpr(ctx, x); err == nil &&
+				(v.Kind == types.KindDate || v.Kind == types.KindInt) {
+				if cands, ok := t.Overlapping(v.I, v.I); ok {
+					db.Stats.IntervalProbes++
+					if err := scanOrds(cands); err != nil {
+						return nil, err
+					}
+					return out, nil
+				}
+			}
+		}
+	}
+
 	db.Stats.RowsScanned += int64(len(t.Rows))
-	for _, row := range t.Rows {
+	for i, row := range t.Rows {
 		ok, err := check(row)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
 			out.rows = append(out.rows, [][]types.Value{row})
+			out.ords = append(out.ords, i)
 		}
 	}
 	return out, nil
+}
+
+// findStab looks among the conjuncts for the injected point-overlap
+// pair against the temporal table's period columns: begin <= X (or
+// X >= begin) and X < end (or end > X), where both X's render to the
+// same SQL and are free of the table's own columns. It returns that X
+// expression, or nil when the pattern is absent.
+func findStab(cs []*conjunct, t *storage.Table, alias string) sqlast.Expr {
+	if !(t.ValidTime || t.TransactionTime) || len(t.Schema.Cols) < 2 {
+		return nil
+	}
+	beginName := t.Schema.Cols[t.BeginCol()].Name
+	endName := t.Schema.Cols[t.EndCol()].Name
+	meta := []entryMeta{{alias: alias, cols: t.Schema.Names()}}
+
+	isCol := func(e sqlast.Expr, name string) bool {
+		cr, ok := e.(*sqlast.ColumnRef)
+		if !ok || !strings.EqualFold(cr.Column, name) {
+			return false
+		}
+		return cr.Table == "" || strings.EqualFold(cr.Table, alias)
+	}
+	freeOf := func(e sqlast.Expr) bool {
+		al, _, hasSub, unres := refsOf(e, meta)
+		return !hasSub && !unres && len(al) == 0
+	}
+	var beginXs, endXs []sqlast.Expr
+	for _, c := range cs {
+		if c.hasSub || c.unresolved {
+			continue
+		}
+		b, ok := c.expr.(*sqlast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		switch b.Op {
+		case "<=":
+			if isCol(b.L, beginName) && freeOf(b.R) {
+				beginXs = append(beginXs, b.R)
+			}
+		case ">=":
+			if isCol(b.R, beginName) && freeOf(b.L) {
+				beginXs = append(beginXs, b.L)
+			}
+		case "<":
+			if isCol(b.R, endName) && freeOf(b.L) {
+				endXs = append(endXs, b.L)
+			}
+		case ">":
+			if isCol(b.L, endName) && freeOf(b.R) {
+				endXs = append(endXs, b.R)
+			}
+		}
+	}
+	for _, bx := range beginXs {
+		bs := renderSQL(bx)
+		if bs == "" {
+			continue
+		}
+		for _, ex := range endXs {
+			if renderSQL(ex) == bs {
+				return bx
+			}
+		}
+	}
+	return nil
+}
+
+// renderSQL renders an expression back to SQL text for structural
+// comparison; "" when the node cannot render itself.
+func renderSQL(e sqlast.Expr) string {
+	if s, ok := e.(interface{ SQL() string }); ok {
+		return s.SQL()
+	}
+	return ""
 }
 
 // resultToRel wraps a materialized result as a relation, applying
@@ -344,7 +483,7 @@ func (db *DB) evalJoinRef(ctx *execCtx, j *sqlast.JoinExpr, pushdown []*conjunct
 	if err != nil {
 		return nil, err
 	}
-	onConj := splitConjuncts(j.On, append(append([]entryMeta{}, lm...), rm...))
+	onConj := db.splitConjuncts(j.On, append(append([]entryMeta{}, lm...), rm...))
 	combined, err := db.joinRels(ctx, left, right, onConj, j.Type == "LEFT")
 	if err != nil {
 		return nil, err
@@ -455,14 +594,15 @@ func (db *DB) joinRels(ctx *execCtx, left, right *rel, on []*conjunct, leftOuter
 	}
 	db.orderByCost(rest)
 
+	cscope := newBoundScope(ctx.scope, out.metas)
+	cctx := ctx.withScope(cscope)
 	checkRest := func(row [][]types.Value) (bool, error) {
 		if len(rest) == 0 {
 			return true, nil
 		}
-		scope := bindScope(ctx.scope, out.metas, row)
-		rctx := ctx.withScope(scope)
+		cscope.bind(row)
 		for _, c := range rest {
-			v, err := db.evalExpr(rctx, c.expr)
+			v, err := db.evalExpr(cctx, c.expr)
 			if err != nil {
 				return false, err
 			}
@@ -482,9 +622,10 @@ func (db *DB) joinRels(ctx *execCtx, left, right *rel, on []*conjunct, leftOuter
 	if len(lkeys) > 0 {
 		// hash join
 		index := make(map[string][][][]types.Value, len(right.rows))
+		rscope := newBoundScope(ctx.scope, right.metas)
+		rctx := ctx.withScope(rscope)
 		for _, rrow := range right.rows {
-			scope := bindScope(ctx.scope, right.metas, rrow)
-			rctx := ctx.withScope(scope)
+			rscope.bind(rrow)
 			key, null, err := db.keyOf(rctx, rkeys)
 			if err != nil {
 				return nil, err
@@ -494,9 +635,10 @@ func (db *DB) joinRels(ctx *execCtx, left, right *rel, on []*conjunct, leftOuter
 			}
 			index[key] = append(index[key], rrow)
 		}
+		lscope := newBoundScope(ctx.scope, left.metas)
+		lctx := ctx.withScope(lscope)
 		for _, lrow := range left.rows {
-			scope := bindScope(ctx.scope, left.metas, lrow)
-			lctx := ctx.withScope(scope)
+			lscope.bind(lrow)
 			key, null, err := db.keyOf(lctx, lkeys)
 			matched := false
 			if err != nil {
@@ -520,6 +662,78 @@ func (db *DB) joinRels(ctx *execCtx, left, right *rel, on []*conjunct, leftOuter
 			}
 		}
 		return out, nil
+	}
+
+	// Interval stab join: when the right side scanned a stored temporal
+	// table and the join predicates contain the injected point-overlap
+	// pair t.begin <= X AND X < t.end with X from the left side, probe
+	// the right table's interval index per left row instead of testing
+	// every (left, right) pair. All rest conjuncts — the pair included —
+	// are still evaluated on each candidate, so semantics are exactly
+	// the nested loop's.
+	if right.tab != nil && len(right.metas) == 1 &&
+		len(right.ords) == len(right.rows) && !db.DisableIndexes {
+		if x := findStab(rest, right.tab, right.metas[0].alias); x != nil {
+			lscope := newBoundScope(ctx.scope, left.metas)
+			lctx := ctx.withScope(lscope)
+			var cand []int
+			for _, lrow := range left.rows {
+				lscope.bind(lrow)
+				probed := false
+				cand = cand[:0]
+				if v, err := db.evalExpr(lctx, x); err == nil &&
+					(v.Kind == types.KindDate || v.Kind == types.KindInt) {
+					if ords, ok := right.tab.Overlapping(v.I, v.I); ok {
+						db.Stats.IntervalProbes++
+						probed = true
+						// Intersect candidate table ordinals with the rows
+						// the right scan kept (both ascending).
+						j := 0
+						for _, o := range ords {
+							for j < len(right.ords) && right.ords[j] < o {
+								j++
+							}
+							if j < len(right.ords) && right.ords[j] == o {
+								cand = append(cand, j)
+								j++
+							}
+						}
+					}
+				}
+				matched := false
+				try := func(rrow [][]types.Value) error {
+					combined := append(append([][]types.Value{}, lrow...), rrow...)
+					ok, err := checkRest(combined)
+					if err != nil {
+						return err
+					}
+					if ok {
+						out.rows = append(out.rows, combined)
+						matched = true
+					}
+					return nil
+				}
+				if probed {
+					for _, j := range cand {
+						if err := try(right.rows[j]); err != nil {
+							return nil, err
+						}
+					}
+				} else {
+					// X not evaluable against this left row: fall back to
+					// the full inner iteration for it.
+					for _, rrow := range right.rows {
+						if err := try(rrow); err != nil {
+							return nil, err
+						}
+					}
+				}
+				if leftOuter && !matched {
+					out.rows = append(out.rows, append(append([][]types.Value{}, lrow...), nullRight...))
+				}
+			}
+			return out, nil
+		}
 	}
 
 	// nested loop

@@ -16,6 +16,10 @@ type conjunct struct {
 	aliases    map[string]bool
 	hasSub     bool
 	unresolved bool
+	// expensive marks conjuncts containing subqueries or stored-routine
+	// calls. Computed eagerly at analysis time so conjuncts cached in a
+	// selPlan are immutable and safe to share across sessions.
+	expensive bool
 }
 
 // refsOf analyzes which of the metas' aliases expr references.
@@ -74,7 +78,7 @@ func refsOf(expr sqlast.Expr, metas []entryMeta) (aliases map[string]bool, exter
 
 // splitConjuncts decomposes a WHERE clause into AND-factors analyzed
 // against metas.
-func splitConjuncts(where sqlast.Expr, metas []entryMeta) []*conjunct {
+func (db *DB) splitConjuncts(where sqlast.Expr, metas []entryMeta) []*conjunct {
 	var exprs []sqlast.Expr
 	var split func(e sqlast.Expr)
 	split = func(e sqlast.Expr) {
@@ -91,9 +95,25 @@ func splitConjuncts(where sqlast.Expr, metas []entryMeta) []*conjunct {
 	out := make([]*conjunct, 0, len(exprs))
 	for _, e := range exprs {
 		al, _, hasSub, unres := refsOf(e, metas)
-		out = append(out, &conjunct{expr: e, aliases: al, hasSub: hasSub, unresolved: unres})
+		c := &conjunct{expr: e, aliases: al, hasSub: hasSub, unresolved: unres}
+		c.expensive = hasSub || db.callsRoutine(e)
+		out = append(out, c)
 	}
 	return out
+}
+
+// callsRoutine reports whether the expression invokes a stored routine.
+func (db *DB) callsRoutine(e sqlast.Expr) bool {
+	found := false
+	sqlast.Walk(e, func(n sqlast.Node) bool {
+		if fc, ok := n.(*sqlast.FuncCall); ok {
+			if db.Cat.Routine(fc.Name) != nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // subsetOf reports whether the conjunct references only the given
@@ -206,25 +226,10 @@ func (db *DB) orderByCost(cs []*conjunct) {
 	if db.DisableCostOrdering {
 		return
 	}
-	isExpensive := func(c *conjunct) bool {
-		if c.hasSub {
-			return true
-		}
-		expensive := false
-		sqlast.Walk(c.expr, func(n sqlast.Node) bool {
-			if fc, ok := n.(*sqlast.FuncCall); ok {
-				if db.Cat.Routine(fc.Name) != nil {
-					expensive = true
-				}
-			}
-			return !expensive
-		})
-		return expensive
-	}
 	cheap := make([]*conjunct, 0, len(cs))
 	var costly []*conjunct
 	for _, c := range cs {
-		if isExpensive(c) {
+		if c.expensive {
 			costly = append(costly, c)
 		} else {
 			cheap = append(cheap, c)
@@ -298,20 +303,14 @@ func (db *DB) evalSelect(ctx *execCtx, sel *sqlast.SelectStmt, limitHint int) (*
 		return res, nil
 	}
 
-	// Phase A: metas for every source.
-	var allMetas []entryMeta
-	srcMetas := make([][]entryMeta, len(sel.From))
-	for i, fr := range sel.From {
-		ms, err := db.sourceMetas(ctx, fr)
-		if err != nil {
-			return nil, err
-		}
-		srcMetas[i] = ms
-		allMetas = append(allMetas, ms...)
+	// Phases A (source metas) and B (conjunct analysis) are pure
+	// functions of the statement and the schema; fetch them from the
+	// shared plan cache (building on miss).
+	plan, err := db.selPlanFor(ctx, sel)
+	if err != nil {
+		return nil, err
 	}
-
-	// Phase B: conjunct analysis.
-	conjuncts := splitConjuncts(sel.Where, allMetas)
+	srcMetas, conjuncts := plan.srcMetas, plan.conjuncts
 	used := make(map[*conjunct]bool)
 
 	// Phase C: sequential join.
@@ -406,9 +405,10 @@ func (db *DB) evalSelect(ctx *execCtx, sel *sqlast.SelectStmt, limitHint int) (*
 	db.orderByCost(residual)
 	if len(residual) > 0 {
 		kept := acc.rows[:0:0]
+		rscope := newBoundScope(ctx.scope, acc.metas)
+		rctx := ctx.withScope(rscope)
 		for _, row := range acc.rows {
-			scope := bindScope(ctx.scope, acc.metas, row)
-			rctx := ctx.withScope(scope)
+			rscope.bind(row)
 			keep := true
 			for _, c := range residual {
 				v, err := db.evalExpr(rctx, c.expr)
@@ -470,9 +470,10 @@ func (db *DB) project(ctx *execCtx, sel *sqlast.SelectStmt, acc *rel, limitHint 
 	var rows []projRow
 	fastLimit := limitHint > 0 && len(sel.OrderBy) == 0 && !sel.Distinct
 
+	pscope := newBoundScope(ctx.scope, acc.metas)
+	rctx := ctx.withScope(pscope)
 	for _, row := range acc.rows {
-		scope := bindScope(ctx.scope, acc.metas, row)
-		rctx := ctx.withScope(scope)
+		pscope.bind(row)
 		var vals []types.Value
 		for _, it := range sel.Items {
 			switch {

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"strings"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/storage"
+	"taupsm/internal/types"
+)
+
+// Function-result memoization.
+//
+// The slicing strategies of the stratum invoke stored functions once
+// per (tuple, constant period), and the argument vectors repeat
+// heavily — every tuple of one period shares the period's begin time,
+// and foreign keys repeat across tuples. When a function is pure
+// (reads SQL data but never writes it), two invocations with equal
+// arguments must return equal results, so the engine keeps a
+// per-statement memo of (function, arguments) → result.
+//
+// Scope and invalidation: the memo lives for one top-level statement
+// (each statement starts with a fresh fnMemoState), and any DML or DDL
+// executed during the statement bumps the session's write generation,
+// wiping it. Memo hits still count as RoutineCalls — they are logical
+// invocations, and the strategy call-count asymmetry the stats exist
+// to demonstrate must stay observable — and are additionally counted
+// in RoutineMemoHits. Detailed mode (a tracer) bypasses the memo so
+// per-invocation spans remain real executions.
+
+// fnMemoCap bounds one statement's memo; overflow wipes wholesale.
+const fnMemoCap = 1 << 16
+
+type fnMemoState struct {
+	gen int64 // session write generation the entries were computed at
+	m   map[string]types.Value
+}
+
+// memoLookup returns the cached result for key, wiping entries that
+// predate a write.
+func (ms *fnMemoState) lookup(db *DB, key string) (types.Value, bool) {
+	if ms.gen != db.writeGen {
+		ms.m = nil
+		ms.gen = db.writeGen
+	}
+	v, ok := ms.m[key]
+	return v, ok
+}
+
+func (ms *fnMemoState) store(db *DB, key string, v types.Value) {
+	if ms.gen != db.writeGen {
+		ms.m = nil
+		ms.gen = db.writeGen
+	}
+	if ms.m == nil {
+		ms.m = make(map[string]types.Value)
+	} else if len(ms.m) >= fnMemoCap {
+		ms.m = make(map[string]types.Value)
+	}
+	ms.m[key] = v
+}
+
+// memoKey builds the memo key for a call, or "" when the call is not
+// memoizable (impure routine, or a table-valued argument, whose
+// contents the key cannot capture).
+func (db *DB) memoKey(r *storage.Routine, args []types.Value) string {
+	if r.Fn == nil || r.Fn.Returns.IsCollection() || !db.routinePure(r) {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(r.Name)
+	for _, v := range args {
+		if v.Kind == types.KindTable {
+			return ""
+		}
+		b.WriteByte(0)
+		b.WriteString(v.HashKey())
+	}
+	return b.String()
+}
+
+// purity is one routinePure verdict, valid for a catalog version.
+type purity struct {
+	catV int64
+	pure bool
+}
+
+// routinePure reports whether a routine is free of SQL side effects:
+// no DML against stored tables, no DDL, and only pure routines called,
+// transitively. Verdicts are cached per routine object and revalidated
+// against the catalog version (a called routine may be redefined). The
+// cache is a sync.Map because parallel fragment workers share it
+// through their session handles.
+func (db *DB) routinePure(r *storage.Routine) bool {
+	catV := db.Cat.Version()
+	if v, ok := db.fnPure.Load(r); ok {
+		if p := v.(purity); p.catV == catV {
+			return p.pure
+		}
+	}
+	// Provisionally impure: direct or mutual recursion resolves to
+	// impure rather than looping.
+	db.fnPure.Store(r, purity{catV: catV, pure: false})
+	pure := true
+	sqlast.Walk(r.Body(), func(m sqlast.Node) bool {
+		if !pure {
+			return false
+		}
+		switch x := m.(type) {
+		case *sqlast.InsertStmt:
+			// Writes to routine-local collection variables are private
+			// per call; only stored tables carry state across calls.
+			if db.Cat.Table(x.Table) != nil {
+				pure = false
+			}
+		case *sqlast.UpdateStmt:
+			if db.Cat.Table(x.Table) != nil {
+				pure = false
+			}
+		case *sqlast.DeleteStmt:
+			if db.Cat.Table(x.Table) != nil {
+				pure = false
+			}
+		case *sqlast.CreateTableStmt, *sqlast.DropTableStmt,
+			*sqlast.CreateViewStmt, *sqlast.DropViewStmt,
+			*sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt,
+			*sqlast.DropRoutineStmt, *sqlast.AlterAddValidTime:
+			pure = false
+		case *sqlast.FuncCall:
+			if r2 := db.Cat.Routine(x.Name); r2 != nil && !db.routinePure(r2) {
+				pure = false
+			}
+		case *sqlast.CallStmt:
+			if r2 := db.Cat.Routine(x.Name); r2 != nil && !db.routinePure(r2) {
+				pure = false
+			}
+		}
+		return pure
+	})
+	db.fnPure.Store(r, purity{catV: catV, pure: pure})
+	return pure
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"taupsm/internal/sqlast"
+)
+
+// selPlan is the cached, immutable analysis of one SELECT: source
+// metadata and the conjunct decomposition of its WHERE clause. Those
+// two phases are pure functions of the statement and the schema, yet
+// the tree-walking evaluator used to redo them on every evaluation —
+// under MAX slicing a routine-body SELECT is re-analyzed once per
+// (tuple, constant period) pair, which profiling showed to be a
+// double-digit share of sequenced execution time.
+//
+// A plan is valid while (a) the catalog schema version is unchanged
+// and (b) every name resolves the same way it did at build time:
+// names that resolved to table-valued variables still do (with the
+// same column list), and names that resolved to catalog objects are
+// not shadowed by a variable now. Plans are shared by concurrent
+// evaluation sessions, so everything reachable from one is read-only.
+type selPlan struct {
+	catVersion int64
+	srcMetas   [][]entryMeta
+	allMetas   []entryMeta
+	conjuncts  []*conjunct
+	varTables  map[string][]string // lower var name -> column names at build
+	catNames   []string            // names resolved via the catalog at build
+}
+
+// planRecorder collects, during plan building, how each base-table
+// name was resolved, for revalidation on reuse.
+type planRecorder struct {
+	varTables map[string][]string
+	catNames  []string
+}
+
+// planCache maps SELECT nodes (by identity) to their plans. Entries
+// are never deleted individually — staleness is detected by selPlan
+// validation — but the whole cache is wiped when it outgrows
+// planCacheCap, bounding memory when many one-shot statements flow
+// through (warm statements simply rebuild their plans once).
+type planCache struct {
+	m sync.Map // *sqlast.SelectStmt -> *selPlan
+	n atomic.Int64
+}
+
+const planCacheCap = 8192
+
+func newPlanCache() *planCache { return &planCache{} }
+
+func (pc *planCache) get(sel *sqlast.SelectStmt) *selPlan {
+	if v, ok := pc.m.Load(sel); ok {
+		return v.(*selPlan)
+	}
+	return nil
+}
+
+func (pc *planCache) put(sel *sqlast.SelectStmt, p *selPlan) {
+	if _, loaded := pc.m.Swap(sel, p); !loaded {
+		if pc.n.Add(1) > planCacheCap {
+			pc.m.Range(func(k, _ any) bool {
+				pc.m.Delete(k)
+				return true
+			})
+			pc.n.Store(0)
+		}
+	}
+}
+
+// valid reports whether the plan's name resolution still holds in ctx.
+func (p *selPlan) valid(db *DB, ctx *execCtx) bool {
+	if p.catVersion != db.Cat.Version() {
+		return false
+	}
+	for name, cols := range p.varTables {
+		if ctx.vars == nil {
+			return false
+		}
+		tv := ctx.vars.getTable(name)
+		if tv == nil {
+			return false
+		}
+		got := tv.Schema.Names()
+		if len(got) != len(cols) {
+			return false
+		}
+		for i := range got {
+			if got[i] != cols[i] {
+				return false
+			}
+		}
+	}
+	if ctx.vars != nil {
+		for _, name := range p.catNames {
+			if ctx.vars.getTable(name) != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// selPlanFor returns the plan for sel, building (and caching) it when
+// missing or stale.
+func (db *DB) selPlanFor(ctx *execCtx, sel *sqlast.SelectStmt) (*selPlan, error) {
+	if p := db.plans.get(sel); p != nil && p.valid(db, ctx) {
+		return p, nil
+	}
+	p, err := db.buildSelPlan(ctx, sel)
+	if err != nil {
+		return nil, err
+	}
+	db.plans.put(sel, p)
+	return p, nil
+}
+
+// buildSelPlan runs the analysis phases of evalSelect: source metas
+// for every FROM entry, then conjunct decomposition of WHERE.
+func (db *DB) buildSelPlan(ctx *execCtx, sel *sqlast.SelectStmt) (*selPlan, error) {
+	// Read the schema version before resolving, so a racing DDL can
+	// only make the stamp too old (a spurious rebuild), never too new.
+	catVersion := db.Cat.Version()
+	rec := &planRecorder{varTables: map[string][]string{}}
+	rctx := *ctx
+	rctx.planRec = rec
+
+	var allMetas []entryMeta
+	srcMetas := make([][]entryMeta, len(sel.From))
+	for i, fr := range sel.From {
+		ms, err := db.sourceMetas(&rctx, fr)
+		if err != nil {
+			return nil, err
+		}
+		srcMetas[i] = ms
+		allMetas = append(allMetas, ms...)
+	}
+	conjuncts := db.splitConjuncts(sel.Where, allMetas)
+	return &selPlan{
+		catVersion: catVersion,
+		srcMetas:   srcMetas,
+		allMetas:   allMetas,
+		conjuncts:  conjuncts,
+		varTables:  rec.varTables,
+		catNames:   rec.catNames,
+	}, nil
+}

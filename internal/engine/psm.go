@@ -15,33 +15,94 @@ import (
 // table-valued (collection) variables, cursors, and condition handlers.
 // Frames chain through parent within a routine; routine boundaries
 // start a fresh chain.
+//
+// Variables live in small association slices, not maps: routines
+// declare a handful of names but are called once per candidate tuple
+// under MAX slicing, and the per-call map allocations dominated the
+// engine's allocation profile. Names are stored lowercase; a linear
+// scan over ≤8 entries beats a map probe anyway.
 type varFrame struct {
 	parent   *varFrame
-	vals     map[string]types.Value
-	types    map[string]sqlast.TypeName
-	tables   map[string]*storage.Table
-	cursors  map[string]*cursor
+	entries  []varEntry
+	tabNames []string
+	tabs     []*storage.Table
+	curNames []string
+	curs     []*cursor
 	handlers []*sqlast.HandlerDecl
 }
 
+// varEntry is one scalar variable: its value and declared type. A
+// name can carry a type without a value (collection parameters get a
+// declared type while their data lives in the table list).
+type varEntry struct {
+	name   string // lowercase
+	val    types.Value
+	typ    sqlast.TypeName
+	hasVal bool
+	hasTyp bool
+}
+
 func newFrame(parent *varFrame) *varFrame {
-	return &varFrame{
-		parent:  parent,
-		vals:    make(map[string]types.Value),
-		types:   make(map[string]sqlast.TypeName),
-		tables:  make(map[string]*storage.Table),
-		cursors: make(map[string]*cursor),
+	return &varFrame{parent: parent}
+}
+
+func (f *varFrame) find(k string) *varEntry {
+	for i := range f.entries {
+		if f.entries[i].name == k {
+			return &f.entries[i]
+		}
 	}
+	return nil
+}
+
+func (f *varFrame) setVal(key string, v types.Value) {
+	if e := f.find(key); e != nil {
+		e.val, e.hasVal = v, true
+		return
+	}
+	f.entries = append(f.entries, varEntry{name: key, val: v, hasVal: true})
+}
+
+func (f *varFrame) setType(key string, t sqlast.TypeName) {
+	if e := f.find(key); e != nil {
+		e.typ, e.hasTyp = t, true
+		return
+	}
+	f.entries = append(f.entries, varEntry{name: key, typ: t, hasTyp: true})
+}
+
+func (f *varFrame) setTableVar(key string, t *storage.Table) {
+	for i, n := range f.tabNames {
+		if n == key {
+			f.tabs[i] = t
+			return
+		}
+	}
+	f.tabNames = append(f.tabNames, key)
+	f.tabs = append(f.tabs, t)
+}
+
+func (f *varFrame) setCursor(key string, c *cursor) {
+	for i, n := range f.curNames {
+		if n == key {
+			f.curs[i] = c
+			return
+		}
+	}
+	f.curNames = append(f.curNames, key)
+	f.curs = append(f.curs, c)
 }
 
 func (f *varFrame) get(name string) (types.Value, bool) {
 	k := strings.ToLower(name)
 	for fr := f; fr != nil; fr = fr.parent {
-		if v, ok := fr.vals[k]; ok {
-			return v, true
+		if e := fr.find(k); e != nil && e.hasVal {
+			return e.val, true
 		}
-		if t, ok := fr.tables[k]; ok {
-			return types.NewTable(t), true
+		for i, n := range fr.tabNames {
+			if n == k {
+				return types.NewTable(fr.tabs[i]), true
+			}
 		}
 	}
 	return types.Null, false
@@ -50,8 +111,10 @@ func (f *varFrame) get(name string) (types.Value, bool) {
 func (f *varFrame) getTable(name string) *storage.Table {
 	k := strings.ToLower(name)
 	for fr := f; fr != nil; fr = fr.parent {
-		if t, ok := fr.tables[k]; ok {
-			return t
+		for i, n := range fr.tabNames {
+			if n == k {
+				return fr.tabs[i]
+			}
 		}
 	}
 	return nil
@@ -60,25 +123,27 @@ func (f *varFrame) getTable(name string) *storage.Table {
 func (f *varFrame) set(name string, v types.Value) error {
 	k := strings.ToLower(name)
 	for fr := f; fr != nil; fr = fr.parent {
-		if _, ok := fr.vals[k]; ok {
-			if ty, has := fr.types[k]; has {
-				cv, err := coerce(v, ty)
+		if e := fr.find(k); e != nil && e.hasVal {
+			if e.hasTyp {
+				cv, err := coerce(v, e.typ)
 				if err != nil {
 					return err
 				}
 				v = cv
 			}
-			fr.vals[k] = v
+			e.val = v
 			return nil
 		}
-		if _, ok := fr.tables[k]; ok {
-			if v.Kind == types.KindTable {
-				if t, ok := v.Aux.(*storage.Table); ok {
-					fr.tables[k] = t
-					return nil
+		for i, n := range fr.tabNames {
+			if n == k {
+				if v.Kind == types.KindTable {
+					if t, ok := v.Aux.(*storage.Table); ok {
+						fr.tabs[i] = t
+						return nil
+					}
 				}
+				return fmt.Errorf("cannot assign a scalar to table-valued variable %s", name)
 			}
-			return fmt.Errorf("cannot assign a scalar to table-valued variable %s", name)
 		}
 	}
 	return fmt.Errorf("variable %s is not declared", name)
@@ -87,8 +152,10 @@ func (f *varFrame) set(name string, v types.Value) error {
 func (f *varFrame) getCursor(name string) *cursor {
 	k := strings.ToLower(name)
 	for fr := f; fr != nil; fr = fr.parent {
-		if c, ok := fr.cursors[k]; ok {
-			return c
+		for i, n := range fr.curNames {
+			if n == k {
+				return fr.curs[i]
+			}
 		}
 	}
 	return nil
@@ -191,18 +258,35 @@ func (db *DB) callFunction(ctx *execCtx, r *storage.Routine, argExprs []sqlast.E
 	if ctx.depth >= db.MaxRecursion {
 		return types.Null, fmt.Errorf("routine call nesting exceeds %d at %s", db.MaxRecursion, r.Name)
 	}
-	frame := newFrame(nil)
-	for i, p := range params {
+	args := make([]types.Value, len(argExprs))
+	for i := range argExprs {
 		v, err := db.evalExpr(ctx, argExprs[i])
 		if err != nil {
 			return types.Null, err
 		}
+		args[i] = v
+	}
+	var memoKey string
+	if ctx.memo != nil {
+		if memoKey = db.memoKey(r, args); memoKey != "" {
+			if v, ok := ctx.memo.lookup(db, memoKey); ok {
+				// A memo hit is still a logical invocation — see fnmemo.go.
+				db.Stats.RoutineCalls++
+				db.Stats.RoutineMemoHits++
+				return v, nil
+			}
+		}
+	}
+	frame := newFrame(nil)
+	frame.entries = make([]varEntry, 0, len(params))
+	for i, p := range params {
+		v := args[i]
 		k := strings.ToLower(p.Name)
 		if p.Type.IsCollection() {
 			if t, ok := v.Aux.(*storage.Table); ok && v.Kind == types.KindTable {
-				frame.tables[k] = t
+				frame.setTableVar(k, t)
 			} else {
-				frame.tables[k] = newCollectionTable(p.Name, p.Type)
+				frame.setTableVar(k, newCollectionTable(p.Name, p.Type))
 			}
 			continue
 		}
@@ -210,14 +294,14 @@ func (db *DB) callFunction(ctx *execCtx, r *storage.Routine, argExprs []sqlast.E
 		if err != nil {
 			return types.Null, err
 		}
-		frame.vals[k] = cv
-		frame.types[k] = p.Type
+		frame.setVal(k, cv)
+		frame.setType(k, p.Type)
 	}
 	db.Stats.RoutineCalls++
 	if done := db.traceRoutine(r.Name); done != nil {
 		defer done()
 	}
-	fctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1}
+	fctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1, memo: ctx.memo}
 	err := db.execPSM(fctx, r.Body())
 	if err == nil {
 		return types.Null, fmt.Errorf("function %s ended without RETURN", r.Name)
@@ -226,7 +310,11 @@ func (db *DB) callFunction(ctx *execCtx, r *storage.Routine, argExprs []sqlast.E
 		if r.Fn.Returns.IsCollection() || rs.val.Kind == types.KindTable {
 			return rs.val, nil
 		}
-		return coerce(rs.val, r.Fn.Returns)
+		cv, cerr := coerce(rs.val, r.Fn.Returns)
+		if cerr == nil && memoKey != "" && cv.Kind != types.KindTable {
+			ctx.memo.store(db, memoKey, cv)
+		}
+		return cv, cerr
 	}
 	return types.Null, fmt.Errorf("in function %s: %w", r.Name, err)
 }
@@ -249,6 +337,7 @@ func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
 		return nil, fmt.Errorf("routine call nesting exceeds %d at %s", db.MaxRecursion, s.Name)
 	}
 	frame := newFrame(nil)
+	frame.entries = make([]varEntry, 0, len(params))
 	type outBinding struct {
 		param string
 		arg   string
@@ -256,7 +345,7 @@ func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
 	var outs []outBinding
 	for i, p := range params {
 		k := strings.ToLower(p.Name)
-		frame.types[k] = p.Type
+		frame.setType(k, p.Type)
 		switch p.Mode {
 		case sqlast.ModeIn:
 			v, err := db.evalExpr(ctx, s.Args[i])
@@ -265,9 +354,9 @@ func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
 			}
 			if p.Type.IsCollection() {
 				if t, ok := v.Aux.(*storage.Table); ok && v.Kind == types.KindTable {
-					frame.tables[k] = t
+					frame.setTableVar(k, t)
 				} else {
-					frame.tables[k] = newCollectionTable(p.Name, p.Type)
+					frame.setTableVar(k, newCollectionTable(p.Name, p.Type))
 				}
 				continue
 			}
@@ -275,7 +364,7 @@ func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			frame.vals[k] = cv
+			frame.setVal(k, cv)
 		case sqlast.ModeOut, sqlast.ModeInOut:
 			cr, ok := s.Args[i].(*sqlast.ColumnRef)
 			if !ok || cr.Table != "" {
@@ -292,17 +381,17 @@ func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
 				}
 				if p.Type.IsCollection() {
 					if t, ok := v.Aux.(*storage.Table); ok && v.Kind == types.KindTable {
-						frame.tables[k] = t
+						frame.setTableVar(k, t)
 					} else {
-						frame.tables[k] = newCollectionTable(p.Name, p.Type)
+						frame.setTableVar(k, newCollectionTable(p.Name, p.Type))
 					}
 				} else {
-					frame.vals[k] = v
+					frame.setVal(k, v)
 				}
 			} else if p.Type.IsCollection() {
-				frame.tables[k] = newCollectionTable(p.Name, p.Type)
+				frame.setTableVar(k, newCollectionTable(p.Name, p.Type))
 			} else {
-				frame.vals[k] = types.Null
+				frame.setVal(k, types.Null)
 			}
 			outs = append(outs, outBinding{param: k, arg: cr.Column})
 		}
@@ -311,7 +400,7 @@ func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
 	if done := db.traceRoutine(s.Name); done != nil {
 		defer done()
 	}
-	pctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1}
+	pctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1, memo: ctx.memo}
 	err := db.execPSM(pctx, r.Body())
 	if err != nil {
 		if _, ok := err.(returnSignal); !ok {
@@ -451,6 +540,9 @@ func (db *DB) execPSM(ctx *execCtx, stmt sqlast.Stmt) error {
 
 func (db *DB) execCompound(ctx *execCtx, s *sqlast.CompoundStmt) error {
 	frame := newFrame(ctx.vars)
+	if n := len(s.VarDecls); n > 0 {
+		frame.entries = make([]varEntry, 0, n)
+	}
 	cctx := *ctx
 	cctx.vars = frame
 
@@ -466,19 +558,19 @@ func (db *DB) execCompound(ctx *execCtx, s *sqlast.CompoundStmt) error {
 		for _, name := range d.Names {
 			k := strings.ToLower(name)
 			if d.Type.IsCollection() {
-				frame.tables[k] = newCollectionTable(name, d.Type)
+				frame.setTableVar(k, newCollectionTable(name, d.Type))
 				continue
 			}
 			cv, err := coerce(def, d.Type)
 			if err != nil {
 				return err
 			}
-			frame.vals[k] = cv
-			frame.types[k] = d.Type
+			frame.setVal(k, cv)
+			frame.setType(k, d.Type)
 		}
 	}
 	for _, cd := range s.Cursors {
-		frame.cursors[strings.ToLower(cd.Name)] = &cursor{query: cd.Query}
+		frame.setCursor(strings.ToLower(cd.Name), &cursor{query: cd.Query})
 	}
 	frame.handlers = s.Handlers
 

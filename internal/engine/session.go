@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"strings"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/storage"
+)
+
+// NewSession returns an evaluation session: a DB handle sharing this
+// database's catalog, plan cache, configuration, clock, and tracer,
+// but with its own zeroed Stats. Sessions make the read path
+// re-entrant — any number of sessions may evaluate queries
+// concurrently over the shared catalog (writers still need exclusive
+// access) — and their Stats act as per-worker journals that the
+// caller merges deterministically with Stats.Merge.
+func (db *DB) NewSession() *DB {
+	s := *db
+	s.Stats = Stats{}
+	s.routineNS = nil
+	return &s
+}
+
+// Merge folds a session's journal into s.
+func (s *Stats) Merge(d Stats) {
+	s.RoutineCalls += d.RoutineCalls
+	s.RoutineMemoHits += d.RoutineMemoHits
+	s.RowsScanned += d.RowsScanned
+	s.RowsReturned += d.RowsReturned
+	s.Statements += d.Statements
+	s.LogWrites += d.LogWrites
+	s.IntervalProbes += d.IntervalProbes
+}
+
+// ExecStmtWithTables executes one statement with the given tables
+// bound as table-valued variables, shadowing catalog tables of the
+// same name. The stratum uses this to hand each evaluation session
+// its own constant-period relation (taupsm_cp) without touching the
+// shared catalog — the key to both cache stability (no DDL churn per
+// statement) and parallel fragment evaluation (each worker sees only
+// its chunk of the periods).
+func (db *DB) ExecStmtWithTables(stmt sqlast.Stmt, tables map[string]*storage.Table) (*Result, error) {
+	frame := newFrame(nil)
+	for name, t := range tables {
+		frame.setTableVar(strings.ToLower(name), t)
+	}
+	ctx := &execCtx{db: db, vars: frame, memo: db.newFnMemo()}
+	return db.exec(ctx, stmt)
+}

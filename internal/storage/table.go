@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"taupsm/internal/sqlast"
 	"taupsm/internal/types"
@@ -55,6 +56,11 @@ func (s *Schema) Names() []string {
 // Table is an in-memory table. For temporal tables (ValidTime true) the
 // final two columns are begin_time and end_time (DATE), maintained by
 // DDL when the table is created or altered with valid-time support.
+//
+// Concurrency contract: any number of goroutines may read (including
+// Lookup and Overlapping, which lazily build indexes under the table's
+// internal lock), but writers (Insert, Bump, direct Rows mutation) need
+// exclusive access — the same reader/writer discipline as Catalog.
 type Table struct {
 	Name      string
 	Schema    *Schema
@@ -67,8 +73,12 @@ type Table struct {
 	TransactionTime bool
 	Temporary       bool
 
+	id      int64
 	version int64
+
+	mu      sync.RWMutex // guards lazily built indexes
 	indexes map[int]*hashIndex
+	ival    *intervalIndex
 }
 
 type hashIndex struct {
@@ -76,10 +86,23 @@ type hashIndex struct {
 	m       map[string][]int
 }
 
+// tableSeq issues unique table identities, so caches keyed by table
+// version can tell a mutated table apart from a dropped-and-recreated
+// one (whose version restarts at zero).
+var tableSeq atomic.Int64
+
 // NewTable creates an empty table.
 func NewTable(name string, schema *Schema) *Table {
-	return &Table{Name: name, Schema: schema, indexes: make(map[int]*hashIndex)}
+	return &Table{Name: name, Schema: schema, id: tableSeq.Add(1),
+		indexes: make(map[int]*hashIndex)}
 }
+
+// ID returns the table's process-unique identity.
+func (t *Table) ID() int64 { return t.id }
+
+// Version returns the table's mutation counter; it changes on every
+// Insert or Bump, so (ID, Version) pairs identify a table state.
+func (t *Table) Version() int64 { return t.version }
 
 // Insert appends a row; the row length must match the schema.
 func (t *Table) Insert(row []types.Value) error {
@@ -97,9 +120,19 @@ func (t *Table) Bump() { t.version++ }
 
 // Lookup returns the ordinals of rows whose column col equals v,
 // building (or rebuilding) a hash index on demand. The returned slice
-// must not be modified.
+// must not be modified. Safe for concurrent readers.
 func (t *Table) Lookup(col int, v types.Value) []int {
+	t.mu.RLock()
 	idx := t.indexes[col]
+	if idx != nil && idx.version == t.version {
+		t.mu.RUnlock()
+		return idx.m[v.HashKey()]
+	}
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx = t.indexes[col]
 	if idx == nil || idx.version != t.version {
 		idx = &hashIndex{version: t.version, m: make(map[string][]int, len(t.Rows))}
 		for i, r := range t.Rows {
@@ -141,6 +174,20 @@ type Routine struct {
 	Name string
 	Fn   *sqlast.CreateFunctionStmt
 	Proc *sqlast.CreateProcedureStmt
+
+	sql string // lazily rendered definition, for identity comparison
+}
+
+// renderedSQL returns (caching) the routine's rendered definition.
+func (r *Routine) renderedSQL() string {
+	if r.sql == "" {
+		if r.Kind == KindFunction {
+			r.sql = r.Fn.SQL()
+		} else {
+			r.sql = r.Proc.SQL()
+		}
+	}
+	return r.sql
 }
 
 // Params returns the routine's parameter list.
@@ -163,10 +210,19 @@ func (r *Routine) Body() sqlast.Stmt {
 // readers; writers (DDL) take the exclusive lock.
 type Catalog struct {
 	mu       sync.RWMutex
+	version  atomic.Int64
 	tables   map[string]*Table
 	views    map[string]*View
 	routines map[string]*Routine
 }
+
+// Version returns the catalog's schema version: a counter bumped on
+// every mutation that actually changes the set of schema objects.
+// No-op drops (DROP ... IF EXISTS of a missing object) and routine
+// re-registrations with an identical definition do not bump it, so
+// plan and translation caches keyed by this version stay warm across
+// repeated executions of generated setup/teardown scripts.
+func (c *Catalog) Version() int64 { return c.version.Load() }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
@@ -191,6 +247,7 @@ func (c *Catalog) PutTable(t *Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tables[key(t.Name)] = t
+	c.version.Add(1)
 }
 
 // DropTable removes a table; it reports whether it existed.
@@ -201,6 +258,7 @@ func (c *Catalog) DropTable(name string) bool {
 		return false
 	}
 	delete(c.tables, key(name))
+	c.version.Add(1)
 	return true
 }
 
@@ -216,6 +274,7 @@ func (c *Catalog) PutView(v *View) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.views[key(v.Name)] = v
+	c.version.Add(1)
 }
 
 // DropView removes a view; it reports whether it existed.
@@ -226,6 +285,7 @@ func (c *Catalog) DropView(name string) bool {
 		return false
 	}
 	delete(c.views, key(name))
+	c.version.Add(1)
 	return true
 }
 
@@ -237,10 +297,20 @@ func (c *Catalog) Routine(name string) *Routine {
 }
 
 // PutRoutine registers a routine, replacing any previous definition.
+// Re-registering a routine whose rendered definition is identical to
+// the stored one keeps the existing entry and does not bump the schema
+// version: the MAX/PERST strategies re-emit the same generated clones
+// (max_*, ps_*) on every execution, and treating those as DDL would
+// permanently thrash every version-keyed cache.
 func (c *Catalog) PutRoutine(r *Routine) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if old := c.routines[key(r.Name)]; old != nil &&
+		old.Kind == r.Kind && old.renderedSQL() == r.renderedSQL() {
+		return
+	}
 	c.routines[key(r.Name)] = r
+	c.version.Add(1)
 }
 
 // DropRoutine removes a routine; it reports whether it existed.
@@ -251,6 +321,7 @@ func (c *Catalog) DropRoutine(name string) bool {
 		return false
 	}
 	delete(c.routines, key(name))
+	c.version.Add(1)
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
@@ -48,6 +49,10 @@ func (r *Runner) MeasureRepeated(q Query, strategy taupsm.Strategy, contextDays,
 	stat := QueryStat{
 		Query: q.Name, Strategy: strategy.String(), ContextDays: contextDays, Reps: reps,
 	}
+	// Collect between cells so one cell's garbage is not billed to the
+	// next cell's reps — sub-millisecond cells are otherwise dominated
+	// by GC debt from the large-context cells before them.
+	runtime.GC()
 	elapsed := make([]time.Duration, 0, reps)
 	for i := 0; i < reps; i++ {
 		m := r.RunSequenced(q, strategy, contextDays)

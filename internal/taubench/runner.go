@@ -23,11 +23,19 @@ type Runner struct {
 	SlowLog       io.Writer
 }
 
+// Parallelism, when positive, sets the fragment worker-pool size of
+// every database NewRunner opens (the taubench -par flag); zero keeps
+// the library default (GOMAXPROCS).
+var Parallelism int
+
 // NewRunner creates a database, generates the dataset, and installs the
 // routines of every benchmark query.
 func NewRunner(spec Spec) (*Runner, error) {
 	db := taupsm.Open()
 	db.SetNow(2011, 1, 1) // mid-timeline "now" for current queries
+	if Parallelism > 0 {
+		db.SetParallelism(Parallelism)
+	}
 	stats, err := Load(db, spec)
 	if err != nil {
 		return nil, err
@@ -58,6 +66,11 @@ func ContextLabel(days int) string {
 	}
 	return fmt.Sprintf("%dd", days)
 }
+
+// SequencedSQL is the sequenced benchmark statement for one query and
+// context length; exported so the stratum's property tests can run the
+// exact statements the benchmark measures.
+func SequencedSQL(q Query, contextDays int) string { return sequencedSQL(q, contextDays) }
 
 // sequencedSQL builds the VALIDTIME query with an explicit temporal
 // context of the given length starting at the timeline start.

@@ -1,0 +1,176 @@
+package taupsm
+
+import (
+	"strings"
+	"sync"
+
+	"taupsm/internal/core"
+	"taupsm/internal/engine"
+	"taupsm/internal/sqlast"
+	"taupsm/internal/storage"
+)
+
+// computeParallelSafe decides whether a MAX-sliced translation's main
+// statement may be evaluated as independent chunks of the constant-
+// period relation. Chunking is sound because MAX injects the constant
+// period into every output row (and into GROUP BY when aggregating),
+// so rows from different periods never interact: DISTINCT, set
+// operations, and grouping all partition by period. Two statement
+// shapes break that independence and force serial evaluation:
+//
+//   - a top-level ORDER BY or FETCH FIRST, which orders/limits across
+//     the whole result rather than per period;
+//   - a reachable routine with SQL side effects (DML on a stored
+//     table, or DDL), whose concurrent execution would race.
+func (db *DB) computeParallelSafe(t *core.Translation) bool {
+	q, ok := t.Main.(sqlast.QueryExpr)
+	if !ok || !chunkOrderSafe(q) {
+		return false
+	}
+
+	// Bodies of the translation's own routine clones, by name; other
+	// called routines resolve through the catalog.
+	local := map[string]sqlast.Stmt{}
+	for _, r := range t.Routines {
+		switch x := r.(type) {
+		case *sqlast.CreateFunctionStmt:
+			local[strings.ToLower(x.Name)] = x.Body
+		case *sqlast.CreateProcedureStmt:
+			local[strings.ToLower(x.Name)] = x.Body
+		}
+	}
+
+	seen := map[string]bool{}
+	safe := true
+	var checkNode func(n sqlast.Node)
+	visitRoutine := func(name string) {
+		k := strings.ToLower(name)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		if body, ok := local[k]; ok {
+			checkNode(body)
+			return
+		}
+		if r := db.eng.Cat.Routine(name); r != nil {
+			checkNode(r.Body())
+		}
+	}
+	checkNode = func(n sqlast.Node) {
+		sqlast.Walk(n, func(m sqlast.Node) bool {
+			if !safe {
+				return false
+			}
+			switch x := m.(type) {
+			case *sqlast.InsertStmt:
+				// INSERT into a routine-local collection variable is
+				// private to the worker; only stored tables are shared.
+				if db.eng.Cat.Table(x.Table) != nil {
+					safe = false
+				}
+			case *sqlast.UpdateStmt:
+				if db.eng.Cat.Table(x.Table) != nil {
+					safe = false
+				}
+			case *sqlast.DeleteStmt:
+				if db.eng.Cat.Table(x.Table) != nil {
+					safe = false
+				}
+			case *sqlast.CreateTableStmt, *sqlast.DropTableStmt,
+				*sqlast.CreateViewStmt, *sqlast.DropViewStmt,
+				*sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt,
+				*sqlast.DropRoutineStmt:
+				safe = false
+			case *sqlast.FuncCall:
+				visitRoutine(x.Name)
+			case *sqlast.CallStmt:
+				visitRoutine(x.Name)
+			}
+			return safe
+		})
+	}
+	checkNode(t.Main)
+	return safe
+}
+
+// chunkOrderSafe reports that no top-level query block orders or
+// limits across periods.
+func chunkOrderSafe(q sqlast.QueryExpr) bool {
+	switch x := q.(type) {
+	case *sqlast.SelectStmt:
+		return len(x.OrderBy) == 0 && x.Limit == nil
+	case *sqlast.SetOpExpr:
+		if len(x.OrderBy) > 0 {
+			return false
+		}
+		return chunkOrderSafe(x.L) && chunkOrderSafe(x.R)
+	case *sqlast.ValuesExpr:
+		return true
+	}
+	return false
+}
+
+// chunkCPTable wraps rows [lo, hi) of the constant-period table as an
+// independent table sharing the underlying row storage (read-only).
+func chunkCPTable(cp *storage.Table, lo, hi int) *storage.Table {
+	t := storage.NewTable(cp.Name, cp.Schema)
+	t.Temporary = true
+	t.Rows = cp.Rows[lo:hi]
+	return t
+}
+
+// runParallelMain evaluates the main statement across a bounded worker
+// pool, one contiguous chunk of constant periods per worker. Because
+// the translator prepends cp as the first FROM entry, the serial
+// engine iterates periods outermost — so concatenating chunk results
+// in chunk order reproduces the serial row order exactly. Each worker
+// runs on its own engine session; the per-worker journals are merged
+// into e's in worker-index order, deterministically.
+func (db *DB) runParallelMain(e *engine.DB, t *core.Translation, cp *storage.Table, workers int) (*engine.Result, error) {
+	n := len(cp.Rows)
+	k := workers
+	if k > n {
+		k = n
+	}
+	type chunkOut struct {
+		res   *engine.Result
+		err   error
+		stats engine.Stats
+	}
+	outs := make([]chunkOut, k)
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		lo, hi := w*n/k, (w+1)*n/k
+		ses := e.NewSession()
+		chunk := chunkCPTable(cp, lo, hi)
+		wg.Add(1)
+		go func(w int, ses *engine.DB, chunk *storage.Table) {
+			defer wg.Done()
+			res, err := ses.ExecStmtWithTables(t.Main, map[string]*storage.Table{
+				"taupsm_cp": chunk,
+			})
+			outs[w] = chunkOut{res: res, err: err, stats: ses.Stats}
+		}(w, ses, chunk)
+	}
+	wg.Wait()
+
+	db.sm.parStmts.Inc()
+	db.sm.parFrags.Add(int64(n))
+	merged := &engine.Result{}
+	for _, o := range outs {
+		e.Stats.Merge(o.stats)
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.res == nil {
+			continue
+		}
+		if merged.Cols == nil {
+			merged.Cols = o.res.Cols
+		}
+		merged.Rows = append(merged.Rows, o.res.Rows...)
+		merged.Affected += o.res.Affected
+	}
+	return merged, nil
+}

@@ -1,0 +1,132 @@
+package taupsm_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"taupsm"
+	"taupsm/internal/taubench"
+)
+
+// renderRows canonicalizes a result for comparison: one line per row,
+// in result order.
+func renderRows(res *taupsm.Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelEqualsSerial is the correctness property of parallel MAX
+// fragment evaluation: for every benchmark query, every parallelism
+// degree produces exactly the serial result — same rows, same order —
+// both raw and coalesced. Fragment workers chunk the constant-period
+// relation contiguously and their results concatenate in chunk order,
+// so even row order must survive.
+func TestParallelEqualsSerial(t *testing.T) {
+	spec, err := taubench.SpecByName("DS1", taubench.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := taubench.NewRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := r.DB
+	db.SetStrategy(taupsm.Max)
+	for _, coalesce := range []bool{false, true} {
+		db.CoalesceResults = coalesce
+		for _, q := range taubench.Queries() {
+			sql := taubench.SequencedSQL(q, 30)
+			db.SetParallelism(1)
+			serial, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("%s serial: %v", q.Name, err)
+			}
+			want := renderRows(serial)
+			for _, par := range []int{4, 8} {
+				db.SetParallelism(par)
+				got, err := db.Query(sql)
+				if err != nil {
+					t.Fatalf("%s par=%d: %v", q.Name, par, err)
+				}
+				if g := renderRows(got); g != want {
+					t.Errorf("%s par=%d coalesce=%v: results diverge from serial\n--- serial ---\n%s--- parallel ---\n%s",
+						q.Name, par, coalesce, want, g)
+				}
+			}
+		}
+	}
+	if db.Metrics().Value("stratum.parallel.statements_total") == 0 {
+		t.Fatal("no statement took the parallel path; the property test exercised nothing")
+	}
+}
+
+// TestConcurrentQueries hammers one database from many goroutines —
+// same and different sequenced statements, so the parse, translation,
+// and constant-period caches and the parallel fragment path all run
+// concurrently. Run under -race this is the re-entrancy proof for the
+// read path.
+func TestConcurrentQueries(t *testing.T) {
+	spec, err := taubench.SpecByName("DS1", taubench.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := taubench.NewRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := r.DB
+	db.SetStrategy(taupsm.Max)
+	db.SetParallelism(4)
+
+	var stmts []string
+	var want []int
+	for _, q := range taubench.Queries()[:4] {
+		for _, c := range []int{7, 30} {
+			sql := taubench.SequencedSQL(q, c)
+			res, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("%s: %v", q.Name, err)
+			}
+			stmts = append(stmts, sql)
+			want = append(want, len(res.Rows))
+		}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				k := (g + i) % len(stmts)
+				res, err := db.Query(stmts[k])
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if len(res.Rows) != want[k] {
+					errs <- fmt.Errorf("goroutine %d: %d rows, want %d", g, len(res.Rows), want[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

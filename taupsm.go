@@ -23,7 +23,9 @@ package taupsm
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"taupsm/internal/core"
@@ -76,16 +78,58 @@ type DB struct {
 	// is what the slicing strategies naturally produce (and what the
 	// benchmark measures); snapshot equivalence holds either way.
 	CoalesceResults bool
+
+	// mu guards the caches below, the parallelism setting, and the
+	// merge of per-statement engine journals into eng.Stats. Statements
+	// execute on engine sessions, so any number of goroutines may call
+	// Query concurrently; writes (DML/DDL) still need external
+	// serialization against concurrent readers.
+	mu         sync.Mutex
+	par        int
+	parseCache map[string][]sqlast.Stmt
+	tcache     map[string]*translationEntry
+	cpcache    map[string]*cpEntry
 }
 
 // Open creates an empty temporal database.
 func Open() *DB {
 	eng := engine.New()
-	db := &DB{eng: eng, strategy: Auto, metrics: obs.NewMetrics()}
+	db := &DB{
+		eng:        eng,
+		strategy:   Auto,
+		metrics:    obs.NewMetrics(),
+		par:        runtime.GOMAXPROCS(0),
+		parseCache: map[string][]sqlast.Stmt{},
+		tcache:     map[string]*translationEntry{},
+		cpcache:    map[string]*cpEntry{},
+	}
 	db.sm = newStratumMetrics(db.metrics)
+	db.sm.parWorkers.Set(int64(db.par))
 	eng.Metrics = db.metrics
 	db.tr = core.NewTranslator(&schemaInfo{cat: eng.Cat})
 	return db
+}
+
+// SetParallelism sets the worker-pool size used to evaluate the
+// constant-period fragments of MAX-sliced sequenced queries
+// concurrently. The default is GOMAXPROCS. n <= 1 disables parallel
+// evaluation; tracing (SetTracer) also forces serial evaluation so
+// span streams stay ordered.
+func (db *DB) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	db.mu.Lock()
+	db.par = n
+	db.mu.Unlock()
+	db.sm.parWorkers.Set(int64(n))
+}
+
+// Parallelism returns the current worker-pool size.
+func (db *DB) Parallelism() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.par
 }
 
 // SetTracer attaches (or, with nil, detaches) a tracer receiving spans
@@ -127,11 +171,20 @@ type stratumMetrics struct {
 	translateNS   *obs.Histogram
 	executeNS     *obs.Histogram
 
-	engRowsScanned  *obs.Counter
-	engRowsReturned *obs.Counter
-	engRoutineCalls *obs.Counter
-	engStatements   *obs.Counter
-	engLogWrites    *obs.Counter
+	transHits   *obs.Counter
+	transMisses *obs.Counter
+	cpHits      *obs.Counter
+	cpMisses    *obs.Counter
+	parStmts    *obs.Counter
+	parFrags    *obs.Counter
+	parWorkers  *obs.Gauge
+
+	engRowsScanned    *obs.Counter
+	engRowsReturned   *obs.Counter
+	engRoutineCalls   *obs.Counter
+	engStatements     *obs.Counter
+	engLogWrites      *obs.Counter
+	engIntervalProbes *obs.Counter
 }
 
 func newStratumMetrics(m *obs.Metrics) stratumMetrics {
@@ -156,11 +209,20 @@ func newStratumMetrics(m *obs.Metrics) stratumMetrics {
 		translateNS:   m.Histogram("stratum.translate_ns"),
 		executeNS:     m.Histogram("stratum.execute_ns"),
 
-		engRowsScanned:  m.Counter("engine.rows_scanned_total"),
-		engRowsReturned: m.Counter("engine.rows_returned_total"),
-		engRoutineCalls: m.Counter("engine.routine_calls_total"),
-		engStatements:   m.Counter("engine.statements_total"),
-		engLogWrites:    m.Counter("engine.log_writes_total"),
+		transHits:   m.Counter("stratum.cache.translation_hits_total"),
+		transMisses: m.Counter("stratum.cache.translation_misses_total"),
+		cpHits:      m.Counter("stratum.cache.cp_hits_total"),
+		cpMisses:    m.Counter("stratum.cache.cp_misses_total"),
+		parStmts:    m.Counter("stratum.parallel.statements_total"),
+		parFrags:    m.Counter("stratum.parallel.fragments_total"),
+		parWorkers:  m.Gauge("stratum.parallel.workers"),
+
+		engRowsScanned:    m.Counter("engine.rows_scanned_total"),
+		engRowsReturned:   m.Counter("engine.rows_returned_total"),
+		engRoutineCalls:   m.Counter("engine.routine_calls_total"),
+		engStatements:     m.Counter("engine.statements_total"),
+		engLogWrites:      m.Counter("engine.log_writes_total"),
+		engIntervalProbes: m.Counter("engine.interval_probes_total"),
 	}
 	for _, r := range []core.Reason{
 		core.ReasonNotTransformable, core.ReasonPerPeriodCursor,
@@ -210,8 +272,13 @@ func (db *DB) SetNow(year, month, day int) {
 // direct conventional execution). Intended for benchmarks and tests.
 func (db *DB) Engine() *engine.DB { return db.eng }
 
-// parseScript parses src, timing the parse phase.
+// parseScript parses src, timing the parse phase; repeated sources
+// come from the parse cache (reusing AST pointers, which also keys the
+// engine's plan cache).
 func (db *DB) parseScript(src string) ([]sqlast.Stmt, error) {
+	if stmts, ok := db.cachedParse(src); ok {
+		return stmts, nil
+	}
 	start := time.Now()
 	stmts, err := sqlparser.ParseScript(src)
 	d := time.Since(start)
@@ -222,6 +289,9 @@ func (db *DB) parseScript(src string) ([]sqlast.Stmt, error) {
 			attrs = append(attrs, obs.A("error", err.Error()))
 		}
 		db.tracer.Span(obs.Span{Name: "stratum.parse", Start: start, Dur: d, Attrs: attrs})
+	}
+	if err == nil {
+		db.storeParse(src, stmts)
 	}
 	return stmts, err
 }
@@ -280,11 +350,11 @@ func (db *DB) ExecParsed(stmt sqlast.Stmt) (*Result, error) {
 		c.Inc()
 	}
 
-	t, err := db.timedTranslate(stmt, kind)
+	t, ent, err := db.timedTranslate(stmt, kind)
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.timedRun(t, kind)
+	res, err := db.timedRun(t, ent, kind)
 	if err != nil {
 		return nil, err
 	}
@@ -296,9 +366,9 @@ func (db *DB) ExecParsed(stmt sqlast.Stmt) (*Result, error) {
 
 // timedTranslate runs the translation phase, recording its latency and
 // a stratum.translate span.
-func (db *DB) timedTranslate(stmt sqlast.Stmt, kind string) (*core.Translation, error) {
+func (db *DB) timedTranslate(stmt sqlast.Stmt, kind string) (*core.Translation, *translationEntry, error) {
 	start := time.Now()
-	t, err := db.translateStmt(stmt)
+	t, ent, err := db.cachedTranslate(stmt)
 	d := time.Since(start)
 	db.sm.translateNS.Record(d)
 	if db.tracer != nil {
@@ -311,29 +381,72 @@ func (db *DB) timedTranslate(stmt sqlast.Stmt, kind string) (*core.Translation, 
 		}
 		db.tracer.Span(obs.Span{Name: "stratum.translate", Start: start, Dur: d, Attrs: attrs})
 	}
-	return t, err
+	return t, ent, err
 }
 
-// timedRun runs the execution phase, recording its latency, a
-// stratum.execute span, and the engine's work (rows scanned/returned,
-// routine invocations) as metric deltas.
-func (db *DB) timedRun(t *core.Translation, kind string) (*engine.Result, error) {
-	before := db.eng.Stats
+// cachedTranslate consults the translation cache before translating.
+// Only sequenced statements are cached: their translation is what the
+// strategy heuristic, routine cloning, and slicing rewrites make
+// expensive; current and nonsequenced translations are cheap syntax
+// rewrites.
+func (db *DB) cachedTranslate(stmt sqlast.Stmt) (*core.Translation, *translationEntry, error) {
+	ts, isTemporal := stmt.(*sqlast.TemporalStmt)
+	if !isTemporal || ts.Mod != sqlast.ModSequenced {
+		t, err := db.translateStmt(stmt)
+		return t, nil, err
+	}
+	key := db.translationKey(stmt)
+	if ent := db.lookupTranslation(key); ent != nil {
+		db.sm.transHits.Inc()
+		switch ent.t.Strategy {
+		case Max:
+			db.sm.strategyMax.Inc()
+		case PerStatement:
+			db.sm.strategyPerst.Inc()
+		}
+		return ent.t, ent, nil
+	}
+	db.sm.transMisses.Inc()
+	catV := db.eng.Cat.Version()
+	t, err := db.translateStmt(stmt)
+	if err != nil || t == nil {
+		return t, nil, err
+	}
+	ent := &translationEntry{
+		t:            t,
+		catVersion:   catV,
+		stamps:       db.tableStamps(t.TemporalTables),
+		parallelSafe: db.computeParallelSafe(t),
+	}
+	db.storeTranslation(key, ent)
+	return t, ent, nil
+}
+
+// timedRun runs the execution phase on a fresh engine session,
+// recording its latency, a stratum.execute span, and the session's
+// work journal (rows scanned/returned, routine invocations) as metric
+// deltas before merging it into the shared engine statistics.
+func (db *DB) timedRun(t *core.Translation, ent *translationEntry, kind string) (*engine.Result, error) {
+	ses := db.eng.NewSession()
 	start := time.Now()
-	res, err := db.runTranslation(t)
+	res, err := db.runTranslation(ses, ent, t)
 	d := time.Since(start)
 	db.sm.executeNS.Record(d)
-	after := db.eng.Stats
-	db.sm.engRowsScanned.Add(after.RowsScanned - before.RowsScanned)
-	db.sm.engRowsReturned.Add(after.RowsReturned - before.RowsReturned)
-	db.sm.engRoutineCalls.Add(after.RoutineCalls - before.RoutineCalls)
-	db.sm.engStatements.Add(after.Statements - before.Statements)
-	db.sm.engLogWrites.Add(after.LogWrites - before.LogWrites)
+	delta := ses.Stats
+	db.mu.Lock()
+	db.eng.Stats.Merge(delta)
+	db.mu.Unlock()
+	db.sm.engRowsScanned.Add(delta.RowsScanned)
+	db.sm.engRowsReturned.Add(delta.RowsReturned)
+	db.sm.engRoutineCalls.Add(delta.RoutineCalls)
+	db.sm.engStatements.Add(delta.Statements)
+	db.sm.engLogWrites.Add(delta.LogWrites)
+	db.sm.engIntervalProbes.Add(delta.IntervalProbes)
 	if db.tracer != nil {
 		attrs := []obs.Attr{
 			obs.A("kind", kind),
-			obs.AInt("routine_calls", after.RoutineCalls-before.RoutineCalls),
-			obs.AInt("rows_scanned", after.RowsScanned-before.RowsScanned),
+			obs.AInt("routine_calls", delta.RoutineCalls),
+			obs.AInt("rows_scanned", delta.RowsScanned),
 		}
 		if err == nil && res != nil {
 			attrs = append(attrs, obs.AInt("rows", int64(len(res.Rows))))
@@ -487,55 +600,105 @@ func (db *DB) temporalRowCount() int {
 	return n
 }
 
-// runTranslation registers routines, runs setup (natively computing
-// constant periods for MAX unless UseFigure8SQL), executes the main
-// statement, and tears down.
-func (db *DB) runTranslation(t *core.Translation) (res *engine.Result, err error) {
-	for _, r := range t.Routines {
-		if _, err := db.eng.ExecStmt(r); err != nil {
-			return nil, fmt.Errorf("registering transformed routine: %w", err)
+// runTranslation registers the translation's routines (once per cache
+// entry — the entry's catalog-version check guarantees they are still
+// installed on later hits), then executes the main statement on the
+// given engine session: natively for MAX constant periods unless
+// UseFigure8SQL, through the translation's own Setup/Teardown script
+// otherwise.
+func (db *DB) runTranslation(e *engine.DB, ent *translationEntry, t *core.Translation) (res *engine.Result, err error) {
+	register := true
+	if ent != nil {
+		db.mu.Lock()
+		register = !ent.registered
+		db.mu.Unlock()
+	}
+	if register {
+		for _, r := range t.Routines {
+			if _, err := e.ExecStmt(r); err != nil {
+				return nil, fmt.Errorf("registering transformed routine: %w", err)
+			}
 		}
+		if ent != nil {
+			// Registration may have bumped the catalog version; re-pin the
+			// entry so the very next lookup already hits.
+			db.mu.Lock()
+			ent.registered = true
+			ent.catVersion = db.eng.Cat.Version()
+			db.mu.Unlock()
+		}
+	}
+	if t.NeedsConstantPeriods && !db.UseFigure8SQL {
+		return db.runNative(e, ent, t)
 	}
 	if len(t.Teardown) > 0 {
 		defer func() {
 			for _, s := range t.Teardown {
-				if _, terr := db.eng.ExecStmt(s); terr != nil && err == nil {
+				if _, terr := e.ExecStmt(s); terr != nil && err == nil {
 					err = terr
 				}
 			}
 		}()
 	}
-	if t.NeedsConstantPeriods && !db.UseFigure8SQL {
-		if err := db.nativeConstantPeriods(t); err != nil {
-			return nil, err
-		}
-	} else {
-		for _, s := range t.Setup {
-			if _, err := db.eng.ExecStmt(s); err != nil {
-				return nil, fmt.Errorf("translation setup: %w", err)
-			}
-		}
-		if t.NeedsConstantPeriods {
-			// Figure-8 SQL path: the cp table holds the constant periods.
-			if tab := db.eng.Cat.Table("taupsm_cp"); tab != nil {
-				db.sm.cpLast.Set(int64(len(tab.Rows)))
-				db.sm.cpTotal.Add(int64(len(tab.Rows)))
-			}
+	for _, s := range t.Setup {
+		if _, err := e.ExecStmt(s); err != nil {
+			return nil, fmt.Errorf("translation setup: %w", err)
 		}
 	}
-	// Fragment accounting is detailed-mode only (it walks the reachable
-	// temporal tables), so the no-tracer hot path skips it.
-	if db.tracer != nil && t.ContextBegin != nil {
-		if ctx, err := db.contextPeriod(t); err == nil {
-			n := int64(db.countFragments(t.TemporalTables, ctx))
-			db.sm.fragLast.Set(n)
-			db.sm.fragTotal.Add(n)
+	if t.NeedsConstantPeriods {
+		// Figure-8 SQL path: the cp table holds the constant periods.
+		if tab := db.eng.Cat.Table("taupsm_cp"); tab != nil {
+			db.sm.cpLast.Set(int64(len(tab.Rows)))
+			db.sm.cpTotal.Add(int64(len(tab.Rows)))
 		}
 	}
+	db.recordFragments(t)
 	if t.Main == nil {
 		return &engine.Result{}, nil
 	}
-	return db.eng.ExecStmt(t.Main)
+	return e.ExecStmt(t.Main)
+}
+
+// runNative executes a MAX-sliced translation without materializing
+// catalog tables: the (cached) constant-period relation binds to the
+// main statement as a table variable, so the catalog version never
+// churns and repeated statements keep every cache warm. When the
+// statement shape allows it, fragments evaluate in parallel.
+func (db *DB) runNative(e *engine.DB, ent *translationEntry, t *core.Translation) (*engine.Result, error) {
+	ctxPeriod, err := db.contextPeriod(t)
+	if err != nil {
+		return nil, err
+	}
+	cpTab := db.constantPeriodTable(t, ctxPeriod)
+	db.sm.cpLast.Set(int64(len(cpTab.Rows)))
+	db.sm.cpTotal.Add(int64(len(cpTab.Rows)))
+	db.recordFragments(t)
+	if t.Main == nil {
+		return &engine.Result{}, nil
+	}
+	safe := false
+	if ent != nil {
+		safe = ent.parallelSafe // immutable after construction
+	} else {
+		safe = db.computeParallelSafe(t)
+	}
+	if par := db.Parallelism(); par > 1 && len(cpTab.Rows) > 1 && db.tracer == nil && safe {
+		return db.runParallelMain(e, t, cpTab, par)
+	}
+	return e.ExecStmtWithTables(t.Main, map[string]*storage.Table{"taupsm_cp": cpTab})
+}
+
+// recordFragments is detailed-mode-only fragment accounting (it walks
+// the reachable temporal tables), so the no-tracer hot path skips it.
+func (db *DB) recordFragments(t *core.Translation) {
+	if db.tracer == nil || t.ContextBegin == nil {
+		return
+	}
+	if ctx, err := db.contextPeriod(t); err == nil {
+		n := int64(db.countFragments(t.TemporalTables, ctx))
+		db.sm.fragLast.Set(n)
+		db.sm.fragTotal.Add(n)
+	}
 }
 
 // contextPeriod resolves a sequenced translation's temporal context
@@ -587,42 +750,6 @@ func (db *DB) countFragments(tables []string, ctx temporal.Period) int {
 		}
 	}
 	return n
-}
-
-// nativeConstantPeriods materializes the taupsm_cp table directly from
-// the storage layer: collect every begin/end instant of the reachable
-// temporal tables, clamp to the context, and emit adjacent pairs. This
-// is semantically identical to executing the Figure-8 SQL (a test
-// proves it) but linear instead of a quadratic self-join.
-func (db *DB) nativeConstantPeriods(t *core.Translation) error {
-	ctxPeriod, err := db.contextPeriod(t)
-	if err != nil {
-		return err
-	}
-	periods := temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables), ctxPeriod)
-	db.sm.cpLast.Set(int64(len(periods)))
-	db.sm.cpTotal.Add(int64(len(periods)))
-
-	for _, name := range []string{"taupsm_ts", "taupsm_cp"} {
-		db.eng.Cat.DropTable(name)
-		tsTab := storage.NewTable(name, storage.NewSchema([]storage.Column{
-			{Name: "time_point", Type: sqlast.TypeName{Base: "DATE"}},
-		}))
-		if name == "taupsm_cp" {
-			tsTab = storage.NewTable(name, storage.NewSchema([]storage.Column{
-				{Name: "begin_time", Type: sqlast.TypeName{Base: "DATE"}},
-				{Name: "end_time", Type: sqlast.TypeName{Base: "DATE"}},
-			}))
-			for _, p := range periods {
-				if err := tsTab.Insert([]types.Value{types.NewDate(p.Begin), types.NewDate(p.End)}); err != nil {
-					return err
-				}
-			}
-		}
-		tsTab.Temporary = true
-		db.eng.Cat.PutTable(tsTab)
-	}
-	return nil
 }
 
 // Translate performs the pure source-to-source transformation: it
