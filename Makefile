@@ -11,9 +11,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the full gate: static checks plus the race-enabled test run.
+# verify is the full gate: formatting, static checks (staticcheck when
+# installed — CI installs a pinned version), then the race-enabled
+# test run.
 verify:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
 	$(GO) test -race ./...
 
 # bench regenerates the machine-readable benchmark artifact extending

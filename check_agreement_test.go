@@ -1,0 +1,214 @@
+package taupsm_test
+
+// Agreement tests: internal/check statically reimplements two engine
+// analyses — routine purity (the function-result memo gate) and
+// parallel chunk safety (the MAX fragment-worker gate). Both engine
+// paths now delegate to the analyzer; these tests keep verbatim copies
+// of the legacy inline walkers they replaced and assert the analyzer
+// agrees with them on every routine and every query of the 16-query
+// benchmark corpus.
+
+import (
+	"strings"
+	"testing"
+
+	"taupsm"
+	"taupsm/internal/core"
+	"taupsm/internal/engine"
+	"taupsm/internal/sqlast"
+	"taupsm/internal/sqlparser"
+	"taupsm/internal/storage"
+	"taupsm/internal/taubench"
+)
+
+// legacyPure is the engine's pre-analyzer purity walker, verbatim
+// except that the sync.Map cache became a plain map: provisionally
+// impure on entry (recursion resolves to impure), DML against stored
+// tables and any DDL impure, callees resolved through the catalog.
+func legacyPure(cat *storage.Catalog, r *storage.Routine, memo map[*storage.Routine]bool) bool {
+	if v, ok := memo[r]; ok {
+		return v
+	}
+	memo[r] = false
+	pure := true
+	sqlast.Walk(r.Body(), func(m sqlast.Node) bool {
+		if !pure {
+			return false
+		}
+		switch x := m.(type) {
+		case *sqlast.InsertStmt:
+			if cat.Table(x.Table) != nil {
+				pure = false
+			}
+		case *sqlast.UpdateStmt:
+			if cat.Table(x.Table) != nil {
+				pure = false
+			}
+		case *sqlast.DeleteStmt:
+			if cat.Table(x.Table) != nil {
+				pure = false
+			}
+		case *sqlast.CreateTableStmt, *sqlast.DropTableStmt,
+			*sqlast.CreateViewStmt, *sqlast.DropViewStmt,
+			*sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt,
+			*sqlast.DropRoutineStmt, *sqlast.AlterAddValidTime:
+			pure = false
+		case *sqlast.FuncCall:
+			if r2 := cat.Routine(x.Name); r2 != nil && !legacyPure(cat, r2, memo) {
+				pure = false
+			}
+		case *sqlast.CallStmt:
+			if r2 := cat.Routine(x.Name); r2 != nil && !legacyPure(cat, r2, memo) {
+				pure = false
+			}
+		}
+		return pure
+	})
+	memo[r] = pure
+	return pure
+}
+
+// legacyParallelSafe is the stratum's pre-analyzer chunk-safety
+// walker, verbatim: top-level ORDER BY / FETCH FIRST unsafe, then a
+// write-freedom walk over the main statement and every reachable
+// routine, translation-local clones resolved before the catalog.
+func legacyParallelSafe(cat *storage.Catalog, t *core.Translation) bool {
+	q, ok := t.Main.(sqlast.QueryExpr)
+	if !ok || !legacyChunkOrderSafe(q) {
+		return false
+	}
+	local := map[string]sqlast.Stmt{}
+	for _, r := range t.Routines {
+		switch x := r.(type) {
+		case *sqlast.CreateFunctionStmt:
+			local[strings.ToLower(x.Name)] = x.Body
+		case *sqlast.CreateProcedureStmt:
+			local[strings.ToLower(x.Name)] = x.Body
+		}
+	}
+	seen := map[string]bool{}
+	safe := true
+	var checkNode func(n sqlast.Node)
+	visitRoutine := func(name string) {
+		k := strings.ToLower(name)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		if body, ok := local[k]; ok {
+			checkNode(body)
+			return
+		}
+		if r := cat.Routine(name); r != nil {
+			checkNode(r.Body())
+		}
+	}
+	checkNode = func(n sqlast.Node) {
+		sqlast.Walk(n, func(m sqlast.Node) bool {
+			if !safe {
+				return false
+			}
+			switch x := m.(type) {
+			case *sqlast.InsertStmt:
+				if cat.Table(x.Table) != nil {
+					safe = false
+				}
+			case *sqlast.UpdateStmt:
+				if cat.Table(x.Table) != nil {
+					safe = false
+				}
+			case *sqlast.DeleteStmt:
+				if cat.Table(x.Table) != nil {
+					safe = false
+				}
+			case *sqlast.CreateTableStmt, *sqlast.DropTableStmt,
+				*sqlast.CreateViewStmt, *sqlast.DropViewStmt,
+				*sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt,
+				*sqlast.DropRoutineStmt:
+				safe = false
+			case *sqlast.FuncCall:
+				visitRoutine(x.Name)
+			case *sqlast.CallStmt:
+				visitRoutine(x.Name)
+			}
+			return safe
+		})
+	}
+	checkNode(t.Main)
+	return safe
+}
+
+func legacyChunkOrderSafe(q sqlast.QueryExpr) bool {
+	switch x := q.(type) {
+	case *sqlast.SelectStmt:
+		return len(x.OrderBy) == 0 && x.Limit == nil
+	case *sqlast.SetOpExpr:
+		if len(x.OrderBy) > 0 {
+			return false
+		}
+		return legacyChunkOrderSafe(x.L) && legacyChunkOrderSafe(x.R)
+	case *sqlast.ValuesExpr:
+		return true
+	}
+	return false
+}
+
+// corpusEngine loads the benchmark schema and one query's routines
+// into a bare engine (no stratum, no CREATE-time checks).
+func corpusEngine(t *testing.T, routines string) *engine.DB {
+	t.Helper()
+	e := engine.New()
+	if _, err := e.ExecScript(taubench.Schema); err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	if strings.TrimSpace(routines) != "" {
+		if _, err := e.ExecScript(routines); err != nil {
+			t.Fatalf("routines: %v", err)
+		}
+	}
+	return e
+}
+
+func TestStaticPurityAgreesWithEngine(t *testing.T) {
+	for _, q := range taubench.Queries() {
+		t.Run(q.Name, func(t *testing.T) {
+			e := corpusEngine(t, q.Routines)
+			memo := map[*storage.Routine]bool{}
+			for _, name := range e.Cat.RoutineNames() {
+				want := legacyPure(e.Cat, e.Cat.Routine(name), memo)
+				got := e.RoutinePure(name)
+				if got != want {
+					t.Errorf("%s: static purity %v, legacy walker %v", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestStaticParallelSafetyAgreesWithEngine(t *testing.T) {
+	for _, q := range taubench.Queries() {
+		t.Run(q.Name, func(t *testing.T) {
+			db := taupsm.Open()
+			db.MustExec(taubench.Schema)
+			if strings.TrimSpace(q.Routines) != "" {
+				db.MustExec(q.Routines)
+			}
+			stmt, err := sqlparser.ParseStatement("VALIDTIME " + q.Text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			tr, err := db.TranslateStmt(stmt, taupsm.Max)
+			if err != nil {
+				t.Fatalf("translate: %v", err)
+			}
+			// The legacy walker reads the catalog directly; mirror the
+			// database's catalog state in a bare engine.
+			e := corpusEngine(t, q.Routines)
+			want := legacyParallelSafe(e.Cat, tr)
+			got := db.ParallelSafe(tr)
+			if got != want {
+				t.Errorf("%s: static parallel safety %v, legacy walker %v", q.Name, got, want)
+			}
+		})
+	}
+}

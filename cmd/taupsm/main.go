@@ -8,6 +8,7 @@
 //	taupsm -mode translate -strategy max query.sql
 //	taupsm -mode translate -strategy perst -          # read stdin
 //	taupsm -mode repl                     # interactive shell
+//	taupsm vet script.sql ...             # static analysis, no execution
 //
 // In exec mode every statement is translated by the stratum and run;
 // results of queries are printed as text tables. In translate mode the
@@ -30,6 +31,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) >= 2 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:], os.Stdout))
+	}
 	mode := flag.String("mode", "exec", "exec, translate, or repl")
 	strategy := flag.String("strategy", "auto", "sequenced slicing strategy: auto, max, perst")
 	now := flag.String("now", "", "fix CURRENT_DATE (YYYY-MM-DD)")

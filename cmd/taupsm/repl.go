@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -19,11 +20,13 @@ type repl struct {
 	db     *taupsm.DB
 	out    io.Writer
 	timing bool
+	lint   bool
 	buf    strings.Builder
 }
 
 const replHelp = `Backslash commands:
   \timing [on|off]   toggle printing per-statement elapsed time (ms)
+  \lint [on|off]     toggle static analysis of each submitted statement
   \metrics [reset]   print the metrics registry, or reset every series
   \strategy [s]      show or set the slicing strategy: auto, max, perst
   \parallel [n]      show or set the fragment worker-pool size
@@ -31,7 +34,8 @@ const replHelp = `Backslash commands:
   \help, \?          this help
   \q                 quit
 Statements end with ';' and may span lines. EXPLAIN <statement> shows
-the translation plan and slicing statistics without executing.
+the translation plan, lint findings, and slicing statistics without
+executing.
 `
 
 // runREPL drives the shell until \q or EOF.
@@ -93,6 +97,20 @@ func (r *repl) meta(cmd string) bool {
 			state = "on"
 		}
 		fmt.Fprintf(r.out, "Timing is %s.\n", state)
+	case `\lint`:
+		switch {
+		case len(fields) > 1 && fields[1] == "on":
+			r.lint = true
+		case len(fields) > 1 && fields[1] == "off":
+			r.lint = false
+		default:
+			r.lint = !r.lint
+		}
+		state := "off"
+		if r.lint {
+			state = "on"
+		}
+		fmt.Fprintf(r.out, "Lint is %s.\n", state)
 	case `\metrics`:
 		if len(fields) > 1 && fields[1] == "reset" {
 			r.db.Metrics().Reset()
@@ -110,6 +128,9 @@ func (r *repl) meta(cmd string) bool {
 			r.db.SetStrategy(s)
 		}
 		fmt.Fprintf(r.out, "Strategy is %s.\n", r.db.Strategy())
+		if note := r.db.LastFallbackNote(); note != "" {
+			fmt.Fprintf(r.out, "%s\n", note)
+		}
 	case `\parallel`:
 		if len(fields) > 1 {
 			n, err := strconv.Atoi(fields[1])
@@ -140,6 +161,22 @@ func incompleteInput(err error) bool {
 		strings.Contains(msg, "unterminated")
 }
 
+// caret prints the source line a parse error points at, with a caret
+// under the offending column.
+func (r *repl) caret(src string, line, col int) {
+	lines := strings.Split(src, "\n")
+	if line < 1 || line > len(lines) || col < 1 {
+		return
+	}
+	text := strings.TrimRight(lines[line-1], "\r")
+	fmt.Fprintf(r.out, "  %s\n", text)
+	pad := col - 1
+	if pad > len(text) {
+		pad = len(text)
+	}
+	fmt.Fprintf(r.out, "  %s^\n", strings.Repeat(" ", pad))
+}
+
 // submit parses the buffered input and, when it forms a complete
 // script, executes it statement by statement. Errors echo the
 // offending statement so multi-statement input pinpoints the failure.
@@ -152,16 +189,39 @@ func (r *repl) submit() {
 		}
 		r.buf.Reset()
 		fmt.Fprintf(r.out, "error: %v\nstatement: %s\n", err, strings.TrimSpace(src))
+		var perr *sqlparser.Error
+		if errors.As(err, &perr) {
+			r.caret(src, perr.Pos.Line, perr.Pos.Col)
+		}
 		return
 	}
 	r.buf.Reset()
 	for _, s := range stmts {
+		if r.lint {
+			for _, d := range r.db.LintParsed(s) {
+				fmt.Fprintf(r.out, "lint: %s\n", d)
+				if d.Line > 0 {
+					r.caret(src, d.Line, d.Col)
+				}
+			}
+		}
 		start := time.Now()
 		res, err := r.db.ExecParsed(s)
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(r.out, "error: %v\nstatement: %s\n", err, s.SQL())
+			var lerr *taupsm.LintError
+			if errors.As(err, &lerr) {
+				for _, d := range lerr.Diagnostics {
+					if d.Severity == "error" && d.Line > 0 {
+						r.caret(src, d.Line, d.Col)
+					}
+				}
+			}
 			return
+		}
+		for _, d := range res.Warnings {
+			fmt.Fprintf(r.out, "warning: %s\n", d)
 		}
 		if len(res.Columns) > 0 {
 			fmt.Fprint(r.out, res.String())

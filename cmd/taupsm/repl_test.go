@@ -172,3 +172,47 @@ func TestREPLDanglingStatementOnEOF(t *testing.T) {
 		t.Fatalf("dangling statement failed:\n%s", out)
 	}
 }
+
+// A parse error prints the offending line with a caret under the
+// failing column.
+func TestREPLParseErrorCaret(t *testing.T) {
+	out := replOut(t, taupsm.Open(), "SELECT x FROM;\n\\q\n")
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("no parse error:\n%s", out)
+	}
+	if !strings.Contains(out, "  SELECT x FROM;") || !strings.Contains(out, "^") {
+		t.Fatalf("no caret rendering:\n%s", out)
+	}
+}
+
+func TestREPLLintToggle(t *testing.T) {
+	out := replOut(t, taupsm.Open(), `
+CREATE TABLE t (a INTEGER);
+\lint on
+SELECT b FROM missing;
+\lint off
+\q
+`)
+	if !strings.Contains(out, "Lint is on.") || !strings.Contains(out, "Lint is off.") {
+		t.Fatalf("lint toggle missing:\n%s", out)
+	}
+	if !strings.Contains(out, "TAU004") {
+		t.Fatalf("no lint diagnostic for unknown table:\n%s", out)
+	}
+}
+
+// A rejected CREATE points a caret at the offending position.
+func TestREPLCreateRejectionCaret(t *testing.T) {
+	out := replOut(t, taupsm.Open(), `CREATE PROCEDURE p ()
+BEGIN
+  SET nope = 1;
+END;
+\q
+`)
+	if !strings.Contains(out, "TAU001") {
+		t.Fatalf("CREATE not rejected by analyzer:\n%s", out)
+	}
+	if !strings.Contains(out, "  SET nope = 1;") {
+		t.Fatalf("offending line not echoed with caret:\n%s", out)
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"taupsm/internal/check"
+	"taupsm/internal/sqlparser"
+	"taupsm/internal/storage"
+)
+
+// runVet statically checks each file (or stdin for "-") without
+// executing anything: every statement is analyzed against a script
+// catalog that follows the file's DDL, and findings print as
+// file:line:col: severity CODE: message. The exit code is 1 when any
+// file fails to parse or any diagnostic has error severity, 0
+// otherwise.
+func runVet(args []string, w io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(w, "usage: taupsm vet <file.sql ... | ->")
+		return 2
+	}
+	failed := false
+	for _, path := range args {
+		var src []byte
+		var err error
+		if path == "-" {
+			src, err = io.ReadAll(os.Stdin)
+			path = "<stdin>"
+		} else {
+			src, err = os.ReadFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		if vetSource(w, path, string(src)) {
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// vetSource checks one script, printing findings; it reports whether
+// the script has a parse error or any error-severity diagnostic.
+func vetSource(w io.Writer, path, src string) bool {
+	stmts, err := sqlparser.ParseScript(src)
+	if err != nil {
+		var perr *sqlparser.Error
+		if errors.As(err, &perr) {
+			fmt.Fprintf(w, "%s:%d:%d: error parse: %s\n", path, perr.Pos.Line, perr.Pos.Col, perr.Msg)
+		} else {
+			fmt.Fprintf(w, "%s: %v\n", path, err)
+		}
+		return true
+	}
+	cat := check.NewScriptCatalog(check.FromStorage(storage.NewCatalog()))
+	failed := false
+	for _, s := range stmts {
+		for _, d := range check.Check(cat, s) {
+			fmt.Fprintf(w, "%s:%s\n", path, d.String())
+			if d.Severity == check.Error {
+				failed = true
+			}
+		}
+		cat.Apply(s)
+	}
+	return failed
+}

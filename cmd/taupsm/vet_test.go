@@ -1,0 +1,73 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestVetBadRoutines(t *testing.T) {
+	var out strings.Builder
+	code := runVet([]string{"../../testdata/bad_routines.sql"}, &out)
+	if code == 0 {
+		t.Fatalf("vet of bad_routines.sql exited 0; output:\n%s", out.String())
+	}
+
+	// Every finding prints as file:line:col: severity CODE: message.
+	lineRE := regexp.MustCompile(`^(.+\.sql):(\d+):(\d+): (error|warning) (TAU\d{3}): .+$`)
+	codes := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		m := lineRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("malformed diagnostic line %q", line)
+			continue
+		}
+		if m[2] == "0" || m[3] == "0" {
+			t.Errorf("diagnostic without a real position: %q", line)
+		}
+		codes[m[5]] = true
+	}
+	if len(codes) < 8 {
+		t.Errorf("want >= 8 distinct codes, got %d: %v\noutput:\n%s", len(codes), codes, out.String())
+	}
+	for _, want := range []string{"TAU001", "TAU002", "TAU003", "TAU004", "TAU006", "TAU007", "TAU009", "TAU010", "TAU012", "TAU013", "TAU020"} {
+		if !codes[want] {
+			t.Errorf("missing code %s in vet output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestVetCleanScript(t *testing.T) {
+	var out strings.Builder
+	failed := vetSource(&out, "clean.sql", `
+CREATE TABLE t (a INTEGER, b INTEGER);
+CREATE FUNCTION sumab () RETURNS INTEGER READS SQL DATA
+BEGIN
+  RETURN (SELECT SUM(a + b) FROM t);
+END;
+SELECT a FROM t;
+`)
+	if failed {
+		t.Fatalf("clean script failed vet:\n%s", out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean script produced diagnostics:\n%s", out.String())
+	}
+}
+
+func TestVetParseError(t *testing.T) {
+	var out strings.Builder
+	if !vetSource(&out, "broken.sql", "SELECT FROM FROM;") {
+		t.Fatal("parse error did not fail vet")
+	}
+	if !strings.Contains(out.String(), "broken.sql:1:") {
+		t.Errorf("parse error lacks position: %q", out.String())
+	}
+}
+
+func TestVetNoArgs(t *testing.T) {
+	var out strings.Builder
+	if code := runVet(nil, &out); code != 2 {
+		t.Fatalf("runVet with no args = %d, want 2", code)
+	}
+}

@@ -65,6 +65,10 @@ type Explain struct {
 	CPCacheHit          bool
 	// SQL is the conventional SQL/PSM script the statement compiles to.
 	SQL string
+	// Lint holds the static analyzer's findings for the statement
+	// against the live catalog (warnings and errors; EXPLAIN reports
+	// rather than rejects).
+	Lint []Diagnostic
 }
 
 // Explain parses one statement (a bare statement or an EXPLAIN
@@ -90,7 +94,7 @@ func (db *DB) ExplainParsed(stmt sqlast.Stmt) (*Explain, error) {
 		return nil, fmt.Errorf("EXPLAIN cannot be nested")
 	}
 	db.sm.explain.Inc()
-	e := &Explain{Kind: stmtKind(stmt)}
+	e := &Explain{Kind: stmtKind(stmt), Lint: db.LintParsed(stmt)}
 
 	var t *core.Translation
 	var err error
@@ -195,6 +199,13 @@ func (e *Explain) Result() *Result {
 		if e.Strategy == Max {
 			add("cp_cache", hitMiss(e.CPCacheHit))
 		}
+	}
+	for i, d := range e.Lint {
+		prop := ""
+		if i == 0 {
+			prop = "lint"
+		}
+		add(prop, d.String())
 	}
 	for i, line := range strings.Split(strings.TrimRight(e.SQL, "\n"), "\n") {
 		prop := ""

@@ -1,0 +1,472 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/sqlparser"
+)
+
+// testCatalog builds a shadow catalog from a schema script.
+func testCatalog(t *testing.T, schema string) *ScriptCatalog {
+	t.Helper()
+	cat := NewScriptCatalog(nil)
+	if schema == "" {
+		return cat
+	}
+	stmts, err := sqlparser.ParseScript(schema)
+	if err != nil {
+		t.Fatalf("schema parse: %v", err)
+	}
+	for _, s := range stmts {
+		cat.Apply(s)
+	}
+	return cat
+}
+
+const testSchema = `
+CREATE TABLE item (item_id CHAR(10), title VARCHAR(100), price FLOAT, subject VARCHAR(30)) AS VALIDTIME;
+CREATE TABLE author (author_id CHAR(10), name VARCHAR(60)) AS VALIDTIME;
+CREATE TABLE item_author (item_id CHAR(10), author_id CHAR(10));
+CREATE TABLE audit_log (op VARCHAR(10), who VARCHAR(20)) AS TRANSACTIONTIME;
+CREATE FUNCTION item_price (iid CHAR(10)) RETURNS FLOAT READS SQL DATA
+BEGIN
+  RETURN (SELECT price FROM item WHERE item_id = iid);
+END;
+CREATE PROCEDURE log_op (IN op VARCHAR(10), OUT n INTEGER)
+BEGIN
+  SET n = 1;
+END;
+`
+
+func checkOne(t *testing.T, cat Catalog, src string) []Diagnostic {
+	t.Helper()
+	stmt, err := sqlparser.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Check(cat, stmt)
+}
+
+// find returns the first diagnostic with the given code.
+func find(diags []Diagnostic, code string) (Diagnostic, bool) {
+	for _, d := range diags {
+		if d.Code == code {
+			return d, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+func TestDiagnosticCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		code     string
+		sev      Severity
+		line     int // 1-based line of the expected diagnostic within src
+		col      int
+		contains string
+	}{
+		{
+			name: "TAU001 undeclared variable in SET",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  SET x = 1;
+  RETURN 0;
+END`,
+			code: CodeUndeclaredVar, sev: Error, line: 3, col: 3,
+			contains: "variable x is not declared",
+		},
+		{
+			name: "TAU001 bare name neither column nor variable",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  RETURN (SELECT price FROM item WHERE item_id = nosuch);
+END`,
+			code: CodeUndeclaredVar, sev: Error, line: 3, col: 50,
+			contains: "name nosuch is neither a column in scope nor a variable",
+		},
+		{
+			name: "TAU002 undeclared cursor",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  OPEN c;
+  RETURN 0;
+END`,
+			code: CodeUndeclaredCursor, sev: Error, line: 3, col: 3,
+			contains: "cursor c is not declared",
+		},
+		{
+			name: "TAU003 LEAVE unknown label",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  LEAVE nowhere;
+  RETURN 0;
+END`,
+			code: CodeUnknownLabel, sev: Error, line: 3, col: 3,
+			contains: "no enclosing statement labeled nowhere",
+		},
+		{
+			name: "TAU003 ITERATE of compound label",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+blk: BEGIN
+  ITERATE blk;
+  RETURN 0;
+END`,
+			code: CodeUnknownLabel, sev: Error, line: 3, col: 3,
+			contains: "no enclosing loop labeled blk",
+		},
+		{
+			name: "TAU004 unknown table top-level",
+			src:  `SELECT * FROM nosuch_table`,
+			code: CodeUnknownTable, sev: Error, line: 1, col: 15,
+			contains: "table or view nosuch_table does not exist",
+		},
+		{
+			name: "TAU005 unknown qualified column top-level",
+			src:  `SELECT i.nosuch FROM item i`,
+			code: CodeUnknownColumn, sev: Error, line: 1, col: 8,
+			contains: "column i.nosuch does not exist",
+		},
+		{
+			name: "TAU006 unknown function",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  RETURN no_such_fn(1);
+END`,
+			code: CodeUnknownRoutine, sev: Error, line: 3, col: 10,
+			contains: "unknown function no_such_fn",
+		},
+		{
+			name: "TAU006 unknown procedure",
+			src: `CREATE PROCEDURE p ()
+BEGIN
+  CALL no_such_proc();
+END`,
+			code: CodeUnknownRoutine, sev: Error, line: 3, col: 3,
+			contains: "procedure no_such_proc does not exist",
+		},
+		{
+			name: "TAU007 CALL of a function",
+			src: `CREATE PROCEDURE p ()
+BEGIN
+  CALL item_price('i1');
+END`,
+			code: CodeKindMismatch, sev: Error, line: 3, col: 3,
+			contains: "item_price is a function; invoke it in an expression",
+		},
+		{
+			name: "TAU007 procedure invoked as function",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  RETURN log_op('x');
+END`,
+			code: CodeKindMismatch, sev: Error, line: 3, col: 10,
+			contains: "log_op is a procedure",
+		},
+		{
+			name: "TAU008 direct recursion",
+			src: `CREATE FUNCTION f (n INTEGER) RETURNS INTEGER
+BEGIN
+  RETURN f(n);
+END`,
+			code: CodeRecursion, sev: Warning, line: 1, col: 8,
+			contains: "routine f is directly or mutually recursive",
+		},
+		{
+			name: "TAU009 stored function arity",
+			src: `CREATE FUNCTION f () RETURNS FLOAT
+BEGIN
+  RETURN item_price('a', 'b');
+END`,
+			code: CodeBadArity, sev: Error, line: 3, col: 10,
+			contains: "function item_price expects 1 arguments, got 2",
+		},
+		{
+			name: "TAU009 builtin arity",
+			src:  `SELECT MOD(price) FROM item`,
+			code: CodeBadArity, sev: Error, line: 1, col: 8,
+			contains: "MOD expects 2 argument(s), got 1",
+		},
+		{
+			name: "TAU009 OUT argument must be a variable",
+			src: `CREATE PROCEDURE p ()
+BEGIN
+  CALL log_op('x', 42);
+END`,
+			code: CodeBadArity, sev: Error, line: 3, col: 3,
+			contains: "argument 2 of log_op must be a variable (parameter n is OUT)",
+		},
+		{
+			name: "TAU010 declared but never used",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  DECLARE unused INTEGER;
+  RETURN 0;
+END`,
+			code: CodeDeadStore, sev: Warning, line: 3, col: 3,
+			contains: "variable unused is declared but never used",
+		},
+		{
+			name: "TAU010 assigned but never read",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  DECLARE v INTEGER;
+  SET v = 3;
+  RETURN 0;
+END`,
+			code: CodeDeadStore, sev: Warning, line: 3, col: 3,
+			contains: "value assigned to v is never read",
+		},
+		{
+			name: "TAU011 unreachable after RETURN",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  RETURN 1;
+  SET x = 2;
+END`,
+			code: CodeUnreachable, sev: Warning, line: 4, col: 3,
+			contains: "unreachable statement",
+		},
+		{
+			name: "TAU012 duplicate declaration",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  DECLARE v INTEGER;
+  DECLARE v FLOAT;
+  RETURN v;
+END`,
+			code: CodeDuplicate, sev: Warning, line: 4, col: 3,
+			contains: "duplicate declaration of v",
+		},
+		{
+			name: "TAU013 function may end without RETURN",
+			src: `CREATE FUNCTION f (n INTEGER) RETURNS INTEGER
+BEGIN
+  IF n > 0 THEN
+    RETURN 1;
+  END IF;
+END`,
+			code: CodeMissingRet, sev: Warning, line: 1, col: 8,
+			contains: "function f may end without RETURN",
+		},
+		{
+			name: "TAU020 modifier reaches no temporal table",
+			src:  `VALIDTIME SELECT * FROM item_author`,
+			code: CodeNoTemporalTable, sev: Warning, line: 1, col: 1,
+			contains: "no VALIDTIME table is reachable",
+		},
+		{
+			name: "TAU021 mixed dimensions",
+			src:  `VALIDTIME SELECT i.title FROM item i, audit_log a`,
+			code: CodeMixedDimensions, sev: Error, line: 1, col: 1,
+			contains: "mixing dimensions in one sequenced statement is not supported",
+		},
+		{
+			name: "TAU022 explicit period column write",
+			src:  `UPDATE item SET end_time = DATE '2001-01-01' WHERE item_id = 'i1'`,
+			code: CodeTimeColumnWrite, sev: Warning, line: 1, col: 17,
+			contains: "explicit write to system-maintained period column item.end_time",
+		},
+		{
+			name: "TAU031 manual DML on transaction-time table",
+			src:  `NONSEQUENCED TRANSACTIONTIME DELETE FROM audit_log`,
+			code: CodeManualTransTime, sev: Error, line: 1, col: 30,
+			contains: "transaction time of table audit_log is system-maintained",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat := testCatalog(t, testSchema)
+			diags := checkOne(t, cat, tc.src)
+			d, ok := find(diags, tc.code)
+			if !ok {
+				t.Fatalf("no %s diagnostic; got %v", tc.code, diags)
+			}
+			if d.Severity != tc.sev {
+				t.Errorf("severity = %v, want %v", d.Severity, tc.sev)
+			}
+			if d.Pos.Line != tc.line || d.Pos.Col != tc.col {
+				t.Errorf("pos = %d:%d, want %d:%d (%s)", d.Pos.Line, d.Pos.Col, tc.line, tc.col, d.Message)
+			}
+			if !strings.Contains(d.Message, tc.contains) {
+				t.Errorf("message %q does not contain %q", d.Message, tc.contains)
+			}
+		})
+	}
+}
+
+func TestUseBeforeDeclareWarns(t *testing.T) {
+	cat := testCatalog(t, testSchema)
+	diags := checkOne(t, cat, `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  SET v = 1;
+  DECLARE v INTEGER;
+  RETURN v;
+END`)
+	if _, ok := find(diags, CodeUseBeforeDec); !ok {
+		t.Fatalf("no %s diagnostic; got %v", CodeUseBeforeDec, diags)
+	}
+	if errs := Errors(diags); len(errs) != 0 {
+		t.Fatalf("use-before-declare must not be an error (declarations are hoisted): %v", errs)
+	}
+}
+
+func TestPerstFallbackPrediction(t *testing.T) {
+	cat := testCatalog(t, testSchema)
+	// q17b's shape: a FETCH of a temporal cursor inside a FOR loop
+	// over a temporal query.
+	diags := checkOne(t, cat, `CREATE FUNCTION mixed_scan () RETURNS INTEGER
+BEGIN
+  DECLARE iid CHAR(10);
+  DECLARE n INTEGER DEFAULT 0;
+  DECLARE all_items CURSOR FOR SELECT item_id FROM item;
+  OPEN all_items;
+  FOR r AS SELECT author_id FROM author DO
+    FETCH all_items INTO iid;
+    SET n = n + 1;
+  END FOR;
+  CLOSE all_items;
+  RETURN n;
+END`)
+	d, ok := find(diags, CodePerstFallback)
+	if !ok {
+		t.Fatalf("no %s diagnostic; got %v", CodePerstFallback, diags)
+	}
+	if !strings.Contains(d.Message, "non-nested FETCH of cursor all_items") {
+		t.Errorf("unexpected message %q", d.Message)
+	}
+	if len(Errors(diags)) != 0 {
+		t.Errorf("fallback prediction must be warning-only: %v", Errors(diags))
+	}
+}
+
+func TestCleanRoutineHasNoDiagnostics(t *testing.T) {
+	cat := testCatalog(t, testSchema)
+	diags := checkOne(t, cat, `CREATE FUNCTION total (iid CHAR(10)) RETURNS FLOAT
+BEGIN
+  DECLARE p FLOAT;
+  SET p = (SELECT price FROM item WHERE item_id = iid);
+  RETURN p * 1.1;
+END`)
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics, got %v", diags)
+	}
+}
+
+func TestSelfRecursionResolvesAtCreate(t *testing.T) {
+	// Self-call must not be TAU006: the routine being defined is in
+	// scope for its own body.
+	cat := testCatalog(t, testSchema)
+	diags := checkOne(t, cat, `CREATE FUNCTION fact (n INTEGER) RETURNS INTEGER
+BEGIN
+  IF n <= 1 THEN
+    RETURN 1;
+  END IF;
+  RETURN n * fact(n - 1);
+END`)
+	if _, ok := find(diags, CodeUnknownRoutine); ok {
+		t.Fatalf("self-recursion reported as unknown routine: %v", diags)
+	}
+	if _, ok := find(diags, CodeRecursion); !ok {
+		t.Fatalf("expected %s for self-recursion, got %v", CodeRecursion, diags)
+	}
+}
+
+func TestPureAndWriteFree(t *testing.T) {
+	cat := testCatalog(t, testSchema+`
+CREATE FUNCTION reader (iid CHAR(10)) RETURNS FLOAT
+BEGIN
+  RETURN item_price(iid);
+END;
+CREATE PROCEDURE writer ()
+BEGIN
+  DELETE FROM item_author;
+END;
+CREATE FUNCTION calls_writer () RETURNS INTEGER
+BEGIN
+  CALL writer();
+  RETURN 0;
+END;
+CREATE FUNCTION collector () RETURNS INTEGER
+BEGIN
+  DECLARE acc ROW(aid CHAR(10)) ARRAY;
+  INSERT INTO TABLE acc SELECT author_id FROM item_author;
+  RETURN 0;
+END;
+CREATE FUNCTION rec (n INTEGER) RETURNS INTEGER
+BEGIN
+  RETURN rec(n - 1);
+END;
+`)
+	for name, want := range map[string]bool{
+		"item_price":   true,
+		"reader":       true,
+		"writer":       false,
+		"calls_writer": false,
+		"collector":    true,  // collection-variable writes are private
+		"rec":          false, // recursion resolves to impure
+	} {
+		if got := Pure(cat, name); got != want {
+			t.Errorf("Pure(%s) = %v, want %v", name, got, want)
+		}
+	}
+
+	// WriteFree tolerates recursion and honors locals-first resolution.
+	recBody := cat.Function("rec").Body
+	if !WriteFree(cat, nil, recBody) {
+		t.Errorf("WriteFree must tolerate recursion")
+	}
+	locals := map[string]sqlast.Stmt{
+		"item_price": cat.Procedure("writer").Body, // shadow with a writing body
+	}
+	readerBody := cat.Function("reader").Body
+	if WriteFree(cat, locals, readerBody) {
+		t.Errorf("WriteFree must resolve callees through locals first")
+	}
+	if !WriteFree(cat, nil, readerBody) {
+		t.Errorf("WriteFree(reader) without locals should be true")
+	}
+}
+
+func TestChunkOrderSafe(t *testing.T) {
+	for src, want := range map[string]bool{
+		`SELECT title FROM item`:                               true,
+		`SELECT title FROM item ORDER BY title`:                false,
+		`SELECT title FROM item FETCH FIRST 3 ROWS ONLY`:       false,
+		`SELECT title FROM item UNION SELECT name FROM author`: true,
+	} {
+		stmt, err := sqlparser.ParseStatement(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if got := ChunkOrderSafe(stmt.(sqlast.QueryExpr)); got != want {
+			t.Errorf("ChunkOrderSafe(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestScriptCatalogFollowsDDL(t *testing.T) {
+	cat := testCatalog(t, `
+CREATE TABLE t (a INTEGER, b INTEGER);
+ALTER TABLE t ADD VALIDTIME;
+CREATE VIEW v AS SELECT a FROM t;
+`)
+	if !cat.IsTable("t") || cat.IsTransactionTable("t") || !cat.IsTemporalTable("t") {
+		t.Fatalf("t misclassified")
+	}
+	cols := cat.TableColumns("t")
+	if len(cols) != 4 || cols[2] != "begin_time" || cols[3] != "end_time" {
+		t.Fatalf("ALTER ADD VALIDTIME must append period columns, got %v", cols)
+	}
+	if !cat.IsView("v") || len(cat.TableColumns("v")) != 1 {
+		t.Fatalf("view v misclassified: %v", cat.TableColumns("v"))
+	}
+	cat.Apply(&sqlast.DropTableStmt{Name: "t"})
+	if cat.IsTable("t") {
+		t.Fatalf("drop not applied")
+	}
+}

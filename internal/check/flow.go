@@ -1,0 +1,109 @@
+package check
+
+import "taupsm/internal/sqlast"
+
+// terminates reports whether control definitely does not continue to
+// the statement after s (conservative: false when unsure, so only
+// certainly-unreachable code is flagged).
+func terminates(s sqlast.Stmt) bool {
+	switch x := s.(type) {
+	case *sqlast.ReturnStmt, *sqlast.LeaveStmt, *sqlast.IterateStmt:
+		return true
+	case *sqlast.IfStmt:
+		if x.Else == nil || !listTerminates(x.Then) || !listTerminates(x.Else) {
+			return false
+		}
+		for _, ei := range x.ElseIfs {
+			if !listTerminates(ei.Then) {
+				return false
+			}
+		}
+		return true
+	case *sqlast.CaseStmt:
+		if x.Else == nil || !listTerminates(x.Else) {
+			return false
+		}
+		for _, w := range x.Whens {
+			if !listTerminates(w.Then) {
+				return false
+			}
+		}
+		return true
+	}
+	// SIGNAL is not a terminator: a CONTINUE handler may resume right
+	// after it. Compound blocks are not either: a LEAVE inside may
+	// target the block's own label, which lands control after it.
+	return false
+}
+
+func listTerminates(list []sqlast.Stmt) bool {
+	for _, s := range list {
+		if terminates(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// definitelyReturns reports whether every execution of a function body
+// ends in RETURN (or raises). Conservative in the no-warning
+// direction: true when unsure, so TAU013 only fires on bodies that
+// clearly can fall off the end.
+func definitelyReturns(s sqlast.Stmt) bool {
+	switch x := s.(type) {
+	case *sqlast.ReturnStmt, *sqlast.SignalStmt:
+		return true
+	case *sqlast.CompoundStmt:
+		return returnsList(x.Stmts)
+	case *sqlast.IfStmt:
+		if x.Else == nil || !returnsList(x.Then) || !returnsList(x.Else) {
+			return false
+		}
+		for _, ei := range x.ElseIfs {
+			if !returnsList(ei.Then) {
+				return false
+			}
+		}
+		return true
+	case *sqlast.CaseStmt:
+		if x.Else == nil || !returnsList(x.Else) {
+			return false
+		}
+		for _, w := range x.Whens {
+			if !returnsList(w.Then) {
+				return false
+			}
+		}
+		return true
+	case *sqlast.RepeatStmt:
+		return returnsList(x.Body)
+	case *sqlast.LoopStmt:
+		// A plain LOOP only exits via LEAVE or RETURN; if it contains
+		// a RETURN anywhere, assume that is the exit path.
+		return containsReturn(x.Body)
+	}
+	return false
+}
+
+func returnsList(list []sqlast.Stmt) bool {
+	for _, s := range list {
+		if definitelyReturns(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsReturn(list []sqlast.Stmt) bool {
+	found := false
+	for _, s := range list {
+		sqlast.Walk(s, func(n sqlast.Node) bool {
+			if _, ok := n.(*sqlast.ReturnStmt); ok {
+				found = true
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -3,7 +3,7 @@ package engine
 import (
 	"strings"
 
-	"taupsm/internal/sqlast"
+	"taupsm/internal/check"
 	"taupsm/internal/storage"
 	"taupsm/internal/types"
 )
@@ -86,56 +86,33 @@ type purity struct {
 
 // routinePure reports whether a routine is free of SQL side effects:
 // no DML against stored tables, no DDL, and only pure routines called,
-// transitively. Verdicts are cached per routine object and revalidated
-// against the catalog version (a called routine may be redefined). The
-// cache is a sync.Map because parallel fragment workers share it
-// through their session handles.
+// transitively. The verdict itself comes from the static analyzer
+// (check.Pure), the single source of truth for effect inference.
+// Verdicts are cached by lowercased routine name and revalidated
+// against the catalog version — a CREATE OR REPLACE of the routine (or
+// of any callee) bumps the version, so redefinition invalidates
+// naturally even though the new *storage.Routine is a different
+// object. The cache is a sync.Map because parallel fragment workers
+// share it through their session handles.
 func (db *DB) routinePure(r *storage.Routine) bool {
 	catV := db.Cat.Version()
-	if v, ok := db.fnPure.Load(r); ok {
+	key := strings.ToLower(r.Name)
+	if v, ok := db.fnPure.Load(key); ok {
 		if p := v.(purity); p.catV == catV {
 			return p.pure
 		}
 	}
-	// Provisionally impure: direct or mutual recursion resolves to
-	// impure rather than looping.
-	db.fnPure.Store(r, purity{catV: catV, pure: false})
-	pure := true
-	sqlast.Walk(r.Body(), func(m sqlast.Node) bool {
-		if !pure {
-			return false
-		}
-		switch x := m.(type) {
-		case *sqlast.InsertStmt:
-			// Writes to routine-local collection variables are private
-			// per call; only stored tables carry state across calls.
-			if db.Cat.Table(x.Table) != nil {
-				pure = false
-			}
-		case *sqlast.UpdateStmt:
-			if db.Cat.Table(x.Table) != nil {
-				pure = false
-			}
-		case *sqlast.DeleteStmt:
-			if db.Cat.Table(x.Table) != nil {
-				pure = false
-			}
-		case *sqlast.CreateTableStmt, *sqlast.DropTableStmt,
-			*sqlast.CreateViewStmt, *sqlast.DropViewStmt,
-			*sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt,
-			*sqlast.DropRoutineStmt, *sqlast.AlterAddValidTime:
-			pure = false
-		case *sqlast.FuncCall:
-			if r2 := db.Cat.Routine(x.Name); r2 != nil && !db.routinePure(r2) {
-				pure = false
-			}
-		case *sqlast.CallStmt:
-			if r2 := db.Cat.Routine(x.Name); r2 != nil && !db.routinePure(r2) {
-				pure = false
-			}
-		}
-		return pure
-	})
-	db.fnPure.Store(r, purity{catV: catV, pure: pure})
+	pure := check.Pure(check.FromStorage(db.Cat), r.Name)
+	db.fnPure.Store(key, purity{catV: catV, pure: pure})
 	return pure
+}
+
+// RoutinePure reports whether the named stored routine is free of SQL
+// side effects, or false when no such routine exists.
+func (db *DB) RoutinePure(name string) bool {
+	r := db.Cat.Routine(name)
+	if r == nil {
+		return false
+	}
+	return db.routinePure(r)
 }

@@ -6,7 +6,10 @@
 // stratum), a deep cloner, and a generic rewriter.
 package sqlast
 
-import "taupsm/internal/types"
+import (
+	"taupsm/internal/sqlscan"
+	"taupsm/internal/types"
+)
 
 // Node is implemented by every AST node.
 type Node interface {
@@ -120,6 +123,7 @@ func (t TypeName) Kind() types.Kind {
 type ColumnDef struct {
 	Name string
 	Type TypeName
+	Pos  sqlscan.Pos
 }
 
 // ParamMode is the parameter mode of a procedure parameter.
@@ -148,4 +152,5 @@ type ParamDef struct {
 	Mode ParamMode
 	Name string
 	Type TypeName
+	Pos  sqlscan.Pos
 }

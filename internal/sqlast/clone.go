@@ -46,7 +46,7 @@ func CloneExpr(e Expr) Expr {
 	case *CastExpr:
 		return &CastExpr{X: CloneExpr(x.X), Type: x.Type}
 	case *FuncCall:
-		c := &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+		c := &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct, Pos: x.Pos}
 		for _, a := range x.Args {
 			c.Args = append(c.Args, CloneExpr(a))
 		}
@@ -86,7 +86,7 @@ func CloneQuery(q QueryExpr) QueryExpr {
 }
 
 func cloneSelect(s *SelectStmt) *SelectStmt {
-	c := &SelectStmt{Distinct: s.Distinct, Where: CloneExpr(s.Where), Having: CloneExpr(s.Having), Limit: CloneExpr(s.Limit)}
+	c := &SelectStmt{Distinct: s.Distinct, Where: CloneExpr(s.Where), Having: CloneExpr(s.Having), Limit: CloneExpr(s.Limit), Pos: s.Pos}
 	for _, it := range s.Items {
 		c.Items = append(c.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias, Star: it.Star, TableStar: it.TableStar})
 	}
@@ -140,7 +140,7 @@ func CloneStmt(s Stmt) Stmt {
 	case *SetOpExpr:
 		return CloneQuery(x).(*SetOpExpr)
 	case *TemporalStmt:
-		c := &TemporalStmt{Mod: x.Mod, Dim: x.Dim, Body: CloneStmt(x.Body)}
+		c := &TemporalStmt{Mod: x.Mod, Dim: x.Dim, Body: CloneStmt(x.Body), Pos: x.Pos}
 		if x.Period != nil {
 			c.Period = &PeriodSpec{Begin: CloneExpr(x.Period.Begin), End: CloneExpr(x.Period.End)}
 		}
@@ -148,15 +148,15 @@ func CloneStmt(s Stmt) Stmt {
 	case *ExplainStmt:
 		return &ExplainStmt{Body: CloneStmt(x.Body)}
 	case *InsertStmt:
-		return &InsertStmt{Table: x.Table, VarTarget: x.VarTarget, Cols: append([]string(nil), x.Cols...), Source: CloneQuery(x.Source)}
+		return &InsertStmt{Table: x.Table, VarTarget: x.VarTarget, Cols: append([]string(nil), x.Cols...), Source: CloneQuery(x.Source), Pos: x.Pos}
 	case *UpdateStmt:
-		c := &UpdateStmt{Table: x.Table, VarTarget: x.VarTarget, Alias: x.Alias, Where: CloneExpr(x.Where)}
+		c := &UpdateStmt{Table: x.Table, VarTarget: x.VarTarget, Alias: x.Alias, Where: CloneExpr(x.Where), Pos: x.Pos}
 		for _, sc := range x.Sets {
-			c.Sets = append(c.Sets, SetClause{Column: sc.Column, Value: CloneExpr(sc.Value)})
+			c.Sets = append(c.Sets, SetClause{Column: sc.Column, Value: CloneExpr(sc.Value), Pos: sc.Pos})
 		}
 		return c
 	case *DeleteStmt:
-		return &DeleteStmt{Table: x.Table, VarTarget: x.VarTarget, Alias: x.Alias, Where: CloneExpr(x.Where)}
+		return &DeleteStmt{Table: x.Table, VarTarget: x.VarTarget, Alias: x.Alias, Where: CloneExpr(x.Where), Pos: x.Pos}
 	case *CreateTableStmt:
 		c := *x
 		c.Cols = append([]ColumnDef(nil), x.Cols...)
@@ -168,7 +168,7 @@ func CloneStmt(s Stmt) Stmt {
 		c := *x
 		return &c
 	case *CreateViewStmt:
-		return &CreateViewStmt{Name: x.Name, Cols: append([]string(nil), x.Cols...), Query: CloneQuery(x.Query), Mod: x.Mod}
+		return &CreateViewStmt{Name: x.Name, Cols: append([]string(nil), x.Cols...), Query: CloneQuery(x.Query), Mod: x.Mod, Pos: x.Pos}
 	case *DropViewStmt:
 		c := *x
 		return &c
@@ -177,47 +177,47 @@ func CloneStmt(s Stmt) Stmt {
 		return &c
 	case *CreateFunctionStmt:
 		return &CreateFunctionStmt{Name: x.Name, Params: append([]ParamDef(nil), x.Params...), Returns: x.Returns,
-			Options: append([]string(nil), x.Options...), Body: CloneStmt(x.Body), Replace: x.Replace}
+			Options: append([]string(nil), x.Options...), Body: CloneStmt(x.Body), Replace: x.Replace, Pos: x.Pos}
 	case *CreateProcedureStmt:
 		return &CreateProcedureStmt{Name: x.Name, Params: append([]ParamDef(nil), x.Params...),
-			Options: append([]string(nil), x.Options...), Body: CloneStmt(x.Body), Replace: x.Replace}
+			Options: append([]string(nil), x.Options...), Body: CloneStmt(x.Body), Replace: x.Replace, Pos: x.Pos}
 	case *DropRoutineStmt:
 		c := *x
 		return &c
 	case *CompoundStmt:
-		c := &CompoundStmt{Label: x.Label, Atomic: x.Atomic, Stmts: cloneStmts(x.Stmts)}
+		c := &CompoundStmt{Label: x.Label, Atomic: x.Atomic, Stmts: cloneStmts(x.Stmts), Pos: x.Pos}
 		for _, d := range x.VarDecls {
-			c.VarDecls = append(c.VarDecls, &VarDecl{Names: append([]string(nil), d.Names...), Type: d.Type, Default: CloneExpr(d.Default)})
+			c.VarDecls = append(c.VarDecls, &VarDecl{Names: append([]string(nil), d.Names...), Type: d.Type, Default: CloneExpr(d.Default), Pos: d.Pos})
 		}
 		for _, cd := range x.Cursors {
-			c.Cursors = append(c.Cursors, &CursorDecl{Name: cd.Name, Query: CloneStmt(cd.Query)})
+			c.Cursors = append(c.Cursors, &CursorDecl{Name: cd.Name, Query: CloneStmt(cd.Query), Pos: cd.Pos})
 		}
 		for _, h := range x.Handlers {
-			c.Handlers = append(c.Handlers, &HandlerDecl{Kind: h.Kind, Condition: h.Condition, Action: CloneStmt(h.Action)})
+			c.Handlers = append(c.Handlers, &HandlerDecl{Kind: h.Kind, Condition: h.Condition, Action: CloneStmt(h.Action), Pos: h.Pos})
 		}
 		return c
 	case *SetStmt:
-		return &SetStmt{Target: x.Target, Value: CloneExpr(x.Value)}
+		return &SetStmt{Target: x.Target, Value: CloneExpr(x.Value), Pos: x.Pos}
 	case *IfStmt:
-		c := &IfStmt{Cond: CloneExpr(x.Cond), Then: cloneStmts(x.Then), Else: cloneStmts(x.Else)}
+		c := &IfStmt{Cond: CloneExpr(x.Cond), Then: cloneStmts(x.Then), Else: cloneStmts(x.Else), Pos: x.Pos}
 		for _, ei := range x.ElseIfs {
 			c.ElseIfs = append(c.ElseIfs, ElseIf{Cond: CloneExpr(ei.Cond), Then: cloneStmts(ei.Then)})
 		}
 		return c
 	case *CaseStmt:
-		c := &CaseStmt{Operand: CloneExpr(x.Operand), Else: cloneStmts(x.Else)}
+		c := &CaseStmt{Operand: CloneExpr(x.Operand), Else: cloneStmts(x.Else), Pos: x.Pos}
 		for _, w := range x.Whens {
 			c.Whens = append(c.Whens, CaseWhenStmt{When: CloneExpr(w.When), Then: cloneStmts(w.Then)})
 		}
 		return c
 	case *WhileStmt:
-		return &WhileStmt{Label: x.Label, Cond: CloneExpr(x.Cond), Body: cloneStmts(x.Body)}
+		return &WhileStmt{Label: x.Label, Cond: CloneExpr(x.Cond), Body: cloneStmts(x.Body), Pos: x.Pos}
 	case *RepeatStmt:
-		return &RepeatStmt{Label: x.Label, Body: cloneStmts(x.Body), Until: CloneExpr(x.Until)}
+		return &RepeatStmt{Label: x.Label, Body: cloneStmts(x.Body), Until: CloneExpr(x.Until), Pos: x.Pos}
 	case *LoopStmt:
-		return &LoopStmt{Label: x.Label, Body: cloneStmts(x.Body)}
+		return &LoopStmt{Label: x.Label, Body: cloneStmts(x.Body), Pos: x.Pos}
 	case *ForStmt:
-		return &ForStmt{Label: x.Label, LoopVar: x.LoopVar, Cursor: x.Cursor, Query: CloneStmt(x.Query), Body: cloneStmts(x.Body)}
+		return &ForStmt{Label: x.Label, LoopVar: x.LoopVar, Cursor: x.Cursor, Query: CloneStmt(x.Query), Body: cloneStmts(x.Body), Pos: x.Pos}
 	case *LeaveStmt:
 		c := *x
 		return &c
@@ -225,9 +225,9 @@ func CloneStmt(s Stmt) Stmt {
 		c := *x
 		return &c
 	case *ReturnStmt:
-		return &ReturnStmt{Value: CloneExpr(x.Value)}
+		return &ReturnStmt{Value: CloneExpr(x.Value), Pos: x.Pos}
 	case *CallStmt:
-		c := &CallStmt{Name: x.Name}
+		c := &CallStmt{Name: x.Name, Pos: x.Pos}
 		for _, a := range x.Args {
 			c.Args = append(c.Args, CloneExpr(a))
 		}
@@ -236,7 +236,7 @@ func CloneStmt(s Stmt) Stmt {
 		c := *x
 		return &c
 	case *FetchStmt:
-		return &FetchStmt{Cursor: x.Cursor, Into: append([]string(nil), x.Into...)}
+		return &FetchStmt{Cursor: x.Cursor, Into: append([]string(nil), x.Into...), Pos: x.Pos}
 	case *CloseStmt:
 		c := *x
 		return &c

@@ -1,6 +1,9 @@
 package sqlast
 
-import "taupsm/internal/types"
+import (
+	"taupsm/internal/sqlscan"
+	"taupsm/internal/types"
+)
 
 // Literal is a constant value.
 type Literal struct {
@@ -14,6 +17,7 @@ func (*Literal) exprNode() {}
 type ColumnRef struct {
 	Table  string // optional qualifier
 	Column string
+	Pos    sqlscan.Pos
 }
 
 func (*ColumnRef) exprNode() {}
@@ -110,6 +114,7 @@ type FuncCall struct {
 	Args     []Expr
 	Star     bool
 	Distinct bool
+	Pos      sqlscan.Pos
 }
 
 func (*FuncCall) exprNode() {}

@@ -1,0 +1,76 @@
+package sqlast
+
+import "taupsm/internal/sqlscan"
+
+// PosOf returns the source position recorded on a node, or the zero
+// position for node kinds that do not carry one (positions are filled
+// by the parser; synthesized nodes report the zero position).
+func PosOf(n Node) sqlscan.Pos {
+	switch x := n.(type) {
+	case *ColumnRef:
+		return x.Pos
+	case *FuncCall:
+		return x.Pos
+	case *SelectStmt:
+		return x.Pos
+	case *BaseTable:
+		return x.Pos
+	case *TemporalStmt:
+		return x.Pos
+	case *InsertStmt:
+		return x.Pos
+	case *UpdateStmt:
+		return x.Pos
+	case *DeleteStmt:
+		return x.Pos
+	case *CreateTableStmt:
+		return x.Pos
+	case *CreateViewStmt:
+		return x.Pos
+	case *CreateFunctionStmt:
+		return x.Pos
+	case *CreateProcedureStmt:
+		return x.Pos
+	case *CompoundStmt:
+		return x.Pos
+	case *SetStmt:
+		return x.Pos
+	case *IfStmt:
+		return x.Pos
+	case *CaseStmt:
+		return x.Pos
+	case *WhileStmt:
+		return x.Pos
+	case *RepeatStmt:
+		return x.Pos
+	case *LoopStmt:
+		return x.Pos
+	case *ForStmt:
+		return x.Pos
+	case *LeaveStmt:
+		return x.Pos
+	case *IterateStmt:
+		return x.Pos
+	case *ReturnStmt:
+		return x.Pos
+	case *CallStmt:
+		return x.Pos
+	case *OpenStmt:
+		return x.Pos
+	case *FetchStmt:
+		return x.Pos
+	case *CloseStmt:
+		return x.Pos
+	case *SignalStmt:
+		return x.Pos
+	case *ExplainStmt:
+		if x.Body != nil {
+			return PosOf(x.Body)
+		}
+	case *SetOpExpr:
+		if x.L != nil {
+			return PosOf(x.L)
+		}
+	}
+	return sqlscan.Pos{}
+}

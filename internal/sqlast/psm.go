@@ -2,6 +2,8 @@ package sqlast
 
 // PSM statement nodes: SQL control statements (ISO 9075-4).
 
+import "taupsm/internal/sqlscan"
+
 // VarDecl declares one or more local variables: DECLARE a, b INT
 // DEFAULT 0. Collection-typed variables (ROW(...) ARRAY) behave as
 // table-valued variables at runtime.
@@ -9,6 +11,7 @@ type VarDecl struct {
 	Names   []string
 	Type    TypeName
 	Default Expr
+	Pos     sqlscan.Pos
 }
 
 // CursorDecl declares a cursor over a query. The query may carry a
@@ -17,6 +20,7 @@ type VarDecl struct {
 type CursorDecl struct {
 	Name  string
 	Query Stmt // *SelectStmt/*SetOpExpr wrapped or *TemporalStmt
+	Pos   sqlscan.Pos
 }
 
 // HandlerDecl declares a condition handler:
@@ -25,6 +29,7 @@ type HandlerDecl struct {
 	Kind      string // CONTINUE or EXIT
 	Condition string // NOT FOUND, SQLEXCEPTION, or SQLSTATE 'xxxxx'
 	Action    Stmt
+	Pos       sqlscan.Pos
 }
 
 // CompoundStmt is a [label:] BEGIN [ATOMIC] ... END [label] block.
@@ -35,6 +40,7 @@ type CompoundStmt struct {
 	Cursors  []*CursorDecl
 	Handlers []*HandlerDecl
 	Stmts    []Stmt
+	Pos      sqlscan.Pos
 }
 
 func (*CompoundStmt) stmtNode() {}
@@ -43,6 +49,7 @@ func (*CompoundStmt) stmtNode() {}
 type SetStmt struct {
 	Target string
 	Value  Expr
+	Pos    sqlscan.Pos
 }
 
 func (*SetStmt) stmtNode() {}
@@ -59,6 +66,7 @@ type IfStmt struct {
 	Then    []Stmt
 	ElseIfs []ElseIf
 	Else    []Stmt
+	Pos     sqlscan.Pos
 }
 
 func (*IfStmt) stmtNode() {}
@@ -74,6 +82,7 @@ type CaseStmt struct {
 	Operand Expr
 	Whens   []CaseWhenStmt
 	Else    []Stmt
+	Pos     sqlscan.Pos
 }
 
 func (*CaseStmt) stmtNode() {}
@@ -83,6 +92,7 @@ type WhileStmt struct {
 	Label string
 	Cond  Expr
 	Body  []Stmt
+	Pos   sqlscan.Pos
 }
 
 func (*WhileStmt) stmtNode() {}
@@ -92,6 +102,7 @@ type RepeatStmt struct {
 	Label string
 	Body  []Stmt
 	Until Expr
+	Pos   sqlscan.Pos
 }
 
 func (*RepeatStmt) stmtNode() {}
@@ -100,6 +111,7 @@ func (*RepeatStmt) stmtNode() {}
 type LoopStmt struct {
 	Label string
 	Body  []Stmt
+	Pos   sqlscan.Pos
 }
 
 func (*LoopStmt) stmtNode() {}
@@ -112,6 +124,7 @@ type ForStmt struct {
 	Cursor  string
 	Query   Stmt // query or *TemporalStmt
 	Body    []Stmt
+	Pos     sqlscan.Pos
 }
 
 func (*ForStmt) stmtNode() {}
@@ -119,6 +132,7 @@ func (*ForStmt) stmtNode() {}
 // LeaveStmt exits the labeled statement.
 type LeaveStmt struct {
 	Label string
+	Pos   sqlscan.Pos
 }
 
 func (*LeaveStmt) stmtNode() {}
@@ -126,6 +140,7 @@ func (*LeaveStmt) stmtNode() {}
 // IterateStmt restarts the labeled loop.
 type IterateStmt struct {
 	Label string
+	Pos   sqlscan.Pos
 }
 
 func (*IterateStmt) stmtNode() {}
@@ -133,6 +148,7 @@ func (*IterateStmt) stmtNode() {}
 // ReturnStmt returns a value from a function.
 type ReturnStmt struct {
 	Value Expr
+	Pos   sqlscan.Pos
 }
 
 func (*ReturnStmt) stmtNode() {}
@@ -142,6 +158,7 @@ func (*ReturnStmt) stmtNode() {}
 type CallStmt struct {
 	Name string
 	Args []Expr
+	Pos  sqlscan.Pos
 }
 
 func (*CallStmt) stmtNode() {}
@@ -149,6 +166,7 @@ func (*CallStmt) stmtNode() {}
 // OpenStmt opens a declared cursor.
 type OpenStmt struct {
 	Cursor string
+	Pos    sqlscan.Pos
 }
 
 func (*OpenStmt) stmtNode() {}
@@ -157,6 +175,7 @@ func (*OpenStmt) stmtNode() {}
 type FetchStmt struct {
 	Cursor string
 	Into   []string
+	Pos    sqlscan.Pos
 }
 
 func (*FetchStmt) stmtNode() {}
@@ -164,6 +183,7 @@ func (*FetchStmt) stmtNode() {}
 // CloseStmt closes a cursor.
 type CloseStmt struct {
 	Cursor string
+	Pos    sqlscan.Pos
 }
 
 func (*CloseStmt) stmtNode() {}
@@ -173,6 +193,7 @@ func (*CloseStmt) stmtNode() {}
 type SignalStmt struct {
 	SQLState string
 	Message  string
+	Pos      sqlscan.Pos
 }
 
 func (*SignalStmt) stmtNode() {}

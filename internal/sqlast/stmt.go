@@ -1,5 +1,7 @@
 package sqlast
 
+import "taupsm/internal/sqlscan"
+
 // ---------- Queries ----------
 
 // SelectItem is one element of a select list: an expression with an
@@ -27,6 +29,7 @@ type SelectStmt struct {
 	Having   Expr
 	OrderBy  []OrderItem
 	Limit    Expr // FETCH FIRST n ROWS ONLY
+	Pos      sqlscan.Pos
 }
 
 func (*SelectStmt) queryNode() {}
@@ -56,6 +59,7 @@ func (*ValuesExpr) queryNode() {}
 type BaseTable struct {
 	Name  string
 	Alias string
+	Pos   sqlscan.Pos
 }
 
 func (*BaseTable) tableRefNode() {}
@@ -106,6 +110,7 @@ type TemporalStmt struct {
 	Dim    TemporalDimension
 	Period *PeriodSpec // only for ModSequenced, optional
 	Body   Stmt
+	Pos    sqlscan.Pos
 }
 
 func (*TemporalStmt) stmtNode() {}
@@ -130,6 +135,7 @@ type InsertStmt struct {
 	VarTarget bool // INSERT INTO TABLE <variable>
 	Cols      []string
 	Source    QueryExpr
+	Pos       sqlscan.Pos
 }
 
 func (*InsertStmt) stmtNode() {}
@@ -138,6 +144,7 @@ func (*InsertStmt) stmtNode() {}
 type SetClause struct {
 	Column string
 	Value  Expr
+	Pos    sqlscan.Pos
 }
 
 // UpdateStmt updates rows in a table or table-valued variable.
@@ -147,6 +154,7 @@ type UpdateStmt struct {
 	Alias     string
 	Sets      []SetClause
 	Where     Expr
+	Pos       sqlscan.Pos
 }
 
 func (*UpdateStmt) stmtNode() {}
@@ -157,6 +165,7 @@ type DeleteStmt struct {
 	VarTarget bool
 	Alias     string
 	Where     Expr
+	Pos       sqlscan.Pos
 }
 
 func (*DeleteStmt) stmtNode() {}
@@ -174,6 +183,7 @@ type CreateTableStmt struct {
 	WithData        bool
 	ValidTime       bool
 	TransactionTime bool
+	Pos             sqlscan.Pos
 }
 
 func (*CreateTableStmt) stmtNode() {}
@@ -193,6 +203,7 @@ type CreateViewStmt struct {
 	Cols  []string
 	Query QueryExpr
 	Mod   TemporalModifier
+	Pos   sqlscan.Pos
 }
 
 func (*CreateViewStmt) stmtNode() {}
@@ -223,6 +234,7 @@ type CreateFunctionStmt struct {
 	Options []string // READS SQL DATA, LANGUAGE SQL, DETERMINISTIC, ...
 	Body    Stmt     // usually *CompoundStmt or *ReturnStmt
 	Replace bool
+	Pos     sqlscan.Pos
 }
 
 func (*CreateFunctionStmt) stmtNode() {}
@@ -234,6 +246,7 @@ type CreateProcedureStmt struct {
 	Options []string
 	Body    Stmt
 	Replace bool
+	Pos     sqlscan.Pos
 }
 
 func (*CreateProcedureStmt) stmtNode() {}

@@ -34,7 +34,7 @@ func (p *parser) parseCreate() (sqlast.Stmt, error) {
 }
 
 func (p *parser) parseCreateTable() (sqlast.Stmt, error) {
-	st := &sqlast.CreateTableStmt{}
+	st := &sqlast.CreateTableStmt{Pos: p.tok().Pos}
 	if p.acceptWord("GLOBAL") {
 		// GLOBAL TEMPORARY
 	}
@@ -52,6 +52,7 @@ func (p *parser) parseCreateTable() (sqlast.Stmt, error) {
 	if p.isOp("(") && !p.queryAhead(1) {
 		p.next()
 		for {
+			cpos := p.tok().Pos
 			cn, err := p.ident()
 			if err != nil {
 				return nil, err
@@ -60,7 +61,7 @@ func (p *parser) parseCreateTable() (sqlast.Stmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			st.Cols = append(st.Cols, sqlast.ColumnDef{Name: cn, Type: ct})
+			st.Cols = append(st.Cols, sqlast.ColumnDef{Name: cn, Type: ct, Pos: cpos})
 			if !p.acceptOp(",") {
 				break
 			}
@@ -110,10 +111,11 @@ func (p *parser) parseCreateTable() (sqlast.Stmt, error) {
 }
 
 func (p *parser) parseCreateView() (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("VIEW"); err != nil {
 		return nil, err
 	}
-	st := &sqlast.CreateViewStmt{}
+	st := &sqlast.CreateViewStmt{Pos: pos}
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
@@ -275,7 +277,7 @@ func (p *parser) parseParamList(proc bool) ([]sqlast.ParamDef, error) {
 		return out, nil
 	}
 	for {
-		var pd sqlast.ParamDef
+		pd := sqlast.ParamDef{Pos: p.tok().Pos}
 		if proc {
 			switch {
 			case p.acceptKw("OUT"):
@@ -309,6 +311,7 @@ func (p *parser) parseParamList(proc bool) ([]sqlast.ParamDef, error) {
 }
 
 func (p *parser) parseCreateFunction(replace bool) (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("FUNCTION"); err != nil {
 		return nil, err
 	}
@@ -332,10 +335,11 @@ func (p *parser) parseCreateFunction(replace bool) (sqlast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &sqlast.CreateFunctionStmt{Name: name, Params: params, Returns: ret, Options: opts, Body: body, Replace: replace}, nil
+	return &sqlast.CreateFunctionStmt{Name: name, Params: params, Returns: ret, Options: opts, Body: body, Replace: replace, Pos: pos}, nil
 }
 
 func (p *parser) parseCreateProcedure(replace bool) (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("PROCEDURE"); err != nil {
 		return nil, err
 	}
@@ -352,7 +356,7 @@ func (p *parser) parseCreateProcedure(replace bool) (sqlast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &sqlast.CreateProcedureStmt{Name: name, Params: params, Options: opts, Body: body, Replace: replace}, nil
+	return &sqlast.CreateProcedureStmt{Name: name, Params: params, Options: opts, Body: body, Replace: replace, Pos: pos}, nil
 }
 
 // parseRoutineBody parses a BEGIN...END compound or a single

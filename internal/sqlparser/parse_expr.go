@@ -302,11 +302,11 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 		name, _ := p.ident()
 		upper := strings.ToUpper(name)
 		if niladicFuncs[upper] {
-			return &sqlast.FuncCall{Name: upper}, nil
+			return &sqlast.FuncCall{Name: upper, Pos: t.Pos}, nil
 		}
 		// function call
 		if p.isOp("(") {
-			return p.parseFuncCall(name)
+			return p.parseFuncCall(name, t.Pos)
 		}
 		// qualified column t.c
 		if p.isOp(".") {
@@ -315,18 +315,18 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &sqlast.ColumnRef{Table: name, Column: col}, nil
+			return &sqlast.ColumnRef{Table: name, Column: col, Pos: t.Pos}, nil
 		}
-		return &sqlast.ColumnRef{Column: name}, nil
+		return &sqlast.ColumnRef{Column: name, Pos: t.Pos}, nil
 	}
 	return nil, p.errf("unexpected token %q in expression", t.Text)
 }
 
-func (p *parser) parseFuncCall(name string) (sqlast.Expr, error) {
+func (p *parser) parseFuncCall(name string, pos sqlscan.Pos) (sqlast.Expr, error) {
 	if err := p.expectOp("("); err != nil {
 		return nil, err
 	}
-	f := &sqlast.FuncCall{Name: name}
+	f := &sqlast.FuncCall{Name: name, Pos: pos}
 	if p.isOp("*") {
 		p.next()
 		f.Star = true

@@ -9,10 +9,11 @@ import (
 
 // parseCompound parses BEGIN [ATOMIC] decls stmts END [label].
 func (p *parser) parseCompound(label string) (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("BEGIN"); err != nil {
 		return nil, err
 	}
-	c := &sqlast.CompoundStmt{Label: label}
+	c := &sqlast.CompoundStmt{Label: label, Pos: pos}
 	if p.acceptWord("ATOMIC") {
 		c.Atomic = true
 	}
@@ -47,6 +48,7 @@ func (p *parser) parseCompound(label string) (sqlast.Stmt, error) {
 }
 
 func (p *parser) parseDeclare(c *sqlast.CompoundStmt) error {
+	pos := p.tok().Pos
 	if err := p.expectKw("DECLARE"); err != nil {
 		return err
 	}
@@ -84,7 +86,7 @@ func (p *parser) parseDeclare(c *sqlast.CompoundStmt) error {
 		if err != nil {
 			return err
 		}
-		c.Handlers = append(c.Handlers, &sqlast.HandlerDecl{Kind: kind, Condition: cond, Action: action})
+		c.Handlers = append(c.Handlers, &sqlast.HandlerDecl{Kind: kind, Condition: cond, Action: action, Pos: pos})
 		return nil
 	}
 	// variable or cursor
@@ -100,7 +102,7 @@ func (p *parser) parseDeclare(c *sqlast.CompoundStmt) error {
 		if err != nil {
 			return err
 		}
-		c.Cursors = append(c.Cursors, &sqlast.CursorDecl{Name: name, Query: q})
+		c.Cursors = append(c.Cursors, &sqlast.CursorDecl{Name: name, Query: q, Pos: pos})
 		return nil
 	}
 	names := []string{name}
@@ -115,7 +117,7 @@ func (p *parser) parseDeclare(c *sqlast.CompoundStmt) error {
 	if err != nil {
 		return err
 	}
-	d := &sqlast.VarDecl{Names: names, Type: ty}
+	d := &sqlast.VarDecl{Names: names, Type: ty, Pos: pos}
 	if p.acceptKw("DEFAULT") {
 		def, err := p.parseExpr()
 		if err != nil {
@@ -180,22 +182,22 @@ func (p *parser) parsePSMStatement() (sqlast.Stmt, error) {
 	case p.isKw("FOR"):
 		return p.parseFor("")
 	case p.isKw("LEAVE"):
-		p.next()
+		pos := p.next().Pos
 		l, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		return &sqlast.LeaveStmt{Label: l}, nil
+		return &sqlast.LeaveStmt{Label: l, Pos: pos}, nil
 	case p.isKw("ITERATE"):
-		p.next()
+		pos := p.next().Pos
 		l, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		return &sqlast.IterateStmt{Label: l}, nil
+		return &sqlast.IterateStmt{Label: l, Pos: pos}, nil
 	case p.isKw("RETURN"):
-		p.next()
-		r := &sqlast.ReturnStmt{}
+		pos := p.next().Pos
+		r := &sqlast.ReturnStmt{Pos: pos}
 		if !p.isOp(";") && !p.isKw("END") && p.tok().Kind != sqlscan.EOF {
 			v, err := p.parseExpr()
 			if err != nil {
@@ -205,14 +207,14 @@ func (p *parser) parsePSMStatement() (sqlast.Stmt, error) {
 		}
 		return r, nil
 	case p.isKw("OPEN"):
-		p.next()
+		pos := p.next().Pos
 		cname, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		return &sqlast.OpenStmt{Cursor: cname}, nil
+		return &sqlast.OpenStmt{Cursor: cname, Pos: pos}, nil
 	case p.isKw("FETCH"):
-		p.next()
+		pos := p.next().Pos
 		p.acceptKw("FROM")
 		cname, err := p.ident()
 		if err != nil {
@@ -221,7 +223,7 @@ func (p *parser) parsePSMStatement() (sqlast.Stmt, error) {
 		if err := p.expectKw("INTO"); err != nil {
 			return nil, err
 		}
-		f := &sqlast.FetchStmt{Cursor: cname}
+		f := &sqlast.FetchStmt{Cursor: cname, Pos: pos}
 		for {
 			v, err := p.ident()
 			if err != nil {
@@ -234,21 +236,21 @@ func (p *parser) parsePSMStatement() (sqlast.Stmt, error) {
 		}
 		return f, nil
 	case p.isKw("CLOSE"):
-		p.next()
+		pos := p.next().Pos
 		cname, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		return &sqlast.CloseStmt{Cursor: cname}, nil
+		return &sqlast.CloseStmt{Cursor: cname, Pos: pos}, nil
 	case p.isKw("SIGNAL"):
-		p.next()
+		pos := p.next().Pos
 		if err := p.expectWord("SQLSTATE"); err != nil {
 			return nil, err
 		}
 		if p.tok().Kind != sqlscan.String {
 			return nil, p.errf("expected SQLSTATE string literal")
 		}
-		st := &sqlast.SignalStmt{SQLState: p.next().Text}
+		st := &sqlast.SignalStmt{SQLState: p.next().Text, Pos: pos}
 		if p.acceptKw("SET") {
 			if err := p.expectWord("MESSAGE_TEXT"); err != nil {
 				return nil, err
@@ -268,6 +270,7 @@ func (p *parser) parsePSMStatement() (sqlast.Stmt, error) {
 }
 
 func (p *parser) parseIf() (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("IF"); err != nil {
 		return nil, err
 	}
@@ -278,7 +281,7 @@ func (p *parser) parseIf() (sqlast.Stmt, error) {
 	if err := p.expectKw("THEN"); err != nil {
 		return nil, err
 	}
-	st := &sqlast.IfStmt{Cond: cond}
+	st := &sqlast.IfStmt{Cond: cond, Pos: pos}
 	if st.Then, err = p.parseStmtListUntil("ELSEIF", "ELSE", "END"); err != nil {
 		return nil, err
 	}
@@ -312,10 +315,11 @@ func (p *parser) parseIf() (sqlast.Stmt, error) {
 }
 
 func (p *parser) parseCaseStmt() (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("CASE"); err != nil {
 		return nil, err
 	}
-	st := &sqlast.CaseStmt{}
+	st := &sqlast.CaseStmt{Pos: pos}
 	var err error
 	if !p.isKw("WHEN") {
 		if st.Operand, err = p.parseExpr(); err != nil {
@@ -351,6 +355,7 @@ func (p *parser) parseCaseStmt() (sqlast.Stmt, error) {
 }
 
 func (p *parser) parseWhile(label string) (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("WHILE"); err != nil {
 		return nil, err
 	}
@@ -374,10 +379,11 @@ func (p *parser) parseWhile(label string) (sqlast.Stmt, error) {
 	if label != "" {
 		p.acceptWord(label)
 	}
-	return &sqlast.WhileStmt{Label: label, Cond: cond, Body: body}, nil
+	return &sqlast.WhileStmt{Label: label, Cond: cond, Body: body, Pos: pos}, nil
 }
 
 func (p *parser) parseRepeat(label string) (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("REPEAT"); err != nil {
 		return nil, err
 	}
@@ -401,10 +407,11 @@ func (p *parser) parseRepeat(label string) (sqlast.Stmt, error) {
 	if label != "" {
 		p.acceptWord(label)
 	}
-	return &sqlast.RepeatStmt{Label: label, Body: body, Until: cond}, nil
+	return &sqlast.RepeatStmt{Label: label, Body: body, Until: cond, Pos: pos}, nil
 }
 
 func (p *parser) parseLoop(label string) (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("LOOP"); err != nil {
 		return nil, err
 	}
@@ -421,14 +428,15 @@ func (p *parser) parseLoop(label string) (sqlast.Stmt, error) {
 	if label != "" {
 		p.acceptWord(label)
 	}
-	return &sqlast.LoopStmt{Label: label, Body: body}, nil
+	return &sqlast.LoopStmt{Label: label, Body: body, Pos: pos}, nil
 }
 
 func (p *parser) parseFor(label string) (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("FOR"); err != nil {
 		return nil, err
 	}
-	st := &sqlast.ForStmt{Label: label}
+	st := &sqlast.ForStmt{Label: label, Pos: pos}
 	name, err := p.ident()
 	if err != nil {
 		return nil, err

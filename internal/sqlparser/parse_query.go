@@ -101,10 +101,11 @@ func (p *parser) parseValues() (sqlast.QueryExpr, error) {
 }
 
 func (p *parser) parseSelect() (*sqlast.SelectStmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("SELECT"); err != nil {
 		return nil, err
 	}
-	s := &sqlast.SelectStmt{}
+	s := &sqlast.SelectStmt{Pos: pos}
 	if p.acceptKw("DISTINCT") {
 		s.Distinct = true
 	} else {
@@ -367,6 +368,7 @@ func (p *parser) parseTablePrimary() (sqlast.TableRef, error) {
 		}
 		return t, nil
 	default:
+		npos := p.tok().Pos
 		name, err := p.ident()
 		if err != nil {
 			return nil, err
@@ -388,7 +390,7 @@ func (p *parser) parseTablePrimary() (sqlast.TableRef, error) {
 			}
 			return t, nil
 		}
-		b := &sqlast.BaseTable{Name: name}
+		b := &sqlast.BaseTable{Name: name, Pos: npos}
 		var cols []string
 		if err := p.parseCorrelation(&b.Alias, &cols, false); err != nil {
 			return nil, err

@@ -236,7 +236,7 @@ func (p *parser) parseStatement() (sqlast.Stmt, error) {
 // parseTemporalStmt parses a temporal statement modifier followed by a
 // query or DML statement (paper §IV-B).
 func (p *parser) parseTemporalStmt() (sqlast.Stmt, error) {
-	ts := &sqlast.TemporalStmt{}
+	ts := &sqlast.TemporalStmt{Pos: p.tok().Pos}
 	if p.acceptKw("NONSEQUENCED") {
 		switch {
 		case p.acceptKw("VALIDTIME"):
@@ -295,13 +295,14 @@ func (p *parser) queryAhead(n int) bool {
 // ---------- DML ----------
 
 func (p *parser) parseInsert() (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("INSERT"); err != nil {
 		return nil, err
 	}
 	if err := p.expectKw("INTO"); err != nil {
 		return nil, err
 	}
-	st := &sqlast.InsertStmt{}
+	st := &sqlast.InsertStmt{Pos: pos}
 	if p.acceptKw("TABLE") {
 		st.VarTarget = true
 	}
@@ -335,10 +336,11 @@ func (p *parser) parseInsert() (sqlast.Stmt, error) {
 }
 
 func (p *parser) parseUpdate() (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("UPDATE"); err != nil {
 		return nil, err
 	}
-	st := &sqlast.UpdateStmt{}
+	st := &sqlast.UpdateStmt{Pos: pos}
 	if p.acceptKw("TABLE") {
 		st.VarTarget = true
 	}
@@ -358,6 +360,7 @@ func (p *parser) parseUpdate() (sqlast.Stmt, error) {
 		return nil, err
 	}
 	for {
+		cpos := p.tok().Pos
 		col, err := p.ident()
 		if err != nil {
 			return nil, err
@@ -369,7 +372,7 @@ func (p *parser) parseUpdate() (sqlast.Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.Sets = append(st.Sets, sqlast.SetClause{Column: col, Value: val})
+		st.Sets = append(st.Sets, sqlast.SetClause{Column: col, Value: val, Pos: cpos})
 		if !p.acceptOp(",") {
 			break
 		}
@@ -383,13 +386,14 @@ func (p *parser) parseUpdate() (sqlast.Stmt, error) {
 }
 
 func (p *parser) parseDelete() (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("DELETE"); err != nil {
 		return nil, err
 	}
 	if err := p.expectKw("FROM"); err != nil {
 		return nil, err
 	}
-	st := &sqlast.DeleteStmt{}
+	st := &sqlast.DeleteStmt{Pos: pos}
 	if p.acceptKw("TABLE") {
 		st.VarTarget = true
 	}
@@ -414,6 +418,7 @@ func (p *parser) parseDelete() (sqlast.Stmt, error) {
 }
 
 func (p *parser) parseCall() (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("CALL"); err != nil {
 		return nil, err
 	}
@@ -421,7 +426,7 @@ func (p *parser) parseCall() (sqlast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &sqlast.CallStmt{Name: name}
+	st := &sqlast.CallStmt{Name: name, Pos: pos}
 	if err := p.expectOp("("); err != nil {
 		return nil, err
 	}
@@ -445,6 +450,7 @@ func (p *parser) parseCall() (sqlast.Stmt, error) {
 
 // parseSetStmt parses the PSM assignment SET v = expr.
 func (p *parser) parseSetStmt() (sqlast.Stmt, error) {
+	pos := p.tok().Pos
 	if err := p.expectKw("SET"); err != nil {
 		return nil, err
 	}
@@ -459,7 +465,7 @@ func (p *parser) parseSetStmt() (sqlast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &sqlast.SetStmt{Target: name, Value: val}, nil
+	return &sqlast.SetStmt{Target: name, Value: val, Pos: pos}, nil
 }
 
 // number parses an integer token.

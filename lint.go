@@ -1,0 +1,165 @@
+package taupsm
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/check"
+	"taupsm/internal/sqlast"
+)
+
+// Diagnostic is one static-analyzer finding, the public mirror of
+// internal/check's diagnostic: a severity ("error" or "warning"), a
+// stable TAUxxx code, a 1-based source position, and a message.
+type Diagnostic struct {
+	Code     string
+	Severity string
+	Line     int
+	Col      int
+	Message  string
+	Hint     string
+}
+
+// String renders the diagnostic as "line:col: severity CODE: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%d:%d: %s %s: %s", d.Line, d.Col, d.Severity, d.Code, d.Message)
+}
+
+func fromCheck(d check.Diagnostic) Diagnostic {
+	return Diagnostic{
+		Code:     d.Code,
+		Severity: d.Severity.String(),
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Col,
+		Message:  d.Message,
+		Hint:     d.Hint,
+	}
+}
+
+func fromChecks(diags []check.Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = fromCheck(d)
+	}
+	return out
+}
+
+// LintError reports that a statement was rejected by compile-time
+// analysis; Diagnostics holds every finding (errors and warnings).
+type LintError struct {
+	Diagnostics []Diagnostic
+}
+
+func (e *LintError) Error() string {
+	var errs []string
+	for _, d := range e.Diagnostics {
+		if d.Severity == "error" {
+			errs = append(errs, d.String())
+		}
+	}
+	return fmt.Sprintf("semantic check failed:\n  %s", strings.Join(errs, "\n  "))
+}
+
+// LintParsed statically analyzes one parsed statement against the live
+// catalog without executing it.
+func (db *DB) LintParsed(stmt sqlast.Stmt) []Diagnostic {
+	return fromChecks(check.Check(check.FromStorage(db.eng.Cat), stmt))
+}
+
+// Lint parses a script and statically analyzes each statement,
+// applying DDL to a shadow catalog (layered over the live one) so
+// later statements see the schema earlier statements would create.
+func (db *DB) Lint(src string) ([]Diagnostic, error) {
+	stmts, err := db.parseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	sc := check.NewScriptCatalog(check.FromStorage(db.eng.Cat))
+	var out []Diagnostic
+	for _, s := range stmts {
+		out = append(out, fromChecks(check.Check(sc, s))...)
+		sc.Apply(s)
+	}
+	return out, nil
+}
+
+// checkCreate runs CREATE-time validation on a routine definition:
+// error-severity diagnostics reject the statement, warnings are
+// returned for attachment to the result.
+func (db *DB) checkCreate(stmt sqlast.Stmt) ([]Diagnostic, error) {
+	diags := check.CheckRoutine(check.FromStorage(db.eng.Cat), stmt)
+	if len(check.Errors(diags)) > 0 {
+		return nil, &LintError{Diagnostics: fromChecks(diags)}
+	}
+	return fromChecks(diags), nil
+}
+
+// Prepared is a parsed, analyzer-validated script ready to execute.
+type Prepared struct {
+	db *DB
+	// Stmts are the parsed statements, in order.
+	stmts []sqlast.Stmt
+	// Warnings are the warning-severity findings of preparation.
+	Warnings []Diagnostic
+}
+
+// Prepare parses and statically checks a script without executing it.
+// Any error-severity diagnostic fails preparation with a *LintError;
+// warnings are collected on the returned Prepared.
+func (db *DB) Prepare(src string) (*Prepared, error) {
+	stmts, err := db.parseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	sc := check.NewScriptCatalog(check.FromStorage(db.eng.Cat))
+	var all []Diagnostic
+	errs := 0
+	for _, s := range stmts {
+		diags := check.Check(sc, s)
+		errs += len(check.Errors(diags))
+		all = append(all, fromChecks(diags)...)
+		sc.Apply(s)
+	}
+	if errs > 0 {
+		return nil, &LintError{Diagnostics: all}
+	}
+	return &Prepared{db: db, stmts: stmts, Warnings: all}, nil
+}
+
+// Exec executes the prepared script, returning the result of the last
+// statement.
+func (p *Prepared) Exec() (*Result, error) {
+	var last *Result
+	for _, s := range p.stmts {
+		res, err := p.db.ExecParsed(s)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// noteFallback records a PERST→MAX fallback for \strategy, including
+// whether the static analyzer predicted it (TAU030).
+func (db *DB) noteFallback(ts *sqlast.TemporalStmt, terr error) {
+	predicted := false
+	for _, d := range check.Check(check.FromStorage(db.eng.Cat), ts) {
+		if d.Code == check.CodePerstFallback {
+			predicted = true
+			break
+		}
+	}
+	note := fmt.Sprintf("last PERST fallback: %v (predicted by lint: %v)", terr, predicted)
+	db.mu.Lock()
+	db.lastFallbackNote = note
+	db.mu.Unlock()
+}
+
+// LastFallbackNote describes the most recent PERST→MAX fallback and
+// whether lint predicted it; "" when no fallback has occurred.
+func (db *DB) LastFallbackNote() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.lastFallbackNote
+}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 
+	"taupsm/internal/check"
 	"taupsm/internal/core"
 	"taupsm/internal/engine"
 	"taupsm/internal/sqlast"
@@ -22,14 +23,16 @@ import (
 //     the whole result rather than per period;
 //   - a reachable routine with SQL side effects (DML on a stored
 //     table, or DDL), whose concurrent execution would race.
+//
+// Both conditions are decided by the static analyzer (internal/check),
+// the single source of truth for effect inference: the translation's
+// routine clones resolve locals-first, everything else through the
+// catalog.
 func (db *DB) computeParallelSafe(t *core.Translation) bool {
 	q, ok := t.Main.(sqlast.QueryExpr)
-	if !ok || !chunkOrderSafe(q) {
+	if !ok || !check.ChunkOrderSafe(q) {
 		return false
 	}
-
-	// Bodies of the translation's own routine clones, by name; other
-	// called routines resolve through the catalog.
 	local := map[string]sqlast.Stmt{}
 	for _, r := range t.Routines {
 		switch x := r.(type) {
@@ -39,76 +42,15 @@ func (db *DB) computeParallelSafe(t *core.Translation) bool {
 			local[strings.ToLower(x.Name)] = x.Body
 		}
 	}
-
-	seen := map[string]bool{}
-	safe := true
-	var checkNode func(n sqlast.Node)
-	visitRoutine := func(name string) {
-		k := strings.ToLower(name)
-		if seen[k] {
-			return
-		}
-		seen[k] = true
-		if body, ok := local[k]; ok {
-			checkNode(body)
-			return
-		}
-		if r := db.eng.Cat.Routine(name); r != nil {
-			checkNode(r.Body())
-		}
-	}
-	checkNode = func(n sqlast.Node) {
-		sqlast.Walk(n, func(m sqlast.Node) bool {
-			if !safe {
-				return false
-			}
-			switch x := m.(type) {
-			case *sqlast.InsertStmt:
-				// INSERT into a routine-local collection variable is
-				// private to the worker; only stored tables are shared.
-				if db.eng.Cat.Table(x.Table) != nil {
-					safe = false
-				}
-			case *sqlast.UpdateStmt:
-				if db.eng.Cat.Table(x.Table) != nil {
-					safe = false
-				}
-			case *sqlast.DeleteStmt:
-				if db.eng.Cat.Table(x.Table) != nil {
-					safe = false
-				}
-			case *sqlast.CreateTableStmt, *sqlast.DropTableStmt,
-				*sqlast.CreateViewStmt, *sqlast.DropViewStmt,
-				*sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt,
-				*sqlast.DropRoutineStmt:
-				safe = false
-			case *sqlast.FuncCall:
-				visitRoutine(x.Name)
-			case *sqlast.CallStmt:
-				visitRoutine(x.Name)
-			}
-			return safe
-		})
-	}
-	checkNode(t.Main)
-	return safe
+	return check.WriteFree(check.FromStorage(db.eng.Cat), local, t.Main)
 }
 
-// chunkOrderSafe reports that no top-level query block orders or
-// limits across periods.
-func chunkOrderSafe(q sqlast.QueryExpr) bool {
-	switch x := q.(type) {
-	case *sqlast.SelectStmt:
-		return len(x.OrderBy) == 0 && x.Limit == nil
-	case *sqlast.SetOpExpr:
-		if len(x.OrderBy) > 0 {
-			return false
-		}
-		return chunkOrderSafe(x.L) && chunkOrderSafe(x.R)
-	case *sqlast.ValuesExpr:
-		return true
-	}
-	return false
+// ParallelSafe reports whether a MAX translation's main statement may
+// be evaluated as independent constant-period chunks. Exported for
+// agreement tests between the static analyzer and the legacy inline
+// walker.
+func (db *DB) ParallelSafe(t *core.Translation) bool {
+	return db.computeParallelSafe(t)
 }
 
 // chunkCPTable wraps rows [lo, hi) of the constant-period table as an

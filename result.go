@@ -36,6 +36,10 @@ type Result struct {
 	Rows [][]Value
 	// Affected is the number of rows a modification touched.
 	Affected int
+	// Warnings are warning-severity diagnostics the static analyzer
+	// attached (routine definitions only; errors reject the statement
+	// instead).
+	Warnings []Diagnostic
 }
 
 func wrapResult(r *engine.Result) *Result {

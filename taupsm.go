@@ -89,6 +89,11 @@ type DB struct {
 	parseCache map[string][]sqlast.Stmt
 	tcache     map[string]*translationEntry
 	cpcache    map[string]*cpEntry
+
+	// lastFallbackNote describes the most recent PERST→MAX fallback
+	// and whether the static analyzer predicted it; see
+	// LastFallbackNote.
+	lastFallbackNote string
 }
 
 // Open creates an empty temporal database.
@@ -350,6 +355,20 @@ func (db *DB) ExecParsed(stmt sqlast.Stmt) (*Result, error) {
 		c.Inc()
 	}
 
+	// CREATE-time validation: routine definitions pass through the
+	// static analyzer before translation. Error diagnostics (undeclared
+	// variables or cursors, unknown callees, arity mismatches, ...)
+	// reject the definition outright; warnings ride on the result.
+	var warnings []Diagnostic
+	switch stmt.(type) {
+	case *sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt:
+		var cerr error
+		warnings, cerr = db.checkCreate(stmt)
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+
 	t, ent, err := db.timedTranslate(stmt, kind)
 	if err != nil {
 		return nil, err
@@ -361,7 +380,9 @@ func (db *DB) ExecParsed(stmt sqlast.Stmt) (*Result, error) {
 	if db.CoalesceResults && isSequencedQueryResult(stmt, res) {
 		res = coalesceResult(res)
 	}
-	return wrapResult(res), nil
+	out := wrapResult(res)
+	out.Warnings = warnings
+	return out, nil
 }
 
 // timedTranslate runs the translation phase, recording its latency and
@@ -540,6 +561,7 @@ func (db *DB) translateStmt(stmt sqlast.Stmt) (*core.Translation, error) {
 	t, err := db.tr.Translate(stmt, strategy)
 	if err != nil && errors.Is(err, core.ErrNotTransformable) && strategy == PerStatement && db.strategy == Auto {
 		db.sm.perstFallback.Inc()
+		db.noteFallback(ts, err)
 		if db.tracer != nil {
 			db.tracer.Event(obs.Event{Name: "stratum.perst_fallback",
 				Attrs: []obs.Attr{obs.A("error", err.Error())}})
@@ -579,6 +601,7 @@ func (db *DB) chooseStrategy(ts *sqlast.TemporalStmt) (Strategy, core.Reason) {
 	if err != nil {
 		if errors.Is(err, core.ErrNotTransformable) {
 			f.PerstTransformable = false
+			db.noteFallback(ts, err)
 			return core.ChooseExplained(f)
 		}
 		return Max, core.ReasonProbeError

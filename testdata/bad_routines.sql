@@ -1,0 +1,71 @@
+-- A deliberately broken script exercising the static analyzer:
+-- `taupsm vet testdata/bad_routines.sql` must report every class of
+-- defect below and exit non-zero.
+
+CREATE TABLE item (item_id CHAR(10), title VARCHAR(100), price FLOAT) AS VALIDTIME;
+CREATE TABLE item_author (item_id CHAR(10), author_id CHAR(10));
+
+-- TAU001 (undeclared variable) and TAU013 (missing RETURN).
+CREATE FUNCTION f1 () RETURNS INTEGER
+BEGIN
+  SET x = 1;
+END;
+
+-- TAU002: cursor never declared.
+CREATE PROCEDURE p1 ()
+BEGIN
+  OPEN missing_cursor;
+END;
+
+-- TAU003: no enclosing statement carries this label.
+CREATE PROCEDURE p2 ()
+BEGIN
+  LEAVE nowhere;
+END;
+
+-- TAU004: unknown table.
+SELECT title FROM no_such_table;
+
+-- TAU006: callee does not exist.
+CREATE PROCEDURE p3 ()
+BEGIN
+  CALL does_not_exist(1);
+END;
+
+-- TAU007: a function invoked as a procedure.
+CREATE FUNCTION f2 () RETURNS INTEGER
+BEGIN
+  RETURN 1;
+END;
+CREATE PROCEDURE p4 ()
+BEGIN
+  CALL f2();
+END;
+
+-- TAU009: wrong argument count.
+CREATE PROCEDURE p5 (IN a INTEGER)
+BEGIN
+  SET a = 0;
+END;
+CREATE PROCEDURE p6 ()
+BEGIN
+  CALL p5(1, 2);
+END;
+
+-- TAU010: value assigned but never read.
+CREATE PROCEDURE p7 ()
+BEGIN
+  DECLARE unused INTEGER;
+  SET unused = 3;
+END;
+
+-- TAU012: duplicate declaration in one compound.
+CREATE PROCEDURE p8 ()
+BEGIN
+  DECLARE v INTEGER;
+  DECLARE v INTEGER;
+  SET v = 1;
+END;
+
+-- TAU020: temporal modifier over a snapshot-only table.
+VALIDTIME SELECT item_id FROM item_author;
