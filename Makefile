@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench microbench report clean
+.PHONY: build test race verify fuzz-smoke bench microbench report clean
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,8 @@ race:
 	$(GO) test -race ./...
 
 # verify is the full gate: formatting, static checks (staticcheck when
-# installed — CI installs a pinned version), then the race-enabled
-# test run.
+# installed — CI installs a pinned version), the race-enabled test
+# run, and a short fuzz smoke over the two untrusted-input surfaces.
 verify:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
@@ -21,6 +21,13 @@ verify:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "staticcheck not installed; skipping"; fi
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke runs each fuzz target briefly: enough to catch shallow
+# decoder/parser panics on every verify, without CI-scale fuzzing.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=5s -run '^$$' ./internal/wal
+	$(GO) test -fuzz=FuzzParse -fuzztime=5s -run '^$$' ./internal/sqlparser
 
 # bench regenerates the machine-readable benchmark artifact extending
 # the perf trajectory (BENCH_1.json is the pre-caching baseline).

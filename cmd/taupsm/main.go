@@ -8,6 +8,7 @@
 //	taupsm -mode translate -strategy max query.sql
 //	taupsm -mode translate -strategy perst -          # read stdin
 //	taupsm -mode repl                     # interactive shell
+//	taupsm -mode repl -data ./db          # persistent database in ./db
 //	taupsm vet script.sql ...             # static analysis, no execution
 //
 // In exec mode every statement is translated by the stratum and run;
@@ -17,6 +18,10 @@
 // routine definitions) are executed to build the schema the translator
 // needs. The repl mode reads statements interactively and adds
 // backslash commands (\timing, \metrics, \strategy, \help).
+//
+// With -data the database persists in the named directory: committed
+// statements are written to a write-ahead log, and a later invocation
+// with the same -data recovers the full catalog before running.
 package main
 
 import (
@@ -37,12 +42,16 @@ func main() {
 	mode := flag.String("mode", "exec", "exec, translate, or repl")
 	strategy := flag.String("strategy", "auto", "sequenced slicing strategy: auto, max, perst")
 	now := flag.String("now", "", "fix CURRENT_DATE (YYYY-MM-DD)")
+	data := flag.String("data", "", "data directory for a persistent database (default in-memory)")
 	flag.Parse()
 
 	if *mode == "repl" {
-		db, err := newDB(*strategy, *now)
+		db, err := newDB(*strategy, *now, *data)
 		if err == nil {
 			err = runREPL(os.Stdin, os.Stdout, db)
+			if cerr := db.Close(); err == nil {
+				err = cerr
+			}
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "taupsm:", err)
@@ -51,10 +60,10 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: taupsm [-mode exec|translate|repl] [-strategy auto|max|perst] <file.sql | ->")
+		fmt.Fprintln(os.Stderr, "usage: taupsm [-mode exec|translate|repl] [-strategy auto|max|perst] [-data dir] <file.sql | ->")
 		os.Exit(2)
 	}
-	if err := run(*mode, *strategy, *now, flag.Arg(0)); err != nil {
+	if err := run(*mode, *strategy, *now, *data, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "taupsm:", err)
 		os.Exit(1)
 	}
@@ -72,17 +81,27 @@ func parseStrategy(s string) (taupsm.Strategy, error) {
 	return taupsm.Auto, fmt.Errorf("unknown strategy %q", s)
 }
 
-// newDB opens a database configured by the -strategy and -now flags.
-func newDB(strategyFlag, now string) (*taupsm.DB, error) {
+// newDB opens a database configured by the -strategy, -now, and -data
+// flags: in-memory by default, persistent when -data names a directory.
+func newDB(strategyFlag, now, data string) (*taupsm.DB, error) {
 	strategy, err := parseStrategy(strategyFlag)
 	if err != nil {
 		return nil, err
 	}
-	db := taupsm.Open()
+	var db *taupsm.DB
+	if data != "" {
+		db, err = taupsm.OpenDir(data)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		db = taupsm.Open()
+	}
 	db.SetStrategy(strategy)
 	if now != "" {
 		var y, m, d int
 		if _, err := fmt.Sscanf(now, "%d-%d-%d", &y, &m, &d); err != nil {
+			db.Close()
 			return nil, fmt.Errorf("invalid -now %q: %w", now, err)
 		}
 		db.SetNow(y, m, d)
@@ -90,11 +109,12 @@ func newDB(strategyFlag, now string) (*taupsm.DB, error) {
 	return db, nil
 }
 
-func run(mode, strategyFlag, now, path string) error {
-	db, err := newDB(strategyFlag, now)
+func run(mode, strategyFlag, now, data, path string) error {
+	db, err := newDB(strategyFlag, now, data)
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	var src []byte
 	if path == "-" {
 		src, err = io.ReadAll(os.Stdin)

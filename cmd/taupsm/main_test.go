@@ -35,7 +35,7 @@ VALIDTIME SELECT get_author_name('a1') FROM author;
 
 func TestRunExec(t *testing.T) {
 	p := writeScript(t, script)
-	if err := run("exec", "max", "2010-03-01", p); err != nil {
+	if err := run("exec", "max", "2010-03-01", "", p); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -43,7 +43,7 @@ func TestRunExec(t *testing.T) {
 func TestRunTranslate(t *testing.T) {
 	p := writeScript(t, script)
 	for _, s := range []string{"max", "perst", "auto"} {
-		if err := run("translate", s, "", p); err != nil {
+		if err := run("translate", s, "", "", p); err != nil {
 			t.Fatalf("strategy %s: %v", s, err)
 		}
 	}
@@ -51,24 +51,24 @@ func TestRunTranslate(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	p := writeScript(t, script)
-	if err := run("bogus", "max", "", p); err == nil {
+	if err := run("bogus", "max", "", "", p); err == nil {
 		t.Fatal("expected unknown-mode error")
 	}
-	if err := run("exec", "bogus", "", p); err == nil {
+	if err := run("exec", "bogus", "", "", p); err == nil {
 		t.Fatal("expected unknown-strategy error")
 	}
-	if err := run("exec", "max", "not-a-date", p); err == nil {
+	if err := run("exec", "max", "not-a-date", "", p); err == nil {
 		t.Fatal("expected -now parse error")
 	}
-	if err := run("exec", "max", "", filepath.Join(t.TempDir(), "missing.sql")); err == nil {
+	if err := run("exec", "max", "", "", filepath.Join(t.TempDir(), "missing.sql")); err == nil {
 		t.Fatal("expected missing-file error")
 	}
 	bad := writeScript(t, "SELEC nonsense")
-	if err := run("exec", "max", "", bad); err == nil {
+	if err := run("exec", "max", "", "", bad); err == nil {
 		t.Fatal("expected parse error")
 	}
 	empty := writeScript(t, "  -- nothing\n")
-	if err := run("exec", "max", "", empty); err == nil {
+	if err := run("exec", "max", "", "", empty); err == nil {
 		t.Fatal("expected empty-script error")
 	}
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A -data run persists across invocations: the first exec builds the
+// schema and rows, the second queries them from the recovered catalog.
+func TestRunExecPersistsAcrossInvocations(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	build := writeScript(t, `
+CREATE TABLE author (author_id CHAR(10), first_name CHAR(50)) AS VALIDTIME;
+NONSEQUENCED VALIDTIME INSERT INTO author VALUES
+  ('a1', 'Ben', DATE '2010-01-01', DATE '2010-07-01');
+`)
+	if err := run("exec", "max", "2010-03-01", dir, build); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	query := writeScript(t, `VALIDTIME SELECT first_name FROM author;`)
+	if err := run("exec", "max", "2010-03-01", dir, query); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+// The REPL over a persistent database supports \checkpoint, shows the
+// wal metrics under \metrics, and recovers its state on the next open.
+func TestREPLPersistentCheckpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := newDB("max", "2010-03-01", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := replOut(t, db, `
+CREATE TABLE t (x INTEGER);
+INSERT INTO t VALUES (41);
+\checkpoint
+\metrics
+\q
+`)
+	db.Close()
+	if !strings.Contains(out, "Checkpoint complete.") {
+		t.Fatalf("\\checkpoint output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "wal.epoch") || !strings.Contains(out, "wal.snapshots_total") {
+		t.Fatalf("\\metrics output missing wal series:\n%s", out)
+	}
+
+	db2, err := newDB("max", "2010-03-01", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	out2 := replOut(t, db2, `
+SELECT x FROM t;
+\q
+`)
+	if !strings.Contains(out2, "41") {
+		t.Fatalf("recovered row missing:\n%s", out2)
+	}
+}
+
+// \checkpoint on an in-memory session reports the error instead of
+// crashing the shell.
+func TestREPLCheckpointInMemoryErrors(t *testing.T) {
+	db, err := newDB("max", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := replOut(t, db, "\\checkpoint\n\\q\n")
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("in-memory \\checkpoint did not error:\n%s", out)
+	}
+}

@@ -30,6 +30,7 @@ const replHelp = `Backslash commands:
   \metrics [reset]   print the metrics registry, or reset every series
   \strategy [s]      show or set the slicing strategy: auto, max, perst
   \parallel [n]      show or set the fragment worker-pool size
+  \checkpoint        compact durable state into a fresh snapshot (-data only)
   \r                 clear the statement buffer
   \help, \?          this help
   \q                 quit
@@ -141,6 +142,12 @@ func (r *repl) meta(cmd string) bool {
 			r.db.SetParallelism(n)
 		}
 		fmt.Fprintf(r.out, "Parallelism is %d.\n", r.db.Parallelism())
+	case `\checkpoint`:
+		if err := r.db.Checkpoint(); err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+			return false
+		}
+		fmt.Fprintln(r.out, "Checkpoint complete.")
 	case `\r`, `\reset`:
 		r.buf.Reset()
 		fmt.Fprintln(r.out, "Statement buffer cleared.")

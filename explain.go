@@ -63,6 +63,10 @@ type Explain struct {
 	// the caches nor moves their hit/miss counters.
 	TranslationCacheHit bool
 	CPCacheHit          bool
+	// Durability summarizes the database's write-ahead-log state (epoch,
+	// log bytes, what recovery replayed) for persistent databases; empty
+	// for in-memory ones.
+	Durability string
 	// SQL is the conventional SQL/PSM script the statement compiles to.
 	SQL string
 	// Lint holds the static analyzer's findings for the statement
@@ -94,7 +98,7 @@ func (db *DB) ExplainParsed(stmt sqlast.Stmt) (*Explain, error) {
 		return nil, fmt.Errorf("EXPLAIN cannot be nested")
 	}
 	db.sm.explain.Inc()
-	e := &Explain{Kind: stmtKind(stmt), Lint: db.LintParsed(stmt)}
+	e := &Explain{Kind: stmtKind(stmt), Lint: db.LintParsed(stmt), Durability: db.durabilityNote()}
 
 	var t *core.Translation
 	var err error
@@ -199,6 +203,9 @@ func (e *Explain) Result() *Result {
 		if e.Strategy == Max {
 			add("cp_cache", hitMiss(e.CPCacheHit))
 		}
+	}
+	if e.Durability != "" {
+		add("durability", e.Durability)
 	}
 	for i, d := range e.Lint {
 		prop := ""

@@ -95,6 +95,14 @@ type DB struct {
 	// fnPure caches routine-purity verdicts, shared by all sessions.
 	fnPure *sync.Map
 
+	// Journal, when set on a session, collects the undo/redo records of
+	// every statement the session executes, letting the stratum treat a
+	// whole user statement — which a sequenced translation expands into
+	// several engine statements — as one atomic, loggable unit. When
+	// nil, each top-level statement still gets a private journal so a
+	// failed statement rolls back its partial writes.
+	Journal *Journal
+
 	// writeGen counts DML/DDL executed through this session; the
 	// function-result memo wipes itself when it changes.
 	writeGen int64
@@ -139,8 +147,24 @@ func (db *DB) ExecScript(src string) (*Result, error) {
 
 // ExecStmt executes one (conventional) statement.
 func (db *DB) ExecStmt(stmt sqlast.Stmt) (*Result, error) {
-	ctx := &execCtx{db: db, memo: db.newFnMemo()}
-	return db.exec(ctx, stmt)
+	ctx := &execCtx{db: db, memo: db.newFnMemo(), journal: db.Journal}
+	return db.execTop(ctx, stmt)
+}
+
+// execTop runs one top-level statement with statement atomicity: on
+// error, every change journaled after entry is undone, so a statement
+// failing mid-scan (an UPDATE whose SET expression divides by zero on
+// the Nth row, say) leaves no partial writes behind.
+func (db *DB) execTop(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
+	if ctx.journal == nil {
+		ctx.journal = NewJournal()
+	}
+	m := ctx.journal.mark()
+	res, err := db.exec(ctx, stmt)
+	if err != nil {
+		ctx.journal.rollbackTo(m)
+	}
+	return res, err
 }
 
 // newFnMemo returns a fresh per-statement function-result memo, or nil
@@ -184,39 +208,61 @@ func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
 	case *sqlast.CreateTableStmt:
 		return db.execCreateTable(ctx, s)
 	case *sqlast.DropTableStmt:
+		old := db.Cat.Table(s.Name)
 		if !db.Cat.DropTable(s.Name) && !s.IfExists {
 			return nil, fmt.Errorf("table %s does not exist", s.Name)
 		}
+		journalDropTable(ctx.journal, db.Cat, old)
 		return &Result{}, nil
 	case *sqlast.CreateViewStmt:
 		if s.Mod != sqlast.ModCurrent {
 			return nil, fmt.Errorf("engine: temporal view %s reached the conventional engine", s.Name)
 		}
+		old := db.Cat.View(s.Name)
 		db.Cat.PutView(&storage.View{Name: s.Name, Cols: s.Cols, Query: s.Query, Mod: s.Mod})
+		journalPutView(ctx.journal, db.Cat, old, s)
 		return &Result{}, nil
 	case *sqlast.DropViewStmt:
+		old := db.Cat.View(s.Name)
 		if !db.Cat.DropView(s.Name) && !s.IfExists {
 			return nil, fmt.Errorf("view %s does not exist", s.Name)
 		}
+		journalDropView(ctx.journal, db.Cat, old)
 		return &Result{}, nil
 	case *sqlast.AlterAddValidTime:
-		return db.execAddValidTime(s)
+		return db.execAddValidTime(ctx, s)
 	case *sqlast.CreateFunctionStmt:
-		if db.Cat.Routine(s.Name) != nil && !s.Replace {
+		old := db.Cat.Routine(s.Name)
+		if old != nil && !s.Replace {
 			return nil, fmt.Errorf("routine %s already exists", s.Name)
+		}
+		sql := s.SQL()
+		if old != nil && old.Kind == storage.KindFunction && old.Fn.SQL() == sql {
+			// Identical re-registration is a no-op (Catalog.PutRoutine
+			// would not bump the version either); don't journal or log it.
+			return &Result{}, nil
 		}
 		db.Cat.PutRoutine(&storage.Routine{Kind: storage.KindFunction, Name: s.Name, Fn: s})
+		journalPutRoutine(ctx.journal, db.Cat, old, s.Name, sql)
 		return &Result{}, nil
 	case *sqlast.CreateProcedureStmt:
-		if db.Cat.Routine(s.Name) != nil && !s.Replace {
+		old := db.Cat.Routine(s.Name)
+		if old != nil && !s.Replace {
 			return nil, fmt.Errorf("routine %s already exists", s.Name)
 		}
+		sql := s.SQL()
+		if old != nil && old.Kind == storage.KindProcedure && old.Proc.SQL() == sql {
+			return &Result{}, nil
+		}
 		db.Cat.PutRoutine(&storage.Routine{Kind: storage.KindProcedure, Name: s.Name, Proc: s})
+		journalPutRoutine(ctx.journal, db.Cat, old, s.Name, sql)
 		return &Result{}, nil
 	case *sqlast.DropRoutineStmt:
+		old := db.Cat.Routine(s.Name)
 		if !db.Cat.DropRoutine(s.Name) && !s.IfExists {
 			return nil, fmt.Errorf("routine %s does not exist", s.Name)
 		}
+		journalDropRoutine(ctx.journal, db.Cat, old)
 		return &Result{}, nil
 	case *sqlast.CallStmt:
 		return db.execCall(ctx, s)
@@ -227,7 +273,7 @@ func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
 		if ctx.vars == nil {
 			// Anonymous block executed at top level.
 			if _, ok := stmt.(*sqlast.CompoundStmt); ok {
-				ctx2 := &execCtx{db: db, vars: newFrame(nil), memo: ctx.memo}
+				ctx2 := &execCtx{db: db, vars: newFrame(nil), memo: ctx.memo, journal: ctx.journal}
 				if err := db.execPSM(ctx2, stmt); err != nil {
 					return nil, err
 				}
@@ -288,10 +334,11 @@ func (db *DB) execCreateTable(ctx *execCtx, s *sqlast.CreateTableStmt) (*Result,
 	t.Rows = rows
 	t.Bump()
 	db.Cat.PutTable(t)
+	journalPutTable(ctx.journal, db.Cat, nil, t)
 	return &Result{Affected: len(rows)}, nil
 }
 
-func (db *DB) execAddValidTime(s *sqlast.AlterAddValidTime) (*Result, error) {
+func (db *DB) execAddValidTime(ctx *execCtx, s *sqlast.AlterAddValidTime) (*Result, error) {
 	t := db.Cat.Table(s.Table)
 	if t == nil {
 		return nil, fmt.Errorf("table %s does not exist", s.Table)
@@ -312,6 +359,7 @@ func (db *DB) execAddValidTime(s *sqlast.AlterAddValidTime) (*Result, error) {
 	}
 	nt.Bump()
 	db.Cat.PutTable(nt)
+	journalPutTable(ctx.journal, db.Cat, t, nt)
 	return &Result{Affected: len(nt.Rows)}, nil
 }
 

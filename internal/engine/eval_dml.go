@@ -59,6 +59,7 @@ func (db *DB) execInsert(ctx *execCtx, s *sqlast.InsertStmt) (*Result, error) {
 		return nil, fmt.Errorf("INSERT into %s supplies %d values for %d columns",
 			t.Name, len(src.Cols), len(mapping))
 	}
+	l := db.dmlLogFor(ctx, t)
 	for _, row := range src.Rows {
 		nr := make([]types.Value, ncols)
 		for i, ord := range mapping {
@@ -71,6 +72,7 @@ func (db *DB) execInsert(ctx *execCtx, s *sqlast.InsertStmt) (*Result, error) {
 		if err := t.Insert(nr); err != nil {
 			return nil, err
 		}
+		l.insert(nr)
 	}
 	db.logDelay(len(src.Rows))
 	return &Result{Affected: len(src.Rows)}, nil
@@ -132,8 +134,9 @@ func (db *DB) execUpdate(ctx *execCtx, s *sqlast.UpdateStmt) (*Result, error) {
 		ords[i] = ord
 	}
 
+	l := db.dmlLogFor(ctx, t)
 	affected := 0
-	for _, row := range t.Rows {
+	for idx, row := range t.Rows {
 		scope.entries[0].row = row
 		if s.Where != nil {
 			v, err := db.evalExpr(rctx, s.Where)
@@ -157,9 +160,17 @@ func (db *DB) execUpdate(ctx *execCtx, s *sqlast.UpdateStmt) (*Result, error) {
 			}
 			newVals[i] = cv
 		}
+		// Journal the old values before mutating in place: if a later
+		// row's evaluation fails, the rollback writes them back into the
+		// same row slices, so the scan's partial mutations don't leak.
+		var old []types.Value
+		if l.j != nil {
+			old = cloneRow(row)
+		}
 		for i, ord := range ords {
 			row[ord] = newVals[i]
 		}
+		l.update(idx, row, old)
 		affected++
 	}
 	if affected > 0 {
@@ -181,9 +192,11 @@ func (db *DB) execDelete(ctx *execCtx, s *sqlast.DeleteStmt) (*Result, error) {
 	scope := &rowScope{parent: ctx.scope, entries: []scopeEntry{{alias: alias, cols: t.Schema.Names()}}}
 	rctx := ctx.withScope(scope)
 
+	l := db.dmlLogFor(ctx, t)
+	oldRows := t.Rows
 	kept := t.Rows[:0:0]
-	affected := 0
-	for _, row := range t.Rows {
+	var removed []int
+	for i, row := range t.Rows {
 		scope.entries[0].row = row
 		del := true
 		if s.Where != nil {
@@ -194,14 +207,16 @@ func (db *DB) execDelete(ctx *execCtx, s *sqlast.DeleteStmt) (*Result, error) {
 			del = types.TriboolFromValue(v) == types.True
 		}
 		if del {
-			affected++
+			removed = append(removed, i)
 		} else {
 			kept = append(kept, row)
 		}
 	}
-	t.Rows = kept
+	affected := len(removed)
 	if affected > 0 {
+		t.Rows = kept
 		t.Bump()
+		l.deleteRows(oldRows, removed)
 	}
 	return &Result{Affected: affected}, nil
 }

@@ -20,6 +20,7 @@ type execCtx struct {
 	depth   int
 	planRec *planRecorder // non-nil only while building a cached plan
 	memo    *fnMemoState  // per-statement function-result memo (nil = off)
+	journal *Journal      // undo/redo journal of the enclosing statement (nil = unjournaled)
 }
 
 // child returns a copy of ctx with a new scope pushed.

@@ -44,6 +44,6 @@ func (db *DB) ExecStmtWithTables(stmt sqlast.Stmt, tables map[string]*storage.Ta
 	for name, t := range tables {
 		frame.setTableVar(strings.ToLower(name), t)
 	}
-	ctx := &execCtx{db: db, vars: frame, memo: db.newFnMemo()}
-	return db.exec(ctx, stmt)
+	ctx := &execCtx{db: db, vars: frame, memo: db.newFnMemo(), journal: db.Journal}
+	return db.execTop(ctx, stmt)
 }

@@ -336,6 +336,17 @@ func (c *Catalog) TableNames() []string {
 	return out
 }
 
+// ViewNames returns the names of all views (unsorted).
+func (c *Catalog) ViewNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.views))
+	for _, v := range c.views {
+		out = append(out, v.Name)
+	}
+	return out
+}
+
 // RoutineNames returns the names of all routines (unsorted).
 func (c *Catalog) RoutineNames() []string {
 	c.mu.RLock()

@@ -1,0 +1,315 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Fault and crash sentinels.
+var (
+	// ErrInjected is returned by the I/O operation a fault was armed on.
+	ErrInjected = errors.New("wal: injected fault")
+	// ErrCrashed is returned by every operation after a fault fired:
+	// the process is considered dead, only CrashImage remains.
+	ErrCrashed = errors.New("wal: filesystem crashed")
+)
+
+// FaultMode selects what happens at the armed I/O operation.
+type FaultMode int
+
+// Fault modes.
+const (
+	// FaultNone disables injection.
+	FaultNone FaultMode = iota
+	// FaultFail makes the operation fail outright; the crash image
+	// keeps only synced data (maximum loss — the page cache is gone).
+	FaultFail
+	// FaultTorn makes a write persist only a prefix of its buffer
+	// before the crash; the torn bytes survive in the crash image
+	// (the page cache made it to disk half-way).
+	FaultTorn
+	// FaultShortRead makes a read return fewer bytes than asked and
+	// then fail; models a transient I/O error during recovery.
+	FaultShortRead
+)
+
+// MemFS is an in-memory FS with explicit durability semantics for crash
+// testing. Every byte written lands in a file's data; Sync advances the
+// file's durable watermark. A crash (injected fault) freezes the
+// filesystem: subsequent operations fail with ErrCrashed, and
+// CrashImage yields what a real disk would hold — synced bytes always,
+// unsynced bytes only when the fault mode says the page cache made it.
+//
+// Faults are armed with SetFault(n, mode): the nth I/O operation
+// (1-based, counted across Create/Open/Read/Write/Sync/Rename/Remove/
+// List/SyncDir) misbehaves per mode.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	ops     int
+	faultAt int
+	mode    FaultMode
+	crashed bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}}
+}
+
+// SetFault arms a fault at the nth upcoming I/O operation (1-based);
+// n = 0 disarms.
+func (fs *MemFS) SetFault(n int, mode FaultMode) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faultAt = fs.ops + n
+	if n == 0 {
+		fs.faultAt = 0
+	}
+	fs.mode = mode
+}
+
+// Ops returns the number of I/O operations performed so far.
+func (fs *MemFS) Ops() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether an injected fault has fired.
+func (fs *MemFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// CrashImage returns a fresh, fault-free MemFS holding what a disk
+// would contain after the crash (or after a clean shutdown): for a
+// crashed FS under FaultFail, only synced bytes; under FaultTorn, the
+// torn write's prefix survives too (it was frozen into data at crash
+// time). The receiver is left untouched.
+func (fs *MemFS) CrashImage() *MemFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	img := NewMemFS()
+	for name, f := range fs.files {
+		n := len(f.data)
+		if fs.crashed {
+			n = f.synced
+		}
+		img.files[name] = &memFile{data: append([]byte(nil), f.data[:n]...), synced: n}
+	}
+	return img
+}
+
+// ReadFile returns a copy of a file's full contents. It is harness
+// introspection, not modeled I/O: no operation is counted, no fault
+// fires.
+func (fs *MemFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: readfile %s: file does not exist", name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// WriteFile replaces a file's contents, fully synced — harness surgery
+// for crash images (e.g. truncating a log at an arbitrary byte), not
+// modeled I/O.
+func (fs *MemFS) WriteFile(name string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+}
+
+// step counts one operation and fires an armed FaultFail; FaultTorn and
+// FaultShortRead are handled by Write/Read themselves.
+func (fs *MemFS) step() (hit bool, err error) {
+	if fs.crashed {
+		return false, ErrCrashed
+	}
+	fs.ops++
+	if fs.faultAt != 0 && fs.ops == fs.faultAt {
+		if fs.mode == FaultFail {
+			fs.crash(false)
+			return true, ErrInjected
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// crash freezes the filesystem. keepUnsynced preserves the page cache
+// (torn-write model); otherwise unsynced tails are dropped immediately
+// so the synced watermark is what CrashImage sees.
+func (fs *MemFS) crash(keepUnsynced bool) {
+	fs.crashed = true
+	if keepUnsynced {
+		for _, f := range fs.files {
+			f.synced = len(f.data)
+		}
+	}
+}
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.step(); err != nil {
+		return nil, err
+	}
+	f := &memFile{}
+	fs.files[name] = f
+	return &memHandle{fs: fs, name: name, f: f}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.step(); err != nil {
+		return nil, err
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: open %s: file does not exist", name)
+	}
+	return &memHandle{fs: fs, name: name, f: f}, nil
+}
+
+// Rename implements FS.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.step(); err != nil {
+		return err
+	}
+	f, ok := fs.files[oldname]
+	if !ok {
+		return fmt.Errorf("wal: rename %s: file does not exist", oldname)
+	}
+	delete(fs.files, oldname)
+	fs.files[newname] = f
+	return nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.step(); err != nil {
+		return err
+	}
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("wal: remove %s: file does not exist", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List implements FS.
+func (fs *MemFS) List() ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.step(); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SyncDir implements FS. Renames and removals in MemFS are immediately
+// visible in the crash image (the namespace has no separate cache), so
+// this only counts an op and honours faults.
+func (fs *MemFS) SyncDir() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, err := fs.step()
+	return err
+}
+
+// memHandle is an open MemFS file: writes append, reads consume from
+// the handle's own offset.
+type memHandle struct {
+	fs   *MemFS
+	name string
+	f    *memFile
+	off  int
+}
+
+// Write implements File.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	hit, err := h.fs.step()
+	if err != nil {
+		return 0, err
+	}
+	if hit && h.fs.mode == FaultTorn {
+		k := len(p) / 2
+		h.f.data = append(h.f.data, p[:k]...)
+		h.fs.crash(true)
+		return k, ErrInjected
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+// Read implements File.
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	hit, err := h.fs.step()
+	if err != nil {
+		return 0, err
+	}
+	avail := len(h.f.data) - h.off
+	if avail <= 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if n > avail {
+		n = avail
+	}
+	if hit && h.fs.mode == FaultShortRead {
+		n /= 2
+		copy(p, h.f.data[h.off:h.off+n])
+		h.off += n
+		h.fs.crash(false)
+		return n, ErrInjected
+	}
+	copy(p, h.f.data[h.off:h.off+n])
+	h.off += n
+	return n, nil
+}
+
+// Sync implements File: everything written so far becomes durable.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if _, err := h.fs.step(); err != nil {
+		return err
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+// Close implements File. Closing is not an I/O op (it cannot fault) so
+// harness op counts track only the operations that can lose data.
+func (h *memHandle) Close() error { return nil }
+
+var _ FS = (*MemFS)(nil)

@@ -85,6 +85,9 @@ func (db *DB) runParallelMain(e *engine.DB, t *core.Translation, cp *storage.Tab
 	for w := 0; w < k; w++ {
 		lo, hi := w*n/k, (w+1)*n/k
 		ses := e.NewSession()
+		// The parallel-safety gate proves the statement write-free, so
+		// workers don't journal; sharing e's journal would race.
+		ses.Journal = nil
 		chunk := chunkCPTable(cp, lo, hi)
 		wg.Add(1)
 		go func(w int, ses *engine.DB, chunk *storage.Table) {

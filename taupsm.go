@@ -16,8 +16,12 @@
 //
 //	db := taupsm.Open()
 //	db.MustExec(`CREATE TABLE author (author_id CHAR(10), first_name CHAR(50)) AS VALIDTIME`)
-//	db.MustExec(`INSERT INTO author VALUES ('a1', 'Ben', DATE '2010-01-01', DATE '2010-06-01')`)
+//	db.MustExec(`NONSEQUENCED VALIDTIME INSERT INTO author VALUES ('a1', 'Ben', DATE '2010-01-01', DATE '2010-06-01')`)
 //	res, err := db.Query(`VALIDTIME SELECT first_name FROM author`)
+//
+// Open creates an in-memory database; OpenDir creates one whose
+// committed state persists in a data directory (write-ahead log plus
+// snapshots) and survives restarts.
 package taupsm
 
 import (
@@ -36,6 +40,7 @@ import (
 	"taupsm/internal/storage"
 	"taupsm/internal/temporal"
 	"taupsm/internal/types"
+	"taupsm/internal/wal"
 )
 
 // Strategy selects the sequenced slicing strategy.
@@ -94,15 +99,27 @@ type DB struct {
 	// and whether the static analyzer predicted it; see
 	// LastFallbackNote.
 	lastFallbackNote string
+
+	// dur is the write-ahead log of a persistent database (nil for
+	// in-memory databases); recovery describes what the last OpenDir /
+	// OpenFS reconstructed. See durability.go.
+	dur      *wal.Store
+	recovery *wal.RecoveryInfo
 }
 
-// Open creates an empty temporal database.
+// Open creates an empty in-memory temporal database. For a durable
+// database backed by a data directory, see OpenDir.
 func Open() *DB {
-	eng := engine.New()
+	return newDB(engine.New(), obs.NewMetrics())
+}
+
+// newDB assembles a stratum over an engine (whose catalog may have
+// been recovered from a snapshot + WAL) and a metrics registry.
+func newDB(eng *engine.DB, metrics *obs.Metrics) *DB {
 	db := &DB{
 		eng:        eng,
 		strategy:   Auto,
-		metrics:    obs.NewMetrics(),
+		metrics:    metrics,
 		par:        runtime.GOMAXPROCS(0),
 		parseCache: map[string][]sqlast.Stmt{},
 		tcache:     map[string]*translationEntry{},
@@ -449,8 +466,16 @@ func (db *DB) cachedTranslate(stmt sqlast.Stmt) (*core.Translation, *translation
 // deltas before merging it into the shared engine statistics.
 func (db *DB) timedRun(t *core.Translation, ent *translationEntry, kind string) (*engine.Result, error) {
 	ses := db.eng.NewSession()
+	// One journal spans the whole user statement: a sequenced DML
+	// translation is several engine statements, but commits (and rolls
+	// back) as a unit.
+	j := engine.NewJournal()
+	ses.Journal = j
 	start := time.Now()
 	res, err := db.runTranslation(ses, ent, t)
+	if cerr := db.commitJournal(j); cerr != nil && err == nil {
+		res, err = nil, cerr
+	}
 	d := time.Since(start)
 	db.sm.executeNS.Record(d)
 	delta := ses.Stats
