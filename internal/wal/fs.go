@@ -11,12 +11,14 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 )
 
 // FS is the filesystem the durability layer writes through. Pathnames
@@ -124,16 +126,20 @@ func (fs *DirFS) List() ([]string, error) {
 	return out, nil
 }
 
-// SyncDir implements FS by fsyncing the directory; filesystems that
-// don't support directory fsync are tolerated.
+// SyncDir implements FS by fsyncing the directory. Filesystems that
+// reject directory fsync outright (EINVAL/ENOTSUP) are tolerated —
+// there is nothing more we can do there — but a genuine I/O error must
+// surface: treating EIO as success would misread a durability failure
+// as a durable write.
 func (fs *DirFS) SyncDir() error {
 	d, err := os.Open(fs.root)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	// Some filesystems reject fsync on directories; best-effort there.
-	_ = d.Sync()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
 	return nil
 }
 

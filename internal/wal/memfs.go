@@ -34,14 +34,22 @@ const (
 	// FaultShortRead makes a read return fewer bytes than asked and
 	// then fail; models a transient I/O error during recovery.
 	FaultShortRead
+	// FaultErr makes the operation fail with ErrInjected but leaves the
+	// filesystem alive: a transient I/O error, not a crash. The store
+	// must keep its durability invariants while continuing to run.
+	FaultErr
 )
 
 // MemFS is an in-memory FS with explicit durability semantics for crash
 // testing. Every byte written lands in a file's data; Sync advances the
-// file's durable watermark. A crash (injected fault) freezes the
-// filesystem: subsequent operations fail with ErrCrashed, and
-// CrashImage yields what a real disk would hold — synced bytes always,
-// unsynced bytes only when the fault mode says the page cache made it.
+// file's durable watermark. The namespace is cached the same way: a
+// created, renamed, or removed directory entry becomes durable only at
+// the next SyncDir (a file fsync does NOT persist its dirent, matching
+// POSIX). A crash (injected fault) freezes the filesystem: subsequent
+// operations fail with ErrCrashed, and CrashImage yields what a real
+// disk would hold — synced bytes under the last-synced namespace
+// always, unsynced bytes and dirents only when the fault mode says the
+// page cache made it.
 //
 // Faults are armed with SetFault(n, mode): the nth I/O operation
 // (1-based, counted across Create/Open/Read/Write/Sync/Rename/Remove/
@@ -49,6 +57,7 @@ const (
 type MemFS struct {
 	mu      sync.Mutex
 	files   map[string]*memFile
+	durable map[string]*memFile // namespace as of the last SyncDir
 	ops     int
 	faultAt int
 	mode    FaultMode
@@ -60,9 +69,19 @@ type memFile struct {
 	synced int
 }
 
-// NewMemFS returns an empty in-memory filesystem.
+// NewMemFS returns an empty in-memory filesystem (the empty namespace
+// is durable — a fresh directory survives a crash as empty).
 func NewMemFS() *MemFS {
-	return &MemFS{files: map[string]*memFile{}}
+	return &MemFS{files: map[string]*memFile{}, durable: map[string]*memFile{}}
+}
+
+// snapshotNamespace copies the current namespace into the durable view.
+// Callers hold fs.mu.
+func (fs *MemFS) snapshotNamespace() {
+	fs.durable = make(map[string]*memFile, len(fs.files))
+	for name, f := range fs.files {
+		fs.durable[name] = f
+	}
 }
 
 // SetFault arms a fault at the nth upcoming I/O operation (1-based);
@@ -93,19 +112,27 @@ func (fs *MemFS) Crashed() bool {
 
 // CrashImage returns a fresh, fault-free MemFS holding what a disk
 // would contain after the crash (or after a clean shutdown): for a
-// crashed FS under FaultFail, only synced bytes; under FaultTorn, the
-// torn write's prefix survives too (it was frozen into data at crash
-// time). The receiver is left untouched.
+// crashed FS under FaultFail, only synced bytes under the namespace of
+// the last SyncDir (unsynced creates vanish, unsynced renames and
+// removals revert); under FaultTorn, the torn write's prefix and the
+// current namespace survive too (they were frozen at crash time). The
+// receiver is left untouched.
 func (fs *MemFS) CrashImage() *MemFS {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	src := fs.files
+	if fs.crashed {
+		src = fs.durable
+	}
 	img := NewMemFS()
-	for name, f := range fs.files {
+	for name, f := range src {
 		n := len(f.data)
 		if fs.crashed {
 			n = f.synced
 		}
-		img.files[name] = &memFile{data: append([]byte(nil), f.data[:n]...), synced: n}
+		nf := &memFile{data: append([]byte(nil), f.data[:n]...), synced: n}
+		img.files[name] = nf
+		img.durable[name] = nf
 	}
 	return img
 }
@@ -129,19 +156,25 @@ func (fs *MemFS) ReadFile(name string) ([]byte, error) {
 func (fs *MemFS) WriteFile(name string, data []byte) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.files[name] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+	f := &memFile{data: append([]byte(nil), data...), synced: len(data)}
+	fs.files[name] = f
+	fs.durable[name] = f
 }
 
-// step counts one operation and fires an armed FaultFail; FaultTorn and
-// FaultShortRead are handled by Write/Read themselves.
+// step counts one operation and fires an armed FaultFail (crash) or
+// FaultErr (transient failure); FaultTorn and FaultShortRead are
+// handled by Write/Read themselves.
 func (fs *MemFS) step() (hit bool, err error) {
 	if fs.crashed {
 		return false, ErrCrashed
 	}
 	fs.ops++
 	if fs.faultAt != 0 && fs.ops == fs.faultAt {
-		if fs.mode == FaultFail {
+		switch fs.mode {
+		case FaultFail:
 			fs.crash(false)
+			return true, ErrInjected
+		case FaultErr:
 			return true, ErrInjected
 		}
 		return true, nil
@@ -150,14 +183,16 @@ func (fs *MemFS) step() (hit bool, err error) {
 }
 
 // crash freezes the filesystem. keepUnsynced preserves the page cache
-// (torn-write model); otherwise unsynced tails are dropped immediately
-// so the synced watermark is what CrashImage sees.
+// — data tails AND the current namespace (torn-write model); otherwise
+// unsynced tails and dirents are dropped, so the synced watermark under
+// the last-synced namespace is what CrashImage sees.
 func (fs *MemFS) crash(keepUnsynced bool) {
 	fs.crashed = true
 	if keepUnsynced {
 		for _, f := range fs.files {
 			f.synced = len(f.data)
 		}
+		fs.snapshotNamespace()
 	}
 }
 
@@ -232,14 +267,16 @@ func (fs *MemFS) List() ([]string, error) {
 	return out, nil
 }
 
-// SyncDir implements FS. Renames and removals in MemFS are immediately
-// visible in the crash image (the namespace has no separate cache), so
-// this only counts an op and honours faults.
+// SyncDir implements FS: the current namespace — every create, rename,
+// and removal so far — becomes the one a crash image keeps.
 func (fs *MemFS) SyncDir() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	_, err := fs.step()
-	return err
+	if _, err := fs.step(); err != nil {
+		return err
+	}
+	fs.snapshotNamespace()
+	return nil
 }
 
 // memHandle is an open MemFS file: writes append, reads consume from

@@ -319,7 +319,9 @@ func (st *Store) Checkpoint() error {
 // checkpointLocked writes epoch's snapshot and fresh log, swaps them
 // in, and cleans up older epochs. Crash ordering: the snapshot is
 // complete and durable (tmp → sync → rename → dir sync) before the new
-// log exists, and both exist before anything old is removed.
+// log exists, the log and its directory entry are durable (create →
+// sync → dir sync) before any commit lands in it, and both files exist
+// before anything old is removed.
 func (st *Store) checkpointLocked(cat *storage.Catalog, epoch uint64) error {
 	tmp := tmpName(epoch)
 	f, err := st.fs.Create(tmp)
@@ -338,24 +340,44 @@ func (st *Store) checkpointLocked(cat *storage.Catalog, epoch uint64) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	// From the rename on, the new snapshot may be durable; recovery then
+	// prefers it and never replays the old epoch's log. Any failure past
+	// this point therefore poisons the store (failed=true): appending to
+	// the old log would acknowledge commits that the next Open silently
+	// drops. Append refuses until a checkpoint completes and
+	// re-establishes a consistent epoch.
 	if err := st.fs.Rename(tmp, snapName(epoch)); err != nil {
+		st.failed = true
 		return err
 	}
 	if err := st.fs.SyncDir(); err != nil {
+		st.failed = true
 		return err
 	}
 
 	wf, err := st.fs.Create(walName(epoch))
 	if err != nil {
+		st.failed = true
 		return err
 	}
 	hn, err := writeRecord(wf, encodeHeader(recHeader, logMagic, epoch))
 	if err != nil {
 		wf.Close()
+		st.failed = true
 		return err
 	}
 	if err := wf.Sync(); err != nil {
 		wf.Close()
+		st.failed = true
+		return err
+	}
+	// The new log's directory entry must be durable before any commit is
+	// acknowledged against it: a file fsync does not persist the dirent,
+	// and a crash that erased wal-(epoch) while keeping snapshot-(epoch)
+	// would drop every acknowledged commit of the epoch.
+	if err := st.fs.SyncDir(); err != nil {
+		wf.Close()
+		st.failed = true
 		return err
 	}
 

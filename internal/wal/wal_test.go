@@ -417,9 +417,11 @@ func TestAppendFailureBlocksUntilCheckpoint(t *testing.T) {
 }
 
 func TestMemFSFaultModes(t *testing.T) {
-	// FaultFail: unsynced bytes are lost, synced survive.
+	// FaultFail: unsynced bytes are lost, synced survive (the dirent
+	// needs a SyncDir of its own — see TestMemFSNamespaceDurability).
 	fs := NewMemFS()
 	f, _ := fs.Create("a")
+	fs.SyncDir()
 	f.Write([]byte("durable"))
 	f.Sync()
 	f.Write([]byte("volatile"))
@@ -467,6 +469,153 @@ func TestMemFSFaultModes(t *testing.T) {
 	n, err := r3.Read(buf)
 	if !errors.Is(err, ErrInjected) || n >= 10 {
 		t.Fatalf("short read: n=%d err=%v", n, err)
+	}
+}
+
+// TestMemFSNamespaceDurability pins the namespace model: directory
+// entries reach the crash image only through SyncDir. File fsync alone
+// does not persist a create, and renames/removals after the last
+// SyncDir revert — exactly the crash behaviour that makes a missing
+// directory sync in the store a test failure instead of silent data
+// loss.
+func TestMemFSNamespaceDurability(t *testing.T) {
+	// A created, fsynced file vanishes if its dirent was never synced.
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.Write([]byte("payload"))
+	f.Sync()
+	fs.SetFault(1, FaultFail)
+	fs.SyncDir() // the dirent sync itself fails -> nothing durable
+	if names, _ := fs.CrashImage().List(); len(names) != 0 {
+		t.Fatalf("unsynced create survived the crash: %v", names)
+	}
+
+	// A rename after the last SyncDir reverts to the old name, with the
+	// file's synced content.
+	fs2 := NewMemFS()
+	f2, _ := fs2.Create("old")
+	f2.Write([]byte("content"))
+	f2.Sync()
+	fs2.SyncDir()
+	fs2.Rename("old", "new")
+	fs2.SetFault(1, FaultFail)
+	f2.Sync()
+	img2 := fs2.CrashImage()
+	if names, _ := img2.List(); fmt.Sprintf("%v", names) != "[old]" {
+		t.Fatalf("unsynced rename survived the crash: %v", names)
+	}
+	g, _ := img2.Open("old")
+	if got, _ := io.ReadAll(g); string(got) != "content" {
+		t.Fatalf("reverted file content = %q, want %q", got, "content")
+	}
+
+	// A removal after the last SyncDir resurrects the file.
+	fs3 := NewMemFS()
+	f3, _ := fs3.Create("keep")
+	f3.Write([]byte("x"))
+	f3.Sync()
+	fs3.SyncDir()
+	fs3.Remove("keep")
+	fs3.SetFault(1, FaultFail)
+	fs3.List()
+	if names, _ := fs3.CrashImage().List(); fmt.Sprintf("%v", names) != "[keep]" {
+		t.Fatalf("unsynced removal survived the crash: %v", names)
+	}
+
+	// Under the torn-write model the page cache flushes: the unsynced
+	// namespace survives along with the torn data.
+	fs4 := NewMemFS()
+	f4, _ := fs4.Create("t")
+	fs4.SetFault(1, FaultTorn)
+	f4.Write([]byte("12345678"))
+	if names, _ := fs4.CrashImage().List(); fmt.Sprintf("%v", names) != "[t]" {
+		t.Fatalf("torn crash dropped the namespace: %v", names)
+	}
+}
+
+// TestCheckpointTransientFailureLosesNothing is the regression for the
+// failed-checkpoint hole: a TRANSIENT I/O failure at any single
+// operation of a checkpoint (the filesystem keeps working — no crash)
+// must never lose an acknowledged commit. Once the snapshot rename may
+// have published the new epoch, recovery prefers that snapshot and
+// never replays the old epoch's log, so the store must poison itself
+// (Append refuses until a checkpoint completes) instead of
+// acknowledging commits into a log no recovery will read. Before the
+// rename the old epoch is still the recovery line and appends may
+// continue. The test does not hardcode which ops fall on which side: it
+// asserts the observable contract — every commit Append acknowledged,
+// on either path, survives reopen.
+func TestCheckpointTransientFailureLosesNothing(t *testing.T) {
+	put := []storage.Effect{{Kind: storage.EffPutTable, Name: "t", Cols: []storage.EffectColumn{{Name: "x", Base: "INTEGER"}}}}
+	ins := []storage.Effect{{Kind: storage.EffInsert, Name: "t", Row: []types.Value{types.NewInt(1)}}}
+
+	// Count a clean checkpoint's I/O window with a probe run.
+	probe := NewMemFS()
+	pst, pcat, _, err := Open(probe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyAll(pcat, put)
+	if err := pst.Append(put); err != nil {
+		t.Fatal(err)
+	}
+	preOps := probe.Ops()
+	if err := pst.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ckptOps := probe.Ops() - preOps
+	pst.Close()
+
+	poisoned, open := 0, 0
+	for n := 1; n <= ckptOps; n++ {
+		fs := NewMemFS()
+		st, cat, _, err := Open(fs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyAll(cat, put)
+		if err := st.Append(put); err != nil {
+			t.Fatal(err)
+		}
+		fs.SetFault(n, FaultErr) // nth op of the checkpoint window
+		cerr := st.Checkpoint()
+
+		if aerr := st.Append(ins); aerr != nil {
+			// Poisoned: only a failed checkpoint may gate appends, and a
+			// clean checkpoint must clear the gate.
+			poisoned++
+			if cerr == nil {
+				t.Fatalf("op %d: append refused after a successful checkpoint: %v", n, aerr)
+			}
+			if err := st.Checkpoint(); err != nil {
+				t.Fatalf("op %d: checkpoint retry failed: %v", n, err)
+			}
+			if err := st.Append(ins); err != nil {
+				t.Fatalf("op %d: append after checkpoint retry failed: %v", n, err)
+			}
+		} else {
+			open++
+		}
+		applyAll(cat, ins)
+		want := dumpCatalog(cat)
+		st.Close()
+
+		// Every acknowledged commit must survive reopen — this is exactly
+		// what silently appending to a superseded epoch's log violates.
+		st2, cat2, _, err := Open(fs.CrashImage(), nil)
+		if err != nil {
+			t.Fatalf("op %d: reopen failed: %v", n, err)
+		}
+		if got := dumpCatalog(cat2); got != want {
+			t.Fatalf("op %d: acknowledged commit lost after transient checkpoint failure:\n--- want\n%s--- got\n%s", n, want, got)
+		}
+		st2.Close()
+	}
+	if poisoned == 0 {
+		t.Fatal("no checkpoint fault ever poisoned the store; the gate is untested")
+	}
+	if open == 0 {
+		t.Fatal("every checkpoint fault poisoned the store; the pre-rename path is untested")
 	}
 }
 
