@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify fuzz-smoke bench microbench report clean
+.PHONY: build test race verify fuzz-smoke bench obsbench microbench report clean
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,11 @@ fuzz-smoke:
 # the perf trajectory (BENCH_1.json is the pre-caching baseline).
 bench:
 	$(GO) run ./cmd/taubench -exp report -reps 3 -json BENCH_2.json
+
+# obsbench regenerates the observability artifact: per-query stage
+# breakdowns (EXPLAIN ANALYZE) and tracer overhead, sampled vs. off.
+obsbench:
+	$(GO) run ./cmd/taubench -exp obsreport -reps 15 -json BENCH_3.json
 
 # microbench runs the Go benchmark suite once over every cell.
 microbench:

@@ -3,8 +3,10 @@ package taupsm
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"taupsm/internal/core"
+	"taupsm/internal/obs"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/storage"
 	"taupsm/internal/temporal"
@@ -154,22 +156,40 @@ func newCPTable(periods []temporal.Period) *storage.Table {
 
 // constantPeriodTable returns the constant-period relation for the
 // translation's context, from the cache when the underlying tables are
-// unchanged, computing and caching it otherwise.
-func (db *DB) constantPeriodTable(t *core.Translation, ctx temporal.Period) *storage.Table {
+// unchanged, computing and caching it otherwise. A cache miss times
+// the computation as the statement's cp stage and, when traced, emits
+// a stratum.cp span under parent (the execute span).
+func (db *DB) constantPeriodTable(st *stmtState, parent obs.SpanContext, t *core.Translation, ctx temporal.Period) *storage.Table {
 	key := cpKey(ctx, t.TemporalTables)
 	db.mu.Lock()
 	ent := db.cpcache[key]
 	db.mu.Unlock()
+	if st != nil {
+		st.cpProbed = true
+	}
 	if ent != nil && db.stampsValid(ent.stamps) {
 		db.sm.cpHits.Inc()
+		if st != nil {
+			st.cpHit = true
+		}
 		return ent.tab
 	}
 	db.sm.cpMisses.Inc()
 	// Stamps are taken before reading the rows so a racing write can
 	// only make them too old (a spurious recomputation), never too new.
+	start := time.Now()
 	stamps := db.tableStamps(t.TemporalTables)
 	periods := temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables), ctx)
 	tab := newCPTable(periods)
+	d := time.Since(start)
+	if st != nil {
+		st.cpDur = d
+		if st.tr != nil {
+			st.tr.Span(obs.Span{Name: "stratum.cp", Start: start, Dur: d,
+				Trace: parent.Trace, ID: obs.NewSpanID(), Parent: parent.Span,
+				Attrs: []obs.Attr{obs.AInt("periods", int64(len(periods)))}})
+		}
+	}
 	db.mu.Lock()
 	if len(db.cpcache) >= cpCacheCap {
 		db.cpcache = map[string]*cpEntry{}

@@ -13,9 +13,13 @@
 //
 // The report experiment emits the structured benchmark artifact:
 // median/p95 latencies plus the fragment and constant-period counts of
-// every query × strategy × context cell, as JSON. The -slow flag
-// enables a slow-query log on stderr for any measured statement over
-// the threshold (it applies to sweep and report).
+// every query × strategy × context cell, as JSON. The obsreport
+// experiment emits the observability artifact instead: per-query
+// span-stage breakdowns from EXPLAIN ANALYZE plus the tracer-overhead
+// comparison (sampling off vs. every statement sampled) on the MAX
+// one-month workload. The -slow flag enables a slow-query log on
+// stderr for any measured statement over the threshold (it applies to
+// sweep and report).
 package main
 
 import (
@@ -30,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig12", "experiment: fig12, fig13, fig14, fig15, loc, heuristic, classes, sweep, report, all")
+	exp := flag.String("exp", "fig12", "experiment: fig12, fig13, fig14, fig15, loc, heuristic, classes, sweep, report, obsreport, all")
 	dataset := flag.String("dataset", "DS1", "dataset for -exp sweep/report: DS1, DS2, DS3")
 	sizeFlag := flag.String("size", "SMALL", "size for -exp sweep/report: SMALL, MEDIUM, LARGE")
 	queriesFlag := flag.String("queries", "", "comma-separated query filter for -exp sweep (default: all)")
@@ -166,6 +170,31 @@ func run(exp, dataset, sizeFlag, queriesFlag, jsonPath string, reps int, slow ti
 			defer f.Close()
 			out = f
 			fmt.Fprintf(os.Stderr, "taubench: wrote %s (%d cells)\n", jsonPath, len(rep.Queries))
+		}
+		return rep.WriteJSON(out)
+	case "obsreport":
+		size, err := parseSize(sizeFlag)
+		if err != nil {
+			return err
+		}
+		spec, err := taubench.SpecByName(dataset, size)
+		if err != nil {
+			return err
+		}
+		r, err := taubench.NewRunner(spec)
+		if err != nil {
+			return err
+		}
+		rep := r.BuildObsReport(taubench.ContextLengths, reps)
+		out := os.Stdout
+		if jsonPath != "" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+			fmt.Fprintf(os.Stderr, "taubench: wrote %s (%d stage cells)\n", jsonPath, len(rep.Stages))
 		}
 		return rep.WriteJSON(out)
 	case "all":

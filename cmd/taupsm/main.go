@@ -22,16 +22,25 @@
 // With -data the database persists in the named directory: committed
 // statements are written to a write-ahead log, and a later invocation
 // with the same -data recovers the full catalog before running.
+//
+// With -telemetry ADDR an HTTP telemetry server runs for the life of
+// the process: Prometheus-format /metrics, /traces (sampled span
+// trees, see -sample), /healthz, and /debug/pprof. -slowlog DUR logs
+// every statement at or above the threshold as one JSON line on
+// stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"taupsm"
+	"taupsm/internal/obs/httpexport"
 	"taupsm/internal/sqlparser"
 )
 
@@ -43,30 +52,60 @@ func main() {
 	strategy := flag.String("strategy", "auto", "sequenced slicing strategy: auto, max, perst")
 	now := flag.String("now", "", "fix CURRENT_DATE (YYYY-MM-DD)")
 	data := flag.String("data", "", "data directory for a persistent database (default in-memory)")
+	telemetry := flag.String("telemetry", "", "serve /metrics, /traces, /healthz, /debug/pprof on this address (e.g. :9090)")
+	sample := flag.Int("sample", 0, "trace every Nth statement into the span buffer (0 = off, 1 = all)")
+	slowlog := flag.Duration("slowlog", 0, "log statements at or above this duration as JSON lines on stderr (0 = off)")
 	flag.Parse()
 
-	if *mode == "repl" {
-		db, err := newDB(*strategy, *now, *data)
-		if err == nil {
-			err = runREPL(os.Stdin, os.Stdout, db)
-			if cerr := db.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "taupsm:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: taupsm [-mode exec|translate|repl] [-strategy auto|max|perst] [-data dir] <file.sql | ->")
+	if *mode != "repl" && flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: taupsm [-mode exec|translate|repl] [-strategy auto|max|perst] [-data dir] [-telemetry addr] <file.sql | ->")
 		os.Exit(2)
 	}
-	if err := run(*mode, *strategy, *now, *data, flag.Arg(0)); err != nil {
+	db, err := newDB(*strategy, *now, *data)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "taupsm:", err)
 		os.Exit(1)
 	}
+	db.SetTraceSampling(*sample)
+	if *slowlog > 0 {
+		db.SetSlowLog(os.Stderr, *slowlog)
+	}
+	if *telemetry != "" {
+		stop, terr := serveTelemetry(db, *telemetry)
+		if terr != nil {
+			db.Close()
+			fmt.Fprintln(os.Stderr, "taupsm:", terr)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+
+	if *mode == "repl" {
+		err = runREPL(os.Stdin, os.Stdout, db)
+	} else {
+		err = runScript(db, *mode, flag.Arg(0))
+	}
+	if cerr := db.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taupsm:", err)
+		os.Exit(1)
+	}
+}
+
+// serveTelemetry starts the HTTP telemetry endpoint for db on addr,
+// returning a shutdown function. The bound address is announced on
+// stderr so scripts can scrape ":0" listeners.
+func serveTelemetry(db *taupsm.DB, addr string) (func(), error) {
+	srv := &httpexport.Server{Metrics: db.Metrics(), Ring: db.TraceBuffer()}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "taupsm: telemetry listening on http://%s\n", lis.Addr())
+	go http.Serve(lis, srv.Handler())
+	return func() { lis.Close() }, nil
 }
 
 func parseStrategy(s string) (taupsm.Strategy, error) {
@@ -109,13 +148,22 @@ func newDB(strategyFlag, now, data string) (*taupsm.DB, error) {
 	return db, nil
 }
 
+// run opens a database per the flags and executes path's script —
+// the one-shot (non-REPL, no-telemetry) path, kept for tests.
 func run(mode, strategyFlag, now, data, path string) error {
 	db, err := newDB(strategyFlag, now, data)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
+	return runScript(db, mode, path)
+}
+
+// runScript reads and executes (or translates) one script file on an
+// already-configured database.
+func runScript(db *taupsm.DB, mode, path string) error {
 	var src []byte
+	var err error
 	if path == "-" {
 		src, err = io.ReadAll(os.Stdin)
 	} else {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"taupsm"
+	"taupsm/internal/obs"
 	"taupsm/internal/sqlparser"
 )
 
@@ -21,11 +23,14 @@ type repl struct {
 	out    io.Writer
 	timing bool
 	lint   bool
+	trace  bool
 	buf    strings.Builder
 }
 
 const replHelp = `Backslash commands:
   \timing [on|off]   toggle printing per-statement elapsed time (ms)
+  \trace [on|off]    toggle per-statement trace: trace ID + stage tree
+  \slowlog [dur|off] show or set the slow-query log threshold (e.g. 250ms)
   \lint [on|off]     toggle static analysis of each submitted statement
   \metrics [reset]   print the metrics registry, or reset every series
   \strategy [s]      show or set the slicing strategy: auto, max, perst
@@ -35,8 +40,8 @@ const replHelp = `Backslash commands:
   \help, \?          this help
   \q                 quit
 Statements end with ';' and may span lines. EXPLAIN <statement> shows
-the translation plan, lint findings, and slicing statistics without
-executing.
+the translation plan without executing; EXPLAIN ANALYZE <statement>
+executes it and annotates the plan with observed timings.
 `
 
 // runREPL drives the shell until \q or EOF.
@@ -98,6 +103,38 @@ func (r *repl) meta(cmd string) bool {
 			state = "on"
 		}
 		fmt.Fprintf(r.out, "Timing is %s.\n", state)
+	case `\trace`:
+		switch {
+		case len(fields) > 1 && fields[1] == "on":
+			r.trace = true
+		case len(fields) > 1 && fields[1] == "off":
+			r.trace = false
+		default:
+			r.trace = !r.trace
+		}
+		state := "off"
+		if r.trace {
+			state = "on"
+		}
+		fmt.Fprintf(r.out, "Trace is %s.\n", state)
+	case `\slowlog`:
+		if len(fields) > 1 {
+			if fields[1] == "off" || fields[1] == "0" {
+				r.db.SetSlowLog(nil, 0)
+			} else {
+				d, err := time.ParseDuration(fields[1])
+				if err != nil || d <= 0 {
+					fmt.Fprintf(r.out, "error: \\slowlog wants a positive duration (e.g. 250ms) or off, got %q\n", fields[1])
+					return false
+				}
+				r.db.SetSlowLog(r.out, d)
+			}
+		}
+		if min := r.db.SlowLogThreshold(); min > 0 {
+			fmt.Fprintf(r.out, "Slow-query log threshold is %s.\n", min)
+		} else {
+			fmt.Fprintln(r.out, "Slow-query log is off.")
+		}
 	case `\lint`:
 		switch {
 		case len(fields) > 1 && fields[1] == "on":
@@ -212,9 +249,12 @@ func (r *repl) submit() {
 				}
 			}
 		}
-		start := time.Now()
-		res, err := r.db.ExecParsed(s)
-		elapsed := time.Since(start)
+		ctx := context.Background()
+		var traceID obs.TraceID
+		if r.trace {
+			ctx, traceID = r.db.WithTrace(ctx)
+		}
+		res, err := r.db.ExecParsedContext(ctx, s)
 		if err != nil {
 			fmt.Fprintf(r.out, "error: %v\nstatement: %s\n", err, s.SQL())
 			var lerr *taupsm.LintError
@@ -236,7 +276,17 @@ func (r *repl) submit() {
 		} else if res.Affected > 0 {
 			fmt.Fprintf(r.out, "(%d rows affected)\n", res.Affected)
 		}
+		if r.trace && traceID != 0 {
+			fmt.Fprintf(r.out, "Trace: %s\n", traceID)
+			if tree := obs.FormatTree(r.db.TraceBuffer().TraceSpans(traceID)); tree != "" {
+				fmt.Fprint(r.out, tree)
+			}
+		}
 		if r.timing {
+			// The span clock: the same end-to-end measurement the
+			// stratum.statement root span and the slow log report, so
+			// \timing never disagrees with a trace.
+			_, elapsed := r.db.LastStatement()
 			fmt.Fprintf(r.out, "Time: %.3f ms\n", float64(elapsed.Nanoseconds())/1e6)
 		}
 	}

@@ -216,3 +216,73 @@ END;
 		t.Fatalf("offending line not echoed with caret:\n%s", out)
 	}
 }
+
+func TestREPLTraceToggle(t *testing.T) {
+	out := replOut(t, taupsm.Open(), `
+\trace
+CREATE TABLE t (x CHAR(5)) AS VALIDTIME;
+VALIDTIME SELECT x FROM t;
+\trace off
+CREATE TABLE u (y CHAR(5));
+\q
+`)
+	if !strings.Contains(out, "Trace is on.") || !strings.Contains(out, "Trace is off.") {
+		t.Fatalf("trace toggle missing:\n%s", out)
+	}
+	// Each traced statement prints its trace ID and the stage tree.
+	if n := strings.Count(out, "Trace: "); n != 2 {
+		t.Fatalf("want 2 trace ID lines, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "stratum.statement") || !strings.Contains(out, "  stratum.translate") {
+		t.Fatalf("stage tree missing:\n%s", out)
+	}
+	// After \trace off, the untraced statement prints no tree.
+	tail := out[strings.LastIndex(out, "Trace is off."):]
+	if strings.Contains(tail, "stratum.statement") {
+		t.Fatalf("trace output after \\trace off:\n%s", out)
+	}
+}
+
+func TestREPLSlowLog(t *testing.T) {
+	out := replOut(t, taupsm.Open(), `
+\slowlog
+\slowlog 1ns
+CREATE TABLE t (x CHAR(5));
+\slowlog off
+\slowlog bogus
+\q
+`)
+	if !strings.Contains(out, "Slow-query log is off.") {
+		t.Fatalf("disarmed state missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Slow-query log threshold is 1ns.") {
+		t.Fatalf("threshold not reported:\n%s", out)
+	}
+	// The armed statement logged one JSON entry to the REPL output.
+	if !strings.Contains(out, `"statement":"CREATE TABLE t (x CHAR(5))"`) ||
+		!strings.Contains(out, `"elapsed_ns"`) {
+		t.Fatalf("no slow-log JSON line:\n%s", out)
+	}
+	if !strings.Contains(out, "error: \\slowlog wants a positive duration") {
+		t.Fatalf("bad duration not rejected:\n%s", out)
+	}
+}
+
+// \timing reports the span clock: the same end-to-end measurement the
+// trace's root span carries.
+func TestREPLTimingMatchesTrace(t *testing.T) {
+	db := taupsm.Open()
+	out := replOut(t, db, `
+\timing on
+\trace on
+CREATE TABLE t (x CHAR(5));
+\q
+`)
+	if !strings.Contains(out, "Trace: ") || !strings.Contains(out, "Time: ") {
+		t.Fatalf("trace or timing output missing:\n%s", out)
+	}
+	_, elapsed := db.LastStatement()
+	if elapsed <= 0 {
+		t.Fatalf("span clock not recorded: %v", elapsed)
+	}
+}

@@ -1,11 +1,14 @@
 package taupsm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"taupsm/internal/core"
+	"taupsm/internal/obs"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/temporal"
 	"taupsm/internal/types"
@@ -54,8 +57,7 @@ type Explain struct {
 	// Parallelism is the worker count execution would use for this
 	// statement: min(DB.Parallelism, ConstantPeriods) when the parallel
 	// MAX fragment path applies (statement shape safe, more than one
-	// period, no tracer attached), 1 otherwise. Zero for non-sequenced
-	// statements.
+	// period), 1 otherwise. Zero for non-sequenced statements.
 	Parallelism int
 	// TranslationCacheHit and CPCacheHit report whether the translation
 	// and constant-period caches would serve this statement without
@@ -73,12 +75,46 @@ type Explain struct {
 	// against the live catalog (warnings and errors; EXPLAIN reports
 	// rather than rejects).
 	Lint []Diagnostic
+	// Analyzed holds what actually happened when the statement ran —
+	// set only by EXPLAIN ANALYZE / DB.ExplainAnalyze, nil for plain
+	// EXPLAIN.
+	Analyzed *AnalyzeInfo
+}
+
+// AnalyzeInfo is the observed execution profile EXPLAIN ANALYZE
+// attaches to the plan: the trace identity, the per-stage wall-clock
+// breakdown, and the actual counts the plan only predicted.
+type AnalyzeInfo struct {
+	// TraceID identifies the execution's trace; its full span tree is
+	// retrievable from DB.TraceBuffer and the /traces endpoint.
+	TraceID obs.TraceID
+	// Total is the statement's end-to-end duration on the span clock
+	// (the stratum.statement root span's duration).
+	Total time.Duration
+	// Per-stage durations; stages that did not run are zero.
+	Lint, Translate, CP, Execute, Commit, Fsync time.Duration
+	// Result and work counts observed during execution.
+	Rows, Affected            int
+	RowsScanned, RoutineCalls int64
+	// ConstantPeriods and Fragments are the actual slicing numbers (MAX
+	// only; Fragments requires tracing, which EXPLAIN ANALYZE forces).
+	ConstantPeriods, Fragments int64
+	// Workers is the number of parallel fragment workers that ran (0
+	// when the statement executed serially).
+	Workers int
+	// Cache outcomes: whether each cache was consulted and whether it
+	// hit — the observed counterparts of the plan's would-hit probes.
+	TranslationCacheProbed, TranslationCacheHit bool
+	CPCacheProbed, CPCacheHit                   bool
+	// WAL cost of the statement's durable commit (persistent databases
+	// only): bytes appended and fsync batches issued.
+	WALBytes, WALFsyncs int64
 }
 
 // Explain parses one statement (a bare statement or an EXPLAIN
 // statement) and describes how it would execute, without executing it.
 func (db *DB) Explain(src string) (*Explain, error) {
-	stmts, err := db.parseScript(src)
+	stmts, err := db.parseScript(context.Background(), src)
 	if err != nil {
 		return nil, err
 	}
@@ -90,6 +126,70 @@ func (db *DB) Explain(src string) (*Explain, error) {
 		stmt = ex.Body
 	}
 	return db.ExplainParsed(stmt)
+}
+
+// ExplainAnalyze parses one statement, executes it under a forced
+// trace, and returns the plan annotated with the observed execution
+// profile (Explain.Analyzed). The statement really runs: EXPLAIN
+// ANALYZE of a DML statement modifies (and durably commits) data.
+func (db *DB) ExplainAnalyze(src string) (*Explain, error) {
+	stmts, err := db.parseScript(context.Background(), src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("expected exactly one statement, found %d", len(stmts))
+	}
+	stmt := stmts[0]
+	if ex, ok := stmt.(*sqlast.ExplainStmt); ok {
+		stmt = ex.Body
+	}
+	return db.explainAnalyzeParsed(context.Background(), stmt)
+}
+
+// explainAnalyzeParsed computes the plan first (so the would-hit cache
+// probes reflect the state the execution is about to see), then
+// executes the statement under a forced trace and attaches the
+// observed profile.
+func (db *DB) explainAnalyzeParsed(ctx context.Context, body sqlast.Stmt) (*Explain, error) {
+	if _, ok := body.(*sqlast.ExplainStmt); ok {
+		return nil, fmt.Errorf("EXPLAIN cannot be nested")
+	}
+	e, err := db.ExplainParsed(body)
+	if err != nil {
+		return nil, err
+	}
+	if ts := sessionFromContext(ctx); ts == nil || ts.tr == nil {
+		ctx, _ = db.WithTrace(ctx)
+	}
+	_, st, err := db.execStatement(ctx, body)
+	if err != nil {
+		return nil, err
+	}
+	e.Analyzed = &AnalyzeInfo{
+		TraceID:                st.root.Trace,
+		Total:                  st.total,
+		Lint:                   st.lintDur,
+		Translate:              st.translateDur,
+		CP:                     st.cpDur,
+		Execute:                st.executeDur,
+		Commit:                 st.commitDur,
+		Fsync:                  st.fsyncDur,
+		Rows:                   st.rows,
+		Affected:               st.affected,
+		RowsScanned:            st.rowsScanned,
+		RoutineCalls:           st.routineCalls,
+		ConstantPeriods:        st.cps,
+		Fragments:              st.fragments,
+		Workers:                st.workers,
+		TranslationCacheProbed: st.transProbed,
+		TranslationCacheHit:    st.transHit,
+		CPCacheProbed:          st.cpProbed,
+		CPCacheHit:             st.cpHit,
+		WALBytes:               st.walBytes,
+		WALFsyncs:              st.walFsyncs,
+	}
+	return e, nil
 }
 
 // ExplainParsed is Explain over a parsed statement.
@@ -147,7 +247,7 @@ func (db *DB) ExplainParsed(stmt sqlast.Stmt) (*Explain, error) {
 		// runNative applies before spawning fragment workers.
 		e.TranslationCacheHit = db.lookupTranslation(db.translationKey(stmt)) != nil
 		e.Parallelism = 1
-		if t.NeedsConstantPeriods && !db.UseFigure8SQL && db.tracer == nil {
+		if t.NeedsConstantPeriods && !db.UseFigure8SQL {
 			if par := db.Parallelism(); par > 1 && e.ConstantPeriods > 1 && db.computeParallelSafe(t) {
 				e.Parallelism = par
 				if e.ConstantPeriods < par {
@@ -202,6 +302,58 @@ func (e *Explain) Result() *Result {
 		add("translation_cache", hitMiss(e.TranslationCacheHit))
 		if e.Strategy == Max {
 			add("cp_cache", hitMiss(e.CPCacheHit))
+		}
+	}
+	if a := e.Analyzed; a != nil {
+		add("actual_time", a.Total.String())
+		if a.TraceID != 0 {
+			add("trace_id", a.TraceID.String())
+		}
+		stage := func(name string, d time.Duration) {
+			if d > 0 {
+				add("actual_"+name, d.String())
+			}
+		}
+		stage("lint", a.Lint)
+		stage("translate", a.Translate)
+		stage("cp", a.CP)
+		stage("execute", a.Execute)
+		stage("commit", a.Commit)
+		stage("fsync", a.Fsync)
+		add("actual_rows", fmt.Sprintf("%d", a.Rows))
+		if a.Affected > 0 {
+			add("actual_affected", fmt.Sprintf("%d", a.Affected))
+		}
+		if a.RowsScanned > 0 {
+			add("actual_rows_scanned", fmt.Sprintf("%d", a.RowsScanned))
+		}
+		if a.RoutineCalls > 0 {
+			add("actual_routine_calls", fmt.Sprintf("%d", a.RoutineCalls))
+		}
+		if e.Kind == "sequenced" && e.Strategy == Max {
+			add("actual_constant_periods", fmt.Sprintf("%d", a.ConstantPeriods))
+			add("actual_fragments", fmt.Sprintf("%d", a.Fragments))
+			workers := a.Workers
+			if workers == 0 {
+				workers = 1
+			}
+			add("actual_workers", fmt.Sprintf("%d", workers))
+		}
+		hitMiss := func(hit bool) string {
+			if hit {
+				return "hit"
+			}
+			return "miss"
+		}
+		if a.TranslationCacheProbed {
+			add("actual_translation_cache", hitMiss(a.TranslationCacheHit))
+		}
+		if a.CPCacheProbed {
+			add("actual_cp_cache", hitMiss(a.CPCacheHit))
+		}
+		if a.WALBytes > 0 || a.WALFsyncs > 0 {
+			add("actual_wal_bytes", fmt.Sprintf("%d", a.WALBytes))
+			add("actual_wal_fsyncs", fmt.Sprintf("%d", a.WALFsyncs))
 		}
 	}
 	if e.Durability != "" {

@@ -52,6 +52,13 @@ type DB struct {
 	// one pointer comparison.
 	Tracer obs.Tracer
 
+	// Trace is the span context engine spans attach under: spans carry
+	// Trace.Trace as their trace ID and Trace.Span as their parent. The
+	// stratum sets it per session (per statement, or per parallel
+	// fragment worker); the zero value emits root spans, preserving the
+	// pre-trace behavior for direct engine use.
+	Trace obs.SpanContext
+
 	// Metrics, when set alongside Tracer, additionally receives
 	// routine-invocation latencies in the engine.routine_ns histogram.
 	// The stratum shares its registry here.
@@ -397,6 +404,7 @@ func (db *DB) execQuery(ctx *execCtx, q sqlast.QueryExpr) (*Result, error) {
 		db.Stats.RowsReturned += int64(rows)
 	}
 	db.Tracer.Span(obs.Span{Name: "engine.query", Start: start, Dur: d,
+		Trace: db.Trace.Trace, ID: obs.NewSpanID(), Parent: db.Trace.Span,
 		Attrs: []obs.Attr{obs.AInt("rows", int64(rows))}})
 	return res, err
 }
@@ -414,6 +422,7 @@ func (db *DB) traceRoutine(name string) func() {
 	return func() {
 		d := time.Since(start)
 		db.Tracer.Span(obs.Span{Name: "engine.routine", Start: start, Dur: d,
+			Trace: db.Trace.Trace, ID: obs.NewSpanID(), Parent: db.Trace.Span,
 			Attrs: []obs.Attr{obs.A("routine", name)}})
 		if db.Metrics != nil {
 			if db.routineNS == nil {

@@ -1,0 +1,35 @@
+// Command promlint validates a Prometheus text exposition file (or
+// stdin with no argument) against the line-format invariants in
+// httpexport.ValidateExposition. The CI telemetry job runs it on a
+// live /metrics scrape; exits non-zero on the first violation.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"taupsm/internal/obs/httpexport"
+)
+
+func main() {
+	var data []byte
+	var err error
+	switch len(os.Args) {
+	case 1:
+		data, err = io.ReadAll(os.Stdin)
+	case 2:
+		data, err = os.ReadFile(os.Args[1])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: promlint [metrics.txt]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	if err := httpexport.ValidateExposition(string(data)); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}

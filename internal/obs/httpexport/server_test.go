@@ -1,0 +1,217 @@
+package httpexport
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"taupsm/internal/obs"
+)
+
+func testMetrics() *obs.Metrics {
+	m := obs.NewMetrics()
+	m.Counter("stratum.statements_total").Add(7)
+	m.Gauge("stratum.constant_periods").Set(12)
+	h := m.Histogram("stratum.execute_ns")
+	for _, d := range []time.Duration{time.Microsecond, 3 * time.Microsecond, 40 * time.Millisecond} {
+		h.Record(d)
+	}
+	return m
+}
+
+func TestPrometheusTextValidates(t *testing.T) {
+	text := PrometheusText(testMetrics())
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE stratum_statements_total counter",
+		"stratum_statements_total 7",
+		"# TYPE stratum_constant_periods gauge",
+		"stratum_constant_periods 12",
+		"# TYPE stratum_execute_ns histogram",
+		`stratum_execute_ns_bucket{le="+Inf"} 3`,
+		"stratum_execute_ns_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"stratum.parse_ns": "stratum_parse_ns",
+		"wal.fsyncs_total": "wal_fsyncs_total",
+		"a-b c":            "a_b_c",
+		"9lives":           "_9lives",
+		"ok:name_1":        "ok:name_1",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := &Server{Metrics: testMetrics(), Ring: obs.NewRing(64)}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body, _ := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body, hdr := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("served exposition invalid: %v", err)
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	// Empty ring: an empty JSON array, not null.
+	code, body, hdr := get(t, ts.URL+"/traces")
+	if code != http.StatusOK {
+		t.Fatalf("traces status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal([]byte(body), &list); err != nil || len(list) != 0 {
+		t.Fatalf("empty listing = %q (%v)", body, err)
+	}
+
+	tr := obs.NewTraceID()
+	root := obs.NewSpanID()
+	child := obs.NewSpanID()
+	srv.Ring.Span(obs.Span{Name: "stratum.execute", Trace: tr, ID: child, Parent: root,
+		Start: time.Now(), Dur: time.Millisecond, Attrs: []obs.Attr{obs.AInt("rows", 2)}})
+	srv.Ring.Span(obs.Span{Name: "stratum.statement", Trace: tr, ID: root,
+		Start: time.Now(), Dur: 2 * time.Millisecond})
+
+	_, body, _ = get(t, ts.URL+"/traces")
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("listing: %v", err)
+	}
+	if len(list) != 1 || list[0]["trace_id"] != tr.String() ||
+		list[0]["root"] != "stratum.statement" || list[0]["spans"].(float64) != 2 {
+		t.Fatalf("listing = %q", body)
+	}
+
+	code, body, _ = get(t, ts.URL+"/traces?id="+tr.String())
+	if code != http.StatusOK {
+		t.Fatalf("trace by id status = %d: %s", code, body)
+	}
+	var tree struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name  string            `json:"name"`
+				Attrs map[string]string `json:"attrs"`
+			} `json:"children"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &tree); err != nil {
+		t.Fatalf("tree: %v\n%s", err, body)
+	}
+	if tree.TraceID != tr.String() || len(tree.Spans) != 1 ||
+		tree.Spans[0].Name != "stratum.statement" ||
+		len(tree.Spans[0].Children) != 1 ||
+		tree.Spans[0].Children[0].Name != "stratum.execute" ||
+		tree.Spans[0].Children[0].Attrs["rows"] != "2" {
+		t.Fatalf("tree = %s", body)
+	}
+
+	if code, _, _ := get(t, ts.URL+"/traces?id=zzz"); code != http.StatusBadRequest {
+		t.Errorf("bad id status = %d, want 400", code)
+	}
+	if code, _, _ := get(t, ts.URL+"/traces?id="+obs.NewTraceID().String()); code != http.StatusNotFound {
+		t.Errorf("unknown id status = %d, want 404", code)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body, _ := get(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d", code)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE": "some_metric 1\n",
+		"malformed sample": "# TYPE m counter\n" +
+			"m one\n",
+		"malformed label": "# TYPE m counter\n" +
+			"m{le=\"x} 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.001\"} 5\n" +
+			"h_bucket{le=\"0.01\"} 3\n" +
+			"h_bucket{le=\"+Inf\"} 5\n" +
+			"h_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.001\"} 5\n" +
+			"h_sum 1\nh_count 5\n",
+		"bucket after +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 5\n" +
+			"h_bucket{le=\"0.001\"} 5\n" +
+			"h_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 5\n" +
+			"h_sum 1\nh_count 4\n",
+		"bucket without le": "# TYPE h histogram\n" +
+			"h_bucket 5\n" +
+			"h_sum 1\nh_count 5\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: validator accepted:\n%s", name, text)
+		}
+	}
+	good := "# TYPE h histogram\n" +
+		"h_bucket{le=\"0.001\"} 2\n" +
+		"h_bucket{le=\"+Inf\"} 5\n" +
+		"h_sum 0.004\nh_count 5\n"
+	if err := ValidateExposition(good); err != nil {
+		t.Errorf("validator rejected well-formed exposition: %v", err)
+	}
+}

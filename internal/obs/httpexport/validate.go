@@ -1,0 +1,140 @@
+package httpexport
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text exposition for the
+// line-format invariants a scraper depends on. It is deliberately a
+// small validator, not a full parser: the CI telemetry job and the
+// exporter's own tests use it to fail fast on malformed output
+// without pulling in external tooling.
+//
+// Checked:
+//   - every line is a comment (# ...) or a sample "name[{labels}] value";
+//   - metric and label names are well-formed;
+//   - sample values parse as floats (+Inf/-Inf/NaN allowed);
+//   - every sample's base name was declared by a preceding # TYPE line;
+//   - histogram buckets are cumulative (non-decreasing in le order),
+//     end with le="+Inf", and agree with the _count sample.
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+)
+
+func ValidateExposition(text string) error {
+	type histState struct {
+		lastCum   float64
+		infSeen   bool
+		infCum    float64
+		count     float64
+		hasCount  bool
+		hasSum    bool
+		bucketSeq int
+	}
+	types := map[string]string{}
+	hists := map[string]*histState{}
+
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				m := typeRe.FindStringSubmatch(line)
+				if m == nil {
+					return fmt.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+				}
+				types[m[1]] = m[2]
+				if m[2] == "histogram" {
+					hists[m[1]] = &histState{}
+				}
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name, labels, valStr := m[1], m[3], m[4]
+		val, err := parseValue(valStr)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		var le string
+		if labels != "" {
+			for _, lab := range strings.Split(labels, ",") {
+				lm := labelRe.FindStringSubmatch(strings.TrimSpace(lab))
+				if lm == nil {
+					return fmt.Errorf("line %d: malformed label %q", lineNo, lab)
+				}
+				if lm[1] == "le" {
+					le = lm[2]
+				}
+			}
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := types[strings.TrimSuffix(name, suffix)]; ok && t == "histogram" && strings.HasSuffix(name, suffix) {
+				base = strings.TrimSuffix(name, suffix)
+				break
+			}
+		}
+		if _, ok := types[base]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", lineNo, name)
+		}
+		if h, ok := hists[base]; ok {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket %q without le label", lineNo, name)
+				}
+				if val < h.lastCum {
+					return fmt.Errorf("line %d: histogram %q buckets not cumulative (%v after %v)", lineNo, base, val, h.lastCum)
+				}
+				h.lastCum = val
+				h.bucketSeq++
+				if le == "+Inf" {
+					h.infSeen = true
+					h.infCum = val
+				} else if h.infSeen {
+					return fmt.Errorf("line %d: histogram %q has buckets after le=\"+Inf\"", lineNo, base)
+				}
+			case strings.HasSuffix(name, "_sum"):
+				h.hasSum = true
+			case strings.HasSuffix(name, "_count"):
+				h.hasCount = true
+				h.count = val
+			}
+		}
+	}
+	for name, h := range hists {
+		if h.bucketSeq == 0 && !h.hasCount && !h.hasSum {
+			// Declared but never sampled — fine (registry empty).
+			continue
+		}
+		if !h.infSeen {
+			return fmt.Errorf("histogram %q has no le=\"+Inf\" bucket", name)
+		}
+		if !h.hasSum || !h.hasCount {
+			return fmt.Errorf("histogram %q is missing _sum or _count", name)
+		}
+		if h.count != h.infCum {
+			return fmt.Errorf("histogram %q: _count %v != +Inf bucket %v", name, h.count, h.infCum)
+		}
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

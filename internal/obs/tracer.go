@@ -41,11 +41,23 @@ func AInt(key string, v int64) Attr { return Attr{Key: key, Val: fmt.Sprintf("%d
 // stratum (parse, translate, execute) or a unit of engine work (a
 // query evaluation, a routine invocation — one per evaluated fragment
 // under MAX slicing).
+//
+// Trace, ID, and Parent place the span in a trace tree. They are
+// optional: instrumentation that predates tracing (or runs outside a
+// traced statement) delivers spans with the zero values, and every
+// sink must accept them.
 type Span struct {
 	Name  string
 	Start time.Time
 	Dur   time.Duration
 	Attrs []Attr
+
+	// Trace is the trace this span belongs to (0 = untraced).
+	Trace TraceID
+	// ID is the span's own identity within the process (0 = anonymous).
+	ID SpanID
+	// Parent is the enclosing span (0 = a trace root).
+	Parent SpanID
 }
 
 // Event is one instantaneous occurrence, e.g. a strategy decision of
@@ -187,13 +199,18 @@ type WriterTracer struct {
 	MinDur time.Duration
 }
 
-// Span prints the span as a single line when it meets MinDur.
+// Span prints the span as a single line when it meets MinDur. Traced
+// spans carry their trace ID so lines from one statement correlate.
 func (t *WriterTracer) Span(s Span) {
 	if s.Dur < t.MinDur {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if s.Trace != 0 {
+		fmt.Fprintf(t.W, "span %s %s trace=%s%s\n", s.Name, s.Dur, s.Trace, formatAttrs(s.Attrs))
+		return
+	}
 	fmt.Fprintf(t.W, "span %s %s%s\n", s.Name, s.Dur, formatAttrs(s.Attrs))
 }
 

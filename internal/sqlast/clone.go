@@ -146,7 +146,7 @@ func CloneStmt(s Stmt) Stmt {
 		}
 		return c
 	case *ExplainStmt:
-		return &ExplainStmt{Body: CloneStmt(x.Body)}
+		return &ExplainStmt{Body: CloneStmt(x.Body), Analyze: x.Analyze}
 	case *InsertStmt:
 		return &InsertStmt{Table: x.Table, VarTarget: x.VarTarget, Cols: append([]string(nil), x.Cols...), Source: CloneQuery(x.Source), Pos: x.Pos}
 	case *UpdateStmt:

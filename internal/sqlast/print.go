@@ -369,6 +369,9 @@ func (t *TemporalStmt) SQL() string {
 }
 
 func (s *ExplainStmt) SQL() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Body.SQL()
+	}
 	return "EXPLAIN " + s.Body.SQL()
 }
 

@@ -118,10 +118,13 @@ func (*TemporalStmt) stmtNode() {}
 // ExplainStmt asks the stratum to describe how Body would execute —
 // the chosen slicing strategy, the slicing statistics (constant
 // periods, stored fragments), and the conventional SQL/PSM it compiles
-// to — without executing it. EXPLAIN is a stratum-level statement; it
-// never reaches the conventional engine.
+// to — without executing it. With Analyze set (EXPLAIN ANALYZE), the
+// body IS executed under a forced trace and the plan is annotated with
+// the observed per-stage timings and counts. EXPLAIN is a
+// stratum-level statement; it never reaches the conventional engine.
 type ExplainStmt struct {
-	Body Stmt
+	Body    Stmt
+	Analyze bool
 }
 
 func (*ExplainStmt) stmtNode() {}

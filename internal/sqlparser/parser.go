@@ -185,6 +185,11 @@ func (p *parser) parseStatement() (sqlast.Stmt, error) {
 	switch {
 	case p.isKw("EXPLAIN"):
 		p.next()
+		analyze := false
+		if p.isWord("ANALYZE") {
+			p.next()
+			analyze = true
+		}
 		if p.isKw("EXPLAIN") {
 			return nil, p.errf("EXPLAIN cannot be nested")
 		}
@@ -192,7 +197,7 @@ func (p *parser) parseStatement() (sqlast.Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &sqlast.ExplainStmt{Body: body}, nil
+		return &sqlast.ExplainStmt{Body: body, Analyze: analyze}, nil
 	case p.isKw("VALIDTIME"), p.isKw("NONSEQUENCED"), p.isKw("TRANSACTIONTIME"):
 		return p.parseTemporalStmt()
 	case p.isKw("SELECT"), p.isOp("("):

@@ -1,0 +1,65 @@
+package taubench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"taupsm"
+)
+
+func TestStageBreakdown(t *testing.T) {
+	r := getRunner(t)
+	s := r.StageBreakdown(queryByName(t, "q20"), taupsm.Max, 30)
+	if s.Error != "" {
+		t.Fatalf("unexpected error: %s", s.Error)
+	}
+	if s.Query != "q20" || s.Strategy != "MAX" || s.ContextDays != 30 {
+		t.Fatalf("bad cell identity: %+v", s)
+	}
+	if s.TotalNS <= 0 || s.ExecuteNS <= 0 || s.TranslateNS <= 0 {
+		t.Fatalf("stage durations not observed: %+v", s)
+	}
+	if s.ExecuteNS >= s.TotalNS {
+		t.Fatalf("execute (%d) should be under total (%d)", s.ExecuteNS, s.TotalNS)
+	}
+	if s.Fragments <= 0 || s.ConstantPeriods <= 0 {
+		t.Fatalf("missing slicing stats: %+v", s)
+	}
+
+	// A non-transformable cell carries the error, not numbers.
+	bad := r.StageBreakdown(queryByName(t, "q17b"), taupsm.PerStatement, 7)
+	if bad.Error == "" || bad.TotalNS != 0 {
+		t.Fatalf("expected an error cell: %+v", bad)
+	}
+}
+
+func TestMeasureOverheadAndJSON(t *testing.T) {
+	r := getRunner(t)
+	o := r.MeasureOverhead(7, 1)
+	if o.OffNS <= 0 || o.OffRepeatNS <= 0 || o.SampledNS <= 0 {
+		t.Fatalf("workload totals not measured: %+v", o)
+	}
+	if r.DB.TraceSampling() != 0 {
+		t.Fatal("MeasureOverhead left sampling on")
+	}
+	// The sampled pass really landed spans in the buffer.
+	if r.DB.TraceBuffer().Total() == 0 {
+		t.Fatal("sampled pass recorded no spans")
+	}
+
+	rep := &ObsReport{Dataset: "DS1", Size: "SMALL", Reps: 1,
+		Stages:   []StageStat{r.StageBreakdown(queryByName(t, "q20"), taupsm.Max, 7)},
+		Overhead: []OverheadStat{o}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ObsReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if len(back.Stages) != 1 || back.Stages[0].Query != "q20" || len(back.Overhead) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

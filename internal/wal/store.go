@@ -263,6 +263,15 @@ func (st *Store) replay(cat *storage.Catalog, info *RecoveryInfo) error {
 	}
 }
 
+// AppendStats reports what one successful Append cost: the bytes the
+// record added to the log and the duration of its fsync. The stratum
+// feeds them into EXPLAIN ANALYZE and the slow-query log, per
+// statement, without racing other sessions' metric deltas.
+type AppendStats struct {
+	Bytes int64
+	Fsync time.Duration
+}
+
 // Append durably commits one statement's effect batch: one framed,
 // checksummed record, written and fsynced before return. On any write
 // or sync failure the log position is indeterminate, so the store
@@ -270,37 +279,50 @@ func (st *Store) replay(cat *storage.Catalog, info *RecoveryInfo) error {
 // caller rolls the statement back in memory, keeping memory and disk
 // in agreement.
 func (st *Store) Append(effects []storage.Effect) error {
+	_, err := st.AppendTraced(effects, nil, obs.SpanContext{})
+	return err
+}
+
+// AppendTraced is Append with per-call observability: it returns the
+// commit's AppendStats and, when tr is non-nil, emits a "wal.fsync"
+// span under parent covering the log sync.
+func (st *Store) AppendTraced(effects []storage.Effect, tr obs.Tracer, parent obs.SpanContext) (AppendStats, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
-		return errors.New("wal: store is closed")
+		return AppendStats{}, errors.New("wal: store is closed")
 	}
 	if st.failed {
-		return errors.New("wal: log write failed; checkpoint to resume")
+		return AppendStats{}, errors.New("wal: log write failed; checkpoint to resume")
 	}
 	payload, err := encodeCommit(effects)
 	if err != nil {
-		return err
+		return AppendStats{}, err
 	}
 	n, err := writeRecord(st.wal, payload)
 	if err != nil {
 		st.failed = true
-		return fmt.Errorf("wal: append: %w", err)
+		return AppendStats{}, fmt.Errorf("wal: append: %w", err)
 	}
 	start := time.Now()
 	serr := st.wal.Sync()
-	st.m.fsyncNS.Record(time.Since(start))
+	fsyncDur := time.Since(start)
+	st.m.fsyncNS.Record(fsyncDur)
 	st.m.fsyncs.Inc()
+	if tr != nil {
+		tr.Span(obs.Span{Name: "wal.fsync", Start: start, Dur: fsyncDur,
+			Trace: parent.Trace, ID: obs.NewSpanID(), Parent: parent.Span})
+	}
 	if serr != nil {
 		st.failed = true
-		return fmt.Errorf("wal: fsync: %w", serr)
+		return AppendStats{}, fmt.Errorf("wal: fsync: %w", serr)
 	}
 	st.walBytes += int64(n)
 	st.m.appends.Inc()
 	st.m.bytes.Add(int64(n))
 	st.m.effects.Add(int64(len(effects)))
 	st.m.walBytes.Set(st.walBytes)
-	return nil
+	return AppendStats{Bytes: int64(n), Fsync: fsyncDur}, nil
 }
 
 // Checkpoint compacts the store: it snapshots the current catalog into

@@ -1,6 +1,7 @@
 package taupsm
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -70,7 +71,7 @@ func (db *DB) LintParsed(stmt sqlast.Stmt) []Diagnostic {
 // applying DDL to a shadow catalog (layered over the live one) so
 // later statements see the schema earlier statements would create.
 func (db *DB) Lint(src string) ([]Diagnostic, error) {
-	stmts, err := db.parseScript(src)
+	stmts, err := db.parseScript(context.Background(), src)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +108,7 @@ type Prepared struct {
 // Any error-severity diagnostic fails preparation with a *LintError;
 // warnings are collected on the returned Prepared.
 func (db *DB) Prepare(src string) (*Prepared, error) {
-	stmts, err := db.parseScript(src)
+	stmts, err := db.parseScript(context.Background(), src)
 	if err != nil {
 		return nil, err
 	}

@@ -3,10 +3,12 @@ package taupsm
 import (
 	"strings"
 	"sync"
+	"time"
 
 	"taupsm/internal/check"
 	"taupsm/internal/core"
 	"taupsm/internal/engine"
+	"taupsm/internal/obs"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/storage"
 )
@@ -69,7 +71,12 @@ func chunkCPTable(cp *storage.Table, lo, hi int) *storage.Table {
 // in chunk order reproduces the serial row order exactly. Each worker
 // runs on its own engine session; the per-worker journals are merged
 // into e's in worker-index order, deterministically.
-func (db *DB) runParallelMain(e *engine.DB, t *core.Translation, cp *storage.Table, workers int) (*engine.Result, error) {
+//
+// Under tracing, each worker emits a stratum.worker span parented to
+// the execute span; the engine spans it produces parent to the worker
+// span. Tracers are concurrency-safe by contract, so workers record
+// directly — span IDs, not delivery order, carry the tree structure.
+func (db *DB) runParallelMain(st *stmtState, e *engine.DB, t *core.Translation, cp *storage.Table, workers int) (*engine.Result, error) {
 	n := len(cp.Rows)
 	k := workers
 	if k > n {
@@ -88,20 +95,39 @@ func (db *DB) runParallelMain(e *engine.DB, t *core.Translation, cp *storage.Tab
 		// The parallel-safety gate proves the statement write-free, so
 		// workers don't journal; sharing e's journal would race.
 		ses.Journal = nil
+		var workerID obs.SpanID
+		if st.traced() {
+			ses.Trace, workerID = e.Trace.Child()
+		}
 		chunk := chunkCPTable(cp, lo, hi)
 		wg.Add(1)
-		go func(w int, ses *engine.DB, chunk *storage.Table) {
+		go func(w int, ses *engine.DB, chunk *storage.Table, workerID obs.SpanID) {
 			defer wg.Done()
+			start := time.Now()
 			res, err := ses.ExecStmtWithTables(t.Main, map[string]*storage.Table{
 				"taupsm_cp": chunk,
 			})
+			if workerID != 0 {
+				attrs := []obs.Attr{
+					obs.AInt("worker", int64(w)),
+					obs.AInt("periods", int64(len(chunk.Rows))),
+				}
+				if err != nil {
+					attrs = append(attrs, obs.A("error", err.Error()))
+				}
+				st.tr.Span(obs.Span{Name: "stratum.worker", Start: start, Dur: time.Since(start),
+					Trace: e.Trace.Trace, ID: workerID, Parent: e.Trace.Span, Attrs: attrs})
+			}
 			outs[w] = chunkOut{res: res, err: err, stats: ses.Stats}
-		}(w, ses, chunk)
+		}(w, ses, chunk, workerID)
 	}
 	wg.Wait()
 
 	db.sm.parStmts.Inc()
 	db.sm.parFrags.Add(int64(n))
+	if st != nil {
+		st.workers = k
+	}
 	merged := &engine.Result{}
 	for _, o := range outs {
 		e.Stats.Merge(o.stats)

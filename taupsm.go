@@ -25,11 +25,14 @@
 package taupsm
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taupsm/internal/core"
@@ -71,6 +74,20 @@ type DB struct {
 	metrics *obs.Metrics
 	sm      stratumMetrics
 
+	// ring buffers recently captured spans for /traces and the REPL's
+	// \trace; sampleN/sampleCtr implement every-Nth-statement capture
+	// into it (0 = off, the default). See trace.go.
+	ring      *obs.Ring
+	sampleN   atomic.Int64
+	sampleCtr atomic.Uint64
+
+	// slowW/slowMin configure the structured slow-query log; slowMu
+	// serializes entry writes so concurrent statements never interleave
+	// JSON lines. See slowlog.go.
+	slowMu  sync.Mutex
+	slowW   io.Writer
+	slowMin time.Duration
+
 	// UseFigure8SQL, when true, computes the constant periods of MAX
 	// slicing by executing the paper's Figure-8 SQL instead of the
 	// stratum's native computation. Slower; useful to validate the two
@@ -100,6 +117,11 @@ type DB struct {
 	// LastFallbackNote.
 	lastFallbackNote string
 
+	// lastTrace/lastDur describe the most recent statement for
+	// LastStatement (the REPL's \timing and \trace); guarded by mu.
+	lastTrace obs.TraceID
+	lastDur   time.Duration
+
 	// dur is the write-ahead log of a persistent database (nil for
 	// in-memory databases); recovery describes what the last OpenDir /
 	// OpenFS reconstructed. See durability.go.
@@ -124,6 +146,7 @@ func newDB(eng *engine.DB, metrics *obs.Metrics) *DB {
 		parseCache: map[string][]sqlast.Stmt{},
 		tcache:     map[string]*translationEntry{},
 		cpcache:    map[string]*cpEntry{},
+		ring:       obs.NewRing(0),
 	}
 	db.sm = newStratumMetrics(db.metrics)
 	db.sm.parWorkers.Set(int64(db.par))
@@ -135,8 +158,9 @@ func newDB(eng *engine.DB, metrics *obs.Metrics) *DB {
 // SetParallelism sets the worker-pool size used to evaluate the
 // constant-period fragments of MAX-sliced sequenced queries
 // concurrently. The default is GOMAXPROCS. n <= 1 disables parallel
-// evaluation; tracing (SetTracer) also forces serial evaluation so
-// span streams stay ordered.
+// evaluation. Tracing no longer forces serial evaluation: each worker
+// emits its own stratum.worker span, and span parent/trace IDs carry
+// the structure regardless of delivery order.
 func (db *DB) SetParallelism(n int) {
 	if n < 1 {
 		n = 1
@@ -296,8 +320,9 @@ func (db *DB) Engine() *engine.DB { return db.eng }
 
 // parseScript parses src, timing the parse phase; repeated sources
 // come from the parse cache (reusing AST pointers, which also keys the
-// engine's plan cache).
-func (db *DB) parseScript(src string) ([]sqlast.Stmt, error) {
+// engine's plan cache). When ctx carries a trace session the parse
+// span joins that trace as a root-level span.
+func (db *DB) parseScript(ctx context.Context, src string) ([]sqlast.Stmt, error) {
 	if stmts, ok := db.cachedParse(src); ok {
 		return stmts, nil
 	}
@@ -305,12 +330,17 @@ func (db *DB) parseScript(src string) ([]sqlast.Stmt, error) {
 	stmts, err := sqlparser.ParseScript(src)
 	d := time.Since(start)
 	db.sm.parseNS.Record(d)
-	if db.tracer != nil {
-		attrs := []obs.Attr{obs.AInt("statements", int64(len(stmts)))}
+	tr, sp := db.tracer, obs.Span{Name: "stratum.parse", Start: start, Dur: d}
+	if ts := sessionFromContext(ctx); ts != nil {
+		tr = ts.tr
+		sp.Trace, sp.ID = ts.trace, obs.NewSpanID()
+	}
+	if tr != nil {
+		sp.Attrs = []obs.Attr{obs.AInt("statements", int64(len(stmts)))}
 		if err != nil {
-			attrs = append(attrs, obs.A("error", err.Error()))
+			sp.Attrs = append(sp.Attrs, obs.A("error", err.Error()))
 		}
-		db.tracer.Span(obs.Span{Name: "stratum.parse", Start: start, Dur: d, Attrs: attrs})
+		tr.Span(sp)
 	}
 	if err == nil {
 		db.storeParse(src, stmts)
@@ -321,13 +351,22 @@ func (db *DB) parseScript(src string) ([]sqlast.Stmt, error) {
 // Exec parses and executes a Temporal SQL/PSM script, returning the
 // result of the last statement.
 func (db *DB) Exec(src string) (*Result, error) {
-	stmts, err := db.parseScript(src)
+	return db.ExecContext(context.Background(), src)
+}
+
+// ExecContext is Exec under a context. The context may carry a forced
+// trace session (WithTrace); otherwise the sampling policy decides
+// whether the script is traced. All statements of one script share one
+// trace.
+func (db *DB) ExecContext(ctx context.Context, src string) (*Result, error) {
+	ctx = db.ensureTraceContext(ctx)
+	stmts, err := db.parseScript(ctx, src)
 	if err != nil {
 		return nil, err
 	}
 	var last *Result
 	for _, s := range stmts {
-		last, err = db.ExecParsed(s)
+		last, err = db.ExecParsedContext(ctx, s)
 		if err != nil {
 			return nil, err
 		}
@@ -346,31 +385,65 @@ func (db *DB) MustExec(src string) *Result {
 
 // Query executes a single statement and returns its rows.
 func (db *DB) Query(src string) (*Result, error) {
-	stmts, err := db.parseScript(src)
+	return db.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a context; see ExecContext for trace
+// semantics.
+func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
+	ctx = db.ensureTraceContext(ctx)
+	stmts, err := db.parseScript(ctx, src)
 	if err != nil {
 		return nil, err
 	}
 	if len(stmts) != 1 {
 		return nil, fmt.Errorf("expected exactly one statement, found %d", len(stmts))
 	}
-	return db.ExecParsed(stmts[0])
+	return db.ExecParsedContext(ctx, stmts[0])
 }
 
 // ExecParsed translates and executes one parsed statement. EXPLAIN
-// statements are answered by the stratum without executing their body.
+// statements are answered by the stratum without executing their body;
+// EXPLAIN ANALYZE executes the body and annotates the plan with the
+// observed timings.
 func (db *DB) ExecParsed(stmt sqlast.Stmt) (*Result, error) {
+	return db.ExecParsedContext(context.Background(), stmt)
+}
+
+// ExecParsedContext is ExecParsed under a context; see ExecContext for
+// trace semantics.
+func (db *DB) ExecParsedContext(ctx context.Context, stmt sqlast.Stmt) (*Result, error) {
 	if ex, ok := stmt.(*sqlast.ExplainStmt); ok {
-		e, err := db.ExplainParsed(ex.Body)
+		var e *Explain
+		var err error
+		if ex.Analyze {
+			e, err = db.explainAnalyzeParsed(ctx, ex.Body)
+		} else {
+			start := time.Now()
+			e, err = db.ExplainParsed(ex.Body)
+			db.noteLastStatement(0, time.Since(start))
+		}
 		if err != nil {
 			return nil, err
 		}
 		return e.Result(), nil
 	}
+	res, _, err := db.execStatement(ctx, stmt)
+	return res, err
+}
+
+// execStatement is the statement spine: classification, CREATE-time
+// lint, translation, execution, commit — with one stmtState carrying
+// the statement's observability end to end. It returns the state so
+// EXPLAIN ANALYZE can render what actually happened.
+func (db *DB) execStatement(ctx context.Context, stmt sqlast.Stmt) (*Result, *stmtState, error) {
 	kind := stmtKind(stmt)
 	db.sm.statements.Inc()
 	if c := db.sm.kind[kind]; c != nil {
 		c.Inc()
 	}
+	st := db.beginStmt(ctx, kind)
+	start := time.Now()
 
 	// CREATE-time validation: routine definitions pass through the
 	// static analyzer before translation. Error diagnostics (undeclared
@@ -380,44 +453,77 @@ func (db *DB) ExecParsed(stmt sqlast.Stmt) (*Result, error) {
 	switch stmt.(type) {
 	case *sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt:
 		var cerr error
-		warnings, cerr = db.checkCreate(stmt)
+		warnings, cerr = db.timedLint(st, stmt)
 		if cerr != nil {
-			return nil, cerr
+			db.finishStmt(st, stmt, start, time.Since(start), cerr)
+			return nil, st, cerr
 		}
 	}
 
-	t, ent, err := db.timedTranslate(stmt, kind)
+	t, ent, err := db.timedTranslate(st, stmt, kind)
 	if err != nil {
-		return nil, err
+		db.finishStmt(st, stmt, start, time.Since(start), err)
+		return nil, st, err
 	}
-	res, err := db.timedRun(t, ent, kind)
+	if st != nil && t != nil && kind == "sequenced" {
+		st.strategy = t.Strategy.String()
+	}
+	res, err := db.timedRun(st, t, ent, kind)
 	if err != nil {
-		return nil, err
+		db.finishStmt(st, stmt, start, time.Since(start), err)
+		return nil, st, err
 	}
 	if db.CoalesceResults && isSequencedQueryResult(stmt, res) {
 		res = coalesceResult(res)
 	}
 	out := wrapResult(res)
 	out.Warnings = warnings
-	return out, nil
+	db.finishStmt(st, stmt, start, time.Since(start), nil)
+	return out, st, nil
+}
+
+// timedLint runs CREATE-time validation, timing it as the lint stage.
+func (db *DB) timedLint(st *stmtState, stmt sqlast.Stmt) ([]Diagnostic, error) {
+	start := time.Now()
+	warnings, err := db.checkCreate(stmt)
+	d := time.Since(start)
+	if st != nil {
+		st.lintDur = d
+		if st.tr != nil {
+			attrs := []obs.Attr{obs.AInt("warnings", int64(len(warnings)))}
+			if err != nil {
+				attrs = append(attrs, obs.A("error", err.Error()))
+			}
+			st.tr.Span(obs.Span{Name: "stratum.lint", Start: start, Dur: d,
+				Trace: st.root.Trace, ID: obs.NewSpanID(), Parent: st.root.Span, Attrs: attrs})
+		}
+	}
+	return warnings, err
 }
 
 // timedTranslate runs the translation phase, recording its latency and
 // a stratum.translate span.
-func (db *DB) timedTranslate(stmt sqlast.Stmt, kind string) (*core.Translation, *translationEntry, error) {
+func (db *DB) timedTranslate(st *stmtState, stmt sqlast.Stmt, kind string) (*core.Translation, *translationEntry, error) {
 	start := time.Now()
-	t, ent, err := db.cachedTranslate(stmt)
+	t, ent, err := db.cachedTranslate(st, stmt)
 	d := time.Since(start)
 	db.sm.translateNS.Record(d)
-	if db.tracer != nil {
+	if st != nil {
+		st.translateDur = d
+	}
+	if st.traced() {
 		attrs := []obs.Attr{obs.A("kind", kind)}
 		if t != nil && kind == "sequenced" {
 			attrs = append(attrs, obs.A("strategy", t.Strategy.String()))
 		}
+		if st.transProbed {
+			attrs = append(attrs, obs.A("cached", fmt.Sprintf("%v", st.transHit)))
+		}
 		if err != nil {
 			attrs = append(attrs, obs.A("error", err.Error()))
 		}
-		db.tracer.Span(obs.Span{Name: "stratum.translate", Start: start, Dur: d, Attrs: attrs})
+		st.tr.Span(obs.Span{Name: "stratum.translate", Start: start, Dur: d,
+			Trace: st.root.Trace, ID: obs.NewSpanID(), Parent: st.root.Span, Attrs: attrs})
 	}
 	return t, ent, err
 }
@@ -427,15 +533,21 @@ func (db *DB) timedTranslate(stmt sqlast.Stmt, kind string) (*core.Translation, 
 // strategy heuristic, routine cloning, and slicing rewrites make
 // expensive; current and nonsequenced translations are cheap syntax
 // rewrites.
-func (db *DB) cachedTranslate(stmt sqlast.Stmt) (*core.Translation, *translationEntry, error) {
+func (db *DB) cachedTranslate(st *stmtState, stmt sqlast.Stmt) (*core.Translation, *translationEntry, error) {
 	ts, isTemporal := stmt.(*sqlast.TemporalStmt)
 	if !isTemporal || ts.Mod != sqlast.ModSequenced {
 		t, err := db.translateStmt(stmt)
 		return t, nil, err
 	}
+	if st != nil {
+		st.transProbed = true
+	}
 	key := db.translationKey(stmt)
 	if ent := db.lookupTranslation(key); ent != nil {
 		db.sm.transHits.Inc()
+		if st != nil {
+			st.transHit = true
+		}
 		switch ent.t.Strategy {
 		case Max:
 			db.sm.strategyMax.Inc()
@@ -463,20 +575,27 @@ func (db *DB) cachedTranslate(stmt sqlast.Stmt) (*core.Translation, *translation
 // timedRun runs the execution phase on a fresh engine session,
 // recording its latency, a stratum.execute span, and the session's
 // work journal (rows scanned/returned, routine invocations) as metric
-// deltas before merging it into the shared engine statistics.
-func (db *DB) timedRun(t *core.Translation, ent *translationEntry, kind string) (*engine.Result, error) {
+// deltas before merging it into the shared engine statistics. The
+// journal commit (WAL append + fsync) is timed as its own stage with
+// its own stratum.commit span.
+func (db *DB) timedRun(st *stmtState, t *core.Translation, ent *translationEntry, kind string) (*engine.Result, error) {
 	ses := db.eng.NewSession()
 	// One journal spans the whole user statement: a sequenced DML
 	// translation is several engine statements, but commits (and rolls
 	// back) as a unit.
 	j := engine.NewJournal()
 	ses.Journal = j
+	var execID obs.SpanID
+	if st.traced() {
+		ses.Tracer = st.tr
+		ses.Trace, execID = st.root.Child()
+	}
 	start := time.Now()
-	res, err := db.runTranslation(ses, ent, t)
-	if cerr := db.commitJournal(j); cerr != nil && err == nil {
+	res, err := db.runTranslation(st, ses, ent, t)
+	d := time.Since(start)
+	if cerr := db.commitJournal(st, j); cerr != nil && err == nil {
 		res, err = nil, cerr
 	}
-	d := time.Since(start)
 	db.sm.executeNS.Record(d)
 	delta := ses.Stats
 	db.mu.Lock()
@@ -488,7 +607,16 @@ func (db *DB) timedRun(t *core.Translation, ent *translationEntry, kind string) 
 	db.sm.engStatements.Add(delta.Statements)
 	db.sm.engLogWrites.Add(delta.LogWrites)
 	db.sm.engIntervalProbes.Add(delta.IntervalProbes)
-	if db.tracer != nil {
+	if st != nil {
+		st.executeDur = d
+		st.routineCalls = delta.RoutineCalls
+		st.rowsScanned = delta.RowsScanned
+		if res != nil {
+			st.rows = len(res.Rows)
+			st.affected = res.Affected
+		}
+	}
+	if st.traced() {
 		attrs := []obs.Attr{
 			obs.A("kind", kind),
 			obs.AInt("routine_calls", delta.RoutineCalls),
@@ -500,7 +628,8 @@ func (db *DB) timedRun(t *core.Translation, ent *translationEntry, kind string) 
 		if err != nil {
 			attrs = append(attrs, obs.A("error", err.Error()))
 		}
-		db.tracer.Span(obs.Span{Name: "stratum.execute", Start: start, Dur: d, Attrs: attrs})
+		st.tr.Span(obs.Span{Name: "stratum.execute", Start: start, Dur: d,
+			Trace: st.root.Trace, ID: execID, Parent: st.root.Span, Attrs: attrs})
 	}
 	return res, err
 }
@@ -654,7 +783,7 @@ func (db *DB) temporalRowCount() int {
 // given engine session: natively for MAX constant periods unless
 // UseFigure8SQL, through the translation's own Setup/Teardown script
 // otherwise.
-func (db *DB) runTranslation(e *engine.DB, ent *translationEntry, t *core.Translation) (res *engine.Result, err error) {
+func (db *DB) runTranslation(st *stmtState, e *engine.DB, ent *translationEntry, t *core.Translation) (res *engine.Result, err error) {
 	register := true
 	if ent != nil {
 		db.mu.Lock()
@@ -677,7 +806,7 @@ func (db *DB) runTranslation(e *engine.DB, ent *translationEntry, t *core.Transl
 		}
 	}
 	if t.NeedsConstantPeriods && !db.UseFigure8SQL {
-		return db.runNative(e, ent, t)
+		return db.runNative(st, e, ent, t)
 	}
 	if len(t.Teardown) > 0 {
 		defer func() {
@@ -698,9 +827,12 @@ func (db *DB) runTranslation(e *engine.DB, ent *translationEntry, t *core.Transl
 		if tab := db.eng.Cat.Table("taupsm_cp"); tab != nil {
 			db.sm.cpLast.Set(int64(len(tab.Rows)))
 			db.sm.cpTotal.Add(int64(len(tab.Rows)))
+			if st != nil {
+				st.cps = int64(len(tab.Rows))
+			}
 		}
 	}
-	db.recordFragments(t)
+	db.recordFragments(st, t)
 	if t.Main == nil {
 		return &engine.Result{}, nil
 	}
@@ -712,15 +844,18 @@ func (db *DB) runTranslation(e *engine.DB, ent *translationEntry, t *core.Transl
 // main statement as a table variable, so the catalog version never
 // churns and repeated statements keep every cache warm. When the
 // statement shape allows it, fragments evaluate in parallel.
-func (db *DB) runNative(e *engine.DB, ent *translationEntry, t *core.Translation) (*engine.Result, error) {
+func (db *DB) runNative(st *stmtState, e *engine.DB, ent *translationEntry, t *core.Translation) (*engine.Result, error) {
 	ctxPeriod, err := db.contextPeriod(t)
 	if err != nil {
 		return nil, err
 	}
-	cpTab := db.constantPeriodTable(t, ctxPeriod)
+	cpTab := db.constantPeriodTable(st, e.Trace, t, ctxPeriod)
 	db.sm.cpLast.Set(int64(len(cpTab.Rows)))
 	db.sm.cpTotal.Add(int64(len(cpTab.Rows)))
-	db.recordFragments(t)
+	if st != nil {
+		st.cps = int64(len(cpTab.Rows))
+	}
+	db.recordFragments(st, t)
 	if t.Main == nil {
 		return &engine.Result{}, nil
 	}
@@ -730,22 +865,25 @@ func (db *DB) runNative(e *engine.DB, ent *translationEntry, t *core.Translation
 	} else {
 		safe = db.computeParallelSafe(t)
 	}
-	if par := db.Parallelism(); par > 1 && len(cpTab.Rows) > 1 && db.tracer == nil && safe {
-		return db.runParallelMain(e, t, cpTab, par)
+	if par := db.Parallelism(); par > 1 && len(cpTab.Rows) > 1 && safe {
+		return db.runParallelMain(st, e, t, cpTab, par)
 	}
 	return e.ExecStmtWithTables(t.Main, map[string]*storage.Table{"taupsm_cp": cpTab})
 }
 
-// recordFragments is detailed-mode-only fragment accounting (it walks
-// the reachable temporal tables), so the no-tracer hot path skips it.
-func (db *DB) recordFragments(t *core.Translation) {
-	if db.tracer == nil || t.ContextBegin == nil {
+// recordFragments is traced-mode-only fragment accounting (it walks
+// the reachable temporal tables), so the untraced hot path skips it.
+// The slow-log-only path skips it too: fragment counting is the one
+// piece of stage accounting whose cost scales with the data.
+func (db *DB) recordFragments(st *stmtState, t *core.Translation) {
+	if !st.traced() || t.ContextBegin == nil {
 		return
 	}
 	if ctx, err := db.contextPeriod(t); err == nil {
 		n := int64(db.countFragments(t.TemporalTables, ctx))
 		db.sm.fragLast.Set(n)
 		db.sm.fragTotal.Add(n)
+		st.fragments = n
 	}
 }
 
