@@ -10,6 +10,12 @@
 //	taubench -exp all              # everything (slow: builds LARGE data)
 //	taubench -exp sweep -dataset DS2 -size MEDIUM -queries q2,q7
 //	taubench -exp report -reps 5 -json BENCH_1.json
+//	taubench -compare old.json new.json   # per-cell delta report
+//
+// The compare mode diffs two benchmark artifacts (either the latency
+// reports of -exp report or the observability reports of
+// -exp obsreport) cell by cell and exits non-zero when any cell is
+// slower than -threshold percent — the CI regression gate.
 //
 // The report experiment emits the structured benchmark artifact:
 // median/p95 latencies plus the fragment and constant-period counts of
@@ -42,13 +48,48 @@ func main() {
 	reps := flag.Int("reps", 3, "for -exp report: repetitions per cell")
 	slow := flag.Duration("slow", 0, "log measured statements at least this slow to stderr (0 disables)")
 	par := flag.Int("par", 0, "fragment worker-pool size for measured databases (0 = GOMAXPROCS)")
+	compare := flag.Bool("compare", false, "compare two benchmark artifacts: taubench -compare old.json new.json")
+	threshold := flag.Float64("threshold", 25, "for -compare: regression threshold in percent")
 	flag.Parse()
 	taubench.Parallelism = *par
 
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *threshold))
+	}
 	if err := run(*exp, *dataset, *sizeFlag, *queriesFlag, *jsonPath, *reps, *slow); err != nil {
 		fmt.Fprintln(os.Stderr, "taubench:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare diffs two benchmark artifacts and returns the process
+// exit code: 0 when no cell regressed past the threshold, 1 when at
+// least one did, 2 on usage or parse errors.
+func runCompare(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: taubench -compare [-threshold pct] old.json new.json")
+		return 2
+	}
+	oldJSON, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taubench:", err)
+		return 2
+	}
+	newJSON, err := os.ReadFile(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taubench:", err)
+		return 2
+	}
+	cmp, err := taubench.Compare(oldJSON, newJSON, threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taubench:", err)
+		return 2
+	}
+	cmp.Write(os.Stdout)
+	if len(cmp.Regressions()) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func parseSize(s string) (taubench.Size, error) {

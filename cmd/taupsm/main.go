@@ -24,10 +24,11 @@
 // with the same -data recovers the full catalog before running.
 //
 // With -telemetry ADDR an HTTP telemetry server runs for the life of
-// the process: Prometheus-format /metrics, /traces (sampled span
-// trees, see -sample), /healthz, and /debug/pprof. -slowlog DUR logs
-// every statement at or above the threshold as one JSON line on
-// stderr.
+// the process: Prometheus-format /metrics (registry plus process
+// self-metrics), /statistics (data & workload statistics as JSON),
+// /traces (sampled span trees, see -sample), /healthz, and
+// /debug/pprof. -slowlog DUR logs every statement at or above the
+// threshold as one JSON line on stderr.
 package main
 
 import (
@@ -98,7 +99,11 @@ func main() {
 // returning a shutdown function. The bound address is announced on
 // stderr so scripts can scrape ":0" listeners.
 func serveTelemetry(db *taupsm.DB, addr string) (func(), error) {
-	srv := &httpexport.Server{Metrics: db.Metrics(), Ring: db.TraceBuffer()}
+	srv := &httpexport.Server{
+		Metrics:    db.Metrics(),
+		Ring:       db.TraceBuffer(),
+		Statistics: func() any { return db.Statistics() },
+	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)

@@ -33,6 +33,7 @@ const replHelp = `Backslash commands:
   \slowlog [dur|off] show or set the slow-query log threshold (e.g. 250ms)
   \lint [on|off]     toggle static analysis of each submitted statement
   \metrics [reset]   print the metrics registry, or reset every series
+  \stats             print table, routine, and statement statistics
   \strategy [s]      show or set the slicing strategy: auto, max, perst
   \parallel [n]      show or set the fragment worker-pool size
   \checkpoint        compact durable state into a fresh snapshot (-data only)
@@ -156,6 +157,8 @@ func (r *repl) meta(cmd string) bool {
 			return false
 		}
 		fmt.Fprint(r.out, r.db.Metrics().String())
+	case `\stats`:
+		r.printStats()
 	case `\strategy`:
 		if len(fields) > 1 {
 			s, err := parseStrategy(fields[1])
@@ -194,6 +197,39 @@ func (r *repl) meta(cmd string) bool {
 		fmt.Fprintf(r.out, "unknown command %s; try \\help\n", fields[0])
 	}
 	return false
+}
+
+// printStats renders the statistics registry snapshot — the same data
+// the tau_stat_* system tables and the /statistics endpoint expose —
+// as three aligned text sections.
+func (r *repl) printStats() {
+	snap := r.db.Statistics()
+	fmt.Fprintf(r.out, "Tables (%d):\n", len(snap.Tables))
+	for _, t := range snap.Tables {
+		fmt.Fprintf(r.out, "  %-20s rows=%d periods=%d points=%d ins=%d upd=%d del=%d",
+			t.Name, t.RowCount, t.ConstantPeriods, t.DistinctPoints, t.Inserts, t.Updates, t.Deletes)
+		if t.Analyzed {
+			fmt.Fprintf(r.out, " analyzed(max_overlap=%d)", t.MaxOverlap)
+		}
+		fmt.Fprintln(r.out)
+	}
+	fmt.Fprintf(r.out, "Routines (%d):\n", len(snap.Routines))
+	for _, p := range snap.Routines {
+		fmt.Fprintf(r.out, "  %-20s calls=%d", p.Name, p.Calls)
+		if p.TracedCalls > 0 {
+			fmt.Fprintf(r.out, " traced=%d mean=%.3fms", p.TracedCalls, float64(p.TracedMeanNS)/1e6)
+		}
+		fmt.Fprintln(r.out)
+	}
+	fmt.Fprintf(r.out, "Statements (%d):\n", len(snap.Statements))
+	for _, p := range snap.Statements {
+		fmt.Fprintf(r.out, "  %s %-10s calls=%d errs=%d mean=%.3fms max=%.3fms",
+			p.Digest, p.Kind, p.Calls, p.Errors, float64(p.MeanNS)/1e6, float64(p.MaxNS)/1e6)
+		if p.LastStrategy != "" {
+			fmt.Fprintf(r.out, " strategy=%s", p.LastStrategy)
+		}
+		fmt.Fprintf(r.out, "\n    %s\n", p.Text)
+	}
 }
 
 // incompleteInput reports a parse error that means "keep reading":

@@ -35,6 +35,10 @@ func OpenFS(fs wal.FS) (*DB, error) {
 	}
 	eng := engine.New()
 	eng.Cat = cat
+	// Adopt the store's registry: it carries the statistics recovered
+	// from the snapshot (plus replayed counter deltas), and the store
+	// persists the same registry at every checkpoint.
+	eng.TabStats = store.Stats()
 	db := newDB(eng, metrics)
 	db.dur = store
 	db.recovery = info

@@ -51,6 +51,13 @@ type Explain struct {
 	// temporal tables overlapping the context — the candidate
 	// fragments a sequenced statement evaluates.
 	Fragments int
+	// HasStats reports that the statistics registry supplied the
+	// estimates below; EstConstantPeriods and EstRows are the registry's
+	// predictions of ConstantPeriods and Fragments, shown side by side
+	// with the exact numbers so estimate drift is visible per statement.
+	HasStats           bool
+	EstConstantPeriods int64
+	EstRows            int64
 	// UsesPerPeriodCursor reports the PERST per-period cursor pattern
 	// (the heuristic's clause b).
 	UsesPerPeriodCursor bool
@@ -234,6 +241,11 @@ func (db *DB) ExplainParsed(stmt sqlast.Stmt) (*Explain, error) {
 		e.ContextBegin = types.FormatDate(ctx.Begin)
 		e.ContextEnd = types.FormatDate(ctx.End)
 		e.Fragments = db.countFragments(t.TemporalTables, ctx)
+		if est, ok := db.statsEstimates(t.TemporalTables, false, ctx.Begin, ctx.End); ok {
+			e.HasStats = true
+			e.EstConstantPeriods = est.ConstantPeriods
+			e.EstRows = est.Rows
+		}
 		if t.NeedsConstantPeriods {
 			e.ConstantPeriods = len(temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables), ctx))
 			if !db.UseFigure8SQL {
@@ -286,7 +298,13 @@ func (e *Explain) Result() *Result {
 		if e.Strategy == Max {
 			add("constant_periods", fmt.Sprintf("%d", e.ConstantPeriods))
 		}
+		if e.HasStats {
+			add("est_constant_periods", fmt.Sprintf("%d", e.EstConstantPeriods))
+		}
 		add("fragments", fmt.Sprintf("%d", e.Fragments))
+		if e.HasStats {
+			add("est_rows", fmt.Sprintf("%d", e.EstRows))
+		}
 		if e.UsesPerPeriodCursor {
 			add("per_period_cursor", "true")
 		}

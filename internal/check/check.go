@@ -84,7 +84,7 @@ func (c *checker) top(stmt sqlast.Stmt) {
 			c.query(x.AsQuery, newScope(nil))
 		}
 	case *sqlast.DropTableStmt, *sqlast.DropViewStmt, *sqlast.DropRoutineStmt,
-		*sqlast.AlterAddValidTime:
+		*sqlast.AlterAddValidTime, *sqlast.AnalyzeStmt:
 	default:
 		c.timeColumnWrites(stmt, sqlast.ModCurrent)
 		c.stmt(stmt, newScope(nil), nil)

@@ -22,6 +22,18 @@ type Features struct {
 	TemporalRows int
 	// ContextDays is the length of the temporal context in granules.
 	ContextDays int64
+	// HasStats reports that the statistics registry supplied estimates
+	// for this statement; the stats-informed clause fires only then, so
+	// databases without statistics decide exactly as before.
+	HasStats bool
+	// EstConstantPeriods is the registry's estimate of the constant
+	// periods MAX slicing would evaluate: distinct stored endpoints
+	// strictly inside the context, plus one. Exact for single-table
+	// statements; an upper bound across tables.
+	EstConstantPeriods int64
+	// EstRows is the registry's estimate of the stored fragments
+	// overlapping the context.
+	EstRows int64
 }
 
 // Thresholds calibrating "large data set" and "small database / short
@@ -40,6 +52,11 @@ var (
 	// overhead is low and MAX's simpler statements win.
 	SmallRowsThreshold = 50_000
 	ShortContextDays   = int64(7)
+	// FewPeriodsThreshold bounds the stats-informed clause: when the
+	// registry estimates at most this many constant periods, MAX
+	// evaluates the statement a handful of times and its simpler
+	// per-period statements win regardless of context length.
+	FewPeriodsThreshold = int64(4)
 )
 
 // Reason labels which clause of the §VII-F heuristic decided the
@@ -58,6 +75,11 @@ const (
 	// ReasonShortContext: clause (c) — small database and short
 	// temporal context make MAX's fixed cost negligible.
 	ReasonShortContext Reason = "short_context"
+	// ReasonStatsFewPeriods: the statistics registry estimates so few
+	// constant periods that MAX's per-period evaluation count is
+	// trivially small. A stats-informed refinement of clause (c): it
+	// fires on period count where (c) fires on context length.
+	ReasonStatsFewPeriods Reason = "stats_few_periods"
 	// ReasonDefault: none of the clauses fired; PERST wins ~70% of the
 	// measured configurations.
 	ReasonDefault Reason = "perst_default"
@@ -84,6 +106,9 @@ func ChooseExplained(f Features) (Strategy, Reason) {
 	}
 	if f.TemporalRows <= SmallRowsThreshold && f.ContextDays <= ShortContextDays {
 		return StrategyMax, ReasonShortContext // (c)
+	}
+	if f.HasStats && f.EstConstantPeriods > 0 && f.EstConstantPeriods <= FewPeriodsThreshold {
+		return StrategyMax, ReasonStatsFewPeriods
 	}
 	return StrategyPerStatement, ReasonDefault
 }

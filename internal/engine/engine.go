@@ -19,6 +19,7 @@ import (
 	"taupsm/internal/obs"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/sqlparser"
+	"taupsm/internal/stats"
 	"taupsm/internal/storage"
 	"taupsm/internal/types"
 )
@@ -63,6 +64,14 @@ type DB struct {
 	// routine-invocation latencies in the engine.routine_ns histogram.
 	// The stratum shares its registry here.
 	Metrics *obs.Metrics
+
+	// TabStats is the table and workload statistics registry shared by
+	// every session of this database (NewSession copies the pointer).
+	// DML keeps the per-table temporal distributions incrementally
+	// current through the journal hooks; stored-routine invocations are
+	// profiled by name. Nil disables statistics maintenance — every
+	// registry method is nil-receiver safe.
+	TabStats *stats.Registry
 
 	// routineNS caches the engine.routine_ns histogram handle.
 	routineNS *obs.Histogram
@@ -206,6 +215,8 @@ func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
 		return db.execQuery(ctx, s)
 	case *sqlast.ExplainStmt:
 		return nil, fmt.Errorf("engine: EXPLAIN reached the conventional engine; it is a stratum-level statement")
+	case *sqlast.AnalyzeStmt:
+		return nil, fmt.Errorf("engine: ANALYZE reached the conventional engine; it is a stratum-level statement")
 	case *sqlast.InsertStmt:
 		return db.execInsert(ctx, s)
 	case *sqlast.UpdateStmt:
@@ -220,6 +231,9 @@ func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
 			return nil, fmt.Errorf("table %s does not exist", s.Name)
 		}
 		journalDropTable(ctx.journal, db.Cat, old)
+		if old != nil && !old.Temporary {
+			db.statsDrop(ctx.journal, old.Name)
+		}
 		return &Result{}, nil
 	case *sqlast.CreateViewStmt:
 		if s.Mod != sqlast.ModCurrent {
@@ -342,6 +356,9 @@ func (db *DB) execCreateTable(ctx *execCtx, s *sqlast.CreateTableStmt) (*Result,
 	t.Bump()
 	db.Cat.PutTable(t)
 	journalPutTable(ctx.journal, db.Cat, nil, t)
+	if !t.Temporary {
+		db.statsReset(ctx.journal, t.Name, false)
+	}
 	return &Result{Affected: len(rows)}, nil
 }
 
@@ -367,6 +384,9 @@ func (db *DB) execAddValidTime(ctx *execCtx, s *sqlast.AlterAddValidTime) (*Resu
 	nt.Bump()
 	db.Cat.PutTable(nt)
 	journalPutTable(ctx.journal, db.Cat, t, nt)
+	if !nt.Temporary {
+		db.statsReset(ctx.journal, nt.Name, true)
+	}
 	return &Result{Affected: len(nt.Rows)}, nil
 }
 
@@ -430,7 +450,40 @@ func (db *DB) traceRoutine(name string) func() {
 			}
 			db.routineNS.Record(d)
 		}
+		db.TabStats.NoteRoutineTime(name, d)
 	}
+}
+
+// noteRoutineCall counts one logical stored-routine invocation in both
+// the session's statement statistics and the shared workload profile.
+func (db *DB) noteRoutineCall(name string) {
+	db.Stats.RoutineCalls++
+	db.TabStats.NoteRoutineCall(name)
+}
+
+// statsReset installs fresh statistics for a created or replaced table
+// and journals the restoration of the previous entry, so DDL that rolls
+// back leaves the registry exactly as it found it. preserve keeps the
+// previous entry's DML history (ALTER ADD VALIDTIME replaces the table
+// object, not the table).
+func (db *DB) statsReset(j *Journal, name string, preserve bool) {
+	if db.TabStats == nil {
+		return
+	}
+	reg := db.TabStats
+	prev := reg.Reset(name, preserve)
+	j.record(func() { reg.Restore(name, prev) }, nil)
+}
+
+// statsDrop removes a dropped table's statistics entry, journaling its
+// restoration.
+func (db *DB) statsDrop(j *Journal, name string) {
+	if db.TabStats == nil {
+		return
+	}
+	reg := db.TabStats
+	prev := reg.Drop(name)
+	j.record(func() { reg.Restore(name, prev) }, nil)
 }
 
 // EvalConstExpr evaluates an expression with no row or variable

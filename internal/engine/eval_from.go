@@ -93,6 +93,9 @@ func (db *DB) sourceMetas(ctx *execCtx, ref sqlast.TableRef) ([]entryMeta, error
 			}
 			return []entryMeta{{alias: alias, cols: cols}}, nil
 		}
+		if st := db.systemTable(r.Name); st != nil {
+			return []entryMeta{{alias: alias, cols: st.Schema.Names()}}, nil
+		}
 		return nil, fmt.Errorf("table or view %s does not exist", r.Name)
 	case *sqlast.DerivedTable:
 		cols := r.Cols
@@ -213,6 +216,9 @@ func (db *DB) loadSource(ctx *execCtx, ref sqlast.TableRef, metas []entryMeta, p
 				return nil, err
 			}
 			return db.resultToRel(ctx, res, metas[0], pushdown)
+		}
+		if st := db.systemTable(r.Name); st != nil {
+			return db.scanTable(ctx, st, metas[0], pushdown)
 		}
 		return nil, fmt.Errorf("table or view %s does not exist", r.Name)
 	case *sqlast.DerivedTable:

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"taupsm/internal/sqlast"
+	"taupsm/internal/stats"
 	"taupsm/internal/storage"
 	"taupsm/internal/types"
 )
@@ -94,35 +95,53 @@ func (j *Journal) record(undo func(), redo *storage.Effect) {
 // dmlLog scopes journaling to one DML statement's target table. Redo
 // effects are emitted only for durable targets — tables resolved from
 // the catalog that are not temporary; table variables and temp tables
-// roll back via undo but never reach the log.
+// roll back via undo but never reach the log. For tracked targets the
+// log also keeps the statistics registry incrementally current — and,
+// through the same undo closures, exactly reverted on rollback, so
+// "incremental == recomputed" holds across failed statements too.
 type dmlLog struct {
 	j    *Journal
 	t    *storage.Table
 	redo bool
+	st   *stats.Registry // non-nil when the target's statistics are tracked
 }
 
 // dmlLogFor classifies the statement's target once.
 func (db *DB) dmlLogFor(ctx *execCtx, t *storage.Table) dmlLog {
 	l := dmlLog{j: ctx.journal, t: t}
-	if l.j != nil && !t.Temporary && db.Cat.Table(t.Name) == t {
+	durable := !t.Temporary && db.Cat.Table(t.Name) == t
+	if l.j != nil && durable {
 		l.redo = true
+	}
+	if durable {
+		l.st = db.TabStats // nil when statistics are disabled
 	}
 	return l
 }
 
+// needsOld reports whether update sites must snapshot the pre-mutation
+// row: for the undo image, or for the statistics delta.
+func (l dmlLog) needsOld() bool { return l.j != nil || l.st != nil }
+
 // insert journals a row just appended by Table.Insert (it must be the
 // last row).
 func (l dmlLog) insert(row []types.Value) {
+	l.st.NoteInsert(l.t, row)
 	if l.j == nil {
 		return
 	}
 	t := l.t
+	st := l.st
 	idx := len(t.Rows) - 1
 	var redo *storage.Effect
 	if l.redo {
 		redo = &storage.Effect{Kind: storage.EffInsert, Name: t.Name, Row: cloneRow(row)}
 	}
 	l.j.record(func() {
+		// row is the stored slice itself; any later same-statement update
+		// has already been copied back (undo runs newest-first), so it
+		// holds the as-inserted values again.
+		st.RevertInsert(t, row)
 		t.Rows = append(t.Rows[:idx], t.Rows[idx+1:]...)
 		t.Bump()
 	}, redo)
@@ -133,15 +152,21 @@ func (l dmlLog) insert(row []types.Value) {
 // slot), so every alias of the row — scopes, snapshots of t.Rows taken
 // by later statements — sees the restoration.
 func (l dmlLog) update(idx int, row, old []types.Value) {
+	l.st.NoteUpdate(l.t, old, row)
 	if l.j == nil {
 		return
 	}
 	t := l.t
+	st := l.st
 	var redo *storage.Effect
 	if l.redo {
 		redo = &storage.Effect{Kind: storage.EffUpdate, Name: t.Name, Index: idx, Row: cloneRow(row)}
 	}
 	l.j.record(func() {
+		// row still holds this update's new values here: undo entries run
+		// newest-first, so any later update of the same row has already
+		// been copied back.
+		st.RevertUpdate(t, old, row)
 		copy(row, old)
 		t.Bump()
 	}, redo)
@@ -154,11 +179,21 @@ func (l dmlLog) update(idx int, row, old []types.Value) {
 // are logged in DESCENDING index order, so a replay that splices one
 // row at a time reproduces the deletion exactly.
 func (l dmlLog) deleteRows(oldRows [][]types.Value, removed []int) {
-	if l.j == nil || len(removed) == 0 {
+	if len(removed) == 0 {
+		return
+	}
+	for _, i := range removed {
+		l.st.NoteDelete(l.t, oldRows[i])
+	}
+	if l.j == nil {
 		return
 	}
 	t := l.t
+	st := l.st
 	l.j.record(func() {
+		for _, i := range removed {
+			st.RevertDelete(t, oldRows[i])
+		}
 		t.Rows = oldRows
 		t.Bump()
 	}, nil)

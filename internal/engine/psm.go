@@ -271,7 +271,7 @@ func (db *DB) callFunction(ctx *execCtx, r *storage.Routine, argExprs []sqlast.E
 		if memoKey = db.memoKey(r, args); memoKey != "" {
 			if v, ok := ctx.memo.lookup(db, memoKey); ok {
 				// A memo hit is still a logical invocation — see fnmemo.go.
-				db.Stats.RoutineCalls++
+				db.noteRoutineCall(r.Name)
 				db.Stats.RoutineMemoHits++
 				return v, nil
 			}
@@ -297,7 +297,7 @@ func (db *DB) callFunction(ctx *execCtx, r *storage.Routine, argExprs []sqlast.E
 		frame.setVal(k, cv)
 		frame.setType(k, p.Type)
 	}
-	db.Stats.RoutineCalls++
+	db.noteRoutineCall(r.Name)
 	if done := db.traceRoutine(r.Name); done != nil {
 		defer done()
 	}
@@ -396,7 +396,7 @@ func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
 			outs = append(outs, outBinding{param: k, arg: cr.Column})
 		}
 	}
-	db.Stats.RoutineCalls++
+	db.noteRoutineCall(s.Name)
 	if done := db.traceRoutine(s.Name); done != nil {
 		defer done()
 	}

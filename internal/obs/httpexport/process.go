@@ -1,0 +1,33 @@
+package httpexport
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// processStart anchors the uptime metric to process initialization.
+var processStart = time.Now()
+
+// ProcessText renders the process self-metrics appended to /metrics:
+// Go runtime health (goroutines, heap, GC) and uptime, so one scrape
+// answers both "what is the database doing" and "how is the process
+// holding up". Names follow the Prometheus process_/go_ conventions
+// and are emitted in sorted order, matching the registry exposition.
+func ProcessText() string {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	var b strings.Builder
+	gauge := func(name string, v int64) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, v)
+	}
+	fmt.Fprintf(&b, "# TYPE process_gc_cycles_total counter\nprocess_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(&b, "# TYPE process_gc_pause_seconds_total counter\nprocess_gc_pause_seconds_total %s\n",
+		formatSeconds(int64(ms.PauseTotalNs)))
+	gauge("process_goroutines", int64(runtime.NumGoroutine()))
+	gauge("process_heap_alloc_bytes", int64(ms.HeapAlloc))
+	gauge("process_heap_objects", int64(ms.HeapObjects))
+	gauge("process_uptime_seconds", int64(time.Since(processStart).Seconds()))
+	return b.String()
+}

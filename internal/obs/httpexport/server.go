@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	/metrics        Prometheus text format (counters, gauges, histograms)
+//	/statistics     data & workload statistics snapshot (JSON)
 //	/traces         recent sampled traces, newest first (JSON)
 //	/traces?id=ID   one trace's span tree (JSON)
 //	/healthz        liveness probe ("ok")
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -30,12 +32,17 @@ import (
 type Server struct {
 	Metrics *obs.Metrics
 	Ring    *obs.Ring
+	// Statistics, when set, backs the /statistics endpoint: it returns
+	// the document to serialize (the stratum passes its statistics
+	// snapshot). Nil disables the endpoint with 404.
+	Statistics func() any
 }
 
 // Handler returns the telemetry endpoint mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statistics", s.handleStatistics)
 	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -52,6 +59,18 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(PrometheusText(s.Metrics)))
+	w.Write([]byte(ProcessText()))
+}
+
+func (s *Server) handleStatistics(w http.ResponseWriter, _ *http.Request) {
+	if s.Statistics == nil {
+		http.Error(w, "statistics not available", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Statistics())
 }
 
 // traceSummaryJSON is one /traces listing entry.
@@ -123,7 +142,14 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // plus the standard _sum (seconds) and _count series.
 func PrometheusText(m *obs.Metrics) string {
 	var b strings.Builder
-	for _, ms := range m.Snapshot() {
+	snap := m.Snapshot()
+	// The registry sorts by raw name; sanitizing can reorder (dots sort
+	// below underscores and digits). Sort by the exposed name so the
+	// exposition is deterministic in its own alphabet.
+	sort.SliceStable(snap, func(i, j int) bool {
+		return SanitizeMetricName(snap[i].Name) < SanitizeMetricName(snap[j].Name)
+	})
+	for _, ms := range snap {
 		name := SanitizeMetricName(ms.Name)
 		switch ms.Kind {
 		case "counter":

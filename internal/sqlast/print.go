@@ -375,6 +375,13 @@ func (s *ExplainStmt) SQL() string {
 	return "EXPLAIN " + s.Body.SQL()
 }
 
+func (s *AnalyzeStmt) SQL() string {
+	if s.Table == "" {
+		return "ANALYZE"
+	}
+	return "ANALYZE " + s.Table
+}
+
 // ---------- DML ----------
 
 func (s *InsertStmt) SQL() string {

@@ -129,6 +129,16 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmtNode() {}
 
+// AnalyzeStmt recomputes the statistics of one table (or of every
+// table when Table is empty): `ANALYZE [table]`. Like EXPLAIN it is a
+// stratum-level statement — the conventional engine rejects it.
+type AnalyzeStmt struct {
+	Table string // empty: analyze every catalog table
+	Pos   sqlscan.Pos
+}
+
+func (*AnalyzeStmt) stmtNode() {}
+
 // ---------- DML ----------
 
 // InsertStmt inserts rows from a VALUES list or a query. Table-valued

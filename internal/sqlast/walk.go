@@ -114,6 +114,8 @@ func Walk(n Node, visit func(Node) bool) {
 		Walk(x.Body, visit)
 	case *ExplainStmt:
 		Walk(x.Body, visit)
+	case *AnalyzeStmt:
+		// No sub-nodes.
 	case *InsertStmt:
 		Walk(x.Source, visit)
 	case *UpdateStmt:
@@ -256,6 +258,8 @@ func MapExprs(n Node, f func(Expr) Expr) {
 		MapExprs(x.Body, f)
 	case *ExplainStmt:
 		MapExprs(x.Body, f)
+	case *AnalyzeStmt:
+		// No expressions.
 	case *InsertStmt:
 		MapExprs(x.Source, f)
 	case *UpdateStmt:

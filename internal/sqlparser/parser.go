@@ -233,6 +233,17 @@ func (p *parser) parseStatement() (sqlast.Stmt, error) {
 			return s, nil
 		}
 		return nil, p.errf("VALUES is only valid as an INSERT source")
+	case p.isWord("ANALYZE"):
+		s := &sqlast.AnalyzeStmt{Pos: p.tok().Pos}
+		p.next()
+		if p.tok().Kind == sqlscan.Ident {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Table = name
+		}
+		return s, nil
 	default:
 		return nil, p.errf("unexpected token %q at start of statement", p.tok().Text)
 	}

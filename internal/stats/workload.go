@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// RoutineProfile aggregates one stored routine's workload: every
+// logical invocation counts (memo hits included — they answer a call),
+// while the timing aggregates cover only traced executions, folded in
+// from the engine's routine spans so the untraced hot path stays one
+// atomic increment.
+type RoutineProfile struct {
+	calls       atomic.Int64
+	tracedCalls atomic.Int64
+	tracedNS    atomic.Int64
+}
+
+// RoutineSnapshot is one routine's profile as exposed by the
+// tau_stat_routines system table and the /statistics endpoint.
+type RoutineSnapshot struct {
+	Name         string `json:"name"`
+	Calls        int64  `json:"calls"`
+	TracedCalls  int64  `json:"traced_calls,omitempty"`
+	TracedNS     int64  `json:"traced_ns,omitempty"`
+	TracedMeanNS int64  `json:"traced_mean_ns,omitempty"`
+}
+
+// routineEntry returns the named profile, creating it on first call.
+// The read-path fast case is a map lookup under the registry lock; the
+// returned counters are lock-free.
+func (r *Registry) routineEntry(name string) *RoutineProfile {
+	r.mu.Lock()
+	p, ok := r.routines[key(name)]
+	if !ok {
+		p = &RoutineProfile{}
+		r.routines[key(name)] = p
+	}
+	r.mu.Unlock()
+	return p
+}
+
+// NoteRoutineCall counts one logical routine invocation.
+func (r *Registry) NoteRoutineCall(name string) {
+	if r == nil {
+		return
+	}
+	r.routineEntry(name).calls.Add(1)
+}
+
+// NoteRoutineTime folds one traced routine execution's duration in.
+func (r *Registry) NoteRoutineTime(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	p := r.routineEntry(name)
+	p.tracedCalls.Add(1)
+	p.tracedNS.Add(int64(d))
+}
+
+// RoutineSnapshots lists every profiled routine sorted by name.
+func (r *Registry) RoutineSnapshots() []RoutineSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.routines))
+	for n := range r.routines {
+		names = append(names, n)
+	}
+	ps := make(map[string]*RoutineProfile, len(r.routines))
+	for n, p := range r.routines {
+		ps[n] = p
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	out := make([]RoutineSnapshot, 0, len(names))
+	for _, n := range names {
+		p := ps[n]
+		s := RoutineSnapshot{
+			Name:        n,
+			Calls:       p.calls.Load(),
+			TracedCalls: p.tracedCalls.Load(),
+			TracedNS:    p.tracedNS.Load(),
+		}
+		if s.TracedCalls > 0 {
+			s.TracedMeanNS = s.TracedNS / s.TracedCalls
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// StatementProfile aggregates every execution of one statement digest
+// (the FNV-1a of the statement's rendered SQL — stable across restarts
+// and parameter-free rewrites).
+type StatementProfile struct {
+	Digest       string
+	Text         string // first-seen statement text, truncated
+	Kind         string
+	Calls        int64
+	Errors       int64
+	TotalNS      int64
+	MaxNS        int64
+	LastStrategy string
+}
+
+// StatementSnapshot is one digest's profile as exposed by the
+// tau_stat_statements system table and the /statistics endpoint.
+type StatementSnapshot struct {
+	Digest       string `json:"digest"`
+	Kind         string `json:"kind"`
+	Calls        int64  `json:"calls"`
+	Errors       int64  `json:"errors,omitempty"`
+	TotalNS      int64  `json:"total_ns"`
+	MeanNS       int64  `json:"mean_ns"`
+	MaxNS        int64  `json:"max_ns"`
+	LastStrategy string `json:"last_strategy,omitempty"`
+	Text         string `json:"text"`
+}
+
+// statementTextMax bounds the sample text a profile keeps.
+const statementTextMax = 240
+
+// NoteStatement folds one finished top-level statement into its digest
+// profile.
+func (r *Registry) NoteStatement(digest, text, kind, strategy string, d time.Duration, failed bool) {
+	if r == nil || digest == "" {
+		return
+	}
+	r.mu.Lock()
+	p, ok := r.statements[digest]
+	if !ok {
+		if len(text) > statementTextMax {
+			text = text[:statementTextMax] + "..."
+		}
+		p = &StatementProfile{Digest: digest, Text: text, Kind: kind}
+		r.statements[digest] = p
+	}
+	p.Calls++
+	if failed {
+		p.Errors++
+	}
+	p.TotalNS += int64(d)
+	if int64(d) > p.MaxNS {
+		p.MaxNS = int64(d)
+	}
+	if strategy != "" {
+		p.LastStrategy = strategy
+	}
+	r.mu.Unlock()
+}
+
+// StatementSnapshots lists every statement profile, most total time
+// first (ties broken by digest for determinism).
+func (r *Registry) StatementSnapshots() []StatementSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]StatementSnapshot, 0, len(r.statements))
+	for _, p := range r.statements {
+		s := StatementSnapshot{
+			Digest: p.Digest, Kind: p.Kind, Calls: p.Calls, Errors: p.Errors,
+			TotalNS: p.TotalNS, MaxNS: p.MaxNS, LastStrategy: p.LastStrategy,
+			Text: p.Text,
+		}
+		if p.Calls > 0 {
+			s.MeanNS = p.TotalNS / p.Calls
+		}
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNS != out[j].TotalNS {
+			return out[i].TotalNS > out[j].TotalNS
+		}
+		return out[i].Digest < out[j].Digest
+	})
+	return out
+}

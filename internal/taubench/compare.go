@@ -1,0 +1,156 @@
+package taubench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file implements taubench -compare: a per-cell delta report
+// between two benchmark artifacts, for catching performance
+// regressions between runs. It understands both artifact shapes —
+// latency reports (BENCH_1/2.json, "queries" keyed by median_ns) and
+// observability reports (BENCH_3.json, "stages" keyed by total_ns) —
+// by sniffing which array the document carries.
+
+// CompareCell is one benchmark cell's before/after pair.
+type CompareCell struct {
+	Key      string // "q2/max/30d" — query, strategy, context
+	OldNS    int64
+	NewNS    int64
+	DeltaPct float64 // (new-old)/old, percent; +Inf-free (old==0 → 0)
+}
+
+// Comparison is the diff of two benchmark artifacts.
+type Comparison struct {
+	Metric    string // which per-cell metric was compared
+	Cells     []CompareCell
+	OnlyOld   []string // cells present only in the baseline
+	OnlyNew   []string // cells present only in the candidate
+	Threshold float64  // regression threshold, percent
+}
+
+// benchDoc is the shape-sniffing view of a benchmark artifact: exactly
+// one of Queries or Stages is populated.
+type benchDoc struct {
+	Dataset string      `json:"dataset"`
+	Size    string      `json:"size"`
+	Queries []QueryStat `json:"queries"`
+	Stages  []StageStat `json:"stages"`
+}
+
+// cells flattens the artifact into key→nanoseconds, returning the
+// metric name used.
+func (d *benchDoc) cells() (map[string]int64, string, error) {
+	out := map[string]int64{}
+	switch {
+	case len(d.Queries) > 0:
+		for _, q := range d.Queries {
+			if q.Error != "" {
+				continue
+			}
+			out[fmt.Sprintf("%s/%s/%dd", q.Query, q.Strategy, q.ContextDays)] = q.MedianNS
+		}
+		return out, "median_ns", nil
+	case len(d.Stages) > 0:
+		for _, s := range d.Stages {
+			if s.Error != "" {
+				continue
+			}
+			out[fmt.Sprintf("%s/%s/%dd", s.Query, s.Strategy, s.ContextDays)] = s.TotalNS
+		}
+		return out, "total_ns", nil
+	}
+	return nil, "", fmt.Errorf("artifact has neither queries nor stages")
+}
+
+// Compare diffs two benchmark artifacts (raw JSON). Both must be the
+// same shape (two latency reports or two observability reports).
+// threshold is the regression limit in percent for Regressions.
+func Compare(oldJSON, newJSON []byte, threshold float64) (*Comparison, error) {
+	var oldDoc, newDoc benchDoc
+	if err := json.Unmarshal(oldJSON, &oldDoc); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(newJSON, &newDoc); err != nil {
+		return nil, fmt.Errorf("candidate: %w", err)
+	}
+	oldCells, oldMetric, err := oldDoc.cells()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	newCells, newMetric, err := newDoc.cells()
+	if err != nil {
+		return nil, fmt.Errorf("candidate: %w", err)
+	}
+	if oldMetric != newMetric {
+		return nil, fmt.Errorf("artifacts disagree on shape: baseline carries %s, candidate %s", oldMetric, newMetric)
+	}
+	cmp := &Comparison{Metric: oldMetric, Threshold: threshold}
+	for k, oldNS := range oldCells {
+		newNS, ok := newCells[k]
+		if !ok {
+			cmp.OnlyOld = append(cmp.OnlyOld, k)
+			continue
+		}
+		c := CompareCell{Key: k, OldNS: oldNS, NewNS: newNS}
+		if oldNS > 0 {
+			c.DeltaPct = 100 * float64(newNS-oldNS) / float64(oldNS)
+		}
+		cmp.Cells = append(cmp.Cells, c)
+	}
+	for k := range newCells {
+		if _, ok := oldCells[k]; !ok {
+			cmp.OnlyNew = append(cmp.OnlyNew, k)
+		}
+	}
+	sort.Slice(cmp.Cells, func(i, j int) bool { return cmp.Cells[i].Key < cmp.Cells[j].Key })
+	sort.Strings(cmp.OnlyOld)
+	sort.Strings(cmp.OnlyNew)
+	return cmp, nil
+}
+
+// Regressions returns the cells slower than the threshold, worst
+// first.
+func (c *Comparison) Regressions() []CompareCell {
+	var out []CompareCell
+	for _, cell := range c.Cells {
+		if cell.DeltaPct > c.Threshold {
+			out = append(out, cell)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DeltaPct > out[j].DeltaPct })
+	return out
+}
+
+// Write renders the per-cell delta table and the regression verdict.
+func (c *Comparison) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %12s %12s %9s\n", "cell", "old "+c.Metric, "new "+c.Metric, "delta")
+	for _, cell := range c.Cells {
+		marker := ""
+		if cell.DeltaPct > c.Threshold {
+			marker = "  << regression"
+		}
+		fmt.Fprintf(w, "%-24s %12d %12d %+8.1f%%%s\n",
+			cell.Key, cell.OldNS, cell.NewNS, cell.DeltaPct, marker)
+	}
+	for _, k := range c.OnlyOld {
+		fmt.Fprintf(w, "%-24s only in baseline\n", k)
+	}
+	for _, k := range c.OnlyNew {
+		fmt.Fprintf(w, "%-24s only in candidate\n", k)
+	}
+	if regs := c.Regressions(); len(regs) > 0 {
+		keys := make([]string, len(regs))
+		for i, r := range regs {
+			keys[i] = fmt.Sprintf("%s (%+.1f%%)", r.Key, r.DeltaPct)
+		}
+		fmt.Fprintf(w, "REGRESSION: %d cell(s) over the %.0f%% threshold: %s\n",
+			len(regs), c.Threshold, strings.Join(keys, ", "))
+	} else {
+		fmt.Fprintf(w, "ok: no cell regressed more than %.0f%% (%d compared)\n",
+			c.Threshold, len(c.Cells))
+	}
+}

@@ -1,0 +1,100 @@
+package taubench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareLatencyReports(t *testing.T) {
+	oldJSON := []byte(`{"dataset":"DS1","size":"SMALL","queries":[
+		{"query":"q2","strategy":"MAX","context_days":30,"median_ns":1000},
+		{"query":"q2","strategy":"PERST","context_days":30,"median_ns":2000},
+		{"query":"q7","strategy":"MAX","context_days":7,"median_ns":500},
+		{"query":"gone","strategy":"MAX","context_days":1,"median_ns":10}]}`)
+	newJSON := []byte(`{"dataset":"DS1","size":"SMALL","queries":[
+		{"query":"q2","strategy":"MAX","context_days":30,"median_ns":1500},
+		{"query":"q2","strategy":"PERST","context_days":30,"median_ns":1900},
+		{"query":"q7","strategy":"MAX","context_days":7,"median_ns":510},
+		{"query":"new","strategy":"MAX","context_days":1,"median_ns":10}]}`)
+	cmp, err := Compare(oldJSON, newJSON, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Metric != "median_ns" {
+		t.Fatalf("metric = %q, want median_ns", cmp.Metric)
+	}
+	if len(cmp.Cells) != 3 {
+		t.Fatalf("compared %d cells, want 3", len(cmp.Cells))
+	}
+	regs := cmp.Regressions()
+	if len(regs) != 1 || regs[0].Key != "q2/MAX/30d" {
+		t.Fatalf("regressions = %+v, want exactly q2/MAX/30d", regs)
+	}
+	if got := regs[0].DeltaPct; got != 50 {
+		t.Fatalf("q2/MAX/30d delta = %v%%, want +50%%", got)
+	}
+	if len(cmp.OnlyOld) != 1 || cmp.OnlyOld[0] != "gone/MAX/1d" {
+		t.Fatalf("OnlyOld = %v", cmp.OnlyOld)
+	}
+	if len(cmp.OnlyNew) != 1 || cmp.OnlyNew[0] != "new/MAX/1d" {
+		t.Fatalf("OnlyNew = %v", cmp.OnlyNew)
+	}
+	var b strings.Builder
+	cmp.Write(&b)
+	out := b.String()
+	if !strings.Contains(out, "REGRESSION: 1 cell(s)") || !strings.Contains(out, "<< regression") {
+		t.Fatalf("report missing regression verdict:\n%s", out)
+	}
+}
+
+func TestCompareObsReports(t *testing.T) {
+	oldJSON := []byte(`{"dataset":"DS1","size":"SMALL","stages":[
+		{"query":"q2","strategy":"MAX","context_days":30,"total_ns":4000},
+		{"query":"q2","strategy":"PERST","context_days":30,"total_ns":9000}]}`)
+	newJSON := []byte(`{"dataset":"DS1","size":"SMALL","stages":[
+		{"query":"q2","strategy":"MAX","context_days":30,"total_ns":4100},
+		{"query":"q2","strategy":"PERST","context_days":30,"total_ns":8800}]}`)
+	cmp, err := Compare(oldJSON, newJSON, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Metric != "total_ns" {
+		t.Fatalf("metric = %q, want total_ns", cmp.Metric)
+	}
+	if len(cmp.Regressions()) != 0 {
+		t.Fatalf("unexpected regressions: %+v", cmp.Regressions())
+	}
+}
+
+// TestCompareCommittedBaseline exercises -compare's real input: the
+// committed BENCH_3.json observability artifact compared against
+// itself must parse and report zero regressions.
+func TestCompareCommittedBaseline(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_3.json"))
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	cmp, err := Compare(raw, raw, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Cells) == 0 {
+		t.Fatal("baseline produced no comparable cells")
+	}
+	if len(cmp.Regressions()) != 0 {
+		t.Fatalf("self-comparison regressed: %+v", cmp.Regressions())
+	}
+}
+
+func TestCompareShapeMismatch(t *testing.T) {
+	queries := []byte(`{"queries":[{"query":"q2","strategy":"MAX","context_days":30,"median_ns":1}]}`)
+	stages := []byte(`{"stages":[{"query":"q2","strategy":"MAX","context_days":30,"total_ns":1}]}`)
+	if _, err := Compare(queries, stages, 25); err == nil {
+		t.Fatal("want shape-mismatch error")
+	}
+	if _, err := Compare([]byte(`{}`), queries, 25); err == nil {
+		t.Fatal("want empty-artifact error")
+	}
+}

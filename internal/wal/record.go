@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 
+	"taupsm/internal/stats"
 	"taupsm/internal/storage"
 	"taupsm/internal/types"
 )
@@ -22,11 +23,12 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 // Record framing: u32 little-endian payload length, u32 CRC-32 (IEEE)
 // of the payload, payload bytes. The first payload byte is a tag.
 const (
-	recHeader   = 'H' // log header: magic, format version, epoch
-	recCommit   = 'C' // one committed statement: a batch of effects
-	recSnapHdr  = 'S' // snapshot header: magic, format version, epoch
-	recSnapRows = 'R' // snapshot row chunk for one table
-	recSnapEnd  = 'Z' // snapshot end marker: the snapshot is complete
+	recHeader    = 'H' // log header: magic, format version, epoch
+	recCommit    = 'C' // one committed statement: a batch of effects
+	recSnapHdr   = 'S' // snapshot header: magic, format version, epoch
+	recSnapRows  = 'R' // snapshot row chunk for one table
+	recSnapStats = 'T' // snapshot statistics: non-derivable registry state
+	recSnapEnd   = 'Z' // snapshot end marker: the snapshot is complete
 )
 
 const (
@@ -343,6 +345,73 @@ func DecodeCommit(payload []byte) ([]storage.Effect, error) {
 			return nil, d.err
 		}
 		out = append(out, e)
+	}
+	return out, nil
+}
+
+// encodeStats renders the statistics registry's persistent state —
+// the non-derivable part only: DML counters and ANALYZE results. The
+// distribution itself is recomputed from the recovered rows on demand.
+func encodeStats(ps []stats.TablePersist) []byte {
+	var b bytes.Buffer
+	b.WriteByte(recSnapStats)
+	putUvarint(&b, uint64(len(ps)))
+	for _, p := range ps {
+		putString(&b, p.Name)
+		putVarint(&b, p.Inserts)
+		putVarint(&b, p.Updates)
+		putVarint(&b, p.Deletes)
+		flags := byte(0)
+		if p.Analyzed {
+			flags = 1
+		}
+		b.WriteByte(flags)
+		putVarint(&b, p.AnalyzedRows)
+		putVarint(&b, p.AnalyzedPeriods)
+		putVarint(&b, p.MaxOverlap)
+		putUvarint(&b, uint64(len(p.OverlapHist)))
+		for _, v := range p.OverlapHist {
+			putVarint(&b, v)
+		}
+	}
+	return b.Bytes()
+}
+
+// DecodeStats parses a snapshot-statistics payload. Like DecodeCommit
+// it must survive arbitrary inputs: a result or an error, never a
+// panic.
+func DecodeStats(payload []byte) ([]stats.TablePersist, error) {
+	d := &decoder{buf: payload}
+	if d.byte() != recSnapStats {
+		return nil, ErrCorrupt
+	}
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.buf)-d.off) {
+		// Each entry takes at least one byte; reject before allocating.
+		return nil, ErrCorrupt
+	}
+	out := make([]stats.TablePersist, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var p stats.TablePersist
+		p.Name = d.string()
+		p.Inserts = d.varint()
+		p.Updates = d.varint()
+		p.Deletes = d.varint()
+		p.Analyzed = d.byte() != 0
+		p.AnalyzedRows = d.varint()
+		p.AnalyzedPeriods = d.varint()
+		p.MaxOverlap = d.varint()
+		m := d.uvarint()
+		if d.err != nil || m > uint64(len(d.buf)-d.off) {
+			return nil, ErrCorrupt
+		}
+		for j := uint64(0); j < m && !d.done(); j++ {
+			p.OverlapHist = append(p.OverlapHist, d.varint())
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		out = append(out, p)
 	}
 	return out, nil
 }

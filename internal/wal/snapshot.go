@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"taupsm/internal/stats"
 	"taupsm/internal/storage"
 )
 
@@ -34,11 +35,11 @@ func snapTableEffect(t *storage.Table) storage.Effect {
 
 // writeSnapshot serializes the catalog into f as a point-in-time
 // snapshot: a header record, then effect batches (schema + row chunks
-// per table, then views, then routines), then an end marker whose
-// presence proves the snapshot complete. Temporary tables are session
-// state and are not persisted. Returns the bytes written; the caller
-// syncs.
-func writeSnapshot(f File, cat *storage.Catalog, epoch uint64) (int64, error) {
+// per table, then views, then routines), then the statistics record
+// and an end marker whose presence proves the snapshot complete.
+// Temporary tables are session state and are not persisted. Returns
+// the bytes written; the caller syncs.
+func writeSnapshot(f File, cat *storage.Catalog, ps []stats.TablePersist, epoch uint64) (int64, error) {
 	var total int64
 	emit := func(payload []byte) error {
 		n, err := writeRecord(f, payload)
@@ -107,6 +108,12 @@ func writeSnapshot(f File, cat *storage.Catalog, epoch uint64) (int64, error) {
 		}
 	}
 
+	if len(ps) > 0 {
+		if err := emit(encodeStats(ps)); err != nil {
+			return total, err
+		}
+	}
+
 	if err := emit([]byte{recSnapEnd}); err != nil {
 		return total, err
 	}
@@ -118,16 +125,17 @@ func writeSnapshot(f File, cat *storage.Catalog, epoch uint64) (int64, error) {
 // content returns an error wrapping ErrCorrupt (recovery then falls
 // back to an older snapshot); I/O failures pass through untouched so
 // they are never mistaken for a merely incomplete file.
-func readSnapshot(f File) (*storage.Catalog, uint64, error) {
+func readSnapshot(f File) (*storage.Catalog, []stats.TablePersist, uint64, error) {
 	payload, err := readRecord(f)
 	if err != nil {
-		return nil, 0, snapReadErr(err)
+		return nil, nil, 0, snapReadErr(err)
 	}
 	epoch, err := decodeHeader(payload, recSnapHdr, snapMagic)
 	if err != nil {
-		return nil, 0, corrupt(err)
+		return nil, nil, 0, corrupt(err)
 	}
 	cat := storage.NewCatalog()
+	var ps []stats.TablePersist
 	for {
 		payload, err := readRecord(f)
 		if err != nil {
@@ -135,17 +143,26 @@ func readSnapshot(f File) (*storage.Catalog, uint64, error) {
 			if errors.Is(err, io.EOF) {
 				err = io.ErrUnexpectedEOF
 			}
-			return nil, 0, snapReadErr(err)
+			return nil, nil, 0, snapReadErr(err)
 		}
 		if len(payload) == 1 && payload[0] == recSnapEnd {
-			return cat, epoch, nil
+			return cat, ps, epoch, nil
+		}
+		if len(payload) > 0 && payload[0] == recSnapStats {
+			// Absent in snapshots older than the statistics subsystem;
+			// they load with zeroed counters.
+			ps, err = DecodeStats(payload)
+			if err != nil {
+				return nil, nil, 0, corrupt(err)
+			}
+			continue
 		}
 		effects, derr := DecodeCommit(payload)
 		if derr != nil {
-			return nil, 0, corrupt(derr)
+			return nil, nil, 0, corrupt(derr)
 		}
 		if aerr := applyAll(cat, effects); aerr != nil {
-			return nil, 0, corrupt(aerr)
+			return nil, nil, 0, corrupt(aerr)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"taupsm/internal/obs"
+	"taupsm/internal/stats"
 	"taupsm/internal/storage"
 )
 
@@ -65,8 +66,9 @@ func (ri *RecoveryInfo) String() string {
 // concurrent use; callers serialize writers at the statement level
 // exactly as they do for the in-memory catalog.
 type Store struct {
-	fs  FS
-	cat *storage.Catalog
+	fs    FS
+	cat   *storage.Catalog
+	stats *stats.Registry
 
 	mu       sync.Mutex
 	epoch    uint64
@@ -122,7 +124,7 @@ func Open(fs FS, m *obs.Metrics) (*Store, *storage.Catalog, *RecoveryInfo, error
 	if m == nil {
 		m = obs.NewMetrics()
 	}
-	st := &Store{fs: fs, m: newWalMetrics(m)}
+	st := &Store{fs: fs, stats: stats.NewRegistry(), m: newWalMetrics(m)}
 	start := time.Now()
 
 	names, err := fs.List()
@@ -139,11 +141,12 @@ func Open(fs FS, m *obs.Metrics) (*Store, *storage.Catalog, *RecoveryInfo, error
 		if ferr != nil {
 			return nil, nil, nil, fmt.Errorf("wal: open snapshot: %w", ferr)
 		}
-		c, e, rerr := readSnapshot(f)
+		c, ps, e, rerr := readSnapshot(f)
 		f.Close()
 		switch {
 		case rerr == nil && e == epoch:
 			cat = c
+			st.stats.Install(ps)
 			info.SnapshotEpoch = epoch
 		case rerr == nil || errors.Is(rerr, ErrCorrupt):
 			// Invalid or mislabeled snapshot: fall back to an older one.
@@ -258,8 +261,40 @@ func (st *Store) replay(cat *storage.Catalog, info *RecoveryInfo) error {
 			// torn write; the log contradicts the snapshot.
 			return fmt.Errorf("wal: replay: %w", aerr)
 		}
+		st.replayStatsDeltas(effects)
 		info.Commits++
 		info.Effects += len(effects)
+	}
+}
+
+// replayStatsDeltas folds one replayed commit's DML counts into the
+// statistics registry, continuing each table's history past the
+// persisted checkpoint. Row effects in a batch that also puts the
+// table's schema are a table load (CREATE ... WITH DATA, ALTER ADD
+// VALIDTIME), not user DML, and are not counted; a replayed drop
+// discards the table's entry just as the live path does.
+func (st *Store) replayStatsDeltas(effects []storage.Effect) {
+	loaded := map[string]bool{}
+	for _, e := range effects {
+		switch e.Kind {
+		case storage.EffPutTable:
+			loaded[e.Name] = true
+		case storage.EffDropTable:
+			st.stats.Drop(e.Name)
+		}
+	}
+	for _, e := range effects {
+		if loaded[e.Name] {
+			continue
+		}
+		switch e.Kind {
+		case storage.EffInsert:
+			st.stats.AddReplayDelta(e.Name, 1, 0, 0)
+		case storage.EffUpdate:
+			st.stats.AddReplayDelta(e.Name, 0, 1, 0)
+		case storage.EffDelete:
+			st.stats.AddReplayDelta(e.Name, 0, 0, 1)
+		}
 	}
 }
 
@@ -350,7 +385,7 @@ func (st *Store) checkpointLocked(cat *storage.Catalog, epoch uint64) error {
 	if err != nil {
 		return err
 	}
-	nbytes, err := writeSnapshot(f, cat, epoch)
+	nbytes, err := writeSnapshot(f, cat, st.stats.Persist(), epoch)
 	if err != nil {
 		f.Close()
 		return err
@@ -432,6 +467,11 @@ func (st *Store) checkpointLocked(cat *storage.Catalog, epoch uint64) error {
 	}
 	return nil
 }
+
+// Stats returns the statistics registry the store recovered and
+// persists at each checkpoint. The engine adopts it as its live
+// registry, so DML keeps it current between checkpoints.
+func (st *Store) Stats() *stats.Registry { return st.stats }
 
 // Epoch returns the current checkpoint epoch.
 func (st *Store) Epoch() uint64 {

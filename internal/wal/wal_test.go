@@ -169,7 +169,7 @@ func TestSnapshotRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := writeSnapshot(f, cat, 42); err != nil {
+	if _, err := writeSnapshot(f, cat, nil, 42); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
 	f.Close()
@@ -178,7 +178,7 @@ func TestSnapshotRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, epoch, err := readSnapshot(rf)
+	got, _, epoch, err := readSnapshot(rf)
 	if err != nil {
 		t.Fatalf("readSnapshot: %v", err)
 	}
@@ -198,11 +198,11 @@ func TestSnapshotSkipsTemporaryTables(t *testing.T) {
 
 	fs := NewMemFS()
 	f, _ := fs.Create("s")
-	if _, err := writeSnapshot(f, cat, 1); err != nil {
+	if _, err := writeSnapshot(f, cat, nil, 1); err != nil {
 		t.Fatal(err)
 	}
 	rf, _ := fs.Open("s")
-	got, _, err := readSnapshot(rf)
+	got, _, _, err := readSnapshot(rf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestSnapshotIncompleteIsCorrupt(t *testing.T) {
 	cat := testCatalog(t)
 	fs := NewMemFS()
 	f, _ := fs.Create("s")
-	if _, err := writeSnapshot(f, cat, 1); err != nil {
+	if _, err := writeSnapshot(f, cat, nil, 1); err != nil {
 		t.Fatal(err)
 	}
 	data := fs.files["s"].data
@@ -226,7 +226,7 @@ func TestSnapshotIncompleteIsCorrupt(t *testing.T) {
 		img := NewMemFS()
 		img.files["s"] = &memFile{data: append([]byte(nil), data[:cut]...), synced: cut}
 		rf, _ := img.Open("s")
-		if _, _, err := readSnapshot(rf); !errors.Is(err, ErrCorrupt) {
+		if _, _, _, err := readSnapshot(rf); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("cut at %d: got %v, want ErrCorrupt", cut, err)
 		}
 	}

@@ -1,0 +1,62 @@
+package taupsm_test
+
+// Estimate-agreement test on the 16-query benchmark corpus: after
+// ANALYZE, EXPLAIN's registry estimates must track the actual slicing
+// numbers — est_rows exactly (the endpoint multisets are exact), and
+// est_constant_periods as a tight upper bound that collapses to
+// equality for single-table statements.
+
+import (
+	"testing"
+
+	"taupsm"
+	"taupsm/internal/taubench"
+)
+
+func TestExplainEstimateAgreementOnCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the DS1/SMALL benchmark dataset")
+	}
+	spec, err := taubench.SpecByName("DS1", taubench.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := taubench.NewRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.DB.Close()
+	r.DB.MustExec(`ANALYZE`)
+	r.DB.SetStrategy(taupsm.Max) // actual ConstantPeriods is a MAX-plan number
+
+	checked := 0
+	for _, q := range taubench.Queries() {
+		for _, days := range []int{7, 30} {
+			e, err := r.DB.Explain(taubench.SequencedSQL(q, days))
+			if err != nil {
+				t.Fatalf("%s/%dd: %v", q.Name, days, err)
+			}
+			if e.Kind != "sequenced" || len(e.TemporalTables) == 0 {
+				continue
+			}
+			if !e.HasStats {
+				t.Fatalf("%s/%dd: estimates missing after ANALYZE (tables %v)", q.Name, days, e.TemporalTables)
+			}
+			if int(e.EstRows) != e.Fragments {
+				t.Errorf("%s/%dd: est_rows %d != fragments %d", q.Name, days, e.EstRows, e.Fragments)
+			}
+			if int(e.EstConstantPeriods) < e.ConstantPeriods {
+				t.Errorf("%s/%dd: est_constant_periods %d under-estimates actual %d",
+					q.Name, days, e.EstConstantPeriods, e.ConstantPeriods)
+			}
+			if len(e.TemporalTables) == 1 && int(e.EstConstantPeriods) != e.ConstantPeriods {
+				t.Errorf("%s/%dd: single-table estimate %d != actual %d",
+					q.Name, days, e.EstConstantPeriods, e.ConstantPeriods)
+			}
+			checked++
+		}
+	}
+	if checked < 16 {
+		t.Fatalf("only %d corpus cells checked; the corpus should yield at least 16", checked)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"taupsm/internal/obs"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/sqlparser"
+	"taupsm/internal/stats"
 	"taupsm/internal/storage"
 	"taupsm/internal/temporal"
 	"taupsm/internal/types"
@@ -151,6 +152,11 @@ func newDB(eng *engine.DB, metrics *obs.Metrics) *DB {
 	db.sm = newStratumMetrics(db.metrics)
 	db.sm.parWorkers.Set(int64(db.par))
 	eng.Metrics = db.metrics
+	if eng.TabStats == nil {
+		// In-memory databases get a fresh registry; persistent ones
+		// arrive with the registry the WAL store recovered (OpenFS).
+		eng.TabStats = stats.NewRegistry()
+	}
 	db.tr = core.NewTranslator(&schemaInfo{cat: eng.Cat})
 	return db
 }
@@ -272,7 +278,8 @@ func newStratumMetrics(m *obs.Metrics) stratumMetrics {
 	}
 	for _, r := range []core.Reason{
 		core.ReasonNotTransformable, core.ReasonPerPeriodCursor,
-		core.ReasonShortContext, core.ReasonDefault, core.ReasonProbeError,
+		core.ReasonShortContext, core.ReasonStatsFewPeriods,
+		core.ReasonDefault, core.ReasonProbeError,
 	} {
 		sm.autoReason[r] = m.Counter("stratum.auto.reason." + string(r) + "_total")
 	}
@@ -427,6 +434,14 @@ func (db *DB) ExecParsedContext(ctx context.Context, stmt sqlast.Stmt) (*Result,
 			return nil, err
 		}
 		return e.Result(), nil
+	}
+	if an, ok := stmt.(*sqlast.AnalyzeStmt); ok {
+		start := time.Now()
+		res, err := db.execAnalyze(an)
+		d := time.Since(start)
+		db.noteLastStatement(0, d)
+		db.noteStatementProfile(stmt, "current", "", d, err != nil)
+		return res, err
 	}
 	res, _, err := db.execStatement(ctx, stmt)
 	return res, err
@@ -762,6 +777,11 @@ func (db *DB) chooseStrategy(ts *sqlast.TemporalStmt) (Strategy, core.Reason) {
 	}
 	f.UsesPerPeriodCursor = t.UsesPerPeriodCursor
 	f.TemporalRows = db.temporalRowCount()
+	if est, ok := db.statsEstimates(t.TemporalTables, ts.Period == nil, begin, end); ok {
+		f.HasStats = true
+		f.EstConstantPeriods = est.ConstantPeriods
+		f.EstRows = est.Rows
+	}
 	return core.ChooseExplained(f)
 }
 

@@ -204,6 +204,13 @@ func (db *DB) finishStmt(st *stmtState, stmt sqlast.Stmt, start time.Time, total
 	if st != nil {
 		db.maybeSlowLog(st, stmt, total, execErr)
 	}
+	kind, strategy := "", ""
+	if st != nil {
+		kind, strategy = st.kind, st.strategy
+	} else {
+		kind = stmtKind(stmt)
+	}
+	db.noteStatementProfile(stmt, kind, strategy, total, execErr != nil)
 }
 
 // digestSQL is the statement digest carried by slow-log entries and
