@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"taupsm/internal/core"
+	"taupsm/internal/engine"
 	"taupsm/internal/obs"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/storage"
@@ -63,9 +64,13 @@ func (db *DB) stampsValid(stamps []tableStamp) bool {
 }
 
 // translationEntry caches one statement's translation. It is valid
-// while no DDL ran (catVersion) and the referenced temporal tables
-// hold the same data (stamps — the Auto heuristic reads row counts, so
-// DML can change the chosen strategy).
+// while no durable-schema DDL ran (catVersion, a PersistentVersion
+// stamp — the scratch temp tables generated plans churn through do
+// not count) and the referenced temporal tables hold the same data
+// (stamps — the Auto heuristic reads row counts, so DML can change
+// the chosen strategy; they also pin table identity, so a temporal
+// temp table being dropped or recreated invalidates the entry even
+// though it leaves the persistent version untouched).
 type translationEntry struct {
 	t          *core.Translation
 	catVersion int64
@@ -77,6 +82,13 @@ type translationEntry struct {
 	// parallelSafe caches the statement-shape analysis gating parallel
 	// fragment evaluation.
 	parallelSafe bool
+	// prepared is the entry's shared prepared plan: source relations,
+	// join hash tables, and sorted spans built by one execution and
+	// reused — under per-table version validation — by every later
+	// execution and by parallel workers. Created lazily under db.mu;
+	// dropped with the entry (cache wipe or invalidation), which is the
+	// only eviction the plan itself needs.
+	prepared *engine.Prepared
 }
 
 // renderStmtSQL renders a statement back to SQL text, the translation
@@ -109,7 +121,7 @@ func (db *DB) lookupTranslation(key string) *translationEntry {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	ent := db.tcache[key]
-	if ent == nil || ent.catVersion != db.eng.Cat.Version() || !db.stampsValid(ent.stamps) {
+	if ent == nil || ent.catVersion != db.eng.Cat.PersistentVersion() || !db.stampsValid(ent.stamps) {
 		return nil
 	}
 	return ent

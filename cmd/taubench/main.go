@@ -48,13 +48,26 @@ func main() {
 	reps := flag.Int("reps", 3, "for -exp report: repetitions per cell")
 	slow := flag.Duration("slow", 0, "log measured statements at least this slow to stderr (0 disables)")
 	par := flag.Int("par", 0, "fragment worker-pool size for measured databases (0 = GOMAXPROCS)")
+	strategy := flag.String("strategy", "", "restrict sweep/report/obsreport to one strategy: max, perst (default: both)")
 	compare := flag.Bool("compare", false, "compare two benchmark artifacts: taubench -compare old.json new.json")
-	threshold := flag.Float64("threshold", 25, "for -compare: regression threshold in percent")
+	threshold := flag.Float64("threshold", 25, "for -compare: per-cell regression threshold in percent")
+	geoThreshold := flag.Float64("geomean-threshold", 0, "for -compare: fail when the MAX-strategy geomean regresses past this percent (0 disables; -strategy perst gates PERST instead)")
 	flag.Parse()
 	taubench.Parallelism = *par
+	switch strings.ToLower(*strategy) {
+	case "", "max", "perst":
+		taubench.StrategyFilter = strings.ToLower(*strategy)
+	default:
+		fmt.Fprintf(os.Stderr, "taubench: unknown -strategy %q (want max or perst)\n", *strategy)
+		os.Exit(2)
+	}
 
 	if *compare {
-		os.Exit(runCompare(flag.Args(), *threshold))
+		gateStrategy := "MAX"
+		if taubench.StrategyFilter == "perst" {
+			gateStrategy = "PERST"
+		}
+		os.Exit(runCompare(flag.Args(), *threshold, *geoThreshold, gateStrategy))
 	}
 	if err := run(*exp, *dataset, *sizeFlag, *queriesFlag, *jsonPath, *reps, *slow); err != nil {
 		fmt.Fprintln(os.Stderr, "taubench:", err)
@@ -63,11 +76,14 @@ func main() {
 }
 
 // runCompare diffs two benchmark artifacts and returns the process
-// exit code: 0 when no cell regressed past the threshold, 1 when at
-// least one did, 2 on usage or parse errors.
-func runCompare(args []string, threshold float64) int {
+// exit code: 0 when neither gate tripped, 1 when a cell regressed past
+// -threshold or the gate strategy's geomean regressed past
+// -geomean-threshold, 2 on usage or parse errors. The per-cell gate
+// catches a single query falling off a cliff; the geomean gate catches
+// a broad slowdown that no single (noisy) cell exceeds on its own.
+func runCompare(args []string, threshold, geoThreshold float64, gateStrategy string) int {
 	if len(args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: taubench -compare [-threshold pct] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: taubench -compare [-threshold pct] [-geomean-threshold pct] old.json new.json")
 		return 2
 	}
 	oldJSON, err := os.ReadFile(args[0])
@@ -86,10 +102,25 @@ func runCompare(args []string, threshold float64) int {
 		return 2
 	}
 	cmp.Write(os.Stdout)
+	code := 0
 	if len(cmp.Regressions()) > 0 {
-		return 1
+		code = 1
 	}
-	return 0
+	if geoThreshold > 0 {
+		factor, n := cmp.GeomeanSpeedup(gateStrategy)
+		if n > 0 {
+			regressPct := 100 * (1/factor - 1)
+			if regressPct > geoThreshold {
+				fmt.Printf("GEOMEAN REGRESSION: %s %.1f%% slower than baseline (threshold %.0f%%, %d cells)\n",
+					gateStrategy, regressPct, geoThreshold, n)
+				code = 1
+			} else {
+				fmt.Printf("geomean gate ok: %s within %.0f%% of baseline (%d cells)\n",
+					gateStrategy, geoThreshold, n)
+			}
+		}
+	}
+	return code
 }
 
 func parseSize(s string) (taubench.Size, error) {

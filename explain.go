@@ -10,6 +10,7 @@ import (
 	"taupsm/internal/core"
 	"taupsm/internal/obs"
 	"taupsm/internal/sqlast"
+	"taupsm/internal/storage"
 	"taupsm/internal/temporal"
 	"taupsm/internal/types"
 )
@@ -72,6 +73,21 @@ type Explain struct {
 	// the caches nor moves their hit/miss counters.
 	TranslationCacheHit bool
 	CPCacheHit          bool
+	// PlanReuse reports whether a shared prepared plan for this
+	// statement already exists (built by a prior execution and still
+	// attached to its translation-cache entry): executing now would
+	// serve source relations, join hash tables, and sorted interval
+	// spans from it instead of rebuilding them per fragment. Read-only
+	// probe, like TranslationCacheHit.
+	PlanReuse bool
+	// JoinMethod is the predicted interval-join algorithm for the
+	// statement's temporal join — "sweep" (sweep-line over the sorted
+	// interval spans) or "probe" (per-row interval-index probes) — and
+	// JoinReason the cost-model clause that decided it. Empty when the
+	// statement reaches fewer than two temporal tables (no temporal
+	// join to choose for).
+	JoinMethod string
+	JoinReason string
 	// Durability summarizes the database's write-ahead-log state (epoch,
 	// log bytes, what recovery replayed) for persistent databases; empty
 	// for in-memory ones.
@@ -116,6 +132,13 @@ type AnalyzeInfo struct {
 	// WAL cost of the statement's durable commit (persistent databases
 	// only): bytes appended and fsync batches issued.
 	WALBytes, WALFsyncs int64
+	// PlanReuseHits counts source relations and join hash tables this
+	// statement served from the shared prepared plan; SweepJoins counts
+	// overlap joins answered by the sweep-line algorithm. Both are this
+	// statement's deltas, not the plan's lifetime totals — repeated
+	// EXPLAIN ANALYZE of one statement reports comparable figures even
+	// though the plan is shared across the batch.
+	PlanReuseHits, SweepJoins int64
 }
 
 // Explain parses one statement (a bare statement or an EXPLAIN
@@ -195,6 +218,8 @@ func (db *DB) explainAnalyzeParsed(ctx context.Context, body sqlast.Stmt) (*Expl
 		CPCacheHit:             st.cpHit,
 		WALBytes:               st.walBytes,
 		WALFsyncs:              st.walFsyncs,
+		PlanReuseHits:          st.planHits,
+		SweepJoins:             st.sweepJoins,
 	}
 	return e, nil
 }
@@ -252,12 +277,52 @@ func (db *DB) ExplainParsed(stmt sqlast.Stmt) (*Explain, error) {
 				e.CPCacheHit = db.peekCP(cpKey(ctx, t.TemporalTables))
 			}
 		}
+
+		// Predict the interval-join algorithm for MAX's injected stab
+		// join. At runtime the outer stream is the cp relation (one row
+		// per constant period) and the inner is a stored temporal table —
+		// the largest one models the most expensive join. The prediction
+		// consults the same cost model the executor does
+		// (core.ChooseJoin), fed with the statistics registry's overlap
+		// depth when the inner table has been ANALYZEd; it is an
+		// estimate, and actual_sweep_joins under EXPLAIN ANALYZE is the
+		// ground truth.
+		if t.NeedsConstantPeriods && e.ConstantPeriods > 0 {
+			var inner *storage.Table
+			for _, name := range t.TemporalTables {
+				tab := db.eng.Cat.Table(name)
+				if tab != nil && (inner == nil || len(tab.Rows) > len(inner.Rows)) {
+					inner = tab
+				}
+			}
+			if inner != nil {
+				depth, _ := db.eng.TabStats.OverlapDepth(inner)
+				sweep, reason := core.ChooseJoin(core.JoinFeatures{
+					OuterRows:    int64(e.ConstantPeriods),
+					InnerRows:    int64(len(inner.Rows)),
+					OverlapDepth: depth,
+					// Full-table sorted spans are cached by the table's
+					// interval index, so setup is not charged.
+					SpansCached: true,
+				})
+				e.JoinMethod = "probe"
+				if sweep {
+					e.JoinMethod = "sweep"
+				}
+				e.JoinReason = string(reason)
+			}
+		}
 	}
 	if ts, ok := stmt.(*sqlast.TemporalStmt); ok && ts.Mod == sqlast.ModSequenced {
 		// Mirror the execution path exactly: the same cache key a
 		// subsequent ExecParsed would look up, and the same gate
 		// runNative applies before spawning fragment workers.
-		e.TranslationCacheHit = db.lookupTranslation(db.translationKey(stmt)) != nil
+		if ent := db.lookupTranslation(db.translationKey(stmt)); ent != nil {
+			e.TranslationCacheHit = true
+			db.mu.Lock()
+			e.PlanReuse = ent.prepared != nil
+			db.mu.Unlock()
+		}
 		e.Parallelism = 1
 		if t.NeedsConstantPeriods && !db.UseFigure8SQL {
 			if par := db.Parallelism(); par > 1 && e.ConstantPeriods > 1 && db.computeParallelSafe(t) {
@@ -321,6 +386,14 @@ func (e *Explain) Result() *Result {
 		if e.Strategy == Max {
 			add("cp_cache", hitMiss(e.CPCacheHit))
 		}
+		if e.PlanReuse {
+			add("plan_reuse", "reuse")
+		} else {
+			add("plan_reuse", "new")
+		}
+		if e.JoinMethod != "" {
+			add("join", fmt.Sprintf("%s (%s)", e.JoinMethod, e.JoinReason))
+		}
 	}
 	if a := e.Analyzed; a != nil {
 		add("actual_time", a.Total.String())
@@ -356,6 +429,10 @@ func (e *Explain) Result() *Result {
 				workers = 1
 			}
 			add("actual_workers", fmt.Sprintf("%d", workers))
+		}
+		if e.Kind == "sequenced" {
+			add("actual_plan_reuse", fmt.Sprintf("%d", a.PlanReuseHits))
+			add("actual_sweep_joins", fmt.Sprintf("%d", a.SweepJoins))
 		}
 		hitMiss := func(hit bool) string {
 			if hit {

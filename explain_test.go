@@ -114,6 +114,8 @@ NONSEQUENCED VALIDTIME INSERT INTO author VALUES
 		"parallelism|3",
 		"translation_cache|miss",
 		"cp_cache|miss",
+		"plan_reuse|new",
+		"join|probe (probe_small)",
 		"plan|DROP TABLE IF EXISTS taupsm_ts;",
 		"|DROP TABLE IF EXISTS taupsm_cp;",
 		"|CREATE TEMPORARY TABLE taupsm_ts (time_point DATE);",
@@ -369,5 +371,65 @@ func TestRoutineObservability(t *testing.T) {
 	}
 	if got := m.Histogram("engine.routine_ns").Count(); got != calls {
 		t.Fatalf("engine.routine_ns count = %d, want %d", got, calls)
+	}
+}
+
+// Regression test for EXPLAIN ANALYZE counter drift under plan reuse:
+// actual_plan_reuse and actual_sweep_joins report the statement's own
+// execution, not the prepared plan's lifetime totals — so repeated runs
+// of the same statement show stable values, not a growing sum. The
+// plan_reuse row itself flips from "new" to "reuse" once the first
+// execution populates the shared plan.
+func TestExplainAnalyzeCountersPerStatement(t *testing.T) {
+	db := paperDB(t)
+	db.SetStrategy(Max)
+	const q = `EXPLAIN ANALYZE VALIDTIME (DATE '2010-01-01', DATE '2011-01-01')
+		SELECT i.title FROM item i, item_author ia WHERE i.id = ia.item_id`
+
+	type runInfo struct{ planReuse, hits, sweeps string }
+	run := func() runInfo {
+		t.Helper()
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info runInfo
+		for _, row := range res.Rows {
+			switch row[0].String() {
+			case "plan_reuse":
+				info.planReuse = row[1].String()
+			case "actual_plan_reuse":
+				info.hits = row[1].String()
+			case "actual_sweep_joins":
+				info.sweeps = row[1].String()
+			}
+		}
+		if info.hits == "" || info.sweeps == "" {
+			t.Fatalf("EXPLAIN ANALYZE emitted no actual counter rows: %+v", info)
+		}
+		return info
+	}
+
+	first := run()
+	if first.planReuse != "new" {
+		t.Fatalf("cold plan_reuse = %q, want new", first.planReuse)
+	}
+	second := run()
+	if second.planReuse != "reuse" {
+		t.Fatalf("warm plan_reuse = %q, want reuse", second.planReuse)
+	}
+	if second.hits == "0" {
+		t.Fatal("warm execution reported actual_plan_reuse = 0; the plan served nothing")
+	}
+	third := run()
+	// The drift this guards against: counters accumulated over the plan's
+	// lifetime would make every repeat larger than the last.
+	if third.hits != second.hits {
+		t.Fatalf("actual_plan_reuse drifted across identical runs: %s then %s (cumulative counters?)",
+			second.hits, third.hits)
+	}
+	if third.sweeps != second.sweeps {
+		t.Fatalf("actual_sweep_joins drifted across identical runs: %s then %s",
+			second.sweeps, third.sweeps)
 	}
 }

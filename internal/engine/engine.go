@@ -36,6 +36,8 @@ type Stats struct {
 	Statements      int64 // statements executed (including PSM statements)
 	LogWrites       int64 // rows appended to tables (models DBMS log pressure)
 	IntervalProbes  int64 // temporal overlap-index stab queries answered
+	PlanReuseHits   int64 // source relations served from a shared prepared plan
+	SweepJoins      int64 // overlap joins answered by the sweep-line algorithm
 }
 
 // Reset zeroes the counters.
@@ -103,6 +105,17 @@ type DB struct {
 	// DisableFnMemo turns off per-statement memoization of pure
 	// stored-function results (see fnmemo.go). Ablation switch.
 	DisableFnMemo bool
+
+	// DisablePlanReuse turns off the shared prepared-plan caches (source
+	// relations, join hash tables, sorted interval spans) of
+	// ExecPreparedWithTables, forcing every fragment execution to redo
+	// its per-statement work. Ablation switch.
+	DisablePlanReuse bool
+
+	// DisableSweepJoin turns off the sweep-line overlap join, keeping
+	// the per-row interval-index probe (or nested loop) path. Ablation
+	// switch.
+	DisableSweepJoin bool
 
 	// plans caches the analysis phase of SELECT evaluation, shared by
 	// all sessions of this database (see selPlan).
@@ -294,7 +307,7 @@ func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
 		if ctx.vars == nil {
 			// Anonymous block executed at top level.
 			if _, ok := stmt.(*sqlast.CompoundStmt); ok {
-				ctx2 := &execCtx{db: db, vars: newFrame(nil), memo: ctx.memo, journal: ctx.journal}
+				ctx2 := &execCtx{db: db, vars: newFrame(nil), memo: ctx.memo, journal: ctx.journal, prep: ctx.prep}
 				if err := db.execPSM(ctx2, stmt); err != nil {
 					return nil, err
 				}

@@ -26,6 +26,10 @@ type rel struct {
 	// uses them to probe tab's interval index per outer row.
 	tab  *storage.Table
 	ords []int
+	// prepEnt is set when this relation was served from a Prepared
+	// cache; joinRels uses it to share hash tables and sorted spans
+	// across the executions of a fragment batch.
+	prepEnt *prepRel
 }
 
 // bindScope builds a rowScope over the relation's entries for row i,
@@ -76,11 +80,17 @@ func (db *DB) sourceMetas(ctx *execCtx, ref sqlast.TableRef) ([]entryMeta, error
 				return []entryMeta{{alias: alias, cols: cols}}, nil
 			}
 		}
-		if ctx.planRec != nil {
-			ctx.planRec.catNames = append(ctx.planRec.catNames, strings.ToLower(r.Name))
-		}
 		if t := db.Cat.Table(r.Name); t != nil {
-			return []entryMeta{{alias: alias, cols: t.Schema.Names()}}, nil
+			cols := t.Schema.Names()
+			if ctx.planRec != nil {
+				ctx.planRec.catTables[strings.ToLower(r.Name)] = catResolved{table: true, cols: cols}
+			}
+			return []entryMeta{{alias: alias, cols: cols}}, nil
+		}
+		if ctx.planRec != nil {
+			// View or system table: record that no table holds the name,
+			// so a later temp table can't silently shadow the resolution.
+			ctx.planRec.catTables[strings.ToLower(r.Name)] = catResolved{}
 		}
 		if v := db.Cat.View(r.Name); v != nil {
 			cols := v.Cols
@@ -626,20 +636,11 @@ func (db *DB) joinRels(ctx *execCtx, left, right *rel, on []*conjunct, leftOuter
 	}
 
 	if len(lkeys) > 0 {
-		// hash join
-		index := make(map[string][][][]types.Value, len(right.rows))
-		rscope := newBoundScope(ctx.scope, right.metas)
-		rctx := ctx.withScope(rscope)
-		for _, rrow := range right.rows {
-			rscope.bind(rrow)
-			key, null, err := db.keyOf(rctx, rkeys)
-			if err != nil {
-				return nil, err
-			}
-			if null {
-				continue
-			}
-			index[key] = append(index[key], rrow)
+		// hash join (the build side is shared across a fragment batch
+		// when the right relation came from the prepared plan)
+		index, err := db.hashIndexFor(ctx, right, rkeys)
+		if err != nil {
+			return nil, err
 		}
 		lscope := newBoundScope(ctx.scope, left.metas)
 		lctx := ctx.withScope(lscope)
@@ -680,6 +681,13 @@ func (db *DB) joinRels(ctx *execCtx, left, right *rel, on []*conjunct, leftOuter
 	if right.tab != nil && len(right.metas) == 1 &&
 		len(right.ords) == len(right.rows) && !db.DisableIndexes {
 		if x := findStab(rest, right.tab, right.metas[0].alias); x != nil {
+			// Sweep-line alternative: one pass over begin-sorted spans
+			// and sorted stab points instead of a tree probe per left
+			// row; candidate sets, residual checks, and output order are
+			// identical to the probe path below.
+			if swept, ok, err := db.sweepJoin(ctx, left, right, x, rest, leftOuter); ok {
+				return swept, err
+			}
 			lscope := newBoundScope(ctx.scope, left.metas)
 			lctx := ctx.withScope(lscope)
 			var cand []int

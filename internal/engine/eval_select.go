@@ -16,6 +16,12 @@ type conjunct struct {
 	aliases    map[string]bool
 	hasSub     bool
 	unresolved bool
+	// external marks conjuncts referencing names that resolve outside
+	// this query level's metas — routine parameters, outer-query
+	// columns. Their value can change between executions of the same
+	// statement, so a prepared plan never caches a relation filtered by
+	// one.
+	external bool
 	// expensive marks conjuncts containing subqueries or stored-routine
 	// calls. Computed eagerly at analysis time so conjuncts cached in a
 	// selPlan are immutable and safe to share across sessions.
@@ -94,8 +100,8 @@ func (db *DB) splitConjuncts(where sqlast.Expr, metas []entryMeta) []*conjunct {
 	}
 	out := make([]*conjunct, 0, len(exprs))
 	for _, e := range exprs {
-		al, _, hasSub, unres := refsOf(e, metas)
-		c := &conjunct{expr: e, aliases: al, hasSub: hasSub, unresolved: unres}
+		al, ext, hasSub, unres := refsOf(e, metas)
+		c := &conjunct{expr: e, aliases: al, hasSub: hasSub, unresolved: unres, external: ext}
 		c.expensive = hasSub || db.callsRoutine(e)
 		out = append(out, c)
 	}
@@ -369,7 +375,7 @@ func (db *DB) evalSelect(ctx *execCtx, sel *sqlast.SelectStmt, limitHint int) (*
 				used[c] = true
 			}
 		}
-		loaded, err := db.loadSource(ctx, fr, ms, pushdown)
+		loaded, err := db.loadSourcePrepared(ctx, fr, ms, pushdown)
 		if err != nil {
 			return nil, err
 		}

@@ -78,7 +78,8 @@ func (db *DB) memoKey(r *storage.Routine, args []types.Value) string {
 	return b.String()
 }
 
-// purity is one routinePure verdict, valid for a catalog version.
+// purity is one routinePure verdict, valid for a persistent catalog
+// version.
 type purity struct {
 	catV int64
 	pure bool
@@ -89,13 +90,15 @@ type purity struct {
 // transitively. The verdict itself comes from the static analyzer
 // (check.Pure), the single source of truth for effect inference.
 // Verdicts are cached by lowercased routine name and revalidated
-// against the catalog version — a CREATE OR REPLACE of the routine (or
-// of any callee) bumps the version, so redefinition invalidates
-// naturally even though the new *storage.Routine is a different
-// object. The cache is a sync.Map because parallel fragment workers
-// share it through their session handles.
+// against the persistent catalog version — a CREATE OR REPLACE of the
+// routine (or of any callee) bumps that version, so redefinition
+// invalidates naturally even though the new *storage.Routine is a
+// different object, while the temp-table churn of generated plans
+// (which cannot change routine purity) leaves verdicts warm. The
+// cache is a sync.Map because parallel fragment workers share it
+// through their session handles.
 func (db *DB) routinePure(r *storage.Routine) bool {
-	catV := db.Cat.Version()
+	catV := db.Cat.PersistentVersion()
 	key := strings.ToLower(r.Name)
 	if v, ok := db.fnPure.Load(key); ok {
 		if p := v.(purity); p.catV == catV {

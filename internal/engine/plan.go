@@ -15,26 +15,39 @@ import (
 // (tuple, constant period) pair, which profiling showed to be a
 // double-digit share of sequenced execution time.
 //
-// A plan is valid while (a) the catalog schema version is unchanged
+// A plan is valid while (a) the persistent catalog schema is unchanged
 // and (b) every name resolves the same way it did at build time:
 // names that resolved to table-valued variables still do (with the
-// same column list), and names that resolved to catalog objects are
-// not shadowed by a variable now. Plans are shared by concurrent
-// evaluation sessions, so everything reachable from one is read-only.
+// same column list), names that resolved to catalog objects are not
+// shadowed by a variable now, and names that resolved to catalog
+// tables still reach a table with the same column list. The last check
+// is what lets the plan key on the persistent version only: generated
+// scripts create and drop temporary scratch tables around every
+// statement, and a plan must survive that churn unless its own tables
+// are the ones churning. Plans are shared by concurrent evaluation
+// sessions, so everything reachable from one is read-only.
 type selPlan struct {
-	catVersion int64
+	catVersion int64 // Catalog.PersistentVersion at build
 	srcMetas   [][]entryMeta
 	allMetas   []entryMeta
 	conjuncts  []*conjunct
-	varTables  map[string][]string // lower var name -> column names at build
-	catNames   []string            // names resolved via the catalog at build
+	varTables  map[string][]string    // lower var name -> column names at build
+	catTables  map[string]catResolved // lower name -> catalog resolution at build
+}
+
+// catResolved pins how a FROM name resolved through the catalog when
+// the plan was built: to a table (with its column list) or to another
+// object kind (view, system table) that the persistent version guards.
+type catResolved struct {
+	table bool
+	cols  []string
 }
 
 // planRecorder collects, during plan building, how each base-table
 // name was resolved, for revalidation on reuse.
 type planRecorder struct {
 	varTables map[string][]string
-	catNames  []string
+	catTables map[string]catResolved
 }
 
 // planCache maps SELECT nodes (by identity) to their plans. Entries
@@ -72,7 +85,7 @@ func (pc *planCache) put(sel *sqlast.SelectStmt, p *selPlan) {
 
 // valid reports whether the plan's name resolution still holds in ctx.
 func (p *selPlan) valid(db *DB, ctx *execCtx) bool {
-	if p.catVersion != db.Cat.Version() {
+	if p.catVersion != db.Cat.PersistentVersion() {
 		return false
 	}
 	for name, cols := range p.varTables {
@@ -83,21 +96,40 @@ func (p *selPlan) valid(db *DB, ctx *execCtx) bool {
 		if tv == nil {
 			return false
 		}
-		got := tv.Schema.Names()
-		if len(got) != len(cols) {
+		if !sameCols(tv.Schema.Names(), cols) {
 			return false
 		}
-		for i := range got {
-			if got[i] != cols[i] {
+	}
+	for name, res := range p.catTables {
+		if ctx.vars != nil && ctx.vars.getTable(name) != nil {
+			return false // now shadowed by a table variable
+		}
+		t := db.Cat.Table(name)
+		if !res.table {
+			// Resolved past the table map (to a view or system table):
+			// any table carrying the name now — e.g. a freshly created
+			// temp table — would shadow that resolution.
+			if t != nil {
 				return false
 			}
+			continue
+		}
+		// The persistent version pins durable tables; this check covers
+		// temporary ones, which must still exist with the same shape.
+		if t == nil || !sameCols(t.Schema.Names(), res.cols) {
+			return false
 		}
 	}
-	if ctx.vars != nil {
-		for _, name := range p.catNames {
-			if ctx.vars.getTable(name) != nil {
-				return false
-			}
+	return true
+}
+
+func sameCols(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
 		}
 	}
 	return true
@@ -122,8 +154,11 @@ func (db *DB) selPlanFor(ctx *execCtx, sel *sqlast.SelectStmt) (*selPlan, error)
 func (db *DB) buildSelPlan(ctx *execCtx, sel *sqlast.SelectStmt) (*selPlan, error) {
 	// Read the schema version before resolving, so a racing DDL can
 	// only make the stamp too old (a spurious rebuild), never too new.
-	catVersion := db.Cat.Version()
-	rec := &planRecorder{varTables: map[string][]string{}}
+	catVersion := db.Cat.PersistentVersion()
+	rec := &planRecorder{
+		varTables: map[string][]string{},
+		catTables: map[string]catResolved{},
+	}
 	rctx := *ctx
 	rctx.planRec = rec
 
@@ -144,6 +179,6 @@ func (db *DB) buildSelPlan(ctx *execCtx, sel *sqlast.SelectStmt) (*selPlan, erro
 		allMetas:   allMetas,
 		conjuncts:  conjuncts,
 		varTables:  rec.varTables,
-		catNames:   rec.catNames,
+		catTables:  rec.catTables,
 	}, nil
 }

@@ -301,7 +301,7 @@ func (db *DB) callFunction(ctx *execCtx, r *storage.Routine, argExprs []sqlast.E
 	if done := db.traceRoutine(r.Name); done != nil {
 		defer done()
 	}
-	fctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1, memo: ctx.memo, journal: ctx.journal}
+	fctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1, memo: ctx.memo, journal: ctx.journal, prep: ctx.prep}
 	err := db.execPSM(fctx, r.Body())
 	if err == nil {
 		return types.Null, fmt.Errorf("function %s ended without RETURN", r.Name)
@@ -400,7 +400,7 @@ func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
 	if done := db.traceRoutine(s.Name); done != nil {
 		defer done()
 	}
-	pctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1, memo: ctx.memo, journal: ctx.journal}
+	pctx := &execCtx{db: db, vars: frame, depth: ctx.depth + 1, memo: ctx.memo, journal: ctx.journal, prep: ctx.prep}
 	err := db.execPSM(pctx, r.Body())
 	if err != nil {
 		if _, ok := err.(returnSignal); !ok {

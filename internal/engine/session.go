@@ -30,6 +30,8 @@ func (s *Stats) Merge(d Stats) {
 	s.Statements += d.Statements
 	s.LogWrites += d.LogWrites
 	s.IntervalProbes += d.IntervalProbes
+	s.PlanReuseHits += d.PlanReuseHits
+	s.SweepJoins += d.SweepJoins
 }
 
 // ExecStmtWithTables executes one statement with the given tables
@@ -45,5 +47,22 @@ func (db *DB) ExecStmtWithTables(stmt sqlast.Stmt, tables map[string]*storage.Ta
 		frame.setTableVar(strings.ToLower(name), t)
 	}
 	ctx := &execCtx{db: db, vars: frame, memo: db.newFnMemo(), journal: db.Journal}
+	return db.execTop(ctx, stmt)
+}
+
+// ExecPreparedWithTables is ExecStmtWithTables with a shared prepared
+// plan attached: source relations, join hash tables, and sorted
+// interval spans built while executing the statement are cached in p
+// and reused by every later execution that passes the same p — across
+// the fragments of a batch, across repeated executions of one cached
+// translation, and across the worker sessions of a parallel MAX run
+// (p is safe for concurrent sessions; every cached structure is
+// revalidated against table versions before reuse).
+func (db *DB) ExecPreparedWithTables(p *Prepared, stmt sqlast.Stmt, tables map[string]*storage.Table) (*Result, error) {
+	frame := newFrame(nil)
+	for name, t := range tables {
+		frame.setTableVar(strings.ToLower(name), t)
+	}
+	ctx := &execCtx{db: db, vars: frame, memo: db.newFnMemo(), journal: db.Journal, prep: p}
 	return db.execTop(ctx, stmt)
 }

@@ -21,6 +21,24 @@ type intervalIndex struct {
 	// query so the caller's residual predicate evaluation — which all
 	// index users perform — keeps exact SQL semantics for them.
 	odd []int
+	// empt holds degenerate periods (end <= begin). They contain no
+	// stab point but the index predicate begin <= hi AND end > lo can
+	// still admit them for range queries — and the centered tree cannot
+	// partition them (an empty interval can sit exactly on every
+	// center, so the recursion would never shrink), so they are kept
+	// aside and filtered linearly.
+	empt []tableInterval
+	// spans is every indexable row's period sorted ascending by begin
+	// (ties by ordinal) — the cursor a sweep-line overlap join walks
+	// instead of stabbing the tree once per outer row.
+	spans []IntervalSpan
+}
+
+// IntervalSpan is one row's half-open [Begin, End) period with its
+// ordinal in Table.Rows, for sweep-line consumers.
+type IntervalSpan struct {
+	Begin, End int64
+	Ord        int
 }
 
 type intervalNode struct {
@@ -188,8 +206,20 @@ func (t *Table) buildIntervalIdx() *intervalIndex {
 			idx.odd = append(idx.odd, i)
 			continue
 		}
-		ivs = append(ivs, tableInterval{begin: b.I, end: e.I, ord: i})
+		iv := tableInterval{begin: b.I, end: e.I, ord: i}
+		idx.spans = append(idx.spans, IntervalSpan{Begin: iv.begin, End: iv.end, Ord: iv.ord})
+		if iv.end <= iv.begin {
+			idx.empt = append(idx.empt, iv)
+			continue
+		}
+		ivs = append(ivs, iv)
 	}
+	sort.Slice(idx.spans, func(i, j int) bool {
+		if idx.spans[i].Begin != idx.spans[j].Begin {
+			return idx.spans[i].Begin < idx.spans[j].Begin
+		}
+		return idx.spans[i].Ord < idx.spans[j].Ord
+	})
 	idx.root = buildIntervalTree(ivs)
 	return idx
 }
@@ -207,9 +237,29 @@ func (t *Table) Overlapping(lo, hi int64) (ords []int, ok bool) {
 		return nil, false
 	}
 	out := idx.root.query(lo, hi, nil)
+	for _, iv := range idx.empt {
+		if iv.begin <= hi && iv.end > lo {
+			out = append(out, iv.ord)
+		}
+	}
 	out = append(out, idx.odd...)
 	sort.Ints(out)
 	return out, true
+}
+
+// SortedSpans returns every indexable row's [begin_time, end_time)
+// period sorted ascending by begin (ties by ordinal), plus the
+// ordinals of rows with non-temporal endpoint values (which every
+// index consumer must treat as always-candidates). Both slices are
+// shared, immutable, and cached with the interval index — callers must
+// not modify them. Returns ok=false when the table has no period
+// columns to index.
+func (t *Table) SortedSpans() (spans []IntervalSpan, odd []int, ok bool) {
+	idx := t.intervalIdx()
+	if idx == nil {
+		return nil, nil, false
+	}
+	return idx.spans, idx.odd, true
 }
 
 // CountOverlapping counts rows overlapping [lo, hi] (odd-endpoint rows
@@ -220,5 +270,11 @@ func (t *Table) CountOverlapping(lo, hi int64) (n int, ok bool) {
 	if idx == nil {
 		return 0, false
 	}
-	return idx.root.count(lo, hi), true
+	n = idx.root.count(lo, hi)
+	for _, iv := range idx.empt {
+		if iv.begin <= hi && iv.end > lo {
+			n++
+		}
+	}
+	return n, true
 }

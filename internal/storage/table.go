@@ -211,6 +211,7 @@ func (r *Routine) Body() sqlast.Stmt {
 type Catalog struct {
 	mu       sync.RWMutex
 	version  atomic.Int64
+	persist  atomic.Int64
 	tables   map[string]*Table
 	views    map[string]*View
 	routines map[string]*Routine
@@ -223,6 +224,14 @@ type Catalog struct {
 // plan and translation caches keyed by this version stay warm across
 // repeated executions of generated setup/teardown scripts.
 func (c *Catalog) Version() int64 { return c.version.Load() }
+
+// PersistentVersion is Version restricted to the durable schema: DDL
+// touching only temporary tables leaves it unchanged. Generated plans
+// create and drop statement-scoped scratch tables on every execution;
+// caches keyed by the full version would thrash on that churn, so the
+// plan and translation caches key on this counter instead and validate
+// their temporary-table resolutions individually.
+func (c *Catalog) PersistentVersion() int64 { return c.persist.Load() }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
@@ -246,19 +255,30 @@ func (c *Catalog) Table(name string) *Table {
 func (c *Catalog) PutTable(t *Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	old := c.tables[key(t.Name)]
 	c.tables[key(t.Name)] = t
 	c.version.Add(1)
+	// Only purely-temporary churn is invisible to the durable schema:
+	// creating a temp table over a persistent one changes what the name
+	// means to every cached plan.
+	if !t.Temporary || (old != nil && !old.Temporary) {
+		c.persist.Add(1)
+	}
 }
 
 // DropTable removes a table; it reports whether it existed.
 func (c *Catalog) DropTable(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.tables[key(name)]; !ok {
+	old, ok := c.tables[key(name)]
+	if !ok {
 		return false
 	}
 	delete(c.tables, key(name))
 	c.version.Add(1)
+	if !old.Temporary {
+		c.persist.Add(1)
+	}
 	return true
 }
 
@@ -275,6 +295,7 @@ func (c *Catalog) PutView(v *View) {
 	defer c.mu.Unlock()
 	c.views[key(v.Name)] = v
 	c.version.Add(1)
+	c.persist.Add(1)
 }
 
 // DropView removes a view; it reports whether it existed.
@@ -286,6 +307,7 @@ func (c *Catalog) DropView(name string) bool {
 	}
 	delete(c.views, key(name))
 	c.version.Add(1)
+	c.persist.Add(1)
 	return true
 }
 
@@ -311,6 +333,7 @@ func (c *Catalog) PutRoutine(r *Routine) {
 	}
 	c.routines[key(r.Name)] = r
 	c.version.Add(1)
+	c.persist.Add(1)
 }
 
 // DropRoutine removes a routine; it reports whether it existed.
@@ -322,6 +345,7 @@ func (c *Catalog) DropRoutine(name string) bool {
 	}
 	delete(c.routines, key(name))
 	c.version.Add(1)
+	c.persist.Add(1)
 	return true
 }
 

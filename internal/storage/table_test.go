@@ -146,6 +146,47 @@ func TestRoutineAccessors(t *testing.T) {
 	}
 }
 
+func TestPersistentVersion(t *testing.T) {
+	c := NewCatalog()
+	base := c.PersistentVersion()
+
+	// Durable table DDL bumps both counters.
+	c.PutTable(NewTable("d", testSchema()))
+	if got := c.PersistentVersion(); got != base+1 {
+		t.Fatalf("durable create: persist %d, want %d", got, base+1)
+	}
+
+	// Temp-table churn bumps the full version but not the persistent one.
+	v := c.Version()
+	tmp := NewTable("scratch", testSchema())
+	tmp.Temporary = true
+	c.PutTable(tmp)
+	c.DropTable("scratch")
+	if c.Version() == v {
+		t.Fatal("full version must see temp churn")
+	}
+	if got := c.PersistentVersion(); got != base+1 {
+		t.Fatalf("temp churn moved persist to %d, want %d", got, base+1)
+	}
+
+	// A temp table replacing a durable one changes what the name means.
+	shadow := NewTable("d", testSchema())
+	shadow.Temporary = true
+	c.PutTable(shadow)
+	if got := c.PersistentVersion(); got != base+2 {
+		t.Fatalf("temp-over-durable: persist %d, want %d", got, base+2)
+	}
+
+	// Views and routines always count as durable schema.
+	c.PutView(&View{Name: "v", Cols: []string{"a"}})
+	c.DropView("v")
+	c.PutRoutine(&Routine{Kind: KindFunction, Name: "f", Fn: &sqlast.CreateFunctionStmt{Name: "f"}})
+	c.DropRoutine("f")
+	if got := c.PersistentVersion(); got != base+6 {
+		t.Fatalf("view/routine DDL: persist %d, want %d", got, base+6)
+	}
+}
+
 func TestTableNames(t *testing.T) {
 	c := NewCatalog()
 	c.PutTable(NewTable("a", testSchema()))

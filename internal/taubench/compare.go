@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -112,6 +113,56 @@ func Compare(oldJSON, newJSON []byte, threshold float64) (*Comparison, error) {
 	return cmp, nil
 }
 
+// cellStrategy extracts the strategy component of a cell key
+// ("q2/MAX/30d" → "MAX"); empty when the key has a different shape.
+func cellStrategy(key string) string {
+	parts := strings.Split(key, "/")
+	if len(parts) != 3 {
+		return ""
+	}
+	return parts[1]
+}
+
+// GeomeanSpeedup aggregates one strategy's per-cell old/new ratios
+// into a geometric-mean speedup factor (>1 = candidate faster, <1 =
+// slower) and the number of cells aggregated. The geometric mean is
+// the right aggregate for ratios: a 2x win and a 2x loss cancel to
+// 1.0 instead of averaging to a spurious 1.25. strategy is matched
+// case-insensitively; "" aggregates every comparable cell.
+func (c *Comparison) GeomeanSpeedup(strategy string) (float64, int) {
+	var logSum float64
+	n := 0
+	for _, cell := range c.Cells {
+		if cell.OldNS <= 0 || cell.NewNS <= 0 {
+			continue
+		}
+		if strategy != "" && !strings.EqualFold(cellStrategy(cell.Key), strategy) {
+			continue
+		}
+		logSum += math.Log(float64(cell.OldNS) / float64(cell.NewNS))
+		n++
+	}
+	if n == 0 {
+		return 1, 0
+	}
+	return math.Exp(logSum / float64(n)), n
+}
+
+// strategies returns the distinct strategy components across the
+// comparable cells, sorted.
+func (c *Comparison) strategies() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, cell := range c.Cells {
+		if s := cellStrategy(cell.Key); s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Regressions returns the cells slower than the threshold, worst
 // first.
 func (c *Comparison) Regressions() []CompareCell {
@@ -141,6 +192,10 @@ func (c *Comparison) Write(w io.Writer) {
 	}
 	for _, k := range c.OnlyNew {
 		fmt.Fprintf(w, "%-24s only in candidate\n", k)
+	}
+	for _, s := range c.strategies() {
+		factor, n := c.GeomeanSpeedup(s)
+		fmt.Fprintf(w, "geomean %s: %.2fx speedup vs baseline (%d cells)\n", s, factor, n)
 	}
 	if regs := c.Regressions(); len(regs) > 0 {
 		keys := make([]string, len(regs))

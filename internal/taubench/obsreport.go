@@ -3,6 +3,7 @@ package taubench
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"runtime"
 	"time"
 
@@ -60,9 +61,52 @@ type OverheadStat struct {
 	SampledOverheadPct float64 `json:"sampled_overhead_pct"`
 }
 
-// ObsReport is the observability benchmark artifact (BENCH_3.json):
-// per-query span-stage breakdowns from EXPLAIN ANALYZE plus the
-// tracer-overhead comparison on the MAX one-month workload.
+// BatchQueryStat is one query's cell in the batched-execution
+// comparison: best-of-rounds latency under each mode, plus the warm
+// EXPLAIN ANALYZE evidence for the batched path — how many relation
+// loads the shared prepared plan served and how many joins took the
+// sweep-line algorithm during that statement.
+type BatchQueryStat struct {
+	Query       string  `json:"query"`
+	BatchedNS   int64   `json:"batched_ns"`
+	UnbatchedNS int64   `json:"unbatched_ns"`
+	Speedup     float64 `json:"speedup"` // unbatched/batched, per query
+
+	PlanReuseHits int64 `json:"plan_reuse_hits"`
+	SweepJoins    int64 `json:"sweep_joins"`
+}
+
+// BatchStat quantifies the batched-execution features on one workload:
+// the MAX statement sequence measured with the shared prepared plan and
+// the sweep-line interval join enabled (the default) versus both
+// ablated. The methodology is MeasureOverhead's: modes interleave
+// within each round, each mode's total is the sum of per-query minima,
+// and a second batched pass (A/A) bounds the measurement noise so the
+// reported speedup can be read against it.
+type BatchStat struct {
+	Workload string `json:"workload"`
+	Reps     int    `json:"reps"`
+
+	BatchedNS       int64 `json:"batched_ns"`
+	BatchedRepeatNS int64 `json:"batched_repeat_ns"` // A/A noise bound
+	UnbatchedNS     int64 `json:"unbatched_ns"`
+
+	// NoiseBoundPct is the A/A delta between the two batched passes.
+	NoiseBoundPct float64 `json:"noise_bound_pct"`
+	// SpeedupPct is the workload-total speedup of batched over
+	// unbatched, percent (positive = batched faster).
+	SpeedupPct float64 `json:"speedup_pct"`
+	// GeomeanSpeedup is the geometric mean of the per-query
+	// unbatched/batched ratios (>1 = batched faster).
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+
+	Queries []BatchQueryStat `json:"queries"`
+}
+
+// ObsReport is the observability benchmark artifact (BENCH_3.json,
+// BENCH_4.json): per-query span-stage breakdowns from EXPLAIN ANALYZE,
+// the tracer-overhead comparison, and (since BENCH_4) the
+// batched-execution A/B on the MAX one-month and one-year workloads.
 type ObsReport struct {
 	Dataset   string         `json:"dataset"`
 	Size      string         `json:"size"`
@@ -70,6 +114,7 @@ type ObsReport struct {
 	Generated string         `json:"generated"`
 	Stages    []StageStat    `json:"stages"`
 	Overhead  []OverheadStat `json:"overhead"`
+	Batch     []BatchStat    `json:"batch,omitempty"`
 }
 
 // StageBreakdown measures one cell with EXPLAIN ANALYZE and returns
@@ -188,6 +233,111 @@ func (r *Runner) MeasureOverhead(contextDays, reps int) OverheadStat {
 	return o
 }
 
+// MeasureBatch compares the MAX workload at one context length with
+// the batched-execution features (shared prepared plan + sweep-line
+// join) on versus off, using MeasureOverhead's interleaved per-query-
+// minimum methodology. A warm-up pass populates the translation cache
+// and the prepared plans first — the plan-once/execute-many scenario
+// the features target — then each round runs batched, batched again
+// (the A/A noise bound) and unbatched, alternating the order of the
+// two batched passes. After measurement, one EXPLAIN ANALYZE per query
+// records the warm batched path's plan-reuse hits and sweep-join
+// count.
+func (r *Runner) MeasureBatch(contextDays, reps int) BatchStat {
+	if reps < 1 {
+		reps = 1
+	}
+	b := BatchStat{
+		Workload: "MAX sweep, context " + ContextLabel(contextDays),
+		Reps:     reps,
+	}
+	eng := r.DB.Engine()
+	setBatched := func(on bool) {
+		eng.DisablePlanReuse, eng.DisableSweepJoin = !on, !on
+	}
+	setBatched(true)
+	r.runWorkload(contextDays) // warm-up: caches and prepared plans
+	minInto := func(best, pass []time.Duration) []time.Duration {
+		if best == nil {
+			return pass
+		}
+		for i, d := range pass {
+			if d < best[i] {
+				best[i] = d
+			}
+		}
+		return best
+	}
+	pass := func(on bool) []time.Duration {
+		runtime.GC()
+		setBatched(on)
+		return r.runWorkload(contextDays)
+	}
+	var batched, batchedRepeat, unbatched []time.Duration
+	for i := 0; i < reps; i++ {
+		// Rotate the slot each mode occupies within a round: CPU
+		// frequency and cache state drift over a round, so a fixed
+		// order would systematically favor whichever mode runs last.
+		var a, c, u []time.Duration
+		switch i % 3 {
+		case 0:
+			a, c, u = pass(true), pass(true), pass(false)
+		case 1:
+			u, a, c = pass(false), pass(true), pass(true)
+		case 2:
+			c, u, a = pass(true), pass(false), pass(true)
+		}
+		if i%2 == 1 {
+			a, c = c, a
+		}
+		batched = minInto(batched, a)
+		batchedRepeat = minInto(batchedRepeat, c)
+		unbatched = minInto(unbatched, u)
+	}
+	setBatched(true)
+
+	var logSum float64
+	ratios := 0
+	for i, q := range Queries() {
+		qs := BatchQueryStat{
+			Query:       q.Name,
+			BatchedNS:   int64(batched[i]),
+			UnbatchedNS: int64(unbatched[i]),
+		}
+		if qs.BatchedNS > 0 && qs.UnbatchedNS > 0 {
+			qs.Speedup = float64(qs.UnbatchedNS) / float64(qs.BatchedNS)
+			logSum += math.Log(qs.Speedup)
+			ratios++
+		}
+		r.DB.SetStrategy(taupsm.Max)
+		if e, err := r.DB.ExplainAnalyze(sequencedSQL(q, contextDays)); err == nil {
+			qs.PlanReuseHits = e.Analyzed.PlanReuseHits
+			qs.SweepJoins = e.Analyzed.SweepJoins
+		}
+		r.DB.SetStrategy(taupsm.Auto)
+		b.Queries = append(b.Queries, qs)
+	}
+
+	sum := func(ds []time.Duration) int64 {
+		var t time.Duration
+		for _, d := range ds {
+			t += d
+		}
+		return int64(t)
+	}
+	b.BatchedNS = sum(batched)
+	b.BatchedRepeatNS = sum(batchedRepeat)
+	b.UnbatchedNS = sum(unbatched)
+	if b.BatchedNS > 0 {
+		b.NoiseBoundPct = math.Abs(100 * float64(b.BatchedRepeatNS-b.BatchedNS) / float64(b.BatchedNS))
+		b.SpeedupPct = 100 * float64(b.UnbatchedNS-b.BatchedNS) / float64(b.BatchedNS)
+	}
+	if ratios > 0 {
+		b.GeomeanSpeedup = math.Exp(logSum / float64(ratios))
+	}
+	return b
+}
+
 // BuildObsReport sweeps the stage breakdown of every query at every
 // context length under both strategies, then measures tracer overhead
 // on the MAX one-month workload.
@@ -200,12 +350,18 @@ func (r *Runner) BuildObsReport(contexts []int, reps int) *ObsReport {
 	}
 	for _, q := range Queries() {
 		for _, c := range contexts {
-			rep.Stages = append(rep.Stages,
-				r.StageBreakdown(q, taupsm.Max, c),
-				r.StageBreakdown(q, taupsm.PerStatement, c))
+			for _, s := range []taupsm.Strategy{taupsm.Max, taupsm.PerStatement} {
+				if strategyEnabled(s) {
+					rep.Stages = append(rep.Stages, r.StageBreakdown(q, s, c))
+				}
+			}
 		}
 	}
 	rep.Overhead = append(rep.Overhead, r.MeasureOverhead(30, reps))
+	// Batched-execution A/B: the one-month workload shows the prepared
+	// plan's reuse wins; the one-year workload additionally gives the
+	// cost model enough constant periods to choose the sweep-line join.
+	rep.Batch = append(rep.Batch, r.MeasureBatch(30, reps), r.MeasureBatch(365, reps))
 	return rep
 }
 

@@ -90,9 +90,11 @@ func (r *Runner) BuildReport(contexts []int, reps int) *Report {
 	}
 	for _, q := range Queries() {
 		for _, c := range contexts {
-			rep.Queries = append(rep.Queries,
-				r.MeasureRepeated(q, taupsm.Max, c, reps),
-				r.MeasureRepeated(q, taupsm.PerStatement, c, reps))
+			for _, s := range []taupsm.Strategy{taupsm.Max, taupsm.PerStatement} {
+				if strategyEnabled(s) {
+					rep.Queries = append(rep.Queries, r.MeasureRepeated(q, s, c, reps))
+				}
+			}
 		}
 	}
 	return rep

@@ -28,8 +28,31 @@ type Runner struct {
 // the library default (GOMAXPROCS).
 var Parallelism int
 
-// NewRunner creates a database, generates the dataset, and installs the
-// routines of every benchmark query.
+// StrategyFilter restricts which slicing strategies the sweep-style
+// experiments (ContextSweep, BuildReport, BuildObsReport, -exp sweep)
+// measure: "max", "perst", or "" for both — the taubench -strategy
+// flag. Artifacts built under different filters still compare
+// cell-by-cell; the missing strategy's cells just show up as
+// only-in-one-side.
+var StrategyFilter string
+
+// strategyEnabled reports whether the filter admits strategy s.
+func strategyEnabled(s taupsm.Strategy) bool {
+	switch strings.ToLower(StrategyFilter) {
+	case "max":
+		return s == taupsm.Max
+	case "perst":
+		return s == taupsm.PerStatement
+	}
+	return true
+}
+
+// NewRunner creates a database, generates the dataset, installs the
+// routines of every benchmark query, and ANALYZEs the stored tables so
+// the statistics registry carries interval distributions — the
+// executor's sweep-vs-probe join choice and the stratum's estimate
+// rows read them, exactly as a tuned production database would run
+// after bulk load.
 func NewRunner(spec Spec) (*Runner, error) {
 	db := taupsm.Open()
 	db.SetNow(2011, 1, 1) // mid-timeline "now" for current queries
@@ -44,6 +67,9 @@ func NewRunner(spec Spec) (*Runner, error) {
 		if _, err := db.Exec(q.Routines); err != nil {
 			return nil, fmt.Errorf("%s routines: %w", q.Name, err)
 		}
+	}
+	if _, err := db.Exec("ANALYZE"); err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
 	}
 	return &Runner{DB: db, Stats: stats}, nil
 }
@@ -125,13 +151,17 @@ func (r *Runner) RunCurrent(q Query) (*taupsm.Result, error) {
 }
 
 // ContextSweep measures every query at every context length under both
-// strategies (Figures 12 and 13).
+// strategies (Figures 12 and 13), or the single one StrategyFilter
+// selects.
 func (r *Runner) ContextSweep(contexts []int) []Measurement {
 	var out []Measurement
 	for _, q := range Queries() {
 		for _, c := range contexts {
-			out = append(out, r.RunSequenced(q, taupsm.Max, c))
-			out = append(out, r.RunSequenced(q, taupsm.PerStatement, c))
+			for _, s := range []taupsm.Strategy{taupsm.Max, taupsm.PerStatement} {
+				if strategyEnabled(s) {
+					out = append(out, r.RunSequenced(q, s, c))
+				}
+			}
 		}
 	}
 	return out

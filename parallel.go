@@ -76,7 +76,7 @@ func chunkCPTable(cp *storage.Table, lo, hi int) *storage.Table {
 // the execute span; the engine spans it produces parent to the worker
 // span. Tracers are concurrency-safe by contract, so workers record
 // directly — span IDs, not delivery order, carry the tree structure.
-func (db *DB) runParallelMain(st *stmtState, e *engine.DB, t *core.Translation, cp *storage.Table, workers int) (*engine.Result, error) {
+func (db *DB) runParallelMain(st *stmtState, e *engine.DB, t *core.Translation, cp *storage.Table, workers int, prep *engine.Prepared) (*engine.Result, error) {
 	n := len(cp.Rows)
 	k := workers
 	if k > n {
@@ -104,7 +104,11 @@ func (db *DB) runParallelMain(st *stmtState, e *engine.DB, t *core.Translation, 
 		go func(w int, ses *engine.DB, chunk *storage.Table, workerID obs.SpanID) {
 			defer wg.Done()
 			start := time.Now()
-			res, err := ses.ExecStmtWithTables(t.Main, map[string]*storage.Table{
+			// Workers share the read-only prepared plan: the first one to
+			// need a source relation or hash table builds it, the rest
+			// reuse it (the statement is write-free here, so the plan's
+			// version stamps stay valid for the whole run).
+			res, err := ses.ExecPreparedWithTables(prep, t.Main, map[string]*storage.Table{
 				"taupsm_cp": chunk,
 			})
 			if workerID != 0 {

@@ -237,6 +237,8 @@ type stratumMetrics struct {
 	engStatements     *obs.Counter
 	engLogWrites      *obs.Counter
 	engIntervalProbes *obs.Counter
+	engPlanReuseHits  *obs.Counter
+	engSweepJoins     *obs.Counter
 }
 
 func newStratumMetrics(m *obs.Metrics) stratumMetrics {
@@ -275,6 +277,8 @@ func newStratumMetrics(m *obs.Metrics) stratumMetrics {
 		engStatements:     m.Counter("engine.statements_total"),
 		engLogWrites:      m.Counter("engine.log_writes_total"),
 		engIntervalProbes: m.Counter("engine.interval_probes_total"),
+		engPlanReuseHits:  m.Counter("engine.plan_reuse_hits_total"),
+		engSweepJoins:     m.Counter("engine.sweep_joins_total"),
 	}
 	for _, r := range []core.Reason{
 		core.ReasonNotTransformable, core.ReasonPerPeriodCursor,
@@ -572,7 +576,7 @@ func (db *DB) cachedTranslate(st *stmtState, stmt sqlast.Stmt) (*core.Translatio
 		return ent.t, ent, nil
 	}
 	db.sm.transMisses.Inc()
-	catV := db.eng.Cat.Version()
+	catV := db.eng.Cat.PersistentVersion()
 	t, err := db.translateStmt(stmt)
 	if err != nil || t == nil {
 		return t, nil, err
@@ -622,10 +626,14 @@ func (db *DB) timedRun(st *stmtState, t *core.Translation, ent *translationEntry
 	db.sm.engStatements.Add(delta.Statements)
 	db.sm.engLogWrites.Add(delta.LogWrites)
 	db.sm.engIntervalProbes.Add(delta.IntervalProbes)
+	db.sm.engPlanReuseHits.Add(delta.PlanReuseHits)
+	db.sm.engSweepJoins.Add(delta.SweepJoins)
 	if st != nil {
 		st.executeDur = d
 		st.routineCalls = delta.RoutineCalls
 		st.rowsScanned = delta.RowsScanned
+		st.planHits = delta.PlanReuseHits
+		st.sweepJoins = delta.SweepJoins
 		if res != nil {
 			st.rows = len(res.Rows)
 			st.affected = res.Affected
@@ -821,7 +829,7 @@ func (db *DB) runTranslation(st *stmtState, e *engine.DB, ent *translationEntry,
 			// entry so the very next lookup already hits.
 			db.mu.Lock()
 			ent.registered = true
-			ent.catVersion = db.eng.Cat.Version()
+			ent.catVersion = db.eng.Cat.PersistentVersion()
 			db.mu.Unlock()
 		}
 	}
@@ -885,10 +893,26 @@ func (db *DB) runNative(st *stmtState, e *engine.DB, ent *translationEntry, t *c
 	} else {
 		safe = db.computeParallelSafe(t)
 	}
-	if par := db.Parallelism(); par > 1 && len(cpTab.Rows) > 1 && safe {
-		return db.runParallelMain(st, e, t, cpTab, par)
+	// The shared prepared plan: cached on the translation entry so it
+	// survives across executions of the same statement text (and is
+	// dropped with the entry); a one-shot statement still gets a fresh
+	// plan, which its own fragments share via the per-statement routine
+	// calls.
+	var prep *engine.Prepared
+	if ent != nil {
+		db.mu.Lock()
+		if ent.prepared == nil {
+			ent.prepared = engine.NewPrepared()
+		}
+		prep = ent.prepared
+		db.mu.Unlock()
+	} else {
+		prep = engine.NewPrepared()
 	}
-	return e.ExecStmtWithTables(t.Main, map[string]*storage.Table{"taupsm_cp": cpTab})
+	if par := db.Parallelism(); par > 1 && len(cpTab.Rows) > 1 && safe {
+		return db.runParallelMain(st, e, t, cpTab, par, prep)
+	}
+	return e.ExecPreparedWithTables(prep, t.Main, map[string]*storage.Table{"taupsm_cp": cpTab})
 }
 
 // recordFragments is traced-mode-only fragment accounting (it walks

@@ -153,6 +153,12 @@ type stmtState struct {
 	walFsyncs    int64
 	routineCalls int64
 	rowsScanned  int64
+	// planHits/sweepJoins are this statement's deltas (from the session
+	// journal, like routineCalls), not the prepared plan's lifetime
+	// totals — EXPLAIN ANALYZE must report per-statement figures even
+	// though the plan is shared across a batch.
+	planHits   int64
+	sweepJoins int64
 }
 
 // traced reports whether spans should be emitted.
