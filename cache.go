@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"taupsm/internal/check"
 	"taupsm/internal/core"
 	"taupsm/internal/engine"
 	"taupsm/internal/obs"
@@ -63,10 +64,14 @@ func (db *DB) stampsValid(stamps []tableStamp) bool {
 	return true
 }
 
-// translationEntry caches one statement's translation. It is valid
-// while no durable-schema DDL ran (catVersion, a PersistentVersion
-// stamp — the scratch temp tables generated plans churn through do
-// not count) and the referenced temporal tables hold the same data
+// translationEntry caches one statement's translation. Its fast path
+// is a PersistentVersion stamp (catVersion): while no durable-schema
+// DDL ran at all, the entry is trivially current. When the version has
+// moved, the entry falls back to the dependency set the effect
+// analysis inferred — the routines, tables, and views the statement
+// can actually reach — and re-pins itself if none of them changed, so
+// unrelated DDL no longer evicts warm translations. Independently of
+// both levels, the referenced temporal tables must hold the same data
 // (stamps — the Auto heuristic reads row counts, so DML can change
 // the chosen strategy; they also pin table identity, so a temporal
 // temp table being dropped or recreated invalidates the entry even
@@ -75,6 +80,24 @@ type translationEntry struct {
 	t          *core.Translation
 	catVersion int64
 	stamps     []tableStamp
+	// summary is the interprocedural effect summary of the translated
+	// main statement; it feeds EXPLAIN's read/write-set rows and names
+	// part of the dependency set below.
+	summary *check.Summary
+	// origSummary summarizes the pre-translation statement. The
+	// translation embeds clones of the routines the statement calls
+	// (MAX renames them max_<name>), so the translated main no longer
+	// references the originals — but redefining an original must still
+	// invalidate the entry. Its dependency names join the set below.
+	origSummary *check.Summary
+	// depRoutines/depTables/depViews snapshot, per consulted name, the
+	// catalog object the name resolved to at pin time (nil for absent).
+	// Pointer identity is the validity condition: redefining a routine,
+	// recreating or altering a table (ALTER ... ADD VALIDTIME installs a
+	// fresh *storage.Table), or replacing a view all change the pointer.
+	depRoutines map[string]*storage.Routine
+	depTables   map[string]*storage.Table
+	depViews    map[string]*storage.View
 	// registered marks that t.Routines have been installed in the
 	// catalog; later executions of this entry skip re-registration
 	// (the catVersion check guarantees they are still there).
@@ -111,9 +134,62 @@ func (db *DB) translationKey(stmt sqlast.Stmt) string {
 	return text + "\x00" + db.strategy.String()
 }
 
+func (ent *translationEntry) depSummaries() []*check.Summary {
+	out := make([]*check.Summary, 0, 2)
+	if ent.summary != nil {
+		out = append(out, ent.summary)
+	}
+	if ent.origSummary != nil {
+		out = append(out, ent.origSummary)
+	}
+	return out
+}
+
+// pinDeps snapshots the entry's dependency set against the live
+// catalog. Called at fill time and again after routine registration
+// (which installs the translation's clones, changing what their names
+// resolve to). Caller holds db.mu when the entry is shared.
+func (db *DB) pinDeps(ent *translationEntry) {
+	ent.depRoutines = map[string]*storage.Routine{}
+	ent.depTables = map[string]*storage.Table{}
+	ent.depViews = map[string]*storage.View{}
+	for _, sum := range ent.depSummaries() {
+		for name := range sum.Routines {
+			ent.depRoutines[name] = db.eng.Cat.Routine(name)
+		}
+		for name := range sum.Tables {
+			ent.depTables[name] = db.eng.Cat.Table(name)
+			ent.depViews[name] = db.eng.Cat.View(name)
+		}
+	}
+}
+
+// depsValid reports whether every name in the entry's dependency set
+// still resolves to the same catalog object it did at pin time.
+func (db *DB) depsValid(ent *translationEntry) bool {
+	if len(ent.depSummaries()) == 0 {
+		return false
+	}
+	for name, ptr := range ent.depRoutines {
+		if db.eng.Cat.Routine(name) != ptr {
+			return false
+		}
+	}
+	for name, ptr := range ent.depTables {
+		if db.eng.Cat.Table(name) != ptr || db.eng.Cat.View(name) != ent.depViews[name] {
+			return false
+		}
+	}
+	return true
+}
+
 // lookupTranslation returns a valid cached entry for key, or nil. The
 // whole validation runs under db.mu because runTranslation rewrites an
-// entry's catVersion/registered after first execution.
+// entry's catVersion/registered after first execution. On a persistent
+// catalog-version mismatch the entry is revalidated against its
+// dependency set and re-pinned when only unrelated DDL ran; cached
+// verdicts derived from the summary (parallelSafe) stay sound because
+// everything they depend on is in that set.
 func (db *DB) lookupTranslation(key string) *translationEntry {
 	if key == "" {
 		return nil
@@ -121,8 +197,14 @@ func (db *DB) lookupTranslation(key string) *translationEntry {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	ent := db.tcache[key]
-	if ent == nil || ent.catVersion != db.eng.Cat.PersistentVersion() || !db.stampsValid(ent.stamps) {
+	if ent == nil || !db.stampsValid(ent.stamps) {
 		return nil
+	}
+	if catV := db.eng.Cat.PersistentVersion(); ent.catVersion != catV {
+		if !db.depsValid(ent) {
+			return nil
+		}
+		ent.catVersion = catV
 	}
 	return ent
 }

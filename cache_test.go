@@ -48,16 +48,72 @@ func TestCachesHitAndInvalidate(t *testing.T) {
 		t.Fatalf("cp misses after DML = %d, want 2", misses)
 	}
 
-	// DDL (unrelated table): the catalog version moved, so the
-	// translation entry is invalid; the constant periods only depend on
-	// the unchanged item table and stay cached.
+	// DDL on an unrelated table: the catalog version moved, but the
+	// entry's dependency set — the routines, tables, and views the
+	// statement can reach — is untouched, so the entry revalidates and
+	// re-pins instead of recomputing. The constant periods only depend
+	// on the unchanged item table and stay cached too.
 	db.MustExec(`CREATE TABLE unrelated (x CHAR(5))`)
 	run()
-	if misses := m.Value("stratum.cache.translation_misses_total"); misses != 3 {
-		t.Fatalf("translation misses after DDL = %d, want 3", misses)
+	if hits, misses := m.Value("stratum.cache.translation_hits_total"), m.Value("stratum.cache.translation_misses_total"); hits != 3 || misses != 2 {
+		t.Fatalf("after unrelated DDL: translation hits=%d misses=%d, want 3/2 (dep revalidation re-pins)", hits, misses)
 	}
 	if misses := m.Value("stratum.cache.cp_misses_total"); misses != 2 {
 		t.Fatalf("cp misses after DDL = %d, want 2 (stamps still valid)", misses)
+	}
+
+	// Dropping the unrelated table moves the version again; the entry
+	// keeps re-pinning as long as its own dependencies hold.
+	db.MustExec(`DROP TABLE unrelated`)
+	run()
+	if hits, misses := m.Value("stratum.cache.translation_hits_total"), m.Value("stratum.cache.translation_misses_total"); hits != 4 || misses != 2 {
+		t.Fatalf("after unrelated DROP: translation hits=%d misses=%d, want 4/2", hits, misses)
+	}
+}
+
+// The translation cache's dependency revalidation distinguishes DDL by
+// reachability: redefining a routine the statement calls invalidates
+// its entry, while creating unrelated objects merely re-pins it.
+func TestTranslationCacheDepInvalidation(t *testing.T) {
+	db := paperDB(t)
+	db.SetStrategy(Max)
+	m := db.Metrics()
+	db.MustExec(`CREATE FUNCTION twice (n INTEGER) RETURNS INTEGER RETURN n + n`)
+	const q = `VALIDTIME (DATE '2010-01-01', DATE '2011-01-01') SELECT twice(2) FROM item`
+
+	run := func() {
+		t.Helper()
+		if _, err := db.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run()
+	run()
+	if hits, misses := m.Value("stratum.cache.translation_hits_total"), m.Value("stratum.cache.translation_misses_total"); hits != 1 || misses != 1 {
+		t.Fatalf("warmup: translation hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// Unrelated routine DDL: version bump, dependency set unchanged.
+	db.MustExec(`CREATE FUNCTION thrice (n INTEGER) RETURNS INTEGER RETURN n * 3`)
+	run()
+	if hits, misses := m.Value("stratum.cache.translation_hits_total"), m.Value("stratum.cache.translation_misses_total"); hits != 2 || misses != 1 {
+		t.Fatalf("after unrelated routine DDL: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+
+	// Redefining the called routine: the original name is in the
+	// dependency set (even though the translation calls a clone), so the
+	// stale entry must not survive.
+	db.MustExec(`CREATE OR REPLACE FUNCTION twice (n INTEGER) RETURNS INTEGER RETURN n * 3`)
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses := m.Value("stratum.cache.translation_misses_total"); misses != 2 {
+		t.Fatalf("translation misses after redefining twice = %d, want 2", misses)
+	}
+	if len(res.Rows) == 0 || res.Rows[0][len(res.Rows[0])-1].String() != "6" {
+		t.Fatalf("redefined routine result = %v, want trailing column 6", res.Rows)
 	}
 }
 

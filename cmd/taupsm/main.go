@@ -9,7 +9,7 @@
 //	taupsm -mode translate -strategy perst -          # read stdin
 //	taupsm -mode repl                     # interactive shell
 //	taupsm -mode repl -data ./db          # persistent database in ./db
-//	taupsm vet script.sql ...             # static analysis, no execution
+//	taupsm vet [-json] [-Werror] script.sql ...   # static analysis, no execution
 //
 // In exec mode every statement is translated by the stratum and run;
 // results of queries are printed as text tables. In translate mode the

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -11,17 +12,50 @@ import (
 	"taupsm/internal/storage"
 )
 
+// vetFinding is one static-analyzer finding in machine-readable form,
+// emitted as one JSON object per line under -json.
+type vetFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Message  string `json:"message"`
+	Hint     string `json:"hint,omitempty"`
+}
+
+// text renders the finding in the classic text form,
+// file:line:col: severity CODE: message.
+func (f vetFinding) text() string {
+	return fmt.Sprintf("%s:%d:%d: %s %s: %s", f.File, f.Line, f.Col, f.Severity, f.Code, f.Message)
+}
+
 // runVet statically checks each file (or stdin for "-") without
 // executing anything: every statement is analyzed against a script
 // catalog that follows the file's DDL, and findings print as
-// file:line:col: severity CODE: message. The exit code is 1 when any
-// file fails to parse or any diagnostic has error severity, 0
-// otherwise.
+// file:line:col: severity CODE: message, or as JSON Lines with -json.
+// The exit code is 1 when any file fails to read or parse, any
+// diagnostic has error severity, or -Werror is set and any diagnostic
+// has warning severity; 0 otherwise.
 func runVet(args []string, w io.Writer) int {
+	jsonOut, werror := false, false
+	for len(args) > 0 {
+		switch args[0] {
+		case "-json", "--json":
+			jsonOut = true
+		case "-Werror", "--Werror":
+			werror = true
+		default:
+			goto parsed
+		}
+		args = args[1:]
+	}
+parsed:
 	if len(args) == 0 {
-		fmt.Fprintln(w, "usage: taupsm vet <file.sql ... | ->")
+		fmt.Fprintln(w, "usage: taupsm vet [-json] [-Werror] <file.sql ... | ->")
 		return 2
 	}
+	enc := json.NewEncoder(w)
 	failed := false
 	for _, path := range args {
 		var src []byte
@@ -37,8 +71,19 @@ func runVet(args []string, w io.Writer) int {
 			failed = true
 			continue
 		}
-		if vetSource(w, path, string(src)) {
+		findings, bad := vetCollect(path, string(src))
+		if bad {
 			failed = true
+		}
+		for _, f := range findings {
+			if werror && f.Severity == "warning" {
+				failed = true
+			}
+			if jsonOut {
+				enc.Encode(f)
+			} else {
+				fmt.Fprintln(w, f.text())
+			}
 		}
 	}
 	if failed {
@@ -47,29 +92,47 @@ func runVet(args []string, w io.Writer) int {
 	return 0
 }
 
-// vetSource checks one script, printing findings; it reports whether
-// the script has a parse error or any error-severity diagnostic.
-func vetSource(w io.Writer, path, src string) bool {
+// vetCollect checks one script and returns its findings; failed
+// reports a parse error or any error-severity diagnostic. A parse
+// error becomes a single finding with code "parse".
+func vetCollect(path, src string) (findings []vetFinding, failed bool) {
 	stmts, err := sqlparser.ParseScript(src)
 	if err != nil {
 		var perr *sqlparser.Error
 		if errors.As(err, &perr) {
-			fmt.Fprintf(w, "%s:%d:%d: error parse: %s\n", path, perr.Pos.Line, perr.Pos.Col, perr.Msg)
-		} else {
-			fmt.Fprintf(w, "%s: %v\n", path, err)
+			return []vetFinding{{File: path, Line: perr.Pos.Line, Col: perr.Pos.Col,
+				Severity: "error", Code: "parse", Message: perr.Msg}}, true
 		}
-		return true
+		return []vetFinding{{File: path, Severity: "error", Code: "parse", Message: err.Error()}}, true
 	}
 	cat := check.NewScriptCatalog(check.FromStorage(storage.NewCatalog()))
-	failed := false
 	for _, s := range stmts {
 		for _, d := range check.Check(cat, s) {
-			fmt.Fprintf(w, "%s:%s\n", path, d.String())
+			findings = append(findings, vetFinding{
+				File:     path,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Col,
+				Severity: d.Severity.String(),
+				Code:     d.Code,
+				Message:  d.Message,
+				Hint:     d.Hint,
+			})
 			if d.Severity == check.Error {
 				failed = true
 			}
 		}
 		cat.Apply(s)
+	}
+	return findings, failed
+}
+
+// vetSource checks one script, printing findings in text form; it
+// reports whether the script has a parse error or any error-severity
+// diagnostic.
+func vetSource(w io.Writer, path, src string) bool {
+	findings, failed := vetCollect(path, src)
+	for _, f := range findings {
+		fmt.Fprintln(w, f.text())
 	}
 	return failed
 }

@@ -1,0 +1,34 @@
+-- The quickstart schema and queries as a standalone script: a temporal
+-- table, a stored function, and the three query semantics of Temporal
+-- SQL/PSM. `taupsm vet examples/quickstart/quickstart.sql` must be
+-- silent (the script is part of the self-vet corpus), and
+-- `taupsm -mode exec -now 2010-06-15` runs it end to end.
+
+CREATE TABLE author (author_id CHAR(10), first_name CHAR(50)) AS VALIDTIME;
+
+-- Load history explicitly (nonsequenced: we manage the periods).
+NONSEQUENCED VALIDTIME INSERT INTO author VALUES
+  ('a1', 'Ben',      DATE '2010-01-01', DATE '2010-07-01'),
+  ('a1', 'Benjamin', DATE '2010-07-01', DATE '2011-01-01');
+
+-- A stored function, written exactly as in conventional SQL/PSM.
+CREATE FUNCTION get_author_name (aid CHAR(10))
+RETURNS CHAR(50)
+READS SQL DATA
+LANGUAGE SQL
+BEGIN
+  DECLARE fname CHAR(50);
+  SET fname = (SELECT first_name FROM author WHERE author_id = aid);
+  RETURN fname;
+END;
+
+-- Current semantics: what is the author called today?
+SELECT get_author_name('a1') AS name FROM author WHERE author_id = 'a1';
+
+-- Sequenced semantics: the history of the name — just prepend
+-- VALIDTIME; the stratum rewrites the query AND the function.
+VALIDTIME SELECT get_author_name('a1') AS name FROM author WHERE author_id = 'a1';
+
+-- Nonsequenced semantics: raw periods as ordinary columns.
+NONSEQUENCED VALIDTIME
+SELECT first_name, begin_time, end_time FROM author ORDER BY begin_time;

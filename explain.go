@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"taupsm/internal/check"
 	"taupsm/internal/core"
 	"taupsm/internal/obs"
 	"taupsm/internal/sqlast"
@@ -92,6 +93,15 @@ type Explain struct {
 	// log bytes, what recovery replayed) for persistent databases; empty
 	// for in-memory ones.
 	Durability string
+	// Reads and Writes are the statement's inferred effect sets: the
+	// stored tables (and views) it can read or write, each with the
+	// temporal dimensions touched, e.g. "item[validtime]". Computed by
+	// the interprocedural effect analysis — the same summary that gates
+	// parallel evaluation and revalidates the caches.
+	Reads, Writes []string
+	// Signatures are the typed signatures of the routine clones the
+	// translation registers, e.g. "max_get_item_price(char, date) -> float".
+	Signatures []string
 	// SQL is the conventional SQL/PSM script the statement compiles to.
 	SQL string
 	// Lint holds the static analyzer's findings for the statement
@@ -313,19 +323,32 @@ func (db *DB) ExplainParsed(stmt sqlast.Stmt) (*Explain, error) {
 			}
 		}
 	}
+	// sum summarizes the user's statement (not the translated plan), so
+	// the read/write rows carry the temporal dimension the user touches.
+	var sum *check.Summary
 	if ts, ok := stmt.(*sqlast.TemporalStmt); ok && ts.Mod == sqlast.ModSequenced {
 		// Mirror the execution path exactly: the same cache key a
 		// subsequent ExecParsed would look up, and the same gate
-		// runNative applies before spawning fragment workers.
+		// runNative applies before spawning fragment workers. A cache hit
+		// also serves the effect summaries and the parallel-safety
+		// verdict, so repeated EXPLAIN runs no effect analysis at all.
+		safe := false
+		pinned := false
 		if ent := db.lookupTranslation(db.translationKey(stmt)); ent != nil {
 			e.TranslationCacheHit = true
 			db.mu.Lock()
 			e.PlanReuse = ent.prepared != nil
+			sum = ent.origSummary
+			safe = ent.parallelSafe
 			db.mu.Unlock()
+			pinned = true
+		}
+		if !pinned {
+			safe = chunkOrderSafeMain(t) && db.mainSummary(t).SharedWriteFree()
 		}
 		e.Parallelism = 1
 		if t.NeedsConstantPeriods && !db.UseFigure8SQL {
-			if par := db.Parallelism(); par > 1 && e.ConstantPeriods > 1 && db.computeParallelSafe(t) {
+			if par := db.Parallelism(); par > 1 && e.ConstantPeriods > 1 && safe {
 				e.Parallelism = par
 				if e.ConstantPeriods < par {
 					e.Parallelism = e.ConstantPeriods
@@ -333,7 +356,48 @@ func (db *DB) ExplainParsed(stmt sqlast.Stmt) (*Explain, error) {
 			}
 		}
 	}
+	if sum == nil {
+		sum = check.Summarize(check.FromStorage(db.eng.Cat), nil, stmt)
+	}
+	for _, name := range sum.ReadList() {
+		e.Reads = append(e.Reads, fmt.Sprintf("%s[%s]", name, sum.Reads[name]))
+	}
+	for _, name := range sum.WriteList() {
+		e.Writes = append(e.Writes, fmt.Sprintf("%s[%s]", name, sum.Writes[name]))
+	}
+	e.Signatures = routineSignatures(t)
 	return e, nil
+}
+
+// routineSignatures renders the typed signatures of the translation's
+// routine clones from their declared parameter and return types.
+func routineSignatures(t *core.Translation) []string {
+	kind := func(tn sqlast.TypeName) string {
+		if tn.IsCollection() {
+			return "table"
+		}
+		return strings.ToLower(tn.Kind().String())
+	}
+	params := func(ps []sqlast.ParamDef) string {
+		parts := make([]string, len(ps))
+		for i, p := range ps {
+			parts[i] = kind(p.Type)
+			if m := p.Mode.String(); m != "" && m != "IN" {
+				parts[i] = strings.ToLower(m) + " " + parts[i]
+			}
+		}
+		return strings.Join(parts, ", ")
+	}
+	var out []string
+	for _, r := range t.Routines {
+		switch x := r.(type) {
+		case *sqlast.CreateFunctionStmt:
+			out = append(out, fmt.Sprintf("%s(%s) -> %s", x.Name, params(x.Params), kind(x.Returns)))
+		case *sqlast.CreateProcedureStmt:
+			out = append(out, fmt.Sprintf("%s(%s)", x.Name, params(x.Params)))
+		}
+	}
+	return out
 }
 
 // Result renders the explanation as a two-column (property, value)
@@ -356,8 +420,21 @@ func (e *Explain) Result() *Result {
 	if len(e.TemporalTables) > 0 {
 		add("temporal_tables", strings.Join(e.TemporalTables, ", "))
 	}
+	if len(e.Reads) > 0 {
+		add("reads", strings.Join(e.Reads, ", "))
+	}
+	if len(e.Writes) > 0 {
+		add("writes", strings.Join(e.Writes, ", "))
+	}
 	if e.Routines > 0 {
 		add("routines", fmt.Sprintf("%d", e.Routines))
+	}
+	for i, sig := range e.Signatures {
+		prop := ""
+		if i == 0 {
+			prop = "typed_signature"
+		}
+		add(prop, sig)
 	}
 	if e.Kind == "sequenced" {
 		if e.Strategy == Max {

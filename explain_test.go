@@ -109,6 +109,7 @@ NONSEQUENCED VALIDTIME INSERT INTO author VALUES
 		"strategy|MAX",
 		"context|[2010-01-01, 2010-07-01)",
 		"temporal_tables|author",
+		"reads|author[validtime]",
 		"constant_periods|3",
 		"fragments|2",
 		"parallelism|3",
@@ -212,6 +213,46 @@ func TestExplainCacheAndParallelism(t *testing.T) {
 	}
 	if e.Parallelism != 1 {
 		t.Fatalf("parallelism = %d with a serial setting, want 1", e.Parallelism)
+	}
+}
+
+// Regression test for EXPLAIN re-running the static analyzer per call:
+// the lint section is served from the statement-text cache, so repeated
+// EXPLAIN of one statement moves stratum.lint.analysis_runs_total
+// exactly once; a catalog change invalidates and recounts.
+func TestExplainServesLintFromCache(t *testing.T) {
+	db := paperDB(t)
+	db.SetStrategy(Max)
+	m := db.Metrics()
+	const q = `VALIDTIME (DATE '2010-01-01', DATE '2011-01-01') SELECT title FROM item`
+
+	if _, err := db.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	runs := m.Value("stratum.lint.analysis_runs_total")
+	if runs == 0 {
+		t.Fatal("first EXPLAIN ran no analysis")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Explain(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Value("stratum.lint.analysis_runs_total"); got != runs {
+		t.Fatalf("repeated EXPLAIN re-ran the analysis: %d runs, want %d", got, runs)
+	}
+	if hits := m.Value("stratum.lint.cache_hits_total"); hits < 3 {
+		t.Fatalf("lint cache hits = %d, want >= 3", hits)
+	}
+
+	// A catalog change invalidates the cached findings.
+	db.MustExec(`CREATE TABLE other (x CHAR(3))`)
+	base := m.Value("stratum.lint.analysis_runs_total")
+	if _, err := db.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Value("stratum.lint.analysis_runs_total"); got != base+1 {
+		t.Fatalf("post-DDL EXPLAIN analysis runs = %d, want %d", got, base+1)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"taupsm/internal/sqlast"
 	"taupsm/internal/storage"
+	"taupsm/internal/types"
 )
 
 // Catalog is the schema view the analyzer resolves names against.
@@ -20,6 +21,12 @@ type Catalog interface {
 	// nil when the object is unknown or its columns cannot be
 	// determined statically.
 	TableColumns(name string) []string
+	// TableColumnKinds returns the runtime value kinds of a table's
+	// columns, parallel to TableColumns, or nil when the kinds cannot
+	// be determined statically (unknown object, view, derived
+	// columns). A KindNull entry marks a single column of unknown
+	// type.
+	TableColumnKinds(name string) []types.Kind
 	// IsTemporalTable reports whether name is a table with temporal
 	// (valid-time or transaction-time) support.
 	IsTemporalTable(name string) bool
@@ -56,6 +63,18 @@ func (s storageCat) TableColumns(name string) []string {
 	return nil
 }
 
+func (s storageCat) TableColumnKinds(name string) []types.Kind {
+	t := s.c.Table(name)
+	if t == nil {
+		return nil
+	}
+	kinds := make([]types.Kind, len(t.Schema.Cols))
+	for i, c := range t.Schema.Cols {
+		kinds[i] = c.Type.Kind()
+	}
+	return kinds
+}
+
 func (s storageCat) IsTemporalTable(name string) bool {
 	t := s.c.Table(name)
 	return t != nil && (t.ValidTime || t.TransactionTime)
@@ -82,7 +101,8 @@ func (s storageCat) Procedure(name string) *sqlast.CreateProcedureStmt {
 
 // scriptTable is a table definition accumulated by ScriptCatalog.
 type scriptTable struct {
-	cols      []string // nil when not statically derivable
+	cols      []string     // nil when not statically derivable
+	kinds     []types.Kind // parallel to cols; nil when types are unknown
 	validTime bool
 	transTime bool
 }
@@ -125,12 +145,16 @@ func (s *ScriptCatalog) Apply(stmt sqlast.Stmt) {
 		if len(x.Cols) > 0 {
 			for _, c := range x.Cols {
 				t.cols = append(t.cols, c.Name)
+				t.kinds = append(t.kinds, c.Type.Kind())
 			}
 		} else if x.AsQuery != nil {
 			t.cols = deriveQueryCols(x.AsQuery)
 		}
 		if t.cols != nil && (x.ValidTime || x.TransactionTime) {
 			t.cols = append(t.cols, "begin_time", "end_time")
+			if t.kinds != nil {
+				t.kinds = append(t.kinds, types.KindDate, types.KindDate)
+			}
 		}
 		s.tables[fold(x.Name)] = t
 		delete(s.dropped, fold(x.Name))
@@ -151,7 +175,7 @@ func (s *ScriptCatalog) Apply(stmt sqlast.Stmt) {
 		t := s.tables[fold(x.Table)]
 		if t == nil {
 			if s.base != nil && s.base.IsTable(x.Table) {
-				t = &scriptTable{cols: s.base.TableColumns(x.Table)}
+				t = &scriptTable{cols: s.base.TableColumns(x.Table), kinds: s.base.TableColumnKinds(x.Table)}
 				s.tables[fold(x.Table)] = t
 			} else {
 				return
@@ -165,6 +189,9 @@ func (s *ScriptCatalog) Apply(stmt sqlast.Stmt) {
 		}
 		if t.cols != nil && !already {
 			t.cols = append(t.cols, "begin_time", "end_time")
+			if t.kinds != nil {
+				t.kinds = append(t.kinds, types.KindDate, types.KindDate)
+			}
 		}
 	case *sqlast.CreateFunctionStmt:
 		s.fns[fold(x.Name)] = x
@@ -206,6 +233,19 @@ func (s *ScriptCatalog) TableColumns(name string) []string {
 	}
 	if !s.dropped[fold(name)] && s.base != nil {
 		return s.base.TableColumns(name)
+	}
+	return nil
+}
+
+func (s *ScriptCatalog) TableColumnKinds(name string) []types.Kind {
+	if t, ok := s.tables[fold(name)]; ok {
+		return t.kinds
+	}
+	if _, ok := s.views[fold(name)]; ok {
+		return nil
+	}
+	if !s.dropped[fold(name)] && s.base != nil {
+		return s.base.TableColumnKinds(name)
 	}
 	return nil
 }

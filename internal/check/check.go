@@ -6,15 +6,18 @@ import (
 
 	"taupsm/internal/sqlast"
 	"taupsm/internal/sqlscan"
+	"taupsm/internal/types"
 )
 
 // checker carries the state of one analysis run.
 type checker struct {
 	cat       Catalog
 	diags     []Diagnostic
-	inRoutine bool   // analyzing a routine body (late binding: relax table/column severity)
-	selfName  string // routine being defined, lowercase ("" outside CheckRoutine)
-	isFunc    bool   // the routine being defined is a function
+	inRoutine bool        // analyzing a routine body (late binding: relax table/column severity)
+	selfName  string      // routine being defined, lowercase ("" outside CheckRoutine)
+	isFunc    bool        // the routine being defined is a function
+	retKind   types.Kind  // declared scalar return kind (KindNull: unknown/procedure/collection)
+	curPos    sqlscan.Pos // position of the statement being checked (expression-diagnostic anchor)
 }
 
 // Check analyzes one top-level statement against cat and returns its
@@ -76,6 +79,7 @@ func (c *checker) top(stmt sqlast.Stmt) {
 		c.routine(x)
 	case *sqlast.TemporalStmt:
 		c.temporalStmt(x)
+		c.foldPeriod(x)
 		c.stmt(x.Body, newScope(nil), nil)
 	case *sqlast.CreateViewStmt:
 		c.query(x.Query, newScope(nil))
@@ -103,6 +107,9 @@ func (c *checker) routine(def sqlast.Stmt) {
 	case *sqlast.CreateFunctionStmt:
 		name, params, body, pos = x.Name, x.Params, x.Body, x.Pos
 		c.isFunc = true
+		if !x.Returns.IsCollection() {
+			c.retKind = x.Returns.Kind()
+		}
 		c.cat = withRoutine{Catalog: c.cat, name: x.Name, fn: x}
 	case *sqlast.CreateProcedureStmt:
 		name, params, body, pos = x.Name, x.Params, x.Body, x.Pos
@@ -121,11 +128,16 @@ func (c *checker) routine(def sqlast.Stmt) {
 			c.add(CodeDuplicate, Warning, p.Pos, "duplicate parameter %s", p.Name)
 			continue
 		}
-		sc.vars = append(sc.vars, &varInfo{
+		v := &varInfo{
 			name: fold(p.Name), display: p.Name, declPos: p.Pos,
 			isParam: true, mode: p.Mode,
-			collection: p.Type.IsCollection(), rowCols: rowColNames(p.Type),
-		})
+			collection: p.Type.IsCollection(),
+			rowCols:    rowColNames(p.Type), rowKinds: rowColKinds(p.Type),
+		}
+		if !v.collection {
+			v.kind = p.Type.Kind()
+		}
+		sc.vars = append(sc.vars, v)
 	}
 	c.stmt(body, sc, nil)
 

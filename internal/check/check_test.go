@@ -38,6 +38,10 @@ CREATE PROCEDURE log_op (IN op VARCHAR(10), OUT n INTEGER)
 BEGIN
   SET n = 1;
 END;
+CREATE FUNCTION shift_date (d DATE, n INTEGER) RETURNS DATE
+BEGIN
+  RETURN d + n;
+END;
 `
 
 func checkOne(t *testing.T, cat Catalog, src string) []Diagnostic {
@@ -296,6 +300,187 @@ END`,
 				t.Errorf("message %q does not contain %q", d.Message, tc.contains)
 			}
 		})
+	}
+}
+
+// TestTypedDiagnosticCodes is the golden corpus for the typed-IR
+// block (TAU04x) and the constant-folding block (TAU05x): one exact
+// position, severity, and message fragment per defect class.
+func TestTypedDiagnosticCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		code     string
+		sev      Severity
+		line     int
+		col      int
+		contains string
+	}{
+		{
+			name: "TAU040 DATE plus DATE",
+			src:  `SELECT begin_time + end_time FROM item`,
+			code: CodeBadArith, sev: Error, line: 1, col: 8,
+			contains: "cannot apply + to DATE and DATE",
+		},
+		{
+			name: "TAU040 string arithmetic",
+			src:  `SELECT title * 2 FROM item`,
+			code: CodeBadArith, sev: Error, line: 1, col: 8,
+			contains: "cannot apply * to VARCHAR and INTEGER",
+		},
+		{
+			name: "TAU040 negated string",
+			src:  `SELECT -title FROM item`,
+			code: CodeBadArith, sev: Error, line: 1, col: 9,
+			contains: "cannot negate a VARCHAR value",
+		},
+		{
+			name: "TAU041 string compared to number",
+			src:  `SELECT item_id FROM item WHERE title = 1`,
+			code: CodeIncomparable, sev: Warning, line: 1, col: 32,
+			contains: "comparison of VARCHAR and INTEGER is always UNKNOWN",
+		},
+		{
+			name: "TAU042 string condition",
+			src:  `SELECT item_id FROM item WHERE 'open'`,
+			code: CodeNonBoolCond, sev: Warning, line: 1, col: 1,
+			contains: "condition has type VARCHAR and can never be TRUE",
+		},
+		{
+			name: "TAU043 DATE assigned to INTEGER",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  DECLARE n INTEGER;
+  SET n = CURRENT_DATE;
+  RETURN n;
+END`,
+			code: CodeAssignMismatch, sev: Warning, line: 4, col: 3,
+			contains: "DATE value where INTEGER is expected",
+		},
+		{
+			name: "TAU043 malformed DATE default",
+			src: `CREATE FUNCTION f () RETURNS DATE
+BEGIN
+  DECLARE d DATE DEFAULT 'not-a-date';
+  RETURN d;
+END`,
+			code: CodeAssignMismatch, sev: Error, line: 3, col: 3,
+			contains: `string "not-a-date" is not a valid DATE`,
+		},
+		{
+			name: "TAU044 RETURN of the wrong type",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  RETURN CURRENT_DATE;
+END`,
+			code: CodeReturnMismatch, sev: Warning, line: 3, col: 3,
+			contains: "RETURN: DATE value where INTEGER is expected",
+		},
+		{
+			name: "TAU045 argument of the wrong type",
+			src:  `SELECT shift_date(DATE '2010-01-01', 'x') FROM item`,
+			code: CodeArgMismatch, sev: Warning, line: 1, col: 8,
+			contains: "argument 2 of shift_date (parameter n): VARCHAR value where INTEGER is expected",
+		},
+		{
+			name: "TAU045 malformed DATE argument",
+			src:  `SELECT shift_date('zzz', 1) FROM item`,
+			code: CodeArgMismatch, sev: Error, line: 1, col: 8,
+			contains: `string "zzz" is not a valid DATE`,
+		},
+		{
+			name: "TAU046 INSERT arity",
+			src:  `INSERT INTO item_author VALUES ('a1')`,
+			code: CodeInsertArity, sev: Error, line: 1, col: 1,
+			contains: "INSERT into item_author: 1 values for 2 columns",
+		},
+		{
+			name: "TAU047 UPDATE value of the wrong type",
+			src:  `UPDATE item SET price = 'cheap' WHERE item_id = 'i1'`,
+			code: CodeInsertMismatch, sev: Warning, line: 1, col: 17,
+			contains: "UPDATE item SET price: VARCHAR value where FLOAT is expected",
+		},
+		{
+			name: "TAU050 constant IF condition",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  IF 1 > 2 THEN
+    RETURN 1;
+  END IF;
+  RETURN 0;
+END`,
+			code: CodeConstCond, sev: Warning, line: 3, col: 3,
+			contains: "IF condition is always FALSE; the THEN branch never runs",
+		},
+		{
+			name: "TAU051 dead branch statement",
+			src: `CREATE FUNCTION f () RETURNS INTEGER
+BEGIN
+  IF 1 > 2 THEN
+    RETURN 1;
+  END IF;
+  RETURN 0;
+END`,
+			code: CodeFoldedDead, sev: Warning, line: 4, col: 5,
+			contains: "statement is unreachable: the guarding condition is constant",
+		},
+		{
+			name: "TAU052 empty applicability period",
+			src:  `VALIDTIME (DATE '2011-01-01', DATE '2010-01-01') SELECT title FROM item`,
+			code: CodeEmptyPeriod, sev: Warning, line: 1, col: 1,
+			contains: "is empty; the statement has no effect",
+		},
+		{
+			name: "TAU053 constant division by zero",
+			src:  `SELECT price / (3 - 3) FROM item`,
+			code: CodeConstDivZero, sev: Error, line: 1, col: 8,
+			contains: "division by zero",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat := testCatalog(t, testSchema)
+			diags := checkOne(t, cat, tc.src)
+			d, ok := find(diags, tc.code)
+			if !ok {
+				t.Fatalf("no %s diagnostic; got %v", tc.code, diags)
+			}
+			if d.Severity != tc.sev {
+				t.Errorf("severity = %v, want %v", d.Severity, tc.sev)
+			}
+			if d.Pos.Line != tc.line || d.Pos.Col != tc.col {
+				t.Errorf("pos = %d:%d, want %d:%d (%s)", d.Pos.Line, d.Pos.Col, tc.line, tc.col, d.Message)
+			}
+			if !strings.Contains(d.Message, tc.contains) {
+				t.Errorf("message %q does not contain %q", d.Message, tc.contains)
+			}
+		})
+	}
+}
+
+// TestCleanTypedExpressionsStaySilent pins the conservative side of
+// the typed IR: unknown kinds and engine-accepted coercions must not
+// produce TAU04x/TAU05x noise.
+func TestCleanTypedExpressionsStaySilent(t *testing.T) {
+	for _, src := range []string{
+		`SELECT price * 2 FROM item`,                        // numeric arithmetic
+		`SELECT begin_time + 30 FROM item`,                  // date + int is date shifting
+		`SELECT begin_time - end_time FROM item`,            // date - date is a day count
+		`SELECT item_id FROM item WHERE price > 1`,          // comparable kinds
+		`SELECT item_id FROM item WHERE item_id = 'i1'`,     // string = string
+		`SELECT shift_date(DATE '2010-01-01', 7) FROM item`, // well-typed call
+		`INSERT INTO item_author VALUES ('i1', 'a1')`,       // exact arity
+		`UPDATE item SET price = 2 WHERE item_id = 'i1'`,    // int into float target
+		`SELECT price / 2 FROM item`,                        // nonzero constant divisor
+	} {
+		cat := testCatalog(t, testSchema)
+		diags := checkOne(t, cat, src)
+		for _, d := range diags {
+			if strings.HasPrefix(d.Code, "TAU04") || strings.HasPrefix(d.Code, "TAU05") {
+				t.Errorf("%s: unexpected %s: %s", src, d.Code, d.Message)
+			}
+		}
 	}
 }
 

@@ -61,6 +61,23 @@ const (
 	CodeModifierInBody  = "TAU023" // temporal modifier inside a routine body
 	CodePerstFallback   = "TAU030" // per-statement slicing will not apply
 	CodeManualTransTime = "TAU031" // manual DML on a transaction-time table
+	// Typed IR (typecheck.go). Severities mirror the engine's runtime
+	// coercions: constructs the engine rejects deterministically are
+	// errors, constructs it silently coerces (or that yield a constant
+	// NULL/UNKNOWN) are warnings.
+	CodeBadArith       = "TAU040" // arithmetic the engine rejects (DATE+DATE, string arithmetic)
+	CodeIncomparable   = "TAU041" // comparison of incomparable types (always UNKNOWN)
+	CodeNonBoolCond    = "TAU042" // condition of a type that can never be TRUE
+	CodeAssignMismatch = "TAU043" // SET/DEFAULT value of incompatible type
+	CodeReturnMismatch = "TAU044" // RETURN value incompatible with declared return type
+	CodeArgMismatch    = "TAU045" // argument incompatible with parameter type
+	CodeInsertArity    = "TAU046" // INSERT arity does not match target columns
+	CodeInsertMismatch = "TAU047" // INSERT/UPDATE value incompatible with column type
+	// Constant folding (fold.go).
+	CodeConstCond    = "TAU050" // condition folds to a constant
+	CodeFoldedDead   = "TAU051" // statement unreachable under constant folding
+	CodeEmptyPeriod  = "TAU052" // statically-empty applicability period
+	CodeConstDivZero = "TAU053" // constant division by zero
 )
 
 // Diagnostic is one analyzer finding anchored to a source position.
@@ -88,8 +105,9 @@ func Errors(diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-// sortDiags orders diagnostics by position, then severity (errors
-// first), then code, for stable output.
+// sortDiags orders diagnostics by (line, col, code) for stable output:
+// golden tests and vet output must not depend on map-iteration or
+// analysis-pass order.
 func sortDiags(diags []Diagnostic) {
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -98,9 +116,6 @@ func sortDiags(diags []Diagnostic) {
 		}
 		if a.Pos.Col != b.Pos.Col {
 			return a.Pos.Col < b.Pos.Col
-		}
-		if a.Severity != b.Severity {
-			return a.Severity > b.Severity
 		}
 		return a.Code < b.Code
 	})

@@ -5,6 +5,7 @@ import (
 
 	"taupsm/internal/sqlast"
 	"taupsm/internal/sqlscan"
+	"taupsm/internal/types"
 )
 
 // varInfo tracks one declared variable or parameter.
@@ -15,7 +16,9 @@ type varInfo struct {
 	isParam    bool
 	mode       sqlast.ParamMode
 	collection bool
-	rowCols    []string // ROW field names for collection types
+	kind       types.Kind   // declared scalar kind; KindNull when unknown
+	rowCols    []string     // ROW field names for collection types
+	rowKinds   []types.Kind // ROW field kinds, parallel to rowCols
 	read       bool
 	written    bool
 	warnedUse  bool // use-before-declare already reported
@@ -33,9 +36,24 @@ type cursorInfo struct {
 // rowEntry is one FROM-clause binding (or loop-variable binding)
 // visible to column references.
 type rowEntry struct {
-	alias  string   // folded, "" when the source has no name
-	cols   []string // output columns; nil when unknown
-	opaque bool     // columns not statically known
+	alias  string       // folded, "" when the source has no name
+	cols   []string     // output columns; nil when unknown
+	kinds  []types.Kind // column kinds, parallel to cols; nil when unknown
+	opaque bool         // columns not statically known
+}
+
+// kindOf returns the statically-known kind of the named column, or
+// KindNull when the entry's kinds are unknown or the column is absent.
+func (r *rowEntry) kindOf(name string) types.Kind {
+	if r.kinds == nil {
+		return types.KindNull
+	}
+	for i, c := range r.cols {
+		if i < len(r.kinds) && strings.EqualFold(c, name) {
+			return r.kinds[i]
+		}
+	}
+	return types.KindNull
 }
 
 func (r *rowEntry) hasCol(name string) bool {
@@ -164,8 +182,10 @@ func (c *checker) expr(e sqlast.Expr, sc *scope) {
 	case *sqlast.BinaryExpr:
 		c.expr(x.L, sc)
 		c.expr(x.R, sc)
+		c.checkBinary(x, sc)
 	case *sqlast.UnaryExpr:
 		c.expr(x.X, sc)
+		c.checkUnary(x, sc)
 	case *sqlast.IsNullExpr:
 		c.expr(x.X, sc)
 	case *sqlast.BetweenExpr:
@@ -265,7 +285,9 @@ func (c *checker) funcCall(x *sqlast.FuncCall, sc *scope) {
 			c.add(CodeBadArity, Error, x.Pos,
 				"function %s expects %d arguments, got %d",
 				x.Name, len(fn.Params), len(x.Args))
+			return
 		}
+		c.checkArgs(x.Name, fn.Params, x.Args, sc, x.Pos)
 		return
 	}
 	if c.cat.Procedure(x.Name) != nil {
@@ -340,10 +362,12 @@ func (c *checker) selectStmt(s *sqlast.SelectStmt, parent *scope) {
 		sc.rows = append(sc.rows, rowEntry{cols: aliases})
 	}
 	c.expr(s.Where, sc)
+	c.condition(s.Where, s.Pos, sc)
 	for _, g := range s.GroupBy {
 		c.expr(g, sc)
 	}
 	c.expr(s.Having, sc)
+	c.condition(s.Having, s.Pos, sc)
 	for _, o := range s.OrderBy {
 		c.expr(o.Expr, sc)
 	}
@@ -363,11 +387,12 @@ func (c *checker) fromRef(ref sqlast.TableRef, sc *scope) {
 		if v := sc.lookupVar(x.Name); v != nil && v.collection {
 			c.markRead(v, x.Pos)
 			sc.rows = append(sc.rows, rowEntry{alias: fold(alias),
-				cols: v.rowCols, opaque: v.rowCols == nil})
+				cols: v.rowCols, kinds: v.rowKinds, opaque: v.rowCols == nil})
 			return
 		}
 		if cols := c.cat.TableColumns(x.Name); cols != nil {
-			sc.rows = append(sc.rows, rowEntry{alias: fold(alias), cols: cols})
+			sc.rows = append(sc.rows, rowEntry{alias: fold(alias), cols: cols,
+				kinds: c.cat.TableColumnKinds(x.Name)})
 			return
 		}
 		if c.cat.IsTable(x.Name) || c.cat.IsView(x.Name) {
@@ -388,13 +413,15 @@ func (c *checker) fromRef(ref sqlast.TableRef, sc *scope) {
 	case *sqlast.TableFunc:
 		c.expr(x.Call, sc)
 		cols := x.Cols
+		var kinds []types.Kind
 		if cols == nil {
 			if fn := c.cat.Function(x.Call.Name); fn != nil && fn.Returns.IsCollection() {
 				cols = rowColNames(fn.Returns)
+				kinds = rowColKinds(fn.Returns)
 			}
 		}
 		sc.rows = append(sc.rows, rowEntry{alias: fold(x.Alias),
-			cols: cols, opaque: cols == nil})
+			cols: cols, kinds: kinds, opaque: cols == nil})
 	case *sqlast.JoinExpr:
 		c.fromRef(x.L, sc)
 		c.fromRef(x.R, sc)

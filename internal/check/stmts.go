@@ -3,6 +3,7 @@ package check
 import (
 	"taupsm/internal/sqlast"
 	"taupsm/internal/sqlscan"
+	"taupsm/internal/types"
 )
 
 // labelInfo is one enclosing label; ITERATE requires a loop label,
@@ -38,6 +39,9 @@ func (c *checker) stmts(list []sqlast.Stmt, sc *scope, labels []labelInfo) {
 }
 
 func (c *checker) stmt(s sqlast.Stmt, sc *scope, labels []labelInfo) {
+	if pos := sqlast.PosOf(s); pos != (sqlscan.Pos{}) {
+		c.curPos = pos
+	}
 	switch x := s.(type) {
 	case nil:
 	case *sqlast.CompoundStmt:
@@ -51,11 +55,17 @@ func (c *checker) stmt(s sqlast.Stmt, sc *scope, labels []labelInfo) {
 		}
 		v.written = true
 		c.useBeforeDecl(v, x.Pos)
+		if !v.collection {
+			c.checkAssign(CodeAssignMismatch, v.kind, x.Value, sc, x.Pos, "SET "+v.display)
+		}
 	case *sqlast.IfStmt:
 		c.expr(x.Cond, sc)
+		c.condition(x.Cond, x.Pos, sc)
+		c.foldIf(x)
 		c.stmts(x.Then, sc, labels)
 		for _, ei := range x.ElseIfs {
 			c.expr(ei.Cond, sc)
+			c.condition(ei.Cond, x.Pos, sc)
 			c.stmts(ei.Then, sc, labels)
 		}
 		c.stmts(x.Else, sc, labels)
@@ -68,10 +78,14 @@ func (c *checker) stmt(s sqlast.Stmt, sc *scope, labels []labelInfo) {
 		c.stmts(x.Else, sc, labels)
 	case *sqlast.WhileStmt:
 		c.expr(x.Cond, sc)
+		c.condition(x.Cond, x.Pos, sc)
+		c.foldLoop(x)
 		c.stmts(x.Body, sc, c.pushLabel(labels, x.Label, true))
 	case *sqlast.RepeatStmt:
 		c.stmts(x.Body, sc, c.pushLabel(labels, x.Label, true))
 		c.expr(x.Until, sc)
+		c.condition(x.Until, x.Pos, sc)
+		c.foldLoop(x)
 	case *sqlast.LoopStmt:
 		c.stmts(x.Body, sc, c.pushLabel(labels, x.Label, true))
 	case *sqlast.ForStmt:
@@ -87,6 +101,7 @@ func (c *checker) stmt(s sqlast.Stmt, sc *scope, labels []labelInfo) {
 		}
 	case *sqlast.ReturnStmt:
 		c.expr(x.Value, sc)
+		c.checkAssign(CodeReturnMismatch, c.retKind, x.Value, sc, x.Pos, "RETURN")
 	case *sqlast.CallStmt:
 		c.callStmt(x, sc)
 	case *sqlast.OpenStmt:
@@ -111,6 +126,7 @@ func (c *checker) stmt(s sqlast.Stmt, sc *scope, labels []labelInfo) {
 			c.add(CodeModifierInBody, Warning, x.Pos,
 				"%s inside a routine body: sequenced statement modifiers in routines are rejected by per-statement slicing", x.Mod)
 		}
+		c.foldPeriod(x)
 		c.stmt(x.Body, sc, labels)
 	case *sqlast.CreateTableStmt:
 		if x.AsQuery != nil {
@@ -136,15 +152,24 @@ func (c *checker) compound(s *sqlast.CompoundStmt, parent *scope, labels []label
 	sc := newScope(parent)
 	for _, d := range s.VarDecls {
 		c.expr(d.Default, sc)
+		if !d.Type.IsCollection() {
+			c.checkAssign(CodeAssignMismatch, d.Type.Kind(), d.Default, sc, d.Pos,
+				"DEFAULT for "+firstName(d.Names))
+		}
 		for _, name := range d.Names {
 			if sc.localVar(name) != nil {
 				c.add(CodeDuplicate, Warning, d.Pos, "duplicate declaration of %s", name)
 				continue
 			}
-			sc.vars = append(sc.vars, &varInfo{
+			v := &varInfo{
 				name: fold(name), display: name, declPos: d.Pos,
-				collection: d.Type.IsCollection(), rowCols: rowColNames(d.Type),
-			})
+				collection: d.Type.IsCollection(),
+				rowCols:    rowColNames(d.Type), rowKinds: rowColKinds(d.Type),
+			}
+			if !v.collection {
+				v.kind = d.Type.Kind()
+			}
+			sc.vars = append(sc.vars, v)
 		}
 	}
 	for _, cd := range s.Cursors {
@@ -304,16 +329,29 @@ func (c *checker) callStmt(x *sqlast.CallStmt, sc *scope) {
 				v.read = true
 			}
 			c.useBeforeDecl(v, cr.Pos)
+			if !v.collection && !p.Type.IsCollection() && !assignable(v.kind, p.Type.Kind()) {
+				c.add(CodeArgMismatch, Warning, cr.Pos,
+					"argument %d of %s: %s variable bound to %s %s parameter %s",
+					i+1, x.Name, v.kind, p.Type.Kind(), p.Mode, p.Name)
+			}
 			continue
 		}
 		c.expr(a, sc)
 	}
+	c.checkArgs(x.Name, pr.Params, x.Args, sc, x.Pos)
+}
+
+func firstName(names []string) string {
+	if len(names) == 0 {
+		return "?"
+	}
+	return names[0]
 }
 
 // ---------- DML ----------
 
 func (c *checker) insertStmt(x *sqlast.InsertStmt, sc *scope) {
-	cols := c.dmlTarget(x.Table, x.VarTarget, true, x.Pos, sc)
+	cols, kinds := c.dmlTarget(x.Table, x.VarTarget, true, x.Pos, sc)
 	if x.Cols != nil && cols != nil {
 		for _, name := range x.Cols {
 			if !colIn(cols, name) {
@@ -322,29 +360,39 @@ func (c *checker) insertStmt(x *sqlast.InsertStmt, sc *scope) {
 			}
 		}
 	}
+	c.insertShape(x, cols, kinds, sc)
 	c.query(x.Source, sc)
 }
 
 func (c *checker) updateStmt(x *sqlast.UpdateStmt, sc *scope) {
-	cols := c.dmlTarget(x.Table, x.VarTarget, false, x.Pos, sc)
+	cols, kinds := c.dmlTarget(x.Table, x.VarTarget, false, x.Pos, sc)
 	alias := x.Alias
 	if alias == "" {
 		alias = x.Table
 	}
 	body := newScope(sc)
-	body.rows = append(body.rows, rowEntry{alias: fold(alias), cols: cols, opaque: cols == nil})
+	body.rows = append(body.rows, rowEntry{alias: fold(alias), cols: cols, kinds: kinds, opaque: cols == nil})
 	for _, set := range x.Sets {
 		if cols != nil && !colIn(cols, set.Column) {
 			c.add(CodeUnknownColumn, c.tableSev(), set.Pos,
 				"column %s.%s does not exist", x.Table, set.Column)
 		}
 		c.expr(set.Value, body)
+		if kinds != nil {
+			for i, cn := range cols {
+				if i < len(kinds) && equalFoldASCII(cn, set.Column) {
+					c.checkAssign(CodeInsertMismatch, kinds[i], set.Value, body, set.Pos,
+						"UPDATE "+x.Table+" SET "+set.Column)
+					break
+				}
+			}
+		}
 	}
 	c.expr(x.Where, body)
 }
 
 func (c *checker) deleteStmt(x *sqlast.DeleteStmt, sc *scope) {
-	cols := c.dmlTarget(x.Table, x.VarTarget, false, x.Pos, sc)
+	cols, _ := c.dmlTarget(x.Table, x.VarTarget, false, x.Pos, sc)
 	alias := x.Alias
 	if alias == "" {
 		alias = x.Table
@@ -355,33 +403,33 @@ func (c *checker) deleteStmt(x *sqlast.DeleteStmt, sc *scope) {
 }
 
 // dmlTarget resolves a DML target (table or collection variable) and
-// returns its columns (nil when unknown). insert reports whether the
-// statement may target a collection variable without the TABLE
-// keyword (the engine resolves UPDATE/DELETE targets through variables
-// too, so variables are accepted for all three).
-func (c *checker) dmlTarget(name string, varTarget, insert bool, pos sqlscan.Pos, sc *scope) []string {
+// returns its columns and their kinds (nil when unknown). insert
+// reports whether the statement may target a collection variable
+// without the TABLE keyword (the engine resolves UPDATE/DELETE targets
+// through variables too, so variables are accepted for all three).
+func (c *checker) dmlTarget(name string, varTarget, insert bool, pos sqlscan.Pos, sc *scope) ([]string, []types.Kind) {
 	if v := sc.lookupVar(name); v != nil && v.collection {
 		v.written = true
 		v.read = true
-		return v.rowCols
+		return v.rowCols, v.rowKinds
 	}
 	if varTarget {
 		c.add(CodeUndeclaredVar, Error, pos,
 			"variable %s is not declared", name)
-		return nil
+		return nil, nil
 	}
 	if cols := c.cat.TableColumns(name); cols != nil {
-		return cols
+		return cols, c.cat.TableColumnKinds(name)
 	}
 	if c.cat.IsTable(name) || c.cat.IsView(name) {
-		return nil
+		return nil, nil
 	}
 	msg := "table %s does not exist"
 	if !insert {
 		msg = "table or view %s does not exist"
 	}
 	c.add(CodeUnknownTable, c.tableSev(), pos, msg, name)
-	return nil
+	return nil, nil
 }
 
 func colIn(cols []string, name string) bool {

@@ -1,0 +1,385 @@
+package check
+
+import (
+	"sort"
+	"strings"
+
+	"taupsm/internal/sqlast"
+)
+
+// Interprocedural effect summaries. Where effects.go answers the
+// boolean questions the engine asked historically (Pure, WriteFree),
+// this pass computes the full effect lattice: per statement or routine,
+// the exact set of stored tables read and written, the temporal
+// dimension each access touches, and the dependency set (routines and
+// table names consulted) the verdict rests on. Recursive and mutually
+// recursive routines are handled by fixpoint iteration — summaries only
+// grow, so iteration terminates.
+//
+// The engine uses summaries three ways: parallel MAX evaluation runs
+// fragments concurrently when their shared write set is empty (writes
+// confined to collection variables and frame-local temporary tables
+// don't count), EXPLAIN renders the read/write sets, and the
+// translation/plan/purity caches revalidate against the dependency set
+// instead of discarding on every catalog version bump.
+
+// AccessDims records which temporal context(s) a table access occurs
+// under, as a bitmask.
+type AccessDims uint8
+
+// Access-dimension bits. A non-temporal table access has no bits set.
+const (
+	// AccessCurrent is a current-semantics access to a temporal table.
+	AccessCurrent AccessDims = 1 << iota
+	// AccessValid is an access under a VALIDTIME modifier.
+	AccessValid
+	// AccessTransaction is an access under a TRANSACTIONTIME modifier.
+	AccessTransaction
+)
+
+// String renders the dimension set for EXPLAIN output.
+func (d AccessDims) String() string {
+	if d == 0 {
+		return "snapshot"
+	}
+	var parts []string
+	if d&AccessCurrent != 0 {
+		parts = append(parts, "current")
+	}
+	if d&AccessValid != 0 {
+		parts = append(parts, "validtime")
+	}
+	if d&AccessTransaction != 0 {
+		parts = append(parts, "transactiontime")
+	}
+	return strings.Join(parts, "+")
+}
+
+// Summary is the inferred effect set of one statement or routine,
+// closed over everything it can call.
+type Summary struct {
+	// Reads and Writes map folded stored-table (or view) names to the
+	// temporal dimensions the accesses touch.
+	Reads  map[string]AccessDims
+	Writes map[string]AccessDims
+	// LocalWrites are writes confined to the invocation: DML against
+	// temporary tables a called routine itself creates. They never
+	// escape the call and are discounted from parallel-safety.
+	LocalWrites map[string]bool
+	// DDL reports a schema change against the shared catalog (a
+	// routine's own temporary tables are frame-local and don't count).
+	DDL bool
+	// Unknown reports the analysis could not bound the effect set.
+	Unknown bool
+	// Routines is the dependency set: every routine name (folded) whose
+	// definition the verdict depends on, including unresolved callees —
+	// defining one later changes the verdict.
+	Routines map[string]bool
+	// Tables maps every table name consulted (folded) to whether it
+	// existed as a stored base table at analysis time; creating or
+	// dropping one of these invalidates the summary.
+	Tables map[string]bool
+}
+
+func newSummary() *Summary {
+	return &Summary{
+		Reads:       map[string]AccessDims{},
+		Writes:      map[string]AccessDims{},
+		LocalWrites: map[string]bool{},
+		Routines:    map[string]bool{},
+		Tables:      map[string]bool{},
+	}
+}
+
+// SharedWriteFree reports that the summarized code writes no stored
+// table and changes no schema: all its effects (if any) are confined
+// to collection variables and frame-local temporary tables, so
+// identical concurrent invocations cannot interfere.
+func (s *Summary) SharedWriteFree() bool {
+	return !s.DDL && !s.Unknown && len(s.Writes) == 0
+}
+
+// ReadList returns the read set sorted for deterministic output.
+func (s *Summary) ReadList() []string { return sortedKeys(s.Reads) }
+
+// WriteList returns the write set sorted for deterministic output.
+func (s *Summary) WriteList() []string { return sortedKeys(s.Writes) }
+
+func sortedKeys(m map[string]AccessDims) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// merge folds o into s (monotone), reporting whether s grew.
+func (s *Summary) merge(o *Summary) bool {
+	if o == nil {
+		return false
+	}
+	grew := false
+	for k, d := range o.Reads {
+		if s.Reads[k]&d != d {
+			s.Reads[k] |= d
+			grew = true
+		}
+	}
+	for k, d := range o.Writes {
+		if s.Writes[k]&d != d {
+			s.Writes[k] |= d
+			grew = true
+		}
+	}
+	for k := range o.LocalWrites {
+		if !s.LocalWrites[k] {
+			s.LocalWrites[k] = true
+			grew = true
+		}
+	}
+	if o.DDL && !s.DDL {
+		s.DDL = true
+		grew = true
+	}
+	if o.Unknown && !s.Unknown {
+		s.Unknown = true
+		grew = true
+	}
+	for k := range o.Routines {
+		if !s.Routines[k] {
+			s.Routines[k] = true
+			grew = true
+		}
+	}
+	for k, v := range o.Tables {
+		if have, ok := s.Tables[k]; !ok || have != v {
+			s.Tables[k] = v
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Summarize computes the effect summary of n, resolving routine calls
+// through locals (folded name → body) first, then cat. The root n is
+// analyzed at top level: a CREATE TEMPORARY TABLE there is shared DDL,
+// while the same statement inside a called routine is frame-local.
+func Summarize(cat Catalog, locals map[string]sqlast.Stmt, n sqlast.Node) *Summary {
+	s := &summarizer{cat: cat, locals: locals, memo: map[string]*Summary{}}
+	var out *Summary
+	for range [64]struct{}{} { // fixpoint: bound is #routines, cap for safety
+		s.changed = false
+		s.done = map[string]bool{}
+		out = newSummary()
+		s.node(n, out, nil, 0)
+		if !s.changed {
+			break
+		}
+	}
+	return out
+}
+
+// SummarizeRoutine computes the effect summary of invoking the named
+// stored routine (its own temporary tables discounted as frame-local).
+// The routine itself is always part of the dependency set, so callers
+// get an invalidation stamp even for an unresolved name.
+func SummarizeRoutine(cat Catalog, name string) *Summary {
+	s := &summarizer{cat: cat, memo: map[string]*Summary{}}
+	var out *Summary
+	for range [64]struct{}{} {
+		s.changed = false
+		s.done = map[string]bool{}
+		out = newSummary()
+		out.Routines[fold(name)] = true
+		out.merge(s.routineSummary(name))
+		if !s.changed {
+			break
+		}
+	}
+	return out
+}
+
+type summarizer struct {
+	cat     Catalog
+	locals  map[string]sqlast.Stmt
+	memo    map[string]*Summary // per-routine summaries across iterations
+	done    map[string]bool     // routines recomputed this iteration
+	onStack map[string]bool
+	changed bool
+}
+
+func (s *summarizer) resolve(name string) (sqlast.Stmt, bool) {
+	if s.locals != nil {
+		if body, ok := s.locals[fold(name)]; ok {
+			return body, true
+		}
+	}
+	if body := routineBody(s.cat, name); body != nil {
+		return body, true
+	}
+	return nil, false
+}
+
+// routineSummary returns the (possibly still-growing) summary of one
+// routine, computing it at most once per fixpoint iteration.
+func (s *summarizer) routineSummary(name string) *Summary {
+	k := fold(name)
+	if s.onStack[k] || s.done[k] {
+		return s.memo[k] // partial under recursion; final once done
+	}
+	body, ok := s.resolve(name)
+	if !ok {
+		return nil
+	}
+	if s.onStack == nil {
+		s.onStack = map[string]bool{}
+	}
+	s.onStack[k] = true
+	sum := newSummary()
+	s.node(body, sum, localTemps(s.cat, body), 1)
+	delete(s.onStack, k)
+	s.done[k] = true
+	prev := s.memo[k]
+	if prev == nil {
+		s.memo[k] = sum
+		s.changed = true
+		return sum
+	}
+	if prev.merge(sum) {
+		s.changed = true
+	}
+	return prev
+}
+
+// localTemps collects the names of temporary tables a routine body
+// creates for itself. The engine binds those frames-locally (each
+// invocation gets a private instance), so DML against them is not a
+// shared effect. A name that is already a stored base table is
+// excluded: the CREATE fails at run time rather than shadowing it.
+func localTemps(cat Catalog, body sqlast.Stmt) map[string]bool {
+	var temps map[string]bool
+	sqlast.Walk(body, func(m sqlast.Node) bool {
+		if x, ok := m.(*sqlast.CreateTableStmt); ok && x.Temporary && !cat.IsTable(x.Name) {
+			if temps == nil {
+				temps = map[string]bool{}
+			}
+			temps[fold(x.Name)] = true
+		}
+		return true
+	})
+	return temps
+}
+
+// node walks one subtree, accumulating effects into sum. temps is the
+// frame-local temporary-table set of the enclosing routine body (nil
+// at top level); depth distinguishes top-level statements (0) from
+// routine bodies (≥1). dim context is tracked through TemporalStmt
+// wrappers.
+func (s *summarizer) node(n sqlast.Node, sum *Summary, temps map[string]bool, depth int) {
+	s.walk(n, sum, temps, depth, 0)
+}
+
+func (s *summarizer) walk(n sqlast.Node, sum *Summary, temps map[string]bool, depth int, dim AccessDims) {
+	sqlast.Walk(n, func(m sqlast.Node) bool {
+		switch x := m.(type) {
+		case *sqlast.TemporalStmt:
+			d := AccessValid
+			if x.Dim == sqlast.DimTransaction {
+				d = AccessTransaction
+			}
+			if x.Mod == sqlast.ModCurrent {
+				d = 0
+			}
+			if x.Period != nil {
+				s.walk(x.Period.Begin, sum, temps, depth, dim)
+				s.walk(x.Period.End, sum, temps, depth, dim)
+			}
+			s.walk(x.Body, sum, temps, depth, dim|d)
+			return false
+		case *sqlast.BaseTable:
+			s.access(x.Name, sum, temps, dim, false)
+		case *sqlast.InsertStmt:
+			s.access(x.Table, sum, temps, dim, true)
+		case *sqlast.UpdateStmt:
+			s.access(x.Table, sum, temps, dim, true)
+		case *sqlast.DeleteStmt:
+			s.access(x.Table, sum, temps, dim, true)
+		case *sqlast.CreateTableStmt:
+			if x.Temporary && depth > 0 && temps[fold(x.Name)] {
+				// Frame-local: each invocation creates a private instance.
+				sum.LocalWrites[fold(x.Name)] = true
+			} else {
+				sum.DDL = true
+			}
+			sum.Tables[fold(x.Name)] = s.cat.IsTable(x.Name)
+		case *sqlast.DropTableStmt:
+			if depth > 0 && temps[fold(x.Name)] {
+				sum.LocalWrites[fold(x.Name)] = true
+			} else {
+				sum.DDL = true
+			}
+		case *sqlast.CreateViewStmt, *sqlast.DropViewStmt,
+			*sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt,
+			*sqlast.DropRoutineStmt, *sqlast.AlterAddValidTime:
+			sum.DDL = true
+		case *sqlast.FuncCall:
+			s.call(x.Name, sum)
+		case *sqlast.CallStmt:
+			s.call(x.Name, sum)
+		}
+		return true
+	})
+}
+
+// access records one table read or write. Collection variables and
+// names that are neither stored tables nor views are skipped — but
+// every name is recorded in the dependency set, because creating a
+// table with that name later changes the resolution.
+func (s *summarizer) access(name string, sum *Summary, temps map[string]bool, dim AccessDims, write bool) {
+	k := fold(name)
+	if temps[k] {
+		if write {
+			sum.LocalWrites[k] = true
+		}
+		return
+	}
+	isTable := s.cat.IsTable(name)
+	sum.Tables[k] = isTable
+	if !isTable {
+		if !write && s.cat.IsView(name) {
+			sum.Reads[k] |= s.tableDim(name, dim)
+		}
+		// Collection variable or unknown name: no stored effect.
+		return
+	}
+	d := s.tableDim(name, dim)
+	if write {
+		sum.Writes[k] |= d
+	} else {
+		sum.Reads[k] |= d
+	}
+}
+
+// tableDim resolves the dimension an access touches: non-temporal
+// tables have none; temporal tables are touched in the statement's
+// modifier dimension, or with current semantics outside any modifier.
+func (s *summarizer) tableDim(name string, dim AccessDims) AccessDims {
+	if !s.cat.IsTemporalTable(name) {
+		return 0
+	}
+	if dim != 0 {
+		return dim
+	}
+	return AccessCurrent
+}
+
+func (s *summarizer) call(name string, sum *Summary) {
+	k := fold(name)
+	sum.Routines[k] = true
+	if cs := s.routineSummary(name); cs != nil {
+		// Merging a partial (on-stack) summary is sound: the fixpoint
+		// loop re-runs until no summary grows.
+		sum.merge(cs)
+	}
+}

@@ -1,0 +1,465 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/sqlast"
+	"taupsm/internal/sqlscan"
+	"taupsm/internal/types"
+)
+
+// Typed IR: static expression typing for Temporal SQL/PSM.
+//
+// The checker infers a runtime value kind for every expression it can
+// and compares the inference against the engine's actual runtime
+// behaviour — types.Arith/Compare/TriboolFromValue for evaluation and
+// the engine's assignment coercions for SET/INSERT/RETURN/arguments.
+// The inference is deliberately conservative: types.KindNull stands
+// for "statically unknown" and unknown kinds never produce a
+// diagnostic, so opaque schemas, scalar subqueries, and dynamic SQL
+// stay silent.
+//
+// Severity calibration mirrors the engine. Constructs the engine
+// rejects deterministically whenever the expression is evaluated
+// (DATE+DATE, string arithmetic, division by a constant zero) are
+// errors; constructs it executes but that cannot mean what was written
+// (incomparable comparisons that are always UNKNOWN, conditions of a
+// kind that is never TRUE, silently-coerced assignment mismatches) are
+// warnings.
+
+// inferKind returns the statically-known runtime kind of e, or
+// types.KindNull when it cannot be determined.
+func (c *checker) inferKind(e sqlast.Expr, sc *scope) types.Kind {
+	switch x := e.(type) {
+	case *sqlast.Literal:
+		return x.Val.Kind
+	case *sqlast.ColumnRef:
+		return c.refKind(x, sc)
+	case *sqlast.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=":
+			return types.KindBool
+		case "||":
+			return types.KindString
+		}
+		return staticArith(x.Op, c.inferKind(x.L, sc), c.inferKind(x.R, sc))
+	case *sqlast.UnaryExpr:
+		if x.Op == "NOT" {
+			return types.KindBool
+		}
+		if k := c.inferKind(x.X, sc); k == types.KindInt || k == types.KindFloat {
+			return k
+		}
+		return types.KindNull
+	case *sqlast.IsNullExpr, *sqlast.BetweenExpr, *sqlast.InExpr,
+		*sqlast.ExistsExpr, *sqlast.LikeExpr:
+		return types.KindBool
+	case *sqlast.CaseExpr:
+		k := types.KindNull
+		for _, w := range x.Whens {
+			k = mergeKind(k, c.inferKind(w.Then, sc))
+		}
+		if x.Else != nil {
+			k = mergeKind(k, c.inferKind(x.Else, sc))
+		}
+		return k
+	case *sqlast.CastExpr:
+		if x.Type.IsCollection() {
+			return types.KindNull
+		}
+		return x.Type.Kind()
+	case *sqlast.FuncCall:
+		return c.callKind(x, sc)
+	}
+	return types.KindNull
+}
+
+// refKind resolves a column reference's kind the way columnRef
+// resolves its name: FROM bindings first, then variables.
+func (c *checker) refKind(x *sqlast.ColumnRef, sc *scope) types.Kind {
+	if x.Table != "" {
+		if e := sc.aliasEntry(x.Table); e != nil {
+			return e.kindOf(x.Column)
+		}
+		return types.KindNull
+	}
+	for s := sc; s != nil; s = s.parent {
+		for i := range s.rows {
+			if s.rows[i].hasCol(x.Column) {
+				return s.rows[i].kindOf(x.Column)
+			}
+		}
+	}
+	if v := sc.lookupVar(x.Column); v != nil && !v.collection {
+		return v.kind
+	}
+	return types.KindNull
+}
+
+// callKind infers a function call's result kind: stored functions from
+// their declared return type, builtins from their documented result.
+func (c *checker) callKind(x *sqlast.FuncCall, sc *scope) types.Kind {
+	if fn := c.cat.Function(x.Name); fn != nil {
+		if fn.Returns.IsCollection() {
+			return types.KindTable
+		}
+		return fn.Returns.Kind()
+	}
+	upper := strings.ToUpper(x.Name)
+	if aggregateNames[upper] {
+		switch upper {
+		case "COUNT":
+			return types.KindInt
+		case "MIN", "MAX":
+			if len(x.Args) == 1 {
+				return c.inferKind(x.Args[0], sc)
+			}
+		}
+		return types.KindNull
+	}
+	switch upper {
+	case "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP",
+		"FIRST_INSTANCE", "LAST_INSTANCE", "DATE":
+		return types.KindDate
+	case "UPPER", "UCASE", "LOWER", "LCASE", "TRIM", "SUBSTR", "SUBSTRING":
+		return types.KindString
+	case "LENGTH", "CHAR_LENGTH", "CHARACTER_LENGTH", "MOD", "YEAR", "MONTH", "DAY":
+		return types.KindInt
+	case "ABS", "NULLIF":
+		if len(x.Args) >= 1 {
+			return c.inferKind(x.Args[0], sc)
+		}
+	}
+	return types.KindNull
+}
+
+// mergeKind folds branch kinds: the common kind when they agree,
+// unknown otherwise. NULL-typed branches (NULL literals) are neutral.
+func mergeKind(a, b types.Kind) types.Kind {
+	switch {
+	case a == types.KindNull:
+		return b
+	case b == types.KindNull || a == b:
+		return a
+	}
+	return types.KindNull
+}
+
+// staticArith mirrors types.Arith over kinds: the result kind when the
+// operation is well-typed, KindNull when unknown or ill-typed (the
+// ill-typed cases are diagnosed separately by checkBinary).
+func staticArith(op string, l, r types.Kind) types.Kind {
+	if l == types.KindNull || r == types.KindNull {
+		return types.KindNull
+	}
+	if l == types.KindDate || r == types.KindDate {
+		switch {
+		case l == types.KindDate && r == types.KindDate:
+			if op == "-" {
+				return types.KindInt
+			}
+		case l == types.KindDate && (r == types.KindInt || r == types.KindBool):
+			if op == "+" || op == "-" {
+				return types.KindDate
+			}
+		case r == types.KindDate && (l == types.KindInt || l == types.KindBool):
+			if op == "+" {
+				return types.KindDate
+			}
+		}
+		return types.KindNull
+	}
+	if l == types.KindString || r == types.KindString {
+		return types.KindNull // rejected at run time (diagnosed by checkBinary)
+	}
+	if l == types.KindFloat || r == types.KindFloat {
+		return types.KindFloat
+	}
+	return types.KindInt
+}
+
+// exprPos finds a position to anchor an expression diagnostic on: the
+// first positioned node inside e, else the checker's current statement.
+func (c *checker) exprPos(e sqlast.Expr) sqlscan.Pos {
+	if p := findExprPos(e); p != (sqlscan.Pos{}) {
+		return p
+	}
+	return c.curPos
+}
+
+func findExprPos(e sqlast.Expr) sqlscan.Pos {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		return x.Pos
+	case *sqlast.FuncCall:
+		return x.Pos
+	case *sqlast.BinaryExpr:
+		if p := findExprPos(x.L); p != (sqlscan.Pos{}) {
+			return p
+		}
+		return findExprPos(x.R)
+	case *sqlast.UnaryExpr:
+		return findExprPos(x.X)
+	case *sqlast.IsNullExpr:
+		return findExprPos(x.X)
+	case *sqlast.BetweenExpr:
+		return findExprPos(x.X)
+	case *sqlast.InExpr:
+		return findExprPos(x.X)
+	case *sqlast.LikeExpr:
+		return findExprPos(x.X)
+	case *sqlast.CastExpr:
+		return findExprPos(x.X)
+	case *sqlast.CaseExpr:
+		if p := findExprPos(x.Operand); p != (sqlscan.Pos{}) {
+			return p
+		}
+		for _, w := range x.Whens {
+			if p := findExprPos(w.When); p != (sqlscan.Pos{}) {
+				return p
+			}
+			if p := findExprPos(w.Then); p != (sqlscan.Pos{}) {
+				return p
+			}
+		}
+		return findExprPos(x.Else)
+	case *sqlast.SubqueryExpr:
+		if sel, ok := x.Query.(*sqlast.SelectStmt); ok {
+			return sel.Pos
+		}
+	}
+	return sqlscan.Pos{}
+}
+
+// checkBinary types one binary operation against the engine's runtime
+// rules.
+func (c *checker) checkBinary(x *sqlast.BinaryExpr, sc *scope) {
+	switch x.Op {
+	case "AND", "OR", "||":
+		return
+	case "=", "<>", "<", "<=", ">", ">=":
+		l, r := c.inferKind(x.L, sc), c.inferKind(x.R, sc)
+		if l == types.KindNull || r == types.KindNull {
+			return
+		}
+		// The only statically-decidable incomparable pairing is string
+		// against numeric (string↔date depends on the string's content).
+		if (l == types.KindString && isNumeric(r)) || (isNumeric(l) && r == types.KindString) {
+			c.add(CodeIncomparable, Warning, c.exprPos(x),
+				"comparison of %s and %s is always UNKNOWN", l, r)
+		}
+		return
+	case "+", "-", "*", "/":
+		if x.Op == "/" {
+			if v, ok := foldConst(x.R); ok && !v.IsNull() && isNumeric(v.Kind) && v.Float() == 0 {
+				c.add(CodeConstDivZero, Error, c.exprPos(x), "division by zero")
+				return
+			}
+		}
+		l, r := c.inferKind(x.L, sc), c.inferKind(x.R, sc)
+		if l == types.KindNull || r == types.KindNull {
+			return
+		}
+		if l == types.KindDate || r == types.KindDate {
+			if staticArith(x.Op, l, r) == types.KindNull {
+				c.add(CodeBadArith, Error, c.exprPos(x),
+					"cannot apply %s to %s and %s", x.Op, l, r)
+			}
+			return
+		}
+		if l == types.KindString || r == types.KindString {
+			c.add(CodeBadArith, Error, c.exprPos(x),
+				"cannot apply %s to %s and %s (use || for concatenation)", x.Op, l, r)
+		}
+	}
+}
+
+// checkUnary types a unary operation: negating a string or date is
+// rejected by the engine (it evaluates -x as 0 - x).
+func (c *checker) checkUnary(x *sqlast.UnaryExpr, sc *scope) {
+	if x.Op != "-" {
+		return
+	}
+	if k := c.inferKind(x.X, sc); k == types.KindString || k == types.KindDate {
+		c.add(CodeBadArith, Error, c.exprPos(x), "cannot negate a %s value", k)
+	}
+}
+
+func isNumeric(k types.Kind) bool {
+	return k == types.KindInt || k == types.KindFloat || k == types.KindBool
+}
+
+// condition checks a predicate position (IF/WHILE/UNTIL/WHERE/HAVING):
+// the engine's TriboolFromValue treats only TRUE booleans and nonzero
+// integers as TRUE, so a condition statically known to be a string,
+// date, or float can never pass.
+func (c *checker) condition(e sqlast.Expr, pos sqlscan.Pos, sc *scope) {
+	if e == nil {
+		return
+	}
+	switch k := c.inferKind(e, sc); k {
+	case types.KindString, types.KindDate, types.KindFloat:
+		if p := findExprPos(e); p != (sqlscan.Pos{}) {
+			pos = p
+		}
+		c.add(CodeNonBoolCond, Warning, pos,
+			"condition has type %s and can never be TRUE", k)
+	}
+}
+
+// assignable reports whether a value of kind val may be assigned to a
+// target of kind tgt without the engine's coercion losing the declared
+// type: exact matches, the numeric kinds among themselves, any value
+// into a string target (rendered via Text), and strings or integers
+// into a date target (the engine parses/shifts them).
+func assignable(tgt, val types.Kind) bool {
+	if tgt == types.KindNull || val == types.KindNull || tgt == val {
+		return true
+	}
+	switch tgt {
+	case types.KindString:
+		return true
+	case types.KindDate:
+		return val == types.KindString || val == types.KindInt
+	case types.KindInt, types.KindFloat, types.KindBool:
+		return isNumeric(val)
+	}
+	return false
+}
+
+// checkAssign reports an assignment-shaped type mismatch (SET,
+// DECLARE ... DEFAULT, RETURN, arguments, INSERT/UPDATE values). A
+// string literal assigned to a DATE target is additionally parsed: the
+// engine's coercion raises a runtime error for a malformed literal, so
+// that case is an error rather than a warning.
+func (c *checker) checkAssign(code string, tgt types.Kind, e sqlast.Expr, sc *scope, pos sqlscan.Pos, what string) {
+	if e == nil || tgt == types.KindNull {
+		return
+	}
+	val := c.inferKind(e, sc)
+	if val == types.KindNull {
+		return
+	}
+	if tgt == types.KindDate && val == types.KindString {
+		if lit, ok := e.(*sqlast.Literal); ok && lit.Val.Kind == types.KindString {
+			if _, err := types.ParseDate(strings.TrimSpace(lit.Val.S)); err != nil {
+				c.add(code, Error, pos, "%s: string %q is not a valid DATE", what, lit.Val.S)
+			}
+		}
+		return
+	}
+	if !assignable(tgt, val) {
+		c.add(code, Warning, pos, "%s: %s value where %s is expected", what, val, tgt)
+	}
+}
+
+// rowColKinds returns the field kinds of a ROW(...) ARRAY type,
+// parallel to rowColNames.
+func rowColKinds(t sqlast.TypeName) []types.Kind {
+	if !t.IsCollection() {
+		return nil
+	}
+	out := make([]types.Kind, len(t.Row))
+	for i, c := range t.Row {
+		out[i] = c.Type.Kind()
+	}
+	return out
+}
+
+// checkArgs types a routine invocation's arguments against the
+// callee's declared parameter types (IN parameters only; OUT/INOUT
+// binding is checked by callStmt).
+func (c *checker) checkArgs(name string, params []sqlast.ParamDef, args []sqlast.Expr, sc *scope, pos sqlscan.Pos) {
+	if len(args) != len(params) {
+		return
+	}
+	for i, a := range args {
+		p := params[i]
+		if p.Mode != sqlast.ModeIn || p.Type.IsCollection() {
+			continue
+		}
+		apos := findExprPos(a)
+		if apos == (sqlscan.Pos{}) {
+			apos = pos
+		}
+		c.checkAssign(CodeArgMismatch, p.Type.Kind(), a, sc, apos,
+			fmt.Sprintf("argument %d of %s (parameter %s)", i+1, name, p.Name))
+	}
+}
+
+// insertShape checks an INSERT's arity and value kinds against the
+// target's columns. Temporal targets accept rows with or without the
+// trailing begin_time/end_time pair — the stratum's current-semantics
+// transform supplies the period when the user omits it.
+func (c *checker) insertShape(x *sqlast.InsertStmt, cols []string, kinds []types.Kind, sc *scope) {
+	if cols == nil {
+		return
+	}
+	targetCols := cols
+	targetKinds := kinds
+	if len(x.Cols) > 0 {
+		targetCols = x.Cols
+		targetKinds = nil
+		if kinds != nil {
+			targetKinds = make([]types.Kind, len(x.Cols))
+			for i, name := range x.Cols {
+				targetKinds[i] = types.KindNull
+				for j, cn := range cols {
+					if j < len(kinds) && equalFoldASCII(cn, name) {
+						targetKinds[i] = kinds[j]
+						break
+					}
+				}
+			}
+		}
+	}
+	arities := []int{len(targetCols)}
+	if len(x.Cols) == 0 && c.cat.IsTemporalTable(x.Table) && len(targetCols) >= 2 {
+		arities = append(arities, len(targetCols)-2)
+	}
+	okArity := func(n int) bool {
+		for _, a := range arities {
+			if n == a {
+				return true
+			}
+		}
+		return false
+	}
+	switch src := x.Source.(type) {
+	case *sqlast.ValuesExpr:
+		for _, row := range src.Rows {
+			if !okArity(len(row)) {
+				c.add(CodeInsertArity, c.tableSev(), x.Pos,
+					"INSERT into %s: %d values for %d columns", x.Table, len(row), len(targetCols))
+				continue
+			}
+			if targetKinds == nil {
+				continue
+			}
+			for i, e := range row {
+				if i >= len(targetKinds) {
+					break
+				}
+				pos := findExprPos(e)
+				if pos == (sqlscan.Pos{}) {
+					pos = x.Pos
+				}
+				c.checkAssign(CodeInsertMismatch, targetKinds[i], e, sc, pos,
+					"INSERT into "+x.Table+" column "+targetCols[i])
+			}
+		}
+	case *sqlast.SelectStmt:
+		n := 0
+		for _, it := range src.Items {
+			if it.Star || it.TableStar != "" {
+				return
+			}
+			n++
+		}
+		if !okArity(n) {
+			c.add(CodeInsertArity, c.tableSev(), x.Pos,
+				"INSERT into %s: query yields %d columns for %d target columns", x.Table, n, len(targetCols))
+		}
+	}
+}

@@ -13,6 +13,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -239,6 +240,13 @@ func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
 	case *sqlast.CreateTableStmt:
 		return db.execCreateTable(ctx, s)
 	case *sqlast.DropTableStmt:
+		// Inside a routine, a temporary table the routine created is
+		// bound in its variable frame, not the shared catalog; dropping
+		// it just removes the binding. Collection variables are not
+		// eligible, and anything else falls through to the catalog.
+		if ctx.depth > 0 && ctx.vars != nil && ctx.vars.dropTableVar(s.Name) {
+			return &Result{}, nil
+		}
 		old := db.Cat.Table(s.Name)
 		if !db.Cat.DropTable(s.Name) && !s.IfExists {
 			return nil, fmt.Errorf("table %s does not exist", s.Name)
@@ -324,6 +332,16 @@ func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
 }
 
 func (db *DB) execCreateTable(ctx *execCtx, s *sqlast.CreateTableStmt) (*Result, error) {
+	// A temporary table created inside a routine is frame-local: each
+	// invocation gets a private instance bound in the variable frame,
+	// invisible to the shared catalog. This keeps routines that stage
+	// intermediate results in temp tables safe to run concurrently
+	// (the parallel-safety analysis discounts such writes) and scopes
+	// the table's lifetime to the call.
+	frameLocal := s.Temporary && ctx.depth > 0 && ctx.vars != nil
+	if frameLocal && ctx.vars.getTable(s.Name) != nil {
+		return nil, fmt.Errorf("table %s already exists", s.Name)
+	}
 	if db.Cat.Table(s.Name) != nil {
 		return nil, fmt.Errorf("table %s already exists", s.Name)
 	}
@@ -367,6 +385,10 @@ func (db *DB) execCreateTable(ctx *execCtx, s *sqlast.CreateTableStmt) (*Result,
 	t.Temporary = s.Temporary
 	t.Rows = rows
 	t.Bump()
+	if frameLocal {
+		ctx.vars.setTableVar(strings.ToLower(s.Name), t)
+		return &Result{Affected: len(rows)}, nil
+	}
 	db.Cat.PutTable(t)
 	journalPutTable(ctx.journal, db.Cat, nil, t)
 	if !t.Temporary {

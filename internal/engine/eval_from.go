@@ -87,12 +87,13 @@ func (db *DB) sourceMetas(ctx *execCtx, ref sqlast.TableRef) ([]entryMeta, error
 			}
 			return []entryMeta{{alias: alias, cols: cols}}, nil
 		}
-		if ctx.planRec != nil {
-			// View or system table: record that no table holds the name,
-			// so a later temp table can't silently shadow the resolution.
-			ctx.planRec.catTables[strings.ToLower(r.Name)] = catResolved{}
-		}
 		if v := db.Cat.View(r.Name); v != nil {
+			if ctx.planRec != nil {
+				// Record the view by identity: no table holds the name
+				// (a later temp table can't silently shadow the
+				// resolution), and a redefined view is a new object.
+				ctx.planRec.catTables[strings.ToLower(r.Name)] = catResolved{view: v}
+			}
 			cols := v.Cols
 			if len(cols) == 0 {
 				var err error
@@ -104,6 +105,11 @@ func (db *DB) sourceMetas(ctx *execCtx, ref sqlast.TableRef) ([]entryMeta, error
 			return []entryMeta{{alias: alias, cols: cols}}, nil
 		}
 		if st := db.systemTable(r.Name); st != nil {
+			if ctx.planRec != nil {
+				// System-table schemas are code-defined; record only that
+				// neither a table nor a view holds the name.
+				ctx.planRec.catTables[strings.ToLower(r.Name)] = catResolved{}
+			}
 			return []entryMeta{{alias: alias, cols: st.Schema.Names()}}, nil
 		}
 		return nil, fmt.Errorf("table or view %s does not exist", r.Name)

@@ -78,35 +78,80 @@ func (db *DB) memoKey(r *storage.Routine, args []types.Value) string {
 	return b.String()
 }
 
-// purity is one routinePure verdict, valid for a persistent catalog
-// version.
+// purity is one routinePure verdict. The persistent catalog version is
+// a fast-path stamp; on mismatch the verdict revalidates against its
+// dependency set — the routines and table names the effect analysis
+// consulted — and re-pins if none changed.
 type purity struct {
-	catV int64
-	pure bool
+	catV     int64
+	pure     bool
+	routines map[string]*storage.Routine // consulted routine -> identity at analysis
+	tables   map[string]bool             // consulted table name -> existed
+}
+
+// depsValid reports whether the recorded dependency set still resolves
+// identically: every consulted routine is the same object (PutRoutine
+// keeps the pointer when a redefinition renders identically), and every
+// consulted table name still (or still doesn't) name a stored table.
+func (db *DB) depsValid(routines map[string]*storage.Routine, tables map[string]bool) bool {
+	for name, ptr := range routines {
+		if db.Cat.Routine(name) != ptr {
+			return false
+		}
+	}
+	for name, existed := range tables {
+		if (db.Cat.Table(name) != nil) != existed {
+			return false
+		}
+	}
+	return true
+}
+
+// analysisDeps snapshots the dependency set of an effect summary
+// against the live catalog, for later revalidation.
+func (db *DB) analysisDeps(sum *check.Summary) (map[string]*storage.Routine, map[string]bool) {
+	routines := make(map[string]*storage.Routine, len(sum.Routines))
+	for name := range sum.Routines {
+		routines[name] = db.Cat.Routine(name)
+	}
+	tables := make(map[string]bool, len(sum.Tables))
+	for name, existed := range sum.Tables {
+		tables[name] = existed
+	}
+	return routines, tables
 }
 
 // routinePure reports whether a routine is free of SQL side effects:
 // no DML against stored tables, no DDL, and only pure routines called,
 // transitively. The verdict itself comes from the static analyzer
 // (check.Pure), the single source of truth for effect inference.
-// Verdicts are cached by lowercased routine name and revalidated
-// against the persistent catalog version — a CREATE OR REPLACE of the
-// routine (or of any callee) bumps that version, so redefinition
-// invalidates naturally even though the new *storage.Routine is a
-// different object, while the temp-table churn of generated plans
-// (which cannot change routine purity) leaves verdicts warm. The
-// cache is a sync.Map because parallel fragment workers share it
+// Verdicts are cached by lowercased routine name with two-level
+// invalidation: a matching persistent catalog version accepts
+// immediately, and a mismatched one falls back to the verdict's
+// inferred dependency set (the routines and tables the analysis
+// consulted) — unrelated DDL re-pins the verdict instead of
+// recomputing it, while redefining the routine or any callee misses
+// both levels (CREATE OR REPLACE installs a new *storage.Routine).
+// The cache is a sync.Map because parallel fragment workers share it
 // through their session handles.
 func (db *DB) routinePure(r *storage.Routine) bool {
 	catV := db.Cat.PersistentVersion()
 	key := strings.ToLower(r.Name)
 	if v, ok := db.fnPure.Load(key); ok {
-		if p := v.(purity); p.catV == catV {
+		p := v.(purity)
+		if p.catV == catV {
+			return p.pure
+		}
+		if db.depsValid(p.routines, p.tables) {
+			p.catV = catV
+			db.fnPure.Store(key, p)
 			return p.pure
 		}
 	}
-	pure := check.Pure(check.FromStorage(db.Cat), r.Name)
-	db.fnPure.Store(key, purity{catV: catV, pure: pure})
+	cat := check.FromStorage(db.Cat)
+	pure := check.Pure(cat, r.Name)
+	routines, tables := db.analysisDeps(check.SummarizeRoutine(cat, r.Name))
+	db.fnPure.Store(key, purity{catV: catV, pure: pure, routines: routines, tables: tables})
 	return pure
 }
 

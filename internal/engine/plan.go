@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"taupsm/internal/sqlast"
+	"taupsm/internal/storage"
 )
 
 // selPlan is the cached, immutable analysis of one SELECT: source
@@ -15,19 +16,22 @@ import (
 // (tuple, constant period) pair, which profiling showed to be a
 // double-digit share of sequenced execution time.
 //
-// A plan is valid while (a) the persistent catalog schema is unchanged
-// and (b) every name resolves the same way it did at build time:
-// names that resolved to table-valued variables still do (with the
-// same column list), names that resolved to catalog objects are not
-// shadowed by a variable now, and names that resolved to catalog
-// tables still reach a table with the same column list. The last check
-// is what lets the plan key on the persistent version only: generated
-// scripts create and drop temporary scratch tables around every
-// statement, and a plan must survive that churn unless its own tables
-// are the ones churning. Plans are shared by concurrent evaluation
-// sessions, so everything reachable from one is read-only.
+// A plan is valid while every name resolves the same way it did at
+// build time: names that resolved to table-valued variables still do
+// (with the same column list), names that resolved to catalog objects
+// are not shadowed by a variable now, and names that resolved to
+// catalog tables still reach a table with the same column list. The
+// persistent catalog version serves as a fast path: while it matches,
+// the recorded resolutions of durable objects cannot have changed.
+// When it differs, the plan is not discarded outright — its inferred
+// read set (the recorded resolutions) is revalidated name by name, and
+// on success the plan re-pins to the new version. Unrelated DDL (a
+// table or routine this statement never touches) therefore leaves warm
+// plans warm. Plans are shared by concurrent evaluation sessions, so
+// everything reachable from one is read-only except the atomic
+// version pin.
 type selPlan struct {
-	catVersion int64 // Catalog.PersistentVersion at build
+	catVersion atomic.Int64 // Catalog.PersistentVersion last validated at
 	srcMetas   [][]entryMeta
 	allMetas   []entryMeta
 	conjuncts  []*conjunct
@@ -36,11 +40,12 @@ type selPlan struct {
 }
 
 // catResolved pins how a FROM name resolved through the catalog when
-// the plan was built: to a table (with its column list) or to another
-// object kind (view, system table) that the persistent version guards.
+// the plan was built: to a table (with its column list), to a view
+// (by identity), or to a system table (neither).
 type catResolved struct {
 	table bool
 	cols  []string
+	view  *storage.View // non-nil when the name resolved to a view
 }
 
 // planRecorder collects, during plan building, how each base-table
@@ -84,10 +89,14 @@ func (pc *planCache) put(sel *sqlast.SelectStmt, p *selPlan) {
 }
 
 // valid reports whether the plan's name resolution still holds in ctx.
+// On a persistent-version mismatch the recorded resolutions are
+// revalidated individually; if they all hold, the plan re-pins to the
+// current version instead of rebuilding. The version is read before
+// the checks, so a racing DDL can only leave the pin too old (a
+// spurious revalidation next time), never too new.
 func (p *selPlan) valid(db *DB, ctx *execCtx) bool {
-	if p.catVersion != db.Cat.PersistentVersion() {
-		return false
-	}
+	catV := db.Cat.PersistentVersion()
+	repin := p.catVersion.Load() != catV
 	for name, cols := range p.varTables {
 		if ctx.vars == nil {
 			return false
@@ -112,13 +121,27 @@ func (p *selPlan) valid(db *DB, ctx *execCtx) bool {
 			if t != nil {
 				return false
 			}
+			if repin {
+				// A view's output columns can depend on other objects
+				// (star expansion), which identity alone doesn't pin:
+				// rebuild views on any schema change. System tables
+				// (view == nil) have code-defined schemas; just confirm
+				// no view took the name.
+				if res.view != nil || db.Cat.View(name) != nil {
+					return false
+				}
+			}
 			continue
 		}
-		// The persistent version pins durable tables; this check covers
-		// temporary ones, which must still exist with the same shape.
+		// Column identity is the real validity condition; the persistent
+		// version only fast-paths it. This covers temporary tables on
+		// the fast path and every table under revalidation.
 		if t == nil || !sameCols(t.Schema.Names(), res.cols) {
 			return false
 		}
+	}
+	if repin {
+		p.catVersion.Store(catV)
 	}
 	return true
 }
@@ -173,12 +196,13 @@ func (db *DB) buildSelPlan(ctx *execCtx, sel *sqlast.SelectStmt) (*selPlan, erro
 		allMetas = append(allMetas, ms...)
 	}
 	conjuncts := db.splitConjuncts(sel.Where, allMetas)
-	return &selPlan{
-		catVersion: catVersion,
-		srcMetas:   srcMetas,
-		allMetas:   allMetas,
-		conjuncts:  conjuncts,
-		varTables:  rec.varTables,
-		catTables:  rec.catTables,
-	}, nil
+	p := &selPlan{
+		srcMetas:  srcMetas,
+		allMetas:  allMetas,
+		conjuncts: conjuncts,
+		varTables: rec.varTables,
+		catTables: rec.catTables,
+	}
+	p.catVersion.Store(catVersion)
+	return p, nil
 }

@@ -120,6 +120,27 @@ func (f *varFrame) getTable(name string) *storage.Table {
 	return nil
 }
 
+// dropTableVar removes a frame-local binding to a temporary table,
+// walking the chain. Only bindings whose table is marked Temporary are
+// eligible: collection variables live in the same table list, but DROP
+// TABLE must not silently consume them.
+func (f *varFrame) dropTableVar(name string) bool {
+	k := strings.ToLower(name)
+	for fr := f; fr != nil; fr = fr.parent {
+		for i, n := range fr.tabNames {
+			if n == k {
+				if fr.tabs[i] == nil || !fr.tabs[i].Temporary {
+					return false
+				}
+				fr.tabNames = append(fr.tabNames[:i], fr.tabNames[i+1:]...)
+				fr.tabs = append(fr.tabs[:i], fr.tabs[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func (f *varFrame) set(name string, v types.Value) error {
 	k := strings.ToLower(name)
 	for fr := f; fr != nil; fr = fr.parent {

@@ -61,10 +61,43 @@ func (e *LintError) Error() string {
 	return fmt.Sprintf("semantic check failed:\n  %s", strings.Join(errs, "\n  "))
 }
 
+// lintCacheCap bounds the per-version lint cache.
+const lintCacheCap = 256
+
 // LintParsed statically analyzes one parsed statement against the live
-// catalog without executing it.
+// catalog without executing it. Results are cached by statement text
+// for the current catalog shape: repeated EXPLAIN (whose lint section
+// used to re-run the whole analysis every call) and re-executed
+// statements serve the stored findings; any catalog change — the full
+// version, so temporary tables count too — wipes the cache. The
+// stratum.lint.analysis_runs_total counter moves only when the
+// analysis really runs.
 func (db *DB) LintParsed(stmt sqlast.Stmt) []Diagnostic {
-	return fromChecks(check.Check(check.FromStorage(db.eng.Cat), stmt))
+	key := renderStmtSQL(stmt)
+	catV := db.eng.Cat.Version()
+	if key != "" {
+		db.mu.Lock()
+		if db.lintCacheV == catV {
+			if diags, ok := db.lintCache[key]; ok {
+				db.mu.Unlock()
+				db.sm.lintHits.Inc()
+				return diags
+			}
+		}
+		db.mu.Unlock()
+	}
+	db.sm.lintRuns.Inc()
+	out := fromChecks(check.Check(check.FromStorage(db.eng.Cat), stmt))
+	if key != "" {
+		db.mu.Lock()
+		if db.lintCacheV != catV || len(db.lintCache) >= lintCacheCap {
+			db.lintCache = map[string][]Diagnostic{}
+			db.lintCacheV = catV
+		}
+		db.lintCache[key] = out
+		db.mu.Unlock()
+	}
+	return out
 }
 
 // Lint parses a script and statically analyzes each statement,
@@ -88,6 +121,7 @@ func (db *DB) Lint(src string) ([]Diagnostic, error) {
 // error-severity diagnostics reject the statement, warnings are
 // returned for attachment to the result.
 func (db *DB) checkCreate(stmt sqlast.Stmt) ([]Diagnostic, error) {
+	db.sm.lintRuns.Inc()
 	diags := check.CheckRoutine(check.FromStorage(db.eng.Cat), stmt)
 	if len(check.Errors(diags)) > 0 {
 		return nil, &LintError{Diagnostics: fromChecks(diags)}

@@ -23,18 +23,31 @@ import (
 //
 //   - a top-level ORDER BY or FETCH FIRST, which orders/limits across
 //     the whole result rather than per period;
-//   - a reachable routine with SQL side effects (DML on a stored
-//     table, or DDL), whose concurrent execution would race.
+//   - a reachable write to SHARED state: DML on a stored table, or DDL
+//     against the shared catalog, whose concurrent execution would race.
 //
-// Both conditions are decided by the static analyzer (internal/check),
-// the single source of truth for effect inference: the translation's
-// routine clones resolve locals-first, everything else through the
-// catalog.
+// The second condition is the interprocedural effect summary's
+// shared-write set, not mere write-freedom: writes confined to
+// collection variables and to temporary tables a routine creates for
+// itself are frame-local (each invocation gets a private instance), so
+// a routine that stages intermediate results in its own temp table
+// still qualifies. Both conditions are decided by the static analyzer
+// (internal/check), the single source of truth for effect inference:
+// the translation's routine clones resolve locals-first, everything
+// else through the catalog.
 func (db *DB) computeParallelSafe(t *core.Translation) bool {
+	return chunkOrderSafeMain(t) && db.mainSummary(t).SharedWriteFree()
+}
+
+// chunkOrderSafeMain is the statement-shape half of the parallel gate.
+func chunkOrderSafeMain(t *core.Translation) bool {
 	q, ok := t.Main.(sqlast.QueryExpr)
-	if !ok || !check.ChunkOrderSafe(q) {
-		return false
-	}
+	return ok && check.ChunkOrderSafe(q)
+}
+
+// mainSummary computes the interprocedural effect summary of a
+// translation's main statement, resolving its routine clones first.
+func (db *DB) mainSummary(t *core.Translation) *check.Summary {
 	local := map[string]sqlast.Stmt{}
 	for _, r := range t.Routines {
 		switch x := r.(type) {
@@ -44,7 +57,7 @@ func (db *DB) computeParallelSafe(t *core.Translation) bool {
 			local[strings.ToLower(x.Name)] = x.Body
 		}
 	}
-	return check.WriteFree(check.FromStorage(db.eng.Cat), local, t.Main)
+	return check.Summarize(check.FromStorage(db.eng.Cat), local, t.Main)
 }
 
 // ParallelSafe reports whether a MAX translation's main statement may

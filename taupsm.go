@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"taupsm/internal/check"
 	"taupsm/internal/core"
 	"taupsm/internal/engine"
 	"taupsm/internal/obs"
@@ -112,6 +113,11 @@ type DB struct {
 	parseCache map[string][]sqlast.Stmt
 	tcache     map[string]*translationEntry
 	cpcache    map[string]*cpEntry
+	// lintCache keyed by statement text serves repeated static analysis
+	// (EXPLAIN's lint section, re-executed statements) for one catalog
+	// version; any catalog-shape change wipes it wholesale.
+	lintCache  map[string][]Diagnostic
+	lintCacheV int64
 
 	// lastFallbackNote describes the most recent PERST→MAX fallback
 	// and whether the static analyzer predicted it; see
@@ -147,6 +153,7 @@ func newDB(eng *engine.DB, metrics *obs.Metrics) *DB {
 		parseCache: map[string][]sqlast.Stmt{},
 		tcache:     map[string]*translationEntry{},
 		cpcache:    map[string]*cpEntry{},
+		lintCache:  map[string][]Diagnostic{},
 		ring:       obs.NewRing(0),
 	}
 	db.sm = newStratumMetrics(db.metrics)
@@ -231,6 +238,9 @@ type stratumMetrics struct {
 	parFrags    *obs.Counter
 	parWorkers  *obs.Gauge
 
+	lintRuns *obs.Counter
+	lintHits *obs.Counter
+
 	engRowsScanned    *obs.Counter
 	engRowsReturned   *obs.Counter
 	engRoutineCalls   *obs.Counter
@@ -270,6 +280,9 @@ func newStratumMetrics(m *obs.Metrics) stratumMetrics {
 		parStmts:    m.Counter("stratum.parallel.statements_total"),
 		parFrags:    m.Counter("stratum.parallel.fragments_total"),
 		parWorkers:  m.Gauge("stratum.parallel.workers"),
+
+		lintRuns: m.Counter("stratum.lint.analysis_runs_total"),
+		lintHits: m.Counter("stratum.lint.cache_hits_total"),
 
 		engRowsScanned:    m.Counter("engine.rows_scanned_total"),
 		engRowsReturned:   m.Counter("engine.rows_returned_total"),
@@ -581,12 +594,16 @@ func (db *DB) cachedTranslate(st *stmtState, stmt sqlast.Stmt) (*core.Translatio
 	if err != nil || t == nil {
 		return t, nil, err
 	}
+	sum := db.mainSummary(t)
 	ent := &translationEntry{
 		t:            t,
 		catVersion:   catV,
 		stamps:       db.tableStamps(t.TemporalTables),
-		parallelSafe: db.computeParallelSafe(t),
+		summary:      sum,
+		origSummary:  check.Summarize(check.FromStorage(db.eng.Cat), nil, stmt),
+		parallelSafe: chunkOrderSafeMain(t) && sum.SharedWriteFree(),
 	}
+	db.pinDeps(ent)
 	db.storeTranslation(key, ent)
 	return t, ent, nil
 }
@@ -825,11 +842,13 @@ func (db *DB) runTranslation(st *stmtState, e *engine.DB, ent *translationEntry,
 			}
 		}
 		if ent != nil {
-			// Registration may have bumped the catalog version; re-pin the
-			// entry so the very next lookup already hits.
+			// Registration may have bumped the catalog version and changed
+			// what the clone names resolve to; re-pin the entry and its
+			// dependency snapshot so the very next lookup already hits.
 			db.mu.Lock()
 			ent.registered = true
 			ent.catVersion = db.eng.Cat.PersistentVersion()
+			db.pinDeps(ent)
 			db.mu.Unlock()
 		}
 	}

@@ -69,3 +69,55 @@ END;
 
 -- TAU020: temporal modifier over a snapshot-only table.
 VALIDTIME SELECT item_id FROM item_author;
+
+-- TAU040: arithmetic the engine rejects whenever it is evaluated.
+SELECT begin_time + end_time FROM item;
+SELECT title * 2 FROM item;
+
+-- TAU041: comparison that is always UNKNOWN.
+SELECT item_id FROM item WHERE title = 1;
+
+-- TAU042: condition of a type that can never be TRUE.
+SELECT item_id FROM item WHERE 'open';
+
+-- TAU043: assignment silently coerced away from the declared type.
+CREATE PROCEDURE p9 ()
+BEGIN
+  DECLARE n INTEGER;
+  SET n = CURRENT_DATE;
+END;
+
+-- TAU044: RETURN value incompatible with the declared return type.
+CREATE FUNCTION f3 () RETURNS INTEGER
+BEGIN
+  RETURN CURRENT_DATE;
+END;
+
+-- TAU045: argument incompatible with the parameter type.
+CREATE FUNCTION shift_date (d DATE, n INTEGER) RETURNS DATE
+BEGIN
+  RETURN d + n;
+END;
+SELECT shift_date(DATE '2010-01-01', 'x') FROM item;
+
+-- TAU046: INSERT arity does not match the target columns.
+INSERT INTO item_author VALUES ('a1');
+
+-- TAU047: INSERT/UPDATE value incompatible with the column type.
+UPDATE item SET price = 'cheap' WHERE item_id = 'i1';
+INSERT INTO item (item_id, title, price) VALUES ('i9', 't', 'expensive');
+
+-- TAU050 and TAU051: a constant condition and the branch it kills.
+CREATE PROCEDURE p10 ()
+BEGIN
+  DECLARE v INTEGER;
+  IF 1 > 2 THEN
+    SET v = 1;
+  END IF;
+END;
+
+-- TAU052: statically-empty applicability period.
+VALIDTIME (DATE '2011-01-01', DATE '2010-01-01') SELECT title FROM item;
+
+-- TAU053: constant division by zero.
+SELECT price / (3 - 3) FROM item;
