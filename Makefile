@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify fuzz-smoke bench obsbench microbench report clean
+.PHONY: build test race verify fuzz-smoke bench obsbench bench4 bench5 microbench report clean
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,11 @@ obsbench:
 # counters as evidence). CI gates its geomean against this file.
 bench4:
 	$(GO) run ./cmd/taubench -exp obsreport -reps 15 -json BENCH_4.json
+
+# bench5 regenerates the bitemporal workload artifact: BT-SMALL audit
+# queries under both strategies with the interleaved A/A noise bound.
+bench5:
+	$(GO) run ./cmd/taubench -workload BT-SMALL -reps 15 -json BENCH_5.json
 
 # microbench runs the Go benchmark suite once over every cell.
 microbench:

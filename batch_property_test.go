@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"taupsm"
+	"taupsm/internal/enginetest"
 	"taupsm/internal/taubench"
 	"taupsm/internal/wal"
 )
@@ -23,7 +24,7 @@ func TestBatchedExecutionProperty(t *testing.T) {
 	}
 
 	mem := taupsm.Open()
-	loadCorpus(t, mem, spec)
+	enginetest.LoadCorpus(t, mem, spec)
 	// ANALYZE arms the overlap-depth statistics the sweep-vs-probe
 	// choice reads, mirroring the benchmark runner's setup.
 	mem.MustExec("ANALYZE")
@@ -33,7 +34,7 @@ func TestBatchedExecutionProperty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loadCorpus(t, per, spec)
+	enginetest.LoadCorpus(t, per, spec)
 	if err := per.Checkpoint(); err != nil {
 		t.Fatalf("checkpoint: %v", err)
 	}
@@ -66,8 +67,8 @@ func TestBatchedExecutionProperty(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s par=%d batched warm: %v", q.Name, par, err)
 			}
-			want := renderRows(cold)
-			if g := renderRows(warm); g != want {
+			want := enginetest.RenderRows(cold)
+			if g := enginetest.RenderRows(warm); g != want {
 				t.Errorf("%s par=%d: warm batched run diverges from cold\n--- cold\n%s--- warm\n%s",
 					q.Name, par, want, g)
 			}
@@ -79,7 +80,7 @@ func TestBatchedExecutionProperty(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s par=%d unbatched: %v", q.Name, par, err)
 			}
-			if g := renderRows(plain); g != want {
+			if g := enginetest.RenderRows(plain); g != want {
 				t.Errorf("%s par=%d: unbatched run diverges from batched\n--- batched\n%s--- unbatched\n%s",
 					q.Name, par, want, g)
 			}
@@ -89,7 +90,7 @@ func TestBatchedExecutionProperty(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s par=%d recovered: %v", q.Name, par, err)
 			}
-			if g := renderRows(recovered); g != want {
+			if g := enginetest.RenderRows(recovered); g != want {
 				t.Errorf("%s par=%d: recovered batched run diverges\n--- in-memory\n%s--- recovered\n%s",
 					q.Name, par, want, g)
 			}
@@ -113,7 +114,7 @@ func TestBatchedExecutionProperty(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s par=%d perst: %v", q.Name, par, err)
 				}
-				if w, g := sortedRows(maxCoal), sortedRows(perst); g != w {
+				if w, g := enginetest.SortedRows(maxCoal), enginetest.SortedRows(perst); g != w {
 					t.Errorf("%s par=%d: PERST diverges from batched MAX (coalesced)\n--- MAX\n%s\n--- PERST\n%s",
 						q.Name, par, w, g)
 				}

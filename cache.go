@@ -229,8 +229,8 @@ type cpEntry struct {
 	tab    *storage.Table
 }
 
-func cpKey(ctx temporal.Period, tables []string) string {
-	return fmt.Sprintf("%d|%d|%s", ctx.Begin, ctx.End, strings.Join(tables, ","))
+func cpKey(ctx temporal.Period, tables []string, dim sqlast.TemporalDimension) string {
+	return fmt.Sprintf("%d|%d|%d|%s", dim, ctx.Begin, ctx.End, strings.Join(tables, ","))
 }
 
 // newCPTable materializes constant periods as a taupsm_cp-shaped table
@@ -254,7 +254,7 @@ func newCPTable(periods []temporal.Period) *storage.Table {
 // the computation as the statement's cp stage and, when traced, emits
 // a stratum.cp span under parent (the execute span).
 func (db *DB) constantPeriodTable(st *stmtState, parent obs.SpanContext, t *core.Translation, ctx temporal.Period) *storage.Table {
-	key := cpKey(ctx, t.TemporalTables)
+	key := cpKey(ctx, t.TemporalTables, t.Dim)
 	db.mu.Lock()
 	ent := db.cpcache[key]
 	db.mu.Unlock()
@@ -273,7 +273,7 @@ func (db *DB) constantPeriodTable(st *stmtState, parent obs.SpanContext, t *core
 	// only make them too old (a spurious recomputation), never too new.
 	start := time.Now()
 	stamps := db.tableStamps(t.TemporalTables)
-	periods := temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables), ctx)
+	periods := temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables, t.Dim), ctx)
 	tab := newCPTable(periods)
 	d := time.Since(start)
 	if st != nil {

@@ -14,7 +14,7 @@ import (
 
 	"taupsm"
 	"taupsm/internal/core"
-	"taupsm/internal/engine"
+	"taupsm/internal/enginetest"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/sqlparser"
 	"taupsm/internal/storage"
@@ -154,26 +154,10 @@ func legacyChunkOrderSafe(q sqlast.QueryExpr) bool {
 	return false
 }
 
-// corpusEngine loads the benchmark schema and one query's routines
-// into a bare engine (no stratum, no CREATE-time checks).
-func corpusEngine(t *testing.T, routines string) *engine.DB {
-	t.Helper()
-	e := engine.New()
-	if _, err := e.ExecScript(taubench.Schema); err != nil {
-		t.Fatalf("schema: %v", err)
-	}
-	if strings.TrimSpace(routines) != "" {
-		if _, err := e.ExecScript(routines); err != nil {
-			t.Fatalf("routines: %v", err)
-		}
-	}
-	return e
-}
-
 func TestStaticPurityAgreesWithEngine(t *testing.T) {
 	for _, q := range taubench.Queries() {
 		t.Run(q.Name, func(t *testing.T) {
-			e := corpusEngine(t, q.Routines)
+			e := enginetest.CorpusEngine(t, q.Routines)
 			memo := map[*storage.Routine]bool{}
 			for _, name := range e.Cat.RoutineNames() {
 				want := legacyPure(e.Cat, e.Cat.Routine(name), memo)
@@ -213,7 +197,7 @@ func TestStaticParallelSafetyAgreesWithEngine(t *testing.T) {
 			}
 			// The legacy walker reads the catalog directly; mirror the
 			// database's catalog state in a bare engine.
-			e := corpusEngine(t, q.Routines)
+			e := enginetest.CorpusEngine(t, q.Routines)
 			want := legacyParallelSafe(e.Cat, tr)
 			got := db.ParallelSafe(tr)
 			switch {
@@ -243,12 +227,12 @@ func TestFrameLocalUpgradeResultsAgree(t *testing.T) {
 	}
 
 	serial := taupsm.Open()
-	loadCorpus(t, serial, spec)
+	enginetest.LoadCorpus(t, serial, spec)
 	serial.SetStrategy(taupsm.Max)
 	serial.SetParallelism(1)
 
 	par := taupsm.Open()
-	loadCorpus(t, par, spec)
+	enginetest.LoadCorpus(t, par, spec)
 	par.SetStrategy(taupsm.Max)
 	par.SetParallelism(4)
 
@@ -257,7 +241,7 @@ func TestFrameLocalUpgradeResultsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loadCorpus(t, per, spec)
+	enginetest.LoadCorpus(t, per, spec)
 	per.SetStrategy(taupsm.Max)
 	per.SetParallelism(4)
 
@@ -275,7 +259,7 @@ func TestFrameLocalUpgradeResultsAgree(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s %s: %v", q.Name, name, err)
 			}
-			if w, g := sortedRows(want), sortedRows(got); w != g {
+			if w, g := enginetest.SortedRows(want), enginetest.SortedRows(got); w != g {
 				t.Errorf("%s: %s execution diverges from serial\n--- serial\n%s\n--- %s\n%s", q.Name, name, w, name, g)
 			}
 		}
@@ -312,7 +296,7 @@ func TestFrameLocalUpgradeResultsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s recovered: %v", q.Name, err)
 		}
-		if w, g := sortedRows(want), sortedRows(got); w != g {
+		if w, g := enginetest.SortedRows(want), enginetest.SortedRows(got); w != g {
 			t.Errorf("%s: recovered execution diverges from serial\n--- serial\n%s\n--- recovered\n%s", q.Name, w, g)
 		}
 	}

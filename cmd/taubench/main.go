@@ -49,6 +49,7 @@ func main() {
 	slow := flag.Duration("slow", 0, "log measured statements at least this slow to stderr (0 disables)")
 	par := flag.Int("par", 0, "fragment worker-pool size for measured databases (0 = GOMAXPROCS)")
 	strategy := flag.String("strategy", "", "restrict sweep/report/obsreport to one strategy: max, perst (default: both)")
+	workload := flag.String("workload", "", "measure a named workload instead of an experiment: BT-SMALL (bitemporal audit queries, BENCH_5)")
 	compare := flag.Bool("compare", false, "compare two benchmark artifacts: taubench -compare old.json new.json")
 	threshold := flag.Float64("threshold", 25, "for -compare: per-cell regression threshold in percent")
 	geoThreshold := flag.Float64("geomean-threshold", 0, "for -compare: fail when the MAX-strategy geomean regresses past this percent (0 disables; -strategy perst gates PERST instead)")
@@ -69,10 +70,41 @@ func main() {
 		}
 		os.Exit(runCompare(flag.Args(), *threshold, *geoThreshold, gateStrategy))
 	}
+	if *workload != "" {
+		if err := runWorkload(*workload, *jsonPath, *reps); err != nil {
+			fmt.Fprintln(os.Stderr, "taubench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *dataset, *sizeFlag, *queriesFlag, *jsonPath, *reps, *slow); err != nil {
 		fmt.Fprintln(os.Stderr, "taubench:", err)
 		os.Exit(1)
 	}
+}
+
+// runWorkload measures a named workload (currently only the BT-SMALL
+// bitemporal audit workload) and writes the artifact: JSON when -json
+// is given (BENCH_5.json), a table on stdout otherwise.
+func runWorkload(name, jsonPath string, reps int) error {
+	if !strings.EqualFold(name, "BT-SMALL") {
+		return fmt.Errorf("unknown workload %q (want BT-SMALL)", name)
+	}
+	rep, err := taubench.MeasureBitemporal(reps)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintf(os.Stderr, "taubench: wrote %s (%d cells)\n", jsonPath, len(rep.Queries))
+		return rep.WriteJSON(f)
+	}
+	rep.Write(os.Stdout)
+	return nil
 }
 
 // runCompare diffs two benchmark artifacts and returns the process

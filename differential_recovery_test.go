@@ -10,36 +10,13 @@ package taupsm_test
 // result mismatch.
 
 import (
-	"sort"
-	"strings"
 	"testing"
 
 	"taupsm"
+	"taupsm/internal/enginetest"
 	"taupsm/internal/taubench"
 	"taupsm/internal/wal"
 )
-
-// sortedRows canonicalizes a result as an order-insensitive multiset.
-func sortedRows(res *taupsm.Result) string {
-	lines := strings.Split(strings.TrimRight(renderRows(res), "\n"), "\n")
-	sort.Strings(lines)
-	return strings.Join(lines, "\n")
-}
-
-// loadCorpus loads DS1-SMALL and the corpus routines into db with the
-// runner's fixed clock.
-func loadCorpus(t *testing.T, db *taupsm.DB, spec taubench.Spec) {
-	t.Helper()
-	db.SetNow(2011, 1, 1)
-	if _, err := taubench.Load(db, spec); err != nil {
-		t.Fatalf("load: %v", err)
-	}
-	for _, q := range taubench.Queries() {
-		if _, err := db.Exec(q.Routines); err != nil {
-			t.Fatalf("%s routines: %v", q.Name, err)
-		}
-	}
-}
 
 func TestDifferentialRecoveryCorpus(t *testing.T) {
 	spec, err := taubench.SpecByName("DS1", taubench.Small)
@@ -48,14 +25,14 @@ func TestDifferentialRecoveryCorpus(t *testing.T) {
 	}
 
 	mem := taupsm.Open()
-	loadCorpus(t, mem, spec)
+	enginetest.LoadCorpus(t, mem, spec)
 
 	fs := wal.NewMemFS()
 	per, err := taupsm.OpenFS(fs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	loadCorpus(t, per, spec)
+	enginetest.LoadCorpus(t, per, spec)
 	// The bulk loader writes rows straight into storage (bypassing the
 	// statement path and so the WAL); checkpoint folds them into the
 	// snapshot before the simulated crash.
@@ -88,7 +65,7 @@ func TestDifferentialRecoveryCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s strategy %v recovered: %v", q.Name, strat, err)
 			}
-			if w, g := sortedRows(want), sortedRows(got); w != g {
+			if w, g := enginetest.SortedRows(want), enginetest.SortedRows(got); w != g {
 				t.Errorf("%s strategy %v: recovered database diverges\n--- in-memory\n%s\n--- recovered\n%s",
 					q.Name, strat, w, g)
 			}

@@ -275,16 +275,16 @@ func (db *DB) ExplainParsed(stmt sqlast.Stmt) (*Explain, error) {
 		}
 		e.ContextBegin = types.FormatDate(ctx.Begin)
 		e.ContextEnd = types.FormatDate(ctx.End)
-		e.Fragments = db.countFragments(t.TemporalTables, ctx)
+		e.Fragments = db.countFragments(t.TemporalTables, ctx, t.Dim)
 		if est, ok := db.statsEstimates(t.TemporalTables, false, ctx.Begin, ctx.End); ok {
 			e.HasStats = true
 			e.EstConstantPeriods = est.ConstantPeriods
 			e.EstRows = est.Rows
 		}
 		if t.NeedsConstantPeriods {
-			e.ConstantPeriods = len(temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables), ctx))
+			e.ConstantPeriods = len(temporal.ConstantPeriods(db.collectTimePoints(t.TemporalTables, t.Dim), ctx))
 			if !db.UseFigure8SQL {
-				e.CPCacheHit = db.peekCP(cpKey(ctx, t.TemporalTables))
+				e.CPCacheHit = db.peekCP(cpKey(ctx, t.TemporalTables, t.Dim))
 			}
 		}
 

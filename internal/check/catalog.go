@@ -33,6 +33,9 @@ type Catalog interface {
 	// IsTransactionTable reports whether name is a transaction-time
 	// (audit) table.
 	IsTransactionTable(name string) bool
+	// IsBitemporalTable reports whether name carries both valid-time
+	// and transaction-time support.
+	IsBitemporalTable(name string) bool
 	// Function returns the definition of a stored function, or nil.
 	Function(name string) *sqlast.CreateFunctionStmt
 	// Procedure returns the definition of a stored procedure, or nil.
@@ -83,6 +86,11 @@ func (s storageCat) IsTemporalTable(name string) bool {
 func (s storageCat) IsTransactionTable(name string) bool {
 	t := s.c.Table(name)
 	return t != nil && t.TransactionTime
+}
+
+func (s storageCat) IsBitemporalTable(name string) bool {
+	t := s.c.Table(name)
+	return t != nil && t.ValidTime && t.TransactionTime
 }
 
 func (s storageCat) Function(name string) *sqlast.CreateFunctionStmt {
@@ -155,6 +163,12 @@ func (s *ScriptCatalog) Apply(stmt sqlast.Stmt) {
 			if t.kinds != nil {
 				t.kinds = append(t.kinds, types.KindDate, types.KindDate)
 			}
+			if x.ValidTime && x.TransactionTime {
+				t.cols = append(t.cols, "tt_begin_time", "tt_end_time")
+				if t.kinds != nil {
+					t.kinds = append(t.kinds, types.KindDate, types.KindDate)
+				}
+			}
 		}
 		s.tables[fold(x.Name)] = t
 		delete(s.dropped, fold(x.Name))
@@ -180,6 +194,18 @@ func (s *ScriptCatalog) Apply(stmt sqlast.Stmt) {
 			} else {
 				return
 			}
+		}
+		if t.validTime && x.Transaction && !t.transTime {
+			// Valid-time → bitemporal migration: append the
+			// transaction-time pair (mirrors engine.execAddValidTime).
+			t.transTime = true
+			if t.cols != nil {
+				t.cols = append(t.cols, "tt_begin_time", "tt_end_time")
+				if t.kinds != nil {
+					t.kinds = append(t.kinds, types.KindDate, types.KindDate)
+				}
+			}
+			return
 		}
 		already := t.validTime || t.transTime
 		if x.Transaction {
@@ -262,6 +288,13 @@ func (s *ScriptCatalog) IsTransactionTable(name string) bool {
 		return t.transTime
 	}
 	return !s.dropped[fold(name)] && s.base != nil && s.base.IsTransactionTable(name)
+}
+
+func (s *ScriptCatalog) IsBitemporalTable(name string) bool {
+	if t, ok := s.tables[fold(name)]; ok {
+		return t.validTime && t.transTime
+	}
+	return !s.dropped[fold(name)] && s.base != nil && s.base.IsBitemporalTable(name)
 }
 
 func (s *ScriptCatalog) Function(name string) *sqlast.CreateFunctionStmt {

@@ -265,8 +265,8 @@ END`,
 		{
 			name: "TAU021 mixed dimensions",
 			src:  `VALIDTIME SELECT i.title FROM item i, audit_log a`,
-			code: CodeMixedDimensions, sev: Error, line: 1, col: 1,
-			contains: "mixing dimensions in one sequenced statement is not supported",
+			code: CodeMixedDimensions, sev: Warning, line: 1, col: 1,
+			contains: "filtered to the current TRANSACTIONTIME context",
 		},
 		{
 			name: "TAU022 explicit period column write",

@@ -295,6 +295,10 @@ func (s *summarizer) walk(n sqlast.Node, sum *Summary, temps map[string]bool, de
 				s.walk(x.Period.Begin, sum, temps, depth, dim)
 				s.walk(x.Period.End, sum, temps, depth, dim)
 			}
+			if x.Ctx != nil && x.Ctx.Period != nil {
+				s.walk(x.Ctx.Period.Begin, sum, temps, depth, dim)
+				s.walk(x.Ctx.Period.End, sum, temps, depth, dim)
+			}
 			s.walk(x.Body, sum, temps, depth, dim|d)
 			return false
 		case *sqlast.BaseTable:
@@ -364,11 +368,16 @@ func (s *summarizer) access(name string, sum *Summary, temps map[string]bool, di
 // tableDim resolves the dimension an access touches: non-temporal
 // tables have none; temporal tables are touched in the statement's
 // modifier dimension, or with current semantics outside any modifier.
+// A bitemporal table under any modifier is touched in both dimensions
+// (the sliced one plus the orthogonal context filter).
 func (s *summarizer) tableDim(name string, dim AccessDims) AccessDims {
 	if !s.cat.IsTemporalTable(name) {
 		return 0
 	}
 	if dim != 0 {
+		if s.cat.IsBitemporalTable(name) {
+			return dim | AccessValid | AccessTransaction
+		}
 		return dim
 	}
 	return AccessCurrent

@@ -79,6 +79,15 @@ func (c *checker) dimOf(table string) sqlast.TemporalDimension {
 	return sqlast.DimValid
 }
 
+// carriesDim mirrors core's carriesDim: bitemporal tables carry both
+// dimensions; single-dimension tables carry only their own.
+func (c *checker) carriesDim(table string, d sqlast.TemporalDimension) bool {
+	if c.cat.IsBitemporalTable(table) {
+		return true
+	}
+	return c.dimOf(table) == d
+}
+
 // temporalStmt lints one modifier-wrapped top-level statement.
 func (c *checker) temporalStmt(ts *sqlast.TemporalStmt) {
 	if ts.Mod == sqlast.ModCurrent {
@@ -91,17 +100,19 @@ func (c *checker) temporalStmt(ts *sqlast.TemporalStmt) {
 		if !c.cat.IsTemporalTable(t) {
 			continue
 		}
-		if c.dimOf(t) == ts.Dim {
+		if c.carriesDim(t, ts.Dim) {
 			reached = append(reached, t)
 		} else {
 			mismatched = append(mismatched, t)
 		}
 	}
 
-	if ts.Mod == sqlast.ModSequenced && len(mismatched) > 0 {
-		c.add(CodeMixedDimensions, Error, ts.Pos,
-			"statement slices %s but reaches %s table(s) %s; mixing dimensions in one sequenced statement is not supported",
-			ts.Dim.Keyword(), otherDim(ts.Dim).Keyword(), strings.Join(mismatched, ", "))
+	if ts.Mod == sqlast.ModSequenced && len(mismatched) > 0 && ts.Ctx == nil {
+		c.addHint(CodeMixedDimensions, Warning, ts.Pos,
+			"add AND "+otherDim(ts.Dim).Keyword()+" (...) to the modifier to pick a different context",
+			"statement slices %s but also reaches %s-only table(s) %s; they are filtered to the current %s context",
+			ts.Dim.Keyword(), otherDim(ts.Dim).Keyword(), strings.Join(mismatched, ", "),
+			otherDim(ts.Dim).Keyword())
 	}
 	if len(reached) == 0 && len(mismatched) == 0 && len(cl.tables) > 0 {
 		c.addHint(CodeNoTemporalTable, Warning, ts.Pos,
@@ -122,8 +133,16 @@ func (c *checker) temporalStmt(ts *sqlast.TemporalStmt) {
 	}
 
 	// Transaction time is system-maintained; only current modifications
-	// may write those tables.
-	c.manualTransactionDML(ts.Body)
+	// may write those tables, and slicing it for DML would rewrite the
+	// audit past.
+	if ts.Mod == sqlast.ModSequenced && ts.Dim == sqlast.DimTransaction {
+		switch ts.Body.(type) {
+		case *sqlast.InsertStmt, *sqlast.UpdateStmt, *sqlast.DeleteStmt:
+			c.add(CodeManualTransTime, Error, ts.Pos,
+				"sequenced transaction-time modifications would rewrite the audit past; transaction time is append-only")
+		}
+	}
+	c.manualTransactionDML(ts.Body, ts.Mod)
 	c.timeColumnWrites(ts.Body, ts.Mod)
 
 	// Predict per-statement slicing fallbacks for sequenced statements.
@@ -146,15 +165,21 @@ func otherDim(d sqlast.TemporalDimension) sqlast.TemporalDimension {
 	return sqlast.DimTransaction
 }
 
-// manualTransactionDML mirrors core's checkNoManualTransactionDML.
-func (c *checker) manualTransactionDML(body sqlast.Stmt) {
+// manualTransactionDML mirrors core's checkNoManualTransactionDML and
+// checkNonseqBitemporalDML. Transaction-time-only tables reject every
+// modifier-wrapped modification; bitemporal tables accept sequenced and
+// current valid-time DML (the stratum versions transaction time), and
+// under NONSEQUENCED only a top-level INSERT.
+func (c *checker) manualTransactionDML(body sqlast.Stmt, mod sqlast.TemporalModifier) {
 	sqlast.Walk(body, func(n sqlast.Node) bool {
 		var target string
 		var pos sqlscan.Pos
+		insert := false
 		switch x := n.(type) {
 		case *sqlast.InsertStmt:
 			if !x.VarTarget {
 				target, pos = x.Table, x.Pos
+				insert = true
 			}
 		case *sqlast.UpdateStmt:
 			if !x.VarTarget {
@@ -165,12 +190,20 @@ func (c *checker) manualTransactionDML(body sqlast.Stmt) {
 				target, pos = x.Table, x.Pos
 			}
 		}
-		if target != "" && c.cat.IsTransactionTable(target) {
-			c.add(CodeManualTransTime, Error, pos,
-				"transaction time of table %s is system-maintained; only current modifications are allowed", target)
-			return false
+		if target == "" || !c.cat.IsTransactionTable(target) {
+			return true
 		}
-		return true
+		if c.cat.IsBitemporalTable(target) {
+			if mod == sqlast.ModNonsequenced && !(insert && n == sqlast.Node(body)) {
+				c.add(CodeManualTransTime, Error, pos,
+					"nonsequenced modification of bitemporal table %s: only top-level INSERT is supported", target)
+				return false
+			}
+			return true
+		}
+		c.add(CodeManualTransTime, Error, pos,
+			"transaction time of table %s is system-maintained; only current modifications are allowed", target)
+		return false
 	})
 }
 
@@ -189,7 +222,7 @@ func (c *checker) timeColumnWrites(body sqlast.Stmt, mod sqlast.TemporalModifier
 		}
 		for _, set := range up.Sets {
 			lc := fold(set.Column)
-			if lc == "begin_time" || lc == "end_time" {
+			if lc == "begin_time" || lc == "end_time" || lc == "tt_begin_time" || lc == "tt_end_time" {
 				c.addHint(CodeTimeColumnWrite, Warning, set.Pos,
 					"use a NONSEQUENCED VALIDTIME statement for explicit period surgery",
 					"explicit write to system-maintained period column %s.%s", up.Table, set.Column)

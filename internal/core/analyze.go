@@ -86,7 +86,8 @@ func (tr *Translator) isTransactionTable(name string) bool {
 	return false
 }
 
-// dimOf classifies a temporal table's dimension.
+// dimOf classifies a single-dimension temporal table's dimension
+// (bitemporal tables carry both; use carriesDim).
 func (tr *Translator) dimOf(name string) sqlast.TemporalDimension {
 	if tr.isTransactionTable(name) {
 		return sqlast.DimTransaction
@@ -121,7 +122,7 @@ func (tr *Translator) analyzeDim(stmt sqlast.Stmt, dim sqlast.TemporalDimension)
 				seenTable[k] = true
 				a.tables = append(a.tables, t)
 				if tr.Info.IsTemporalTable(t) {
-					if dim == dimAny || tr.dimOf(t) == dim {
+					if tr.carriesDim(t, dim) {
 						a.temporalTables = append(a.temporalTables, t)
 					} else {
 						a.mismatched = append(a.mismatched, t)
@@ -174,7 +175,7 @@ func (tr *Translator) analyzeDim(stmt sqlast.Stmt, dim sqlast.TemporalDimension)
 			}
 			temporal := false
 			for _, t := range a.directTables[k] {
-				if tr.Info.IsTemporalTable(t) && (dim == dimAny || tr.dimOf(t) == dim) {
+				if tr.Info.IsTemporalTable(t) && tr.carriesDim(t, dim) {
 					temporal = true
 					break
 				}
@@ -280,18 +281,6 @@ func col(table, name string) sqlast.Expr {
 	return &sqlast.ColumnRef{Table: table, Column: name}
 }
 
-// checkSingleDimension rejects statements that slice one dimension but
-// also reach temporal tables of the other: mixing valid time and
-// transaction time in one sequenced statement is bitemporal territory,
-// which the paper (and this implementation) leaves as future work.
-func (a *analysis) checkSingleDimension() error {
-	if len(a.mismatched) > 0 {
-		return fmt.Errorf("statement slices %s but reaches %s table(s) %s; mixing dimensions in one sequenced statement is not supported",
-			a.dim.Keyword(), otherDim(a.dim).Keyword(), strings.Join(a.mismatched, ", "))
-	}
-	return nil
-}
-
 func otherDim(d sqlast.TemporalDimension) sqlast.TemporalDimension {
 	if d == sqlast.DimTransaction {
 		return sqlast.DimValid
@@ -299,10 +288,12 @@ func otherDim(d sqlast.TemporalDimension) sqlast.TemporalDimension {
 	return sqlast.DimTransaction
 }
 
-// checkNoManualTransactionDML rejects modifications of transaction-time
-// tables under NONSEQUENCED or sequenced modifiers: transaction time is
-// system-maintained and append-only, so only current modifications
-// (automatic auditing) are legal.
+// checkNoManualTransactionDML rejects modifications of
+// transaction-time-only tables under NONSEQUENCED or sequenced
+// modifiers: transaction time is system-maintained and append-only, so
+// only current modifications (automatic auditing) are legal. A
+// bitemporal target is fine — its valid-time dimension is user-visible
+// and the transforms version transaction time automatically.
 func (tr *Translator) checkNoManualTransactionDML(body sqlast.Stmt) error {
 	var bad string
 	sqlast.Walk(body, func(n sqlast.Node) bool {
@@ -321,7 +312,7 @@ func (tr *Translator) checkNoManualTransactionDML(body sqlast.Stmt) error {
 				target = x.Table
 			}
 		}
-		if target != "" && tr.isTransactionTable(target) {
+		if target != "" && tr.isTransactionTable(target) && !tr.isBitemporalTable(target) {
 			bad = target
 		}
 		return bad == ""

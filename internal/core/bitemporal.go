@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"taupsm/internal/sqlast"
+)
+
+// Bitemporal tables carry both periods: the valid-time pair keeps the
+// standard begin_time/end_time names (so every name-based valid-time
+// transform applies unchanged) and the transaction-time pair is
+// appended as tt_begin_time/tt_end_time. A sequenced statement slices
+// along its own dimension; the orthogonal dimension is a *context*:
+// tables carrying it are filtered to the context period (the current
+// instant by default, or an explicit `AND <dim> (...)` clause), not
+// sliced. This turns the old mixed-dimension rejection into a defined
+// semantics: "what did we believe on X about Y".
+
+// isBitemporalTable consults the optional extension of SchemaInfo.
+func (tr *Translator) isBitemporalTable(name string) bool {
+	if bi, ok := tr.Info.(interface{ IsBitemporalTable(string) bool }); ok {
+		return bi.IsBitemporalTable(name)
+	}
+	return false
+}
+
+// carriesDim reports whether the temporal table name carries dimension
+// d: bitemporal tables carry both, single-dimension tables only their
+// own. dimAny matches every temporal table.
+func (tr *Translator) carriesDim(name string, d sqlast.TemporalDimension) bool {
+	if d == dimAny || tr.isBitemporalTable(name) {
+		return true
+	}
+	if d == sqlast.DimTransaction {
+		return tr.isTransactionTable(name)
+	}
+	return !tr.isTransactionTable(name)
+}
+
+// slicePeriodCols names the period columns of table along dimension d.
+// Only the transaction-time pair of a bitemporal table deviates from
+// the standard names (transaction-time-only tables reuse
+// begin_time/end_time).
+func (tr *Translator) slicePeriodCols(table string, d sqlast.TemporalDimension) (string, string) {
+	if d == sqlast.DimTransaction && tr.isBitemporalTable(table) {
+		return "tt_begin_time", "tt_end_time"
+	}
+	return "begin_time", "end_time"
+}
+
+// ctxFilter builds the overlap predicate restricting (bcol, ecol) of
+// alias to the context: the current instant when begin is nil, the
+// period [begin, end) otherwise.
+func ctxFilter(alias, bcol, ecol string, begin, end sqlast.Expr) sqlast.Expr {
+	if begin == nil {
+		return andExpr(
+			&sqlast.BinaryExpr{Op: "<=", L: col(alias, bcol), R: currentDate()},
+			&sqlast.BinaryExpr{Op: "<", L: currentDate(), R: col(alias, ecol)})
+	}
+	return andExpr(
+		&sqlast.BinaryExpr{Op: "<", L: col(alias, bcol), R: sqlast.CloneExpr(end)},
+		&sqlast.BinaryExpr{Op: "<", L: sqlast.CloneExpr(begin), R: col(alias, ecol)})
+}
+
+// addContextFilters restricts, in every SELECT under stmt, every
+// temporal table carrying the dimension orthogonal to dim down to the
+// context [ctxBegin, ctxEnd) (the current instant when ctxBegin is
+// nil). After this filter a bitemporal table exposes one consistent
+// belief and a table carrying only the orthogonal dimension is
+// constant with respect to the sliced one.
+func (tr *Translator) addContextFilters(stmt sqlast.Node, dim sqlast.TemporalDimension, ctxBegin, ctxEnd sqlast.Expr) {
+	cd := otherDim(dim)
+	forEachSelect(stmt, func(sel *sqlast.SelectStmt) {
+		for _, fe := range fromEntries(sel) {
+			if !tr.Info.IsTemporalTable(fe.Name) || !tr.carriesDim(fe.Name, cd) {
+				continue
+			}
+			bcol, ecol := tr.slicePeriodCols(fe.Name, cd)
+			sel.Where = andExpr(sel.Where, ctxFilter(fe.Alias, bcol, ecol, ctxBegin, ctxEnd))
+		}
+	})
+}
+
+// checkExplicitContext rejects an explicit secondary-dimension context
+// on statements whose reachable routines touch tables carrying the
+// context dimension: routine clones are named deterministically and
+// cannot embed per-statement context literals, so they always evaluate
+// against the default (current) context.
+func (tr *Translator) checkExplicitContext(a *analysis, dim sqlast.TemporalDimension, ctxBegin sqlast.Expr) error {
+	if ctxBegin == nil {
+		return nil
+	}
+	cd := otherDim(dim)
+	for _, r := range a.routines {
+		for _, t := range a.directTables[strings.ToLower(r)] {
+			if tr.Info.IsTemporalTable(t) && tr.carriesDim(t, cd) {
+				return fmt.Errorf("explicit %s context cannot reach stored routine %s over table %s; routines evaluate against the current context",
+					cd.Keyword(), r, t)
+			}
+		}
+	}
+	return nil
+}

@@ -80,6 +80,9 @@ type SchemaInfo interface {
 type Translation struct {
 	// Strategy actually used (meaningful for sequenced statements).
 	Strategy Strategy
+	// Dim is the dimension a sequenced statement slices along
+	// (DimValid unless the statement modifier named TRANSACTIONTIME).
+	Dim sqlast.TemporalDimension
 	// Routines are transformed routine definitions (curr_/max_/ps_
 	// clones) that must exist before Main runs. Idempotent: callers
 	// may skip ones already registered.
@@ -158,7 +161,7 @@ func (tr *Translator) Translate(stmt sqlast.Stmt, strategy Strategy) (*Translati
 	case sqlast.ModCurrent:
 		return tr.translateCurrent(ts.Body)
 	case sqlast.ModNonsequenced:
-		return tr.translateNonsequenced(ts.Body)
+		return tr.translateNonsequenced(ts.Body, ts.Dim, ts.Ctx)
 	case sqlast.ModSequenced:
 		var begin, end sqlast.Expr
 		if ts.Period != nil {
@@ -166,12 +169,22 @@ func (tr *Translator) Translate(stmt sqlast.Stmt, strategy Strategy) (*Translati
 		} else {
 			begin, end = defaultContext()
 		}
-		return tr.translateSequenced(ts.Body, begin, end, strategy, ts.Dim)
+		ctxBegin, ctxEnd := ctxPeriod(ts.Ctx)
+		return tr.translateSequenced(ts.Body, begin, end, strategy, ts.Dim, ctxBegin, ctxEnd)
 	}
 	return nil, fmt.Errorf("unknown temporal modifier %v", ts.Mod)
 }
 
-func (tr *Translator) translateSequenced(body sqlast.Stmt, begin, end sqlast.Expr, strategy Strategy, dim sqlast.TemporalDimension) (*Translation, error) {
+// ctxPeriod extracts the explicit secondary-dimension context period;
+// (nil, nil) means the default context, the current instant.
+func ctxPeriod(ctx *sqlast.DimContext) (sqlast.Expr, sqlast.Expr) {
+	if ctx == nil || ctx.Period == nil {
+		return nil, nil
+	}
+	return ctx.Period.Begin, ctx.Period.End
+}
+
+func (tr *Translator) translateSequenced(body sqlast.Stmt, begin, end sqlast.Expr, strategy Strategy, dim sqlast.TemporalDimension, ctxBegin, ctxEnd sqlast.Expr) (*Translation, error) {
 	if v, ok := body.(*sqlast.CreateViewStmt); ok {
 		if dim == sqlast.DimTransaction {
 			return nil, fmt.Errorf("sequenced transaction-time views are not supported")
@@ -182,16 +195,16 @@ func (tr *Translator) translateSequenced(body sqlast.Stmt, begin, end sqlast.Exp
 	}
 	switch strategy {
 	case StrategyMax:
-		return tr.maxSlice(body, begin, end, dim)
+		return tr.maxSlice(body, begin, end, dim, ctxBegin, ctxEnd)
 	case StrategyPerStatement:
-		return tr.perStatement(body, begin, end, dim)
+		return tr.perStatement(body, begin, end, dim, ctxBegin, ctxEnd)
 	default: // StrategyAuto: prefer PERST, falling back to MAX
-		t, err := tr.perStatement(body, begin, end, dim)
+		t, err := tr.perStatement(body, begin, end, dim, ctxBegin, ctxEnd)
 		if err == nil {
 			return t, nil
 		}
 		if errors.Is(err, ErrNotTransformable) {
-			return tr.maxSlice(body, begin, end, dim)
+			return tr.maxSlice(body, begin, end, dim, ctxBegin, ctxEnd)
 		}
 		return nil, err
 	}
@@ -201,7 +214,11 @@ func (tr *Translator) translateSequenced(body sqlast.Stmt, begin, end sqlast.Exp
 // columns the user manipulates explicitly. Inner sequenced queries in
 // reachable routines are legal in this context (paper §IV-A); routines
 // are used as stored, with any inner NONSEQUENCED modifiers stripped.
-func (tr *Translator) translateNonsequenced(body sqlast.Stmt) (*Translation, error) {
+// On bitemporal tables only the statement's own dimension is exposed as
+// ordinary columns; the orthogonal transaction-time pair stays
+// system-maintained, and an `AND <dim> (...)` clause filters tables
+// carrying the orthogonal dimension to that context.
+func (tr *Translator) translateNonsequenced(body sqlast.Stmt, dim sqlast.TemporalDimension, ctx *sqlast.DimContext) (*Translation, error) {
 	a, err := tr.analyze(body)
 	if err != nil {
 		return nil, err
@@ -209,7 +226,19 @@ func (tr *Translator) translateNonsequenced(body sqlast.Stmt) (*Translation, err
 	if err := tr.checkNoManualTransactionDML(body); err != nil {
 		return nil, err
 	}
-	out := &Translation{Main: sqlast.CloneStmt(body), TemporalTables: a.temporalTables}
+	if err := tr.checkNonseqBitemporalDML(body); err != nil {
+		return nil, err
+	}
+	out := &Translation{Main: sqlast.CloneStmt(body), TemporalTables: a.temporalTables, Dim: dim}
+	if ins, ok := out.Main.(*sqlast.InsertStmt); ok && !ins.VarTarget && tr.isBitemporalTable(ins.Table) {
+		if err := tr.appendNonseqTT(ins); err != nil {
+			return nil, err
+		}
+	}
+	if ctx != nil {
+		ctxBegin, ctxEnd := ctxPeriod(ctx)
+		tr.addContextFilters(out.Main, dim, ctxBegin, ctxEnd)
+	}
 	// Inner sequenced statements inside routines would need their own
 	// sequenced rewrite; plain SPJ ones are rewritten, others rejected.
 	for _, rn := range a.routines {

@@ -13,6 +13,7 @@ import (
 type fakeInfo struct {
 	temporal    map[string]bool
 	transaction map[string]bool
+	bitemporal  map[string]bool
 	tables      map[string][]string
 	fns         map[string]*sqlast.CreateFunctionStmt
 	procs       map[string]*sqlast.CreateProcedureStmt
@@ -33,6 +34,21 @@ func (f *fakeInfo) addTable(name string, temporalTable bool, cols ...string) {
 	}
 	f.tables[strings.ToLower(name)] = cols
 	f.temporal[strings.ToLower(name)] = temporalTable
+}
+
+func (f *fakeInfo) addBitemporalTable(name string, cols ...string) {
+	cols = append(cols, "begin_time", "end_time", "tt_begin_time", "tt_end_time")
+	k := strings.ToLower(name)
+	f.tables[k] = cols
+	f.temporal[k] = true
+	if f.transaction == nil {
+		f.transaction = map[string]bool{}
+	}
+	f.transaction[k] = true
+	if f.bitemporal == nil {
+		f.bitemporal = map[string]bool{}
+	}
+	f.bitemporal[k] = true
 }
 
 func (f *fakeInfo) addRoutine(t *testing.T, src string) {
@@ -66,6 +82,10 @@ func (f *fakeInfo) TableColumns(name string) []string { return f.tables[strings.
 
 func (f *fakeInfo) IsTransactionTable(name string) bool {
 	return f.transaction[strings.ToLower(name)]
+}
+
+func (f *fakeInfo) IsBitemporalTable(name string) bool {
+	return f.bitemporal[strings.ToLower(name)]
 }
 
 // bookInfo builds the running-example schema.
@@ -668,14 +688,31 @@ func TestTransactionTimeSlicedSeparately(t *testing.T) {
 	if len(tl.TemporalTables) != 1 || tl.TemporalTables[0] != "audit_log" {
 		t.Fatalf("audit_log must be the sliced operand: %v", tl.TemporalTables)
 	}
-	// VALIDTIME over the audit table: dimension mismatch.
-	if _, err := tr.Translate(parse(t, `VALIDTIME SELECT note FROM audit_log`), StrategyMax); err == nil {
-		t.Fatal("VALIDTIME slicing of a transaction-time table must be rejected")
+	// VALIDTIME over the audit table: audit_log carries only
+	// transaction time, so it is not sliced — it is pinned to the
+	// current transaction-time context instead.
+	tl, err = tr.Translate(parse(t, `VALIDTIME SELECT note FROM audit_log`), StrategyMax)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Mixing dimensions in one sequenced statement: rejected.
-	if _, err := tr.Translate(parse(t,
-		`TRANSACTIONTIME SELECT a.note FROM audit_log a, item i WHERE a.id = i.id`), StrategyMax); err == nil {
-		t.Fatal("mixed-dimension sequenced statement must be rejected")
+	if len(tl.TemporalTables) != 0 {
+		t.Fatalf("audit_log must not be a sliced operand of a VALIDTIME statement: %v", tl.TemporalTables)
+	}
+	if sql := tl.Main.SQL(); !strings.Contains(sql, "audit_log.begin_time <= CURRENT_DATE") {
+		t.Fatalf("audit_log must be filtered to the current transaction-time context: %s", sql)
+	}
+	// Mixing dimensions in one sequenced statement: the table carrying
+	// the sliced dimension is sliced, the other is context-filtered.
+	tl, err = tr.Translate(parse(t,
+		`TRANSACTIONTIME SELECT a.note FROM audit_log a, item i WHERE a.id = i.id`), StrategyMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.TemporalTables) != 1 || tl.TemporalTables[0] != "audit_log" {
+		t.Fatalf("only audit_log carries transaction time: %v", tl.TemporalTables)
+	}
+	if sql := tl.SQL(); !strings.Contains(sql, "i.begin_time <= CURRENT_DATE") {
+		t.Fatalf("item must be filtered to the current valid-time context: %s", sql)
 	}
 }
 
@@ -714,5 +751,147 @@ func TestTransactionTimeDMLProtection(t *testing.T) {
 	// Current DML: fine (automatic auditing).
 	if _, err := tr.Translate(parse(t, `DELETE FROM audit_log WHERE id = 'x'`), StrategyAuto); err != nil {
 		t.Fatalf("current delete must audit automatically: %v", err)
+	}
+}
+
+// ---------- bitemporal tables ----------
+
+// biInfo extends the book schema with a bitemporal position table.
+func biInfo(t *testing.T) *fakeInfo {
+	info := bookInfo(t)
+	info.addBitemporalTable("position", "id", "title")
+	return info
+}
+
+func TestBitemporalSlicingBothDims(t *testing.T) {
+	info := biInfo(t)
+	tr := NewTranslator(info)
+
+	// VALIDTIME slicing: position is a sliced operand and its
+	// transaction time is pinned to the current belief.
+	tl, err := tr.Translate(parse(t,
+		`VALIDTIME (DATE '2011-01-01', DATE '2012-01-01') SELECT title FROM position`), StrategyMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.TemporalTables) != 1 || tl.TemporalTables[0] != "position" {
+		t.Fatalf("position must be sliced: %v", tl.TemporalTables)
+	}
+	if sql := tl.SQL(); !strings.Contains(sql, "tt_begin_time <= CURRENT_DATE") {
+		t.Fatalf("VALIDTIME slice must pin transaction time to the current belief: %s", sql)
+	}
+
+	// TRANSACTIONTIME slicing: sliced along tt_begin_time/tt_end_time,
+	// valid time pinned to the current context.
+	tl, err = tr.Translate(parse(t,
+		`TRANSACTIONTIME (DATE '2011-01-01', DATE '2012-01-01') SELECT title FROM position`), StrategyMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := tl.SQL()
+	if !strings.Contains(sql, "position.tt_begin_time") {
+		t.Fatalf("TRANSACTIONTIME slice must read the tt period columns: %s", sql)
+	}
+	if !strings.Contains(sql, "position.begin_time <= CURRENT_DATE") {
+		t.Fatalf("TRANSACTIONTIME slice must pin valid time to the current context: %s", sql)
+	}
+}
+
+func TestBitemporalCombinedModifier(t *testing.T) {
+	info := biInfo(t)
+	tr := NewTranslator(info)
+	// The audit question: what did we believe on 2010-06-01 about
+	// validity during 2011?
+	tl, err := tr.Translate(parse(t,
+		`VALIDTIME (DATE '2011-01-01', DATE '2012-01-01') AND TRANSACTIONTIME (DATE '2010-06-01') SELECT title FROM position`),
+		StrategyMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := tl.SQL()
+	if !strings.Contains(sql, "tt_begin_time < ") || !strings.Contains(sql, "DATE '2010-06-01'") {
+		t.Fatalf("explicit transaction-time context must become an overlap filter: %s", sql)
+	}
+	if strings.Contains(sql, "tt_begin_time <= CURRENT_DATE") {
+		t.Fatalf("explicit context must replace the current-belief default: %s", sql)
+	}
+}
+
+func TestBitemporalCurrentDMLVersionsTT(t *testing.T) {
+	info := biInfo(t)
+	tr := NewTranslator(info)
+
+	// A current UPDATE closes the old belief and asserts the new one.
+	tl, err := tr.Translate(parse(t, `UPDATE position SET title = 'x' WHERE id = 'p1'`), StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := tl.SQL()
+	if !strings.Contains(sql, "SET tt_end_time = CURRENT_DATE") {
+		t.Fatalf("current update must close the superseded belief: %s", sql)
+	}
+	if len(tl.Setup) == 0 {
+		t.Fatalf("current update must insert new versions via setup statements")
+	}
+
+	// A current DELETE likewise closes rather than removes.
+	tl, err = tr.Translate(parse(t, `DELETE FROM position WHERE id = 'p1'`), StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql := tl.SQL(); !strings.Contains(sql, "SET tt_end_time = CURRENT_DATE") {
+		t.Fatalf("current delete must close the superseded belief: %s", sql)
+	}
+}
+
+func TestBitemporalSequencedDMLVersionsTT(t *testing.T) {
+	info := biInfo(t)
+	tr := NewTranslator(info)
+	tl, err := tr.Translate(parse(t,
+		`VALIDTIME (DATE '2011-03-01', DATE '2011-06-01') DELETE FROM position WHERE id = 'p1'`), StrategyMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := tl.SQL()
+	if !strings.Contains(sql, "SET tt_end_time = CURRENT_DATE") {
+		t.Fatalf("sequenced delete on a bitemporal table must retire beliefs, not rows: %s", sql)
+	}
+	// Sequenced TT DML stays rejected even on bitemporal tables.
+	if _, err := tr.Translate(parse(t,
+		`TRANSACTIONTIME (DATE '2011-01-01', DATE '2011-06-01') DELETE FROM position`), StrategyMax); err == nil {
+		t.Fatal("sequenced transaction-time DML must stay rejected")
+	}
+	// An explicit context cannot be combined with a modification.
+	if _, err := tr.Translate(parse(t,
+		`VALIDTIME (DATE '2011-03-01', DATE '2011-06-01') AND TRANSACTIONTIME (DATE '2010-01-01') DELETE FROM position`),
+		StrategyMax); err == nil {
+		t.Fatal("explicit context on DML must be rejected")
+	}
+}
+
+func TestBitemporalNonsequencedInsert(t *testing.T) {
+	info := biInfo(t)
+	tr := NewTranslator(info)
+	// Top-level nonsequenced INSERT supplies the valid-time period;
+	// the stratum appends the transaction-time pair.
+	tl, err := tr.Translate(parse(t,
+		`NONSEQUENCED VALIDTIME INSERT INTO position VALUES ('p1', 'x', DATE '2011-01-01', DATE '2012-01-01')`),
+		StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql := tl.SQL(); !strings.Contains(sql, "CURRENT_DATE") || !strings.Contains(sql, "DATE '9999-12-31'") {
+		t.Fatalf("nonsequenced insert must append the tt pair: %s", sql)
+	}
+	// Manual transaction timestamps stay rejected.
+	if _, err := tr.Translate(parse(t,
+		`NONSEQUENCED VALIDTIME INSERT INTO position (id, title, begin_time, end_time, tt_begin_time, tt_end_time) VALUES ('p1', 'x', DATE '2011-01-01', DATE '2012-01-01', DATE '2000-01-01', DATE '2001-01-01')`),
+		StrategyAuto); err == nil {
+		t.Fatal("manual transaction timestamps must be rejected")
+	}
+	// Nonsequenced UPDATE/DELETE of a bitemporal table: rejected.
+	if _, err := tr.Translate(parse(t,
+		`NONSEQUENCED VALIDTIME DELETE FROM position WHERE id = 'p1'`), StrategyAuto); err == nil {
+		t.Fatal("nonsequenced delete of a bitemporal table must be rejected")
 	}
 }

@@ -32,13 +32,23 @@ func currentOverlap(alias string) sqlast.Expr {
 	)
 }
 
+// ttCurrentOverlap builds the current-belief predicate on a bitemporal
+// table's transaction-time pair.
+func ttCurrentOverlap(alias string) sqlast.Expr {
+	return ctxFilter(alias, "tt_begin_time", "tt_end_time", nil, nil)
+}
+
 // addCurrentPredicates adds the current-timeslice predicate for every
-// temporal table in every SELECT under stmt.
+// temporal table in every SELECT under stmt; bitemporal tables are
+// additionally restricted to the currently believed versions.
 func (tr *Translator) addCurrentPredicates(stmt sqlast.Node) {
 	forEachSelect(stmt, func(sel *sqlast.SelectStmt) {
 		for _, fe := range fromEntries(sel) {
 			if tr.Info.IsTemporalTable(fe.Name) {
 				sel.Where = andExpr(sel.Where, currentOverlap(fe.Alias))
+				if tr.isBitemporalTable(fe.Name) {
+					sel.Where = andExpr(sel.Where, ttCurrentOverlap(fe.Alias))
+				}
 			}
 		}
 	})
@@ -107,26 +117,41 @@ func (tr *Translator) translateCurrent(body sqlast.Stmt) (*Translation, error) {
 	return out, nil
 }
 
-// currentInsert extends inserted rows with [CURRENT_DATE, forever).
+// currentInsert extends inserted rows with [CURRENT_DATE, forever) —
+// once per period pair on bitemporal tables.
 func (tr *Translator) currentInsert(out *Translation, ins *sqlast.InsertStmt) (*Translation, error) {
 	if !tr.Info.IsTemporalTable(ins.Table) {
 		tr.addCurrentPredicates(ins)
 		out.Main = ins
 		return out, nil
 	}
+	pairs := 1
+	if tr.isBitemporalTable(ins.Table) {
+		pairs = 2
+	}
 	if len(ins.Cols) > 0 {
 		ins.Cols = append(ins.Cols, "begin_time", "end_time")
+		if pairs == 2 {
+			ins.Cols = append(ins.Cols, "tt_begin_time", "tt_end_time")
+		}
 	}
 	switch src := ins.Source.(type) {
 	case *sqlast.ValuesExpr:
 		for i := range src.Rows {
-			src.Rows[i] = append(src.Rows[i], currentDate(), foreverLit())
+			for p := 0; p < pairs; p++ {
+				src.Rows[i] = append(src.Rows[i], currentDate(), foreverLit())
+			}
 		}
 	case *sqlast.SelectStmt:
 		tr.addCurrentPredicates(src)
 		src.Items = append(src.Items,
 			sqlast.SelectItem{Expr: currentDate(), Alias: "begin_time"},
 			sqlast.SelectItem{Expr: foreverLit(), Alias: "end_time"})
+		if pairs == 2 {
+			src.Items = append(src.Items,
+				sqlast.SelectItem{Expr: currentDate(), Alias: "tt_begin_time"},
+				sqlast.SelectItem{Expr: foreverLit(), Alias: "tt_end_time"})
+		}
 	default:
 		return nil, fmt.Errorf("current INSERT into temporal table %s requires VALUES or SELECT source", ins.Table)
 	}
@@ -146,11 +171,58 @@ func (tr *Translator) currentDelete(out *Translation, del *sqlast.DeleteStmt) (*
 	if alias == "" {
 		alias = del.Table
 	}
+	if tr.isBitemporalTable(del.Table) {
+		return tr.bitemporalCurrentDelete(out, del, alias)
+	}
 	where := andExpr(del.Where, currentOverlap(alias))
 	out.Main = &sqlast.UpdateStmt{
 		Table: del.Table, Alias: del.Alias,
 		Sets:  []sqlast.SetClause{{Column: "end_time", Value: currentDate()}},
 		Where: where,
+	}
+	return out, nil
+}
+
+// bitemporalCurrentDelete versions the belief instead of editing it:
+// the still-valid past of each affected row is re-asserted with its
+// validity clipped to [begin_time, CURRENT_DATE), same-day assertions
+// vanish outright, and every other affected belief is closed at
+// CURRENT_DATE. The audit history keeps what was believed before the
+// deletion.
+func (tr *Translator) bitemporalCurrentDelete(out *Translation, del *sqlast.DeleteStmt, alias string) (*Translation, error) {
+	cols := tr.tableColumns(del.Table)
+	if cols == nil {
+		return nil, fmt.Errorf("unknown temporal table %s", del.Table)
+	}
+	dataCols := cols[:len(cols)-4]
+	affected := andExpr(andExpr(sqlast.CloneExpr(del.Where), currentOverlap(alias)), ttCurrentOverlap(alias))
+
+	// 1. Re-assert the surviving past with validity clipped at today.
+	items := make([]sqlast.SelectItem, 0, len(cols))
+	for _, c := range dataCols {
+		items = append(items, sqlast.SelectItem{Expr: col(alias, c)})
+	}
+	items = append(items,
+		sqlast.SelectItem{Expr: col(alias, "begin_time")},
+		sqlast.SelectItem{Expr: currentDate()},
+		sqlast.SelectItem{Expr: currentDate()},
+		sqlast.SelectItem{Expr: foreverLit()})
+	clip := &sqlast.InsertStmt{Table: del.Table, Source: &sqlast.SelectStmt{
+		Items: items,
+		From:  []sqlast.TableRef{&sqlast.BaseTable{Name: del.Table, Alias: alias}},
+		Where: andExpr(sqlast.CloneExpr(affected),
+			&sqlast.BinaryExpr{Op: "<", L: col(alias, "begin_time"), R: currentDate()}),
+	}}
+	// 2. Beliefs asserted today never existed as far as audit goes.
+	vacuous := &sqlast.DeleteStmt{Table: del.Table, Alias: del.Alias,
+		Where: andExpr(sqlast.CloneExpr(affected),
+			&sqlast.BinaryExpr{Op: "=", L: col(alias, "tt_begin_time"), R: currentDate()})}
+	// 3. Close the remaining affected beliefs.
+	out.Setup = append(out.Setup, clip, vacuous)
+	out.Main = &sqlast.UpdateStmt{
+		Table: del.Table, Alias: del.Alias,
+		Sets:  []sqlast.SetClause{{Column: "tt_end_time", Value: currentDate()}},
+		Where: affected,
 	}
 	return out, nil
 }
@@ -170,6 +242,9 @@ func (tr *Translator) currentUpdate(out *Translation, upd *sqlast.UpdateStmt) (*
 	alias := upd.Alias
 	if alias == "" {
 		alias = upd.Table
+	}
+	if tr.isBitemporalTable(upd.Table) {
+		return tr.bitemporalCurrentUpdate(out, upd, cols, alias)
 	}
 	// Guard excludes rows inserted today so the close step doesn't
 	// immediately terminate the new versions.
@@ -204,6 +279,67 @@ func (tr *Translator) currentUpdate(out *Translation, upd *sqlast.UpdateStmt) (*
 	}
 	out.Setup = append(out.Setup, insert)
 	out.Main = closeOld
+	return out, nil
+}
+
+// bitemporalCurrentUpdate is the versioning form of currentUpdate: new
+// versions valid from CURRENT_DATE are asserted, the still-valid past
+// is re-asserted clipped at CURRENT_DATE, and the superseded beliefs
+// are closed (or, if asserted today, removed outright) — the old
+// versions remain queryable through the audit history.
+func (tr *Translator) bitemporalCurrentUpdate(out *Translation, upd *sqlast.UpdateStmt, cols []string, alias string) (*Translation, error) {
+	dataCols := cols[:len(cols)-4]
+	guard := &sqlast.BinaryExpr{Op: "<", L: col(alias, "begin_time"), R: currentDate()}
+	where := andExpr(andExpr(andExpr(sqlast.CloneExpr(upd.Where), currentOverlap(alias)),
+		ttCurrentOverlap(alias)), guard)
+
+	from := func() []sqlast.TableRef {
+		return []sqlast.TableRef{&sqlast.BaseTable{Name: upd.Table, Alias: alias}}
+	}
+	// 1. Assert the new versions, valid from today, believed from today.
+	newItems := make([]sqlast.SelectItem, 0, len(cols))
+	for _, c := range dataCols {
+		var e sqlast.Expr = col(alias, c)
+		for _, sc := range upd.Sets {
+			if strings.EqualFold(sc.Column, c) {
+				e = sqlast.CloneExpr(sc.Value)
+			}
+		}
+		newItems = append(newItems, sqlast.SelectItem{Expr: e})
+	}
+	newItems = append(newItems,
+		sqlast.SelectItem{Expr: currentDate()},
+		sqlast.SelectItem{Expr: foreverLit()},
+		sqlast.SelectItem{Expr: currentDate()},
+		sqlast.SelectItem{Expr: foreverLit()})
+	insertNew := &sqlast.InsertStmt{Table: upd.Table, Source: &sqlast.SelectStmt{
+		Items: newItems, From: from(), Where: sqlast.CloneExpr(where),
+	}}
+
+	// 2. Re-assert the unchanged past, clipped to [begin_time, today).
+	oldItems := make([]sqlast.SelectItem, 0, len(cols))
+	for _, c := range dataCols {
+		oldItems = append(oldItems, sqlast.SelectItem{Expr: col(alias, c)})
+	}
+	oldItems = append(oldItems,
+		sqlast.SelectItem{Expr: col(alias, "begin_time")},
+		sqlast.SelectItem{Expr: currentDate()},
+		sqlast.SelectItem{Expr: currentDate()},
+		sqlast.SelectItem{Expr: foreverLit()})
+	insertOld := &sqlast.InsertStmt{Table: upd.Table, Source: &sqlast.SelectStmt{
+		Items: oldItems, From: from(), Where: sqlast.CloneExpr(where),
+	}}
+
+	// 3. Same-day assertions vanish; 4. everything else is closed.
+	vacuous := &sqlast.DeleteStmt{Table: upd.Table, Alias: upd.Alias,
+		Where: andExpr(sqlast.CloneExpr(where),
+			&sqlast.BinaryExpr{Op: "=", L: col(alias, "tt_begin_time"), R: currentDate()})}
+	out.Setup = append(out.Setup, insertNew, insertOld, vacuous)
+	out.Main = &sqlast.UpdateStmt{
+		Table: upd.Table, Alias: upd.Alias,
+		Sets:  []sqlast.SetClause{{Column: "tt_end_time", Value: currentDate()}},
+		Where: where,
+	}
 	return out, nil
 }
 

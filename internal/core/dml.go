@@ -24,9 +24,12 @@ func overlapPred(alias string, begin, end sqlast.Expr) sqlast.Expr {
 	)
 }
 
-func (tr *Translator) sequencedDML(body sqlast.Stmt, begin, end sqlast.Expr, strategy Strategy, dim sqlast.TemporalDimension) (*Translation, error) {
+func (tr *Translator) sequencedDML(body sqlast.Stmt, begin, end sqlast.Expr, strategy Strategy, dim sqlast.TemporalDimension, ctxBegin, ctxEnd sqlast.Expr) (*Translation, error) {
 	if dim == sqlast.DimTransaction {
 		return nil, fmt.Errorf("sequenced transaction-time modifications would rewrite the audit past; transaction time is append-only")
+	}
+	if ctxBegin != nil {
+		return nil, fmt.Errorf("a %s context cannot be combined with a modification; modifications always apply to the current belief", otherDim(dim).Keyword())
 	}
 	if err := tr.checkNoManualTransactionDML(body); err != nil {
 		return nil, err
@@ -41,7 +44,7 @@ func (tr *Translator) sequencedDML(body sqlast.Stmt, begin, end sqlast.Expr, str
 	if len(a.routines) > 0 {
 		return nil, fmt.Errorf("sequenced modifications invoking stored routines are not supported")
 	}
-	out := &Translation{Strategy: strategy, ContextBegin: begin, ContextEnd: end, TemporalTables: a.temporalTables}
+	out := &Translation{Strategy: strategy, Dim: dim, ContextBegin: begin, ContextEnd: end, TemporalTables: a.temporalTables}
 
 	switch s := body.(type) {
 	case *sqlast.InsertStmt:
@@ -54,24 +57,37 @@ func (tr *Translator) sequencedDML(body sqlast.Stmt, begin, end sqlast.Expr, str
 	return nil, fmt.Errorf("unsupported sequenced modification %T", body)
 }
 
-// seqInsert inserts rows valid over exactly [P1, P2).
+// seqInsert inserts rows valid over exactly [P1, P2); on bitemporal
+// targets the assertion is believed from today on.
 func (tr *Translator) seqInsert(out *Translation, ins *sqlast.InsertStmt, begin, end sqlast.Expr) (*Translation, error) {
 	st := sqlast.CloneStmt(ins).(*sqlast.InsertStmt)
 	if !tr.Info.IsTemporalTable(st.Table) {
 		return nil, fmt.Errorf("sequenced INSERT requires a temporal target table, %s is not temporal", st.Table)
 	}
+	bi := tr.isBitemporalTable(st.Table)
 	if len(st.Cols) > 0 {
 		st.Cols = append(st.Cols, "begin_time", "end_time")
+		if bi {
+			st.Cols = append(st.Cols, "tt_begin_time", "tt_end_time")
+		}
 	}
 	switch src := st.Source.(type) {
 	case *sqlast.ValuesExpr:
 		for i := range src.Rows {
 			src.Rows[i] = append(src.Rows[i], sqlast.CloneExpr(begin), sqlast.CloneExpr(end))
+			if bi {
+				src.Rows[i] = append(src.Rows[i], currentDate(), foreverLit())
+			}
 		}
 	case *sqlast.SelectStmt:
 		src.Items = append(src.Items,
 			sqlast.SelectItem{Expr: sqlast.CloneExpr(begin), Alias: "begin_time"},
 			sqlast.SelectItem{Expr: sqlast.CloneExpr(end), Alias: "end_time"})
+		if bi {
+			src.Items = append(src.Items,
+				sqlast.SelectItem{Expr: currentDate(), Alias: "tt_begin_time"},
+				sqlast.SelectItem{Expr: foreverLit(), Alias: "tt_end_time"})
+		}
 	default:
 		return nil, fmt.Errorf("sequenced INSERT requires a VALUES or SELECT source")
 	}
@@ -114,13 +130,20 @@ func (tr *Translator) seqDelete(out *Translation, del *sqlast.DeleteStmt, begin,
 	if alias == "" {
 		alias = del.Table
 	}
+	bi := tr.isBitemporalTable(del.Table)
 	affected := andExpr(sqlast.CloneExpr(del.Where), overlapPred(alias, begin, end))
+	if bi {
+		affected = andExpr(affected, ttCurrentOverlap(alias))
+	}
 
 	cols := tr.tableColumns(del.Table)
 	if cols == nil {
 		return nil, fmt.Errorf("unknown temporal table %s", del.Table)
 	}
 	dataCols := cols[:len(cols)-2]
+	if bi {
+		dataCols = cols[:len(cols)-4]
+	}
 
 	// 1. Materialize the affected rows.
 	out.Setup = append(out.Setup,
@@ -130,25 +153,49 @@ func (tr *Translator) seqDelete(out *Translation, del *sqlast.DeleteStmt, begin,
 				Items: []sqlast.SelectItem{{Star: true}},
 				From:  []sqlast.TableRef{&sqlast.BaseTable{Name: del.Table, Alias: alias}},
 				Where: sqlast.CloneExpr(affected),
-			}},
-		// 2. Delete the originals.
-		&sqlast.DeleteStmt{Table: del.Table, Alias: del.Alias, Where: sqlast.CloneExpr(affected)},
+			}})
+	// 2. Retire the originals: plain deletion on a valid-time table,
+	// belief versioning on a bitemporal one (same-day assertions vanish,
+	// older ones are closed at today).
+	out.Setup = append(out.Setup, tr.retireAffected(del.Table, del.Alias, alias, affected, bi)...)
+	out.Setup = append(out.Setup,
 		// 3. Re-insert the left remnants [b, P1).
-		remnantInsert(del.Table, dataCols, "begin_time",
-			&sqlast.Literal{}, begin, end, true),
+		remnantInsert(del.Table, dataCols, begin, end, true, bi),
 		// 4. Re-insert the right remnants [P2, e).
-		remnantInsert(del.Table, dataCols, "end_time",
-			&sqlast.Literal{}, begin, end, false),
+		remnantInsert(del.Table, dataCols, begin, end, false, bi),
 	)
 	out.Main = &sqlast.DropTableStmt{Name: seqDMLTemp, IfExists: true}
 	return out, nil
 }
 
+// retireAffected removes the affected originals. On a valid-time table
+// that is a DELETE; on a bitemporal table the beliefs asserted today
+// are deleted outright (date-granular transaction time never recorded
+// them) and the rest are closed at CURRENT_DATE, preserving the audit
+// past.
+func (tr *Translator) retireAffected(table, declAlias, alias string, affected sqlast.Expr, bi bool) []sqlast.Stmt {
+	if !bi {
+		return []sqlast.Stmt{
+			&sqlast.DeleteStmt{Table: table, Alias: declAlias, Where: sqlast.CloneExpr(affected)},
+		}
+	}
+	return []sqlast.Stmt{
+		&sqlast.DeleteStmt{Table: table, Alias: declAlias,
+			Where: andExpr(sqlast.CloneExpr(affected),
+				&sqlast.BinaryExpr{Op: "=", L: col(alias, "tt_begin_time"), R: currentDate()})},
+		&sqlast.UpdateStmt{Table: table, Alias: declAlias,
+			Sets:  []sqlast.SetClause{{Column: "tt_end_time", Value: currentDate()}},
+			Where: sqlast.CloneExpr(affected)},
+	}
+}
+
 // remnantInsert builds INSERT INTO target SELECT data..., for the left
 // (left=true: [begin_time, P1) where begin_time < P1) or right remnant
-// ([P2, end_time) where end_time > P2) of the materialized rows.
-func remnantInsert(target string, dataCols []string, _ string, _ sqlast.Expr, p1, p2 sqlast.Expr, left bool) sqlast.Stmt {
-	items := make([]sqlast.SelectItem, 0, len(dataCols)+2)
+// ([P2, end_time) where end_time > P2) of the materialized rows. On a
+// bitemporal target the remnants are fresh assertions believed from
+// today on.
+func remnantInsert(target string, dataCols []string, p1, p2 sqlast.Expr, left, bi bool) sqlast.Stmt {
+	items := make([]sqlast.SelectItem, 0, len(dataCols)+4)
 	for _, c := range dataCols {
 		items = append(items, sqlast.SelectItem{Expr: col("", c)})
 	}
@@ -163,6 +210,11 @@ func remnantInsert(target string, dataCols []string, _ string, _ sqlast.Expr, p1
 			sqlast.SelectItem{Expr: sqlast.CloneExpr(p2)},
 			sqlast.SelectItem{Expr: col("", "end_time")})
 		where = &sqlast.BinaryExpr{Op: ">", L: col("", "end_time"), R: sqlast.CloneExpr(p2)}
+	}
+	if bi {
+		items = append(items,
+			sqlast.SelectItem{Expr: currentDate()},
+			sqlast.SelectItem{Expr: foreverLit()})
 	}
 	return &sqlast.InsertStmt{Table: target, Source: &sqlast.SelectStmt{
 		Items: items,
@@ -184,13 +236,20 @@ func (tr *Translator) seqUpdate(out *Translation, upd *sqlast.UpdateStmt, begin,
 	if alias == "" {
 		alias = upd.Table
 	}
+	bi := tr.isBitemporalTable(upd.Table)
 	affected := andExpr(sqlast.CloneExpr(upd.Where), overlapPred(alias, begin, end))
+	if bi {
+		affected = andExpr(affected, ttCurrentOverlap(alias))
+	}
 
 	cols := tr.tableColumns(upd.Table)
 	if cols == nil {
 		return nil, fmt.Errorf("unknown temporal table %s", upd.Table)
 	}
 	dataCols := cols[:len(cols)-2]
+	if bi {
+		dataCols = cols[:len(cols)-4]
+	}
 
 	// Updated portion: SET applied, period clipped to the overlap.
 	updItems := make([]sqlast.SelectItem, 0, len(cols))
@@ -208,6 +267,11 @@ func (tr *Translator) seqUpdate(out *Translation, upd *sqlast.UpdateStmt, begin,
 			Args: []sqlast.Expr{col("", "begin_time"), sqlast.CloneExpr(begin)}}},
 		sqlast.SelectItem{Expr: &sqlast.FuncCall{Name: "FIRST_INSTANCE",
 			Args: []sqlast.Expr{col("", "end_time"), sqlast.CloneExpr(end)}}})
+	if bi {
+		updItems = append(updItems,
+			sqlast.SelectItem{Expr: currentDate()},
+			sqlast.SelectItem{Expr: foreverLit()})
+	}
 
 	out.Setup = append(out.Setup,
 		&sqlast.DropTableStmt{Name: seqDMLTemp, IfExists: true},
@@ -216,10 +280,11 @@ func (tr *Translator) seqUpdate(out *Translation, upd *sqlast.UpdateStmt, begin,
 				Items: []sqlast.SelectItem{{Star: true}},
 				From:  []sqlast.TableRef{&sqlast.BaseTable{Name: upd.Table, Alias: alias}},
 				Where: sqlast.CloneExpr(affected),
-			}},
-		&sqlast.DeleteStmt{Table: upd.Table, Alias: upd.Alias, Where: sqlast.CloneExpr(affected)},
-		remnantInsert(upd.Table, dataCols, "", nil, begin, end, true),
-		remnantInsert(upd.Table, dataCols, "", nil, begin, end, false),
+			}})
+	out.Setup = append(out.Setup, tr.retireAffected(upd.Table, upd.Alias, alias, affected, bi)...)
+	out.Setup = append(out.Setup,
+		remnantInsert(upd.Table, dataCols, begin, end, true, bi),
+		remnantInsert(upd.Table, dataCols, begin, end, false, bi),
 		&sqlast.InsertStmt{Table: upd.Table, Source: &sqlast.SelectStmt{
 			Items: updItems,
 			From:  []sqlast.TableRef{&sqlast.BaseTable{Name: seqDMLTemp}},

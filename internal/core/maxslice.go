@@ -19,23 +19,26 @@ const (
 	cpAlias = "cp"
 )
 
-// maxOverlap builds alias.begin_time <= at AND at < alias.end_time —
-// overlap with the beginning of the constant period, which suffices
-// because nothing changes during a constant period (§V-B).
-func maxOverlap(alias string, at sqlast.Expr) sqlast.Expr {
+// maxOverlap builds alias.bcol <= at AND at < alias.ecol — overlap
+// with the beginning of the constant period, which suffices because
+// nothing changes during a constant period (§V-B).
+func maxOverlap(alias, bcol, ecol string, at sqlast.Expr) sqlast.Expr {
 	return andExpr(
-		&sqlast.BinaryExpr{Op: "<=", L: col(alias, "begin_time"), R: sqlast.CloneExpr(at)},
-		&sqlast.BinaryExpr{Op: "<", L: sqlast.CloneExpr(at), R: col(alias, "end_time")},
+		&sqlast.BinaryExpr{Op: "<=", L: col(alias, bcol), R: sqlast.CloneExpr(at)},
+		&sqlast.BinaryExpr{Op: "<", L: sqlast.CloneExpr(at), R: col(alias, ecol)},
 	)
 }
 
-// addMaxPredicates adds the point-overlap predicate for every temporal
-// table in every SELECT under stmt, evaluating at instant `at`.
-func (tr *Translator) addMaxPredicates(stmt sqlast.Node, at sqlast.Expr) {
+// addMaxPredicates adds the point-overlap predicate along dimension dim
+// for every temporal table carrying it in every SELECT under stmt,
+// evaluating at instant `at`. Tables carrying only the orthogonal
+// dimension are the context-filter pass's job.
+func (tr *Translator) addMaxPredicates(stmt sqlast.Node, at sqlast.Expr, dim sqlast.TemporalDimension) {
 	forEachSelect(stmt, func(sel *sqlast.SelectStmt) {
 		for _, fe := range fromEntries(sel) {
-			if tr.Info.IsTemporalTable(fe.Name) {
-				sel.Where = andExpr(sel.Where, maxOverlap(fe.Alias, at))
+			if tr.Info.IsTemporalTable(fe.Name) && tr.carriesDim(fe.Name, dim) {
+				bcol, ecol := tr.slicePeriodCols(fe.Name, dim)
+				sel.Where = andExpr(sel.Where, maxOverlap(fe.Alias, bcol, ecol, at))
 			}
 		}
 	})
@@ -62,8 +65,11 @@ func renameMaxCalls(stmt sqlast.Stmt, a *analysis, at sqlast.Expr) {
 
 // maxRoutine produces the max_ clone of a temporal routine: an extra
 // begin_time_in parameter, point-overlap predicates on its queries, and
-// the instant propagated to nested temporal routines.
-func (tr *Translator) maxRoutine(a *analysis, name string) sqlast.Stmt {
+// the instant propagated to nested temporal routines. Tables carrying
+// the orthogonal dimension are pinned to the default (current) context
+// — clone names are deterministic, so per-statement context literals
+// cannot be embedded.
+func (tr *Translator) maxRoutine(a *analysis, name string, dim sqlast.TemporalDimension) sqlast.Stmt {
 	at := &sqlast.ColumnRef{Column: "begin_time_in"}
 	def := sqlast.CloneStmt(a.routineDef[strings.ToLower(name)])
 	param := sqlast.ParamDef{Name: "begin_time_in", Type: sqlast.TypeName{Base: "DATE"}}
@@ -77,15 +83,17 @@ func (tr *Translator) maxRoutine(a *analysis, name string) sqlast.Stmt {
 		d.Params = append(d.Params, param)
 		d.Replace = true
 	}
-	tr.addMaxPredicates(def, at)
+	tr.addMaxPredicates(def, at, dim)
+	tr.addContextFilters(def, dim, nil, nil)
 	renameMaxCalls(def, a, at)
 	return def
 }
 
 // constantPeriodSetup emits the Figure-8 SQL that materializes the
 // time-point table ts and the constant-period table cp for the given
-// temporal tables over context [begin, end).
-func constantPeriodSetup(tables []string, begin, end sqlast.Expr) (setup, teardown []sqlast.Stmt) {
+// temporal tables over context [begin, end), collecting the period
+// pair of dimension dim from each table.
+func (tr *Translator) constantPeriodSetup(tables []string, begin, end sqlast.Expr, dim sqlast.TemporalDimension) (setup, teardown []sqlast.Stmt) {
 	setup = append(setup,
 		&sqlast.DropTableStmt{Name: tsTable, IfExists: true},
 		&sqlast.DropTableStmt{Name: cpTable, IfExists: true},
@@ -104,7 +112,8 @@ func constantPeriodSetup(tables []string, begin, end sqlast.Expr) (setup, teardo
 		}
 	}
 	for _, t := range tables {
-		for _, c := range []string{"begin_time", "end_time"} {
+		bcol, ecol := tr.slicePeriodCols(t, dim)
+		for _, c := range []string{bcol, ecol} {
 			addSel(&sqlast.SelectStmt{
 				Items: []sqlast.SelectItem{{Expr: col("", c), Alias: "time_point"}},
 				From:  []sqlast.TableRef{&sqlast.BaseTable{Name: t}},
@@ -157,34 +166,36 @@ func constantPeriodSetup(tables []string, begin, end sqlast.Expr) (setup, teardo
 	return setup, teardown
 }
 
-func (tr *Translator) maxSlice(body sqlast.Stmt, begin, end sqlast.Expr, dim sqlast.TemporalDimension) (*Translation, error) {
+func (tr *Translator) maxSlice(body sqlast.Stmt, begin, end sqlast.Expr, dim sqlast.TemporalDimension, ctxBegin, ctxEnd sqlast.Expr) (*Translation, error) {
 	switch body.(type) {
 	case *sqlast.InsertStmt, *sqlast.UpdateStmt, *sqlast.DeleteStmt:
-		return tr.sequencedDML(body, begin, end, StrategyMax, dim)
+		return tr.sequencedDML(body, begin, end, StrategyMax, dim, ctxBegin, ctxEnd)
 	}
 	a, err := tr.analyzeDim(body, dim)
 	if err != nil {
 		return nil, err
 	}
-	if err := a.checkSingleDimension(); err != nil {
-		return nil, err
-	}
 	if err := tr.checkNoInnerModifiers(a); err != nil {
 		return nil, err
 	}
+	if err := tr.checkExplicitContext(a, dim, ctxBegin); err != nil {
+		return nil, err
+	}
 	out := &Translation{
-		Strategy: StrategyMax, ContextBegin: begin, ContextEnd: end,
+		Strategy: StrategyMax, Dim: dim, ContextBegin: begin, ContextEnd: end,
 		TemporalTables: a.temporalTables,
 	}
 
 	if _, ok := body.(sqlast.QueryExpr); !ok {
-		return nil, fmt.Errorf("maximally-fragmented slicing: unsupported statement %T under VALIDTIME", body)
+		return nil, fmt.Errorf("maximally-fragmented slicing: unsupported statement %T under %s", body, dim.Keyword())
 	}
 
-	// Sequenced query over purely snapshot data: the result holds over
-	// the whole context.
+	// Sequenced query over no table carrying the sliced dimension: after
+	// the context filter pins any orthogonal-dimension tables, the
+	// result holds over the whole context.
 	if len(a.temporalTables) == 0 {
 		main := sqlast.CloneStmt(body).(sqlast.QueryExpr)
+		tr.addContextFilters(main, dim, ctxBegin, ctxEnd)
 		prependPeriodItems(main, sqlast.CloneExpr(begin), sqlast.CloneExpr(end))
 		out.Main = main.(sqlast.Stmt)
 		return out, nil
@@ -192,19 +203,22 @@ func (tr *Translator) maxSlice(body sqlast.Stmt, begin, end sqlast.Expr, dim sql
 
 	for _, rn := range a.routines {
 		if a.temporalRoutine(rn) {
-			out.Routines = append(out.Routines, tr.maxRoutine(a, rn))
+			out.Routines = append(out.Routines, tr.maxRoutine(a, rn, dim))
 		}
 	}
 
-	out.Setup, out.Teardown = constantPeriodSetup(a.temporalTables, begin, end)
+	out.Setup, out.Teardown = tr.constantPeriodSetup(a.temporalTables, begin, end, dim)
 	out.NeedsConstantPeriods = true
 
 	main := sqlast.CloneStmt(body)
 	at := col(cpAlias, "begin_time")
 
 	// Every SELECT (including subqueries) evaluates at the instant
-	// cp.begin_time; subqueries reference cp through correlation.
-	tr.addMaxPredicates(main, at)
+	// cp.begin_time; subqueries reference cp through correlation. Tables
+	// carrying only the orthogonal dimension (and the orthogonal pair of
+	// bitemporal tables) are pinned to the secondary context instead.
+	tr.addMaxPredicates(main, at, dim)
+	tr.addContextFilters(main, dim, ctxBegin, ctxEnd)
 	renameMaxCalls(main, a, at)
 
 	// The outermost SELECT block(s) additionally join cp and return

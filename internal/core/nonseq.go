@@ -15,6 +15,71 @@ import (
 // SELECT statements are rewritten with the standard sequenced-SELECT
 // transformation when they do not themselves invoke temporal routines.
 
+// checkNonseqBitemporalDML limits nonsequenced modifications of
+// bitemporal tables to top-level INSERT: the transform can append the
+// system-maintained transaction-time period there, but cannot rewrite
+// UPDATE/DELETE (which must version the audit history — use current or
+// sequenced semantics) or statements buried in routine bodies.
+func (tr *Translator) checkNonseqBitemporalDML(body sqlast.Stmt) error {
+	var firstErr error
+	sqlast.Walk(body, func(n sqlast.Node) bool {
+		if firstErr != nil {
+			return false
+		}
+		var target string
+		insert := false
+		switch x := n.(type) {
+		case *sqlast.InsertStmt:
+			if !x.VarTarget {
+				target, insert = x.Table, true
+			}
+		case *sqlast.UpdateStmt:
+			if !x.VarTarget {
+				target = x.Table
+			}
+		case *sqlast.DeleteStmt:
+			if !x.VarTarget {
+				target = x.Table
+			}
+		}
+		if target == "" || !tr.isBitemporalTable(target) {
+			return true
+		}
+		if insert && n == sqlast.Node(body) {
+			return true
+		}
+		firstErr = fmt.Errorf("nonsequenced modification of bitemporal table %s: only top-level INSERT is supported; use current or sequenced semantics to version transaction time", target)
+		return false
+	})
+	return firstErr
+}
+
+// appendNonseqTT extends a nonsequenced INSERT into a bitemporal table
+// with the system transaction-time period [CURRENT_DATE, forever).
+func (tr *Translator) appendNonseqTT(ins *sqlast.InsertStmt) error {
+	for _, c := range ins.Cols {
+		if strings.EqualFold(c, "tt_begin_time") || strings.EqualFold(c, "tt_end_time") {
+			return fmt.Errorf("transaction time of table %s is system-maintained; do not write %s", ins.Table, c)
+		}
+	}
+	if len(ins.Cols) > 0 {
+		ins.Cols = append(ins.Cols, "tt_begin_time", "tt_end_time")
+	}
+	switch src := ins.Source.(type) {
+	case *sqlast.ValuesExpr:
+		for i := range src.Rows {
+			src.Rows[i] = append(src.Rows[i], currentDate(), foreverLit())
+		}
+	case *sqlast.SelectStmt:
+		src.Items = append(src.Items,
+			sqlast.SelectItem{Expr: currentDate(), Alias: "tt_begin_time"},
+			sqlast.SelectItem{Expr: foreverLit(), Alias: "tt_end_time"})
+	default:
+		return fmt.Errorf("nonsequenced INSERT into bitemporal table %s requires a VALUES or SELECT source", ins.Table)
+	}
+	return nil
+}
+
 // nonseqRoutines produces the nonseq_ clone of the named routine (and
 // transitively of modifier-carrying routines it calls).
 func (tr *Translator) nonseqRoutines(a *analysis, name string) ([]sqlast.Stmt, error) {

@@ -19,31 +19,32 @@ import (
 // temporal aggregation) yield ErrNotTransformable, and callers fall
 // back to MAX.
 
-func (tr *Translator) perStatement(body sqlast.Stmt, begin, end sqlast.Expr, dim sqlast.TemporalDimension) (*Translation, error) {
+func (tr *Translator) perStatement(body sqlast.Stmt, begin, end sqlast.Expr, dim sqlast.TemporalDimension, ctxBegin, ctxEnd sqlast.Expr) (*Translation, error) {
 	switch body.(type) {
 	case *sqlast.InsertStmt, *sqlast.UpdateStmt, *sqlast.DeleteStmt:
-		return tr.sequencedDML(body, begin, end, StrategyPerStatement, dim)
+		return tr.sequencedDML(body, begin, end, StrategyPerStatement, dim, ctxBegin, ctxEnd)
 	}
 	a, err := tr.analyzeDim(body, dim)
 	if err != nil {
 		return nil, err
 	}
-	if err := a.checkSingleDimension(); err != nil {
-		return nil, err
-	}
 	if err := tr.checkNoInnerModifiers(a); err != nil {
 		return nil, err
 	}
+	if err := tr.checkExplicitContext(a, dim, ctxBegin); err != nil {
+		return nil, err
+	}
 	out := &Translation{
-		Strategy: StrategyPerStatement, ContextBegin: begin, ContextEnd: end,
+		Strategy: StrategyPerStatement, Dim: dim, ContextBegin: begin, ContextEnd: end,
 		TemporalTables: a.temporalTables,
 	}
 	if _, ok := body.(sqlast.QueryExpr); !ok {
-		return nil, fmt.Errorf("%w: only queries and modifications are supported under VALIDTIME", ErrNotTransformable)
+		return nil, fmt.Errorf("%w: only queries and modifications are supported under %s", ErrNotTransformable, dim.Keyword())
 	}
 
 	if len(a.temporalTables) == 0 {
 		main := sqlast.CloneStmt(body).(sqlast.QueryExpr)
+		tr.addContextFilters(main, dim, ctxBegin, ctxEnd)
 		prependPeriodItems(main, sqlast.CloneExpr(begin), sqlast.CloneExpr(end))
 		out.Main = main.(sqlast.Stmt)
 		return out, nil
@@ -68,6 +69,7 @@ func (tr *Translator) perStatement(body sqlast.Stmt, begin, end sqlast.Expr, dim
 		switch x := q.(type) {
 		case *sqlast.SelectStmt:
 			sc := &seqCtx{a: a, pBegin: begin, pEnd: end,
+				ctxBegin: ctxBegin, ctxEnd: ctxEnd,
 				localTemporal: map[string]bool{}, lateralCounter: &counter}
 			return tr.rewriteSequencedSelect(x, sc)
 		case *sqlast.SetOpExpr:

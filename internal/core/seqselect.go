@@ -135,10 +135,41 @@ func (tr *Translator) hasTemporalSubquery(n sqlast.Node, a *analysis, localTempo
 // seqCtx carries the state of a sequenced (per-statement) query
 // rewrite.
 type seqCtx struct {
-	a              *analysis
-	pBegin, pEnd   sqlast.Expr
-	localTemporal  map[string]bool // temp tables / tv vars acting as temporal operands
-	lateralCounter *int
+	a            *analysis
+	pBegin, pEnd sqlast.Expr
+	// ctxBegin/ctxEnd is the explicit secondary-dimension context of a
+	// combined bitemporal modifier; nil means the current instant.
+	ctxBegin, ctxEnd sqlast.Expr
+	localTemporal    map[string]bool // temp tables / tv vars acting as temporal operands
+	lateralCounter   *int
+}
+
+// dim is the dimension the rewrite slices along (the analysis
+// dimension, defaulting to valid time for dimension-blind analyses).
+func (sc *seqCtx) dim() sqlast.TemporalDimension {
+	if sc.a.dim == dimAny {
+		return sqlast.DimValid
+	}
+	return sc.a.dim
+}
+
+// isOperand reports whether a FROM base table participates in the
+// period intersection: it must carry the sliced dimension (tables
+// carrying only the orthogonal one are context-filtered instead).
+func (sc *seqCtx) isOperand(tr *Translator, name string) bool {
+	if sc.localTemporal[strings.ToLower(name)] {
+		return true
+	}
+	return tr.Info.IsTemporalTable(name) && tr.carriesDim(name, sc.dim())
+}
+
+// operandCols names the period columns a base-table operand is sliced
+// on (local temporaries always use the standard pair).
+func (sc *seqCtx) operandCols(tr *Translator, name string) (string, string) {
+	if sc.localTemporal[strings.ToLower(name)] {
+		return "begin_time", "end_time"
+	}
+	return tr.slicePeriodCols(name, sc.dim())
 }
 
 func (sc *seqCtx) freshAlias() string {
@@ -169,12 +200,13 @@ func (tr *Translator) rewriteSequencedSelect(sel *sqlast.SelectStmt, sc *seqCtx)
 	for i, ref := range sel.From {
 		switch x := ref.(type) {
 		case *sqlast.BaseTable:
-			if tr.Info.IsTemporalTable(x.Name) || sc.localTemporal[strings.ToLower(x.Name)] {
+			if sc.isOperand(tr, x.Name) {
 				alias := x.Alias
 				if alias == "" {
 					alias = x.Name
 				}
-				ops = append(ops, temporalOperand{Alias: alias, BeginCol: "begin_time", EndCol: "end_time"})
+				bcol, ecol := sc.operandCols(tr, x.Name)
+				ops = append(ops, temporalOperand{Alias: alias, BeginCol: bcol, EndCol: ecol})
 			}
 		case *sqlast.TableFunc:
 			// A routine invoked in the FROM clause (τPSM q19): rename
@@ -193,12 +225,13 @@ func (tr *Translator) rewriteSequencedSelect(sel *sqlast.SelectStmt, sc *seqCtx)
 			visit = func(r sqlast.TableRef) {
 				switch y := r.(type) {
 				case *sqlast.BaseTable:
-					if tr.Info.IsTemporalTable(y.Name) || sc.localTemporal[strings.ToLower(y.Name)] {
+					if sc.isOperand(tr, y.Name) {
 						alias := y.Alias
 						if alias == "" {
 							alias = y.Name
 						}
-						ops = append(ops, temporalOperand{Alias: alias, BeginCol: "begin_time", EndCol: "end_time"})
+						bcol, ecol := sc.operandCols(tr, y.Name)
+						ops = append(ops, temporalOperand{Alias: alias, BeginCol: bcol, EndCol: ecol})
 					}
 				case *sqlast.JoinExpr:
 					visit(y.L)
@@ -265,5 +298,8 @@ func (tr *Translator) rewriteSequencedSelect(sel *sqlast.SelectStmt, sc *seqCtx)
 	if cond := overlapConditions(ops, sc.pBegin, sc.pEnd); cond != nil {
 		sel.Where = andExpr(sel.Where, cond)
 	}
+	// Tables carrying the orthogonal dimension are pinned to the
+	// secondary-dimension context (the current instant by default).
+	tr.addContextFilters(sel, sc.dim(), sc.ctxBegin, sc.ctxEnd)
 	return nil
 }

@@ -32,9 +32,6 @@ func (tr *Translator) translateView(v *sqlast.CreateViewStmt) (*Translation, err
 		if err != nil {
 			return nil, err
 		}
-		if err := a.checkSingleDimension(); err != nil {
-			return nil, err
-		}
 		if err := tr.checkNoInnerModifiers(a); err != nil {
 			return nil, err
 		}

@@ -371,13 +371,17 @@ func (db *DB) execCreateTable(ctx *execCtx, s *sqlast.CreateTableStmt) (*Result,
 			rows = res.Rows
 		}
 	}
-	if s.ValidTime && s.TransactionTime {
-		return nil, fmt.Errorf("table %s: bitemporal tables (valid time AND transaction time) are not supported", s.Name)
-	}
 	if s.ValidTime || s.TransactionTime {
 		cols = append(cols,
 			storage.Column{Name: "begin_time", Type: sqlast.TypeName{Base: "DATE"}},
 			storage.Column{Name: "end_time", Type: sqlast.TypeName{Base: "DATE"}})
+	}
+	if s.ValidTime && s.TransactionTime {
+		// Bitemporal layout: the valid-time pair above plus the
+		// transaction-time pair as the final two columns.
+		cols = append(cols,
+			storage.Column{Name: "tt_begin_time", Type: sqlast.TypeName{Base: "DATE"}},
+			storage.Column{Name: "tt_end_time", Type: sqlast.TypeName{Base: "DATE"}})
 	}
 	t := storage.NewTable(s.Name, storage.NewSchema(cols))
 	t.ValidTime = s.ValidTime
@@ -401,6 +405,29 @@ func (db *DB) execAddValidTime(ctx *execCtx, s *sqlast.AlterAddValidTime) (*Resu
 	t := db.Cat.Table(s.Table)
 	if t == nil {
 		return nil, fmt.Errorf("table %s does not exist", s.Table)
+	}
+	if t.ValidTime && s.Transaction && !t.TransactionTime {
+		// Migrate a valid-time table to bitemporal: append the
+		// transaction-time pair; every existing version becomes believed
+		// from now on.
+		cols := append(append([]storage.Column{}, t.Schema.Cols...),
+			storage.Column{Name: "tt_begin_time", Type: sqlast.TypeName{Base: "DATE"}},
+			storage.Column{Name: "tt_end_time", Type: sqlast.TypeName{Base: "DATE"}})
+		nt := storage.NewTable(t.Name, storage.NewSchema(cols))
+		nt.ValidTime = true
+		nt.TransactionTime = true
+		nt.Temporary = t.Temporary
+		for _, r := range t.Rows {
+			nr := append(append([]types.Value{}, r...), types.NewDate(db.Now), types.NewDate(types.Forever))
+			nt.Rows = append(nt.Rows, nr)
+		}
+		nt.Bump()
+		db.Cat.PutTable(nt)
+		journalPutTable(ctx.journal, db.Cat, t, nt)
+		if !nt.Temporary {
+			db.statsReset(ctx.journal, nt.Name, true)
+		}
+		return &Result{Affected: len(nt.Rows)}, nil
 	}
 	if t.ValidTime || t.TransactionTime {
 		return nil, fmt.Errorf("table %s already has temporal support", s.Table)

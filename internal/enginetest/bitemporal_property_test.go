@@ -1,0 +1,138 @@
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"taupsm"
+)
+
+// TestBitemporalHistoryProperty drives two databases — one per
+// sequenced-slicing strategy — through the same fixed-seed stream of
+// random valid-time DML interleaved with clock shifts, and asserts two
+// invariants of a bitemporal table:
+//
+//  1. Transaction time is append-only: the multiset of closed belief
+//     versions (tt_end_time in the past) only ever grows.
+//  2. Every sampled audit snapshot — "what did we believe on date X
+//     about date Y" — returns the same coalesced rows under MAX and
+//     PERST.
+func TestBitemporalHistoryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const ddl = `CREATE TABLE bt (id CHAR(4), title CHAR(20)) AS VALIDTIME AS TRANSACTIONTIME`
+
+	open := func(s taupsm.Strategy) *taupsm.DB {
+		db := taupsm.Open()
+		db.SetStrategy(s)
+		db.SetNow(2011, 1, 1)
+		db.MustExec(ddl)
+		return db
+	}
+	maxDB := open(taupsm.Max)
+	perstDB := open(taupsm.PerStatement)
+	defer maxDB.Close()
+	defer perstDB.Close()
+
+	ids := []string{"p1", "p2", "p3"}
+	titles := []string{"engineer", "manager", "director", "intern"}
+	day := func(n int) (int, int) { return 1 + (n-1)/28, 1 + (n-1)%28 } // month, day within 2011
+	randPeriod := func() (string, string) {
+		b := 1 + rng.Intn(300)
+		e := b + 1 + rng.Intn(36) // stays within day()'s 12×28-day calendar
+		bm, bd := day(b)
+		em, ed := day(e)
+		return date(2011, bm, bd), date(2011, em, ed)
+	}
+
+	closedSet := func(db *taupsm.DB) map[string]int {
+		res, err := db.Query(`NONSEQUENCED TRANSACTIONTIME SELECT id, title, begin_time, end_time, tt_begin_time, tt_end_time FROM bt`)
+		if err != nil {
+			t.Fatalf("audit scan: %v", err)
+		}
+		out := map[string]int{}
+		for _, r := range Rows(res) {
+			if !strings.HasSuffix(r, "|9999-12-31") {
+				out[r]++
+			}
+		}
+		return out
+	}
+
+	clock := 1 // day number within 2011
+	var prevMax, prevPerst map[string]int
+	for step := 0; step < 60; step++ {
+		clock += 1 + rng.Intn(4)
+		if clock > 330 {
+			break
+		}
+		m, d := day(clock)
+		maxDB.SetNow(2011, m, d)
+		perstDB.SetNow(2011, m, d)
+
+		id := ids[rng.Intn(len(ids))]
+		title := titles[rng.Intn(len(titles))]
+		b, e := randPeriod()
+		var stmt string
+		switch rng.Intn(5) {
+		case 0:
+			stmt = fmt.Sprintf(`VALIDTIME (%s, %s) INSERT INTO bt VALUES ('%s', '%s')`, b, e, id, title)
+		case 1:
+			stmt = fmt.Sprintf(`VALIDTIME (%s, %s) UPDATE bt SET title = '%s' WHERE id = '%s'`, b, e, title, id)
+		case 2:
+			stmt = fmt.Sprintf(`VALIDTIME (%s, %s) DELETE FROM bt WHERE id = '%s'`, b, e, id)
+		case 3:
+			stmt = fmt.Sprintf(`UPDATE bt SET title = '%s' WHERE id = '%s'`, title, id)
+		case 4:
+			stmt = fmt.Sprintf(`INSERT INTO bt VALUES ('%s', '%s')`, id, title)
+		}
+		if _, err := maxDB.Exec(stmt); err != nil {
+			t.Fatalf("step %d MAX (%s): %v", step, stmt, err)
+		}
+		if _, err := perstDB.Exec(stmt); err != nil {
+			t.Fatalf("step %d PERST (%s): %v", step, stmt, err)
+		}
+
+		// Invariant 1: closed belief versions are never lost or edited.
+		for name, db := range map[string]*taupsm.DB{"MAX": maxDB, "PERST": perstDB} {
+			cur := closedSet(db)
+			prev := prevMax
+			if name == "PERST" {
+				prev = prevPerst
+			}
+			for row, n := range prev {
+				if cur[row] < n {
+					t.Fatalf("step %d %s: closed version lost after %q:\n%s (had %d, now %d)",
+						step, name, stmt, row, n, cur[row])
+				}
+			}
+			if name == "MAX" {
+				prevMax = cur
+			} else {
+				prevPerst = cur
+			}
+		}
+	}
+
+	// Invariant 2: sampled audit snapshots agree across strategies.
+	maxDB.CoalesceResults = true
+	perstDB.CoalesceResults = true
+	for i := 0; i < 40; i++ {
+		xm, xd := day(1 + rng.Intn(330)) // belief date X
+		ym, yd := day(1 + rng.Intn(336)) // about date Y
+		q := fmt.Sprintf(`VALIDTIME (%s) AND TRANSACTIONTIME (%s) SELECT id, title FROM bt`,
+			date(2011, ym, yd), date(2011, xm, xd))
+		mres, err := maxDB.Query(q)
+		if err != nil {
+			t.Fatalf("MAX %s: %v", q, err)
+		}
+		pres, err := perstDB.Query(q)
+		if err != nil {
+			t.Fatalf("PERST %s: %v", q, err)
+		}
+		if SortedRows(mres) != SortedRows(pres) {
+			t.Errorf("snapshot disagreement for %s:\nMAX:\n%s\nPERST:\n%s", q, SortedRows(mres), SortedRows(pres))
+		}
+	}
+}

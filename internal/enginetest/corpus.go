@@ -1,0 +1,46 @@
+package enginetest
+
+import (
+	"strings"
+	"testing"
+
+	"taupsm"
+	"taupsm/internal/engine"
+	"taupsm/internal/taubench"
+)
+
+// The shared corpus loaders. Every test that runs the 16-query
+// benchmark corpus — differential recovery, the batched-execution
+// property, the analyzer agreement suite — goes through these two
+// helpers instead of wiring its own.
+
+// LoadCorpus loads the benchmark dataset and every corpus query's
+// routines into db, with the benchmark runner's fixed clock.
+func LoadCorpus(tb testing.TB, db *taupsm.DB, spec taubench.Spec) {
+	tb.Helper()
+	db.SetNow(2011, 1, 1)
+	if _, err := taubench.Load(db, spec); err != nil {
+		tb.Fatalf("load: %v", err)
+	}
+	for _, q := range taubench.Queries() {
+		if _, err := db.Exec(q.Routines); err != nil {
+			tb.Fatalf("%s routines: %v", q.Name, err)
+		}
+	}
+}
+
+// CorpusEngine loads the benchmark schema and one query's routines
+// into a bare engine (no stratum, no CREATE-time checks).
+func CorpusEngine(tb testing.TB, routines string) *engine.DB {
+	tb.Helper()
+	e := engine.New()
+	if _, err := e.ExecScript(taubench.Schema); err != nil {
+		tb.Fatalf("schema: %v", err)
+	}
+	if strings.TrimSpace(routines) != "" {
+		if _, err := e.ExecScript(routines); err != nil {
+			tb.Fatalf("routines: %v", err)
+		}
+	}
+	return e
+}

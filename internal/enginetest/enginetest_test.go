@@ -1,0 +1,11 @@
+package enginetest
+
+import "testing"
+
+// TestEngineScenarios runs the full declarative scenario corpus over
+// the axis grid. Subtests are <scenario>/<strategy>-<par>-<durability>,
+// so CI can filter one durability axis with e.g.
+// -run 'TestEngineScenarios/.*/.*-mem$'.
+func TestEngineScenarios(t *testing.T) {
+	Run(t, Scenarios)
+}

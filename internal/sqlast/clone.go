@@ -144,6 +144,12 @@ func CloneStmt(s Stmt) Stmt {
 		if x.Period != nil {
 			c.Period = &PeriodSpec{Begin: CloneExpr(x.Period.Begin), End: CloneExpr(x.Period.End)}
 		}
+		if x.Ctx != nil {
+			c.Ctx = &DimContext{Dim: x.Ctx.Dim}
+			if x.Ctx.Period != nil {
+				c.Ctx.Period = &PeriodSpec{Begin: CloneExpr(x.Ctx.Period.Begin), End: CloneExpr(x.Ctx.Period.End)}
+			}
+		}
 		return c
 	case *ExplainStmt:
 		return &ExplainStmt{Body: CloneStmt(x.Body), Analyze: x.Analyze}

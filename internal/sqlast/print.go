@@ -362,6 +362,12 @@ func (t *TemporalStmt) SQL() string {
 	case ModNonsequenced:
 		prefix = "NONSEQUENCED " + t.Dim.Keyword()
 	}
+	if t.Ctx != nil {
+		prefix += " AND " + t.Ctx.Dim.Keyword()
+		if t.Ctx.Period != nil {
+			prefix += " (" + t.Ctx.Period.Begin.SQL() + ", " + t.Ctx.Period.End.SQL() + ")"
+		}
+	}
 	if prefix == "" {
 		return t.Body.SQL()
 	}

@@ -102,6 +102,16 @@ type PeriodSpec struct {
 	End   Expr
 }
 
+// DimContext is the secondary-dimension context of a combined
+// bitemporal modifier: `VALIDTIME (...) AND TRANSACTIONTIME (X)`
+// evaluates the valid-time statement against the database state as
+// believed during the transaction-time period. A nil Period means the
+// current period (belief as of CURRENT_DATE).
+type DimContext struct {
+	Dim    TemporalDimension
+	Period *PeriodSpec
+}
+
 // TemporalStmt wraps a statement with a temporal statement modifier
 // (paper §IV-B). Body is a query, DML statement, view or cursor
 // definition.
@@ -109,8 +119,13 @@ type TemporalStmt struct {
 	Mod    TemporalModifier
 	Dim    TemporalDimension
 	Period *PeriodSpec // only for ModSequenced, optional
-	Body   Stmt
-	Pos    sqlscan.Pos
+	// Ctx is the optional secondary-dimension context of a combined
+	// bitemporal modifier (`AND TRANSACTIONTIME (...)`). Tables carrying
+	// the context dimension are filtered to the context period instead
+	// of being sliced along it.
+	Ctx  *DimContext
+	Body Stmt
+	Pos  sqlscan.Pos
 }
 
 func (*TemporalStmt) stmtNode() {}

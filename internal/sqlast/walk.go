@@ -111,6 +111,10 @@ func Walk(n Node, visit func(Node) bool) {
 			Walk(x.Period.Begin, visit)
 			Walk(x.Period.End, visit)
 		}
+		if x.Ctx != nil && x.Ctx.Period != nil {
+			Walk(x.Ctx.Period.Begin, visit)
+			Walk(x.Ctx.Period.End, visit)
+		}
 		Walk(x.Body, visit)
 	case *ExplainStmt:
 		Walk(x.Body, visit)

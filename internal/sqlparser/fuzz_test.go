@@ -26,6 +26,13 @@ func FuzzParse(f *testing.F) {
 		"ALTER TABLE p ADD VALIDTIME;",
 		"DELETE FROM p WHERE id = 1; DROP TABLE p;",
 		"SELECT CASE WHEN x > 0 THEN 'p' ELSE 'n' END FROM t GROUP BY y HAVING COUNT(*) > 1 ORDER BY z;",
+		"CREATE TABLE bt (id CHAR(4), title CHAR(20)) AS VALIDTIME AS TRANSACTIONTIME;",
+		"ALTER TABLE p ADD TRANSACTIONTIME;",
+		"VALIDTIME (DATE '2011-05-01') AND TRANSACTIONTIME (DATE '2011-01-15') SELECT title FROM bt;",
+		"TRANSACTIONTIME (DATE '2011-01-01', DATE '2011-05-01') SELECT title FROM bt;",
+		"NONSEQUENCED TRANSACTIONTIME SELECT title, tt_begin_time, tt_end_time FROM bt;",
+		"VALIDTIME (DATE '2011-03-01', DATE '2011-07-01') UPDATE bt SET title = 'x' WHERE id = 'p1';",
+		"VALIDTIME (DATE '2011-01-01') AND TRANSACTIONTIME SELECT 1 FROM bt;",
 		"SET SCHEMA 'x'; -- comment\nSELECT 'unterminated",
 		"((((((((((",
 	} {

@@ -73,10 +73,22 @@ func (p *parser) parseCreateTable() (sqlast.Stmt, error) {
 	if p.acceptKw("AS") {
 		if p.acceptKw("VALIDTIME") {
 			st.ValidTime = true
+			if p.acceptKw("AS") {
+				if err := p.expectKw("TRANSACTIONTIME"); err != nil {
+					return nil, err
+				}
+				st.TransactionTime = true
+			}
 			return st, nil
 		}
 		if p.acceptKw("TRANSACTIONTIME") {
 			st.TransactionTime = true
+			if p.acceptKw("AS") {
+				if err := p.expectKw("VALIDTIME"); err != nil {
+					return nil, err
+				}
+				st.ValidTime = true
+			}
 			return st, nil
 		}
 		q, err := p.parseQueryExpr()
@@ -93,7 +105,7 @@ func (p *parser) parseCreateTable() (sqlast.Stmt, error) {
 			// WITH DATA is the default in this dialect.
 			st.WithData = true
 		}
-		if p.acceptKw("AS") {
+		for p.acceptKw("AS") {
 			switch {
 			case p.acceptKw("VALIDTIME"):
 				st.ValidTime = true

@@ -250,7 +250,12 @@ func (p *parser) parseStatement() (sqlast.Stmt, error) {
 }
 
 // parseTemporalStmt parses a temporal statement modifier followed by a
-// query or DML statement (paper §IV-B).
+// query or DML statement (paper §IV-B). The modifier may carry a
+// secondary-dimension context for bitemporal evaluation:
+//
+//	VALIDTIME (DATE '2010-06-15') AND TRANSACTIONTIME (DATE '2010-03-01') SELECT ...
+//
+// slices valid time at the first date as believed on the second.
 func (p *parser) parseTemporalStmt() (sqlast.Stmt, error) {
 	ts := &sqlast.TemporalStmt{Pos: p.tok().Pos}
 	if p.acceptKw("NONSEQUENCED") {
@@ -271,24 +276,30 @@ func (p *parser) parseTemporalStmt() (sqlast.Stmt, error) {
 			return nil, p.errf("expected VALIDTIME or TRANSACTIONTIME, found %q", p.tok().Text)
 		}
 		ts.Mod = sqlast.ModSequenced
-		if p.isOp("(") && !p.queryAhead(1) {
-			p.next()
-			begin, err := p.parseExpr()
-			if err != nil {
-				return nil, err
-			}
-			if err := p.expectOp(","); err != nil {
-				return nil, err
-			}
-			end, err := p.parseExpr()
-			if err != nil {
-				return nil, err
-			}
-			if err := p.expectOp(")"); err != nil {
-				return nil, err
-			}
-			ts.Period = &sqlast.PeriodSpec{Begin: begin, End: end}
+		spec, err := p.parsePeriodSpec()
+		if err != nil {
+			return nil, err
 		}
+		ts.Period = spec
+	}
+	if p.acceptKw("AND") {
+		ctx := &sqlast.DimContext{}
+		switch {
+		case p.acceptKw("VALIDTIME"):
+		case p.acceptKw("TRANSACTIONTIME"):
+			ctx.Dim = sqlast.DimTransaction
+		default:
+			return nil, p.errf("expected VALIDTIME or TRANSACTIONTIME after AND, found %q", p.tok().Text)
+		}
+		if ctx.Dim == ts.Dim {
+			return nil, p.errf("bitemporal modifier names dimension %s twice", ctx.Dim.Keyword())
+		}
+		spec, err := p.parsePeriodSpec()
+		if err != nil {
+			return nil, err
+		}
+		ctx.Period = spec
+		ts.Ctx = ctx
 	}
 	body, err := p.parseStatement()
 	if err != nil {
@@ -296,6 +307,35 @@ func (p *parser) parseTemporalStmt() (sqlast.Stmt, error) {
 	}
 	ts.Body = body
 	return ts, nil
+}
+
+// parsePeriodSpec parses an optional parenthesized period of one or
+// two expressions. The single-expression form is a point: (X) means
+// the one-day period [X, X + 1 day).
+func (p *parser) parsePeriodSpec() (*sqlast.PeriodSpec, error) {
+	if !p.isOp("(") || p.queryAhead(1) {
+		return nil, nil
+	}
+	p.next()
+	begin, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	spec := &sqlast.PeriodSpec{Begin: begin}
+	if p.acceptOp(",") {
+		end, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		spec.End = end
+	} else {
+		spec.End = &sqlast.BinaryExpr{Op: "+", L: sqlast.CloneExpr(begin),
+			R: &sqlast.Literal{Val: types.NewInt(1)}}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return spec, nil
 }
 
 // queryAhead reports whether the token at offset n starts a query.

@@ -144,11 +144,37 @@ func (t *Table) Lookup(col int, v types.Value) []int {
 	return idx.m[v.HashKey()]
 }
 
-// BeginCol returns the ordinal of begin_time for a temporal table.
-func (t *Table) BeginCol() int { return len(t.Schema.Cols) - 2 }
+// Bitemporal reports whether the table carries both periods: the
+// valid-time begin_time/end_time pair followed by the transaction-time
+// tt_begin_time/tt_end_time pair as the final four columns.
+func (t *Table) Bitemporal() bool { return t.ValidTime && t.TransactionTime }
 
-// EndCol returns the ordinal of end_time for a temporal table.
-func (t *Table) EndCol() int { return len(t.Schema.Cols) - 1 }
+// BeginCol returns the ordinal of the primary period's begin column:
+// begin_time, which is valid time on valid-time and bitemporal tables
+// and transaction time on transaction-time-only tables (both layouts
+// share the column names).
+func (t *Table) BeginCol() int {
+	if t.Bitemporal() {
+		return len(t.Schema.Cols) - 4
+	}
+	return len(t.Schema.Cols) - 2
+}
+
+// EndCol returns the ordinal of the primary period's end column.
+func (t *Table) EndCol() int {
+	if t.Bitemporal() {
+		return len(t.Schema.Cols) - 3
+	}
+	return len(t.Schema.Cols) - 1
+}
+
+// TTBeginCol returns the ordinal of tt_begin_time on a bitemporal
+// table (on transaction-time-only tables the pair is begin_time /
+// end_time, reported by BeginCol/EndCol).
+func (t *Table) TTBeginCol() int { return len(t.Schema.Cols) - 2 }
+
+// TTEndCol returns the ordinal of tt_end_time on a bitemporal table.
+func (t *Table) TTEndCol() int { return len(t.Schema.Cols) - 1 }
 
 // View is a named stored query, optionally with a temporal modifier on
 // its body (used by generated MAX-slicing code for the cp view).

@@ -1,0 +1,63 @@
+package taubench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"taupsm"
+)
+
+// The BT-SMALL workload must build real transaction-time history and
+// every workload query must run under both strategies with rows.
+func TestBitemporalWorkload(t *testing.T) {
+	rep, err := MeasureBitemporal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(BTQueries()) * 2; len(rep.Queries) != want {
+		t.Fatalf("got %d cells, want %d", len(rep.Queries), want)
+	}
+	for _, q := range rep.Queries {
+		if q.Error != "" {
+			t.Errorf("%s/%s: %s", q.Query, q.Strategy, q.Error)
+			continue
+		}
+		if q.Rows == 0 {
+			t.Errorf("%s/%s: returned no rows; the workload measured nothing", q.Query, q.Strategy)
+		}
+		if q.MinNS <= 0 || q.RepeatNS <= 0 {
+			t.Errorf("%s/%s: missing latency (min=%d repeat=%d)", q.Query, q.Strategy, q.MinNS, q.RepeatNS)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BTReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != "BT-SMALL" || len(back.Queries) != len(rep.Queries) || back.Generated == "" {
+		t.Fatalf("artifact did not round-trip: %+v", back)
+	}
+}
+
+// The loader goes through the statement path, so corrections must have
+// closed beliefs: the audit scan carries closed transaction-time
+// versions, and the two strategies agree on the combined point audit.
+func TestBitemporalLoadHistory(t *testing.T) {
+	db := taupsm.Open()
+	defer db.Close()
+	if err := LoadBitemporal(db); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`NONSEQUENCED TRANSACTIONTIME SELECT COUNT(*) FROM bt_position WHERE tt_end_time < DATE '9999-12-31'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].String(); n == "0" {
+		t.Fatal("no closed belief versions; the corrections never versioned transaction time")
+	}
+}

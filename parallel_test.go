@@ -2,29 +2,13 @@ package taupsm_test
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 	"testing"
 
 	"taupsm"
+	"taupsm/internal/enginetest"
 	"taupsm/internal/taubench"
 )
-
-// renderRows canonicalizes a result for comparison: one line per row,
-// in result order.
-func renderRows(res *taupsm.Result) string {
-	var b strings.Builder
-	for _, row := range res.Rows {
-		for i, v := range row {
-			if i > 0 {
-				b.WriteByte('|')
-			}
-			b.WriteString(v.String())
-		}
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
 
 // TestParallelEqualsSerial is the correctness property of parallel MAX
 // fragment evaluation: for every benchmark query, every parallelism
@@ -52,14 +36,14 @@ func TestParallelEqualsSerial(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s serial: %v", q.Name, err)
 			}
-			want := renderRows(serial)
+			want := enginetest.RenderRows(serial)
 			for _, par := range []int{4, 8} {
 				db.SetParallelism(par)
 				got, err := db.Query(sql)
 				if err != nil {
 					t.Fatalf("%s par=%d: %v", q.Name, par, err)
 				}
-				if g := renderRows(got); g != want {
+				if g := enginetest.RenderRows(got); g != want {
 					t.Errorf("%s par=%d coalesce=%v: results diverge from serial\n--- serial ---\n%s--- parallel ---\n%s",
 						q.Name, par, coalesce, want, g)
 				}

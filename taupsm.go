@@ -943,7 +943,7 @@ func (db *DB) recordFragments(st *stmtState, t *core.Translation) {
 		return
 	}
 	if ctx, err := db.contextPeriod(t); err == nil {
-		n := int64(db.countFragments(t.TemporalTables, ctx))
+		n := int64(db.countFragments(t.TemporalTables, ctx, t.Dim))
 		db.sm.fragLast.Set(n)
 		db.sm.fragTotal.Add(n)
 		st.fragments = n
@@ -964,16 +964,27 @@ func (db *DB) contextPeriod(t *core.Translation) (temporal.Period, error) {
 	return temporal.Period{Begin: bv.Int(), End: ev.Int()}, nil
 }
 
+// slicedPeriodCols returns the ordinals of the period columns a
+// statement sliced along dim reads from tab: the transaction-time pair
+// for a TT-sliced bitemporal table, the standard pair otherwise
+// (mirrors core's slicePeriodCols).
+func slicedPeriodCols(tab *storage.Table, dim sqlast.TemporalDimension) (int, int) {
+	if dim == sqlast.DimTransaction && tab.Bitemporal() {
+		return tab.TTBeginCol(), tab.TTEndCol()
+	}
+	return tab.BeginCol(), tab.EndCol()
+}
+
 // collectTimePoints gathers every begin/end instant stored in the
-// given temporal tables.
-func (db *DB) collectTimePoints(tables []string) []int64 {
+// given temporal tables along the sliced dimension.
+func (db *DB) collectTimePoints(tables []string, dim sqlast.TemporalDimension) []int64 {
 	var points []int64
 	for _, tn := range tables {
 		tab := db.eng.Cat.Table(tn)
 		if tab == nil {
 			continue
 		}
-		bc, ec := tab.BeginCol(), tab.EndCol()
+		bc, ec := slicedPeriodCols(tab, dim)
 		for _, row := range tab.Rows {
 			points = append(points, row[bc].I, row[ec].I)
 		}
@@ -982,16 +993,16 @@ func (db *DB) collectTimePoints(tables []string) []int64 {
 }
 
 // countFragments counts the stored row fragments of the given temporal
-// tables whose validity period overlaps the context — the candidate
-// fragments a sequenced statement evaluates.
-func (db *DB) countFragments(tables []string, ctx temporal.Period) int {
+// tables whose period along the sliced dimension overlaps the context —
+// the candidate fragments a sequenced statement evaluates.
+func (db *DB) countFragments(tables []string, ctx temporal.Period, dim sqlast.TemporalDimension) int {
 	n := 0
 	for _, tn := range tables {
 		tab := db.eng.Cat.Table(tn)
 		if tab == nil {
 			continue
 		}
-		bc, ec := tab.BeginCol(), tab.EndCol()
+		bc, ec := slicedPeriodCols(tab, dim)
 		for _, row := range tab.Rows {
 			if row[bc].I < ctx.End && ctx.Begin < row[ec].I {
 				n++
@@ -1035,6 +1046,11 @@ func (si *schemaInfo) IsTemporalTable(name string) bool {
 func (si *schemaInfo) IsTransactionTable(name string) bool {
 	t := si.cat.Table(name)
 	return t != nil && t.TransactionTime
+}
+
+func (si *schemaInfo) IsBitemporalTable(name string) bool {
+	t := si.cat.Table(name)
+	return t != nil && t.ValidTime && t.TransactionTime
 }
 
 func (si *schemaInfo) IsTable(name string) bool {

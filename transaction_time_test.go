@@ -10,7 +10,8 @@ import (
 // the current-semantics transform), append-only, and queryable with the
 // TRANSACTIONTIME statement modifiers. The paper notes everything shown
 // for valid time "also applies to transaction time" (§III); bitemporal
-// tables remain future work there and here.
+// tables combine both dimensions (the cross-axis coverage lives in
+// internal/enginetest's scenario corpus).
 
 func ttDB(t *testing.T) *DB {
 	t.Helper()
@@ -136,23 +137,77 @@ func TestTransactionTimeIsAppendOnly(t *testing.T) {
 	}
 }
 
-func TestDimensionMixingRejected(t *testing.T) {
+// A statement that slices one dimension but also reaches tables
+// carrying only the other is no longer rejected: the other-dimension
+// tables are filtered to the current context, so mixed joins work.
+func TestDimensionMixingFiltersToCurrent(t *testing.T) {
 	db := ttDB(t)
 	db.MustExec(`CREATE TABLE vt (id CHAR(10), v FLOAT) AS VALIDTIME`)
+	db.MustExec(`VALIDTIME (DATE '2024-01-01', DATE '2024-06-01') INSERT INTO vt VALUES ('a1', 7.0)`)
 	db.SetStrategy(Max)
-	if _, err := db.Query(`VALIDTIME SELECT a.balance FROM account a, vt WHERE vt.id = a.id`); err == nil {
-		t.Fatal("VALIDTIME slicing over a transaction-time table must be rejected")
+	db.SetNow(2024, 3, 15)
+	// VALIDTIME slice: vt is sliced; account contributes its currently
+	// recorded balance (120 since Mar 1).
+	res, err := db.Query(`VALIDTIME (DATE '2024-02-01', DATE '2024-04-01')
+		SELECT vt.v, a.balance FROM vt, account a WHERE vt.id = a.id`)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := db.Query(`TRANSACTIONTIME SELECT a.balance FROM account a, vt WHERE vt.id = a.id`); err == nil {
-		t.Fatal("TRANSACTIONTIME slicing over a valid-time table must be rejected")
+	got := coalesceRows(res)
+	if want := "7.0|120.0 [2024-02-01,2024-04-01)"; strings.Join(got, ";") != want {
+		t.Fatalf("VALIDTIME mixed join: got %v want %v", got, want)
+	}
+	// TRANSACTIONTIME slice: account's history is sliced; vt contributes
+	// its currently valid row.
+	res, err = db.Query(`TRANSACTIONTIME (DATE '2024-01-01', DATE '2024-04-01')
+		SELECT a.balance, vt.v FROM account a, vt WHERE vt.id = a.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = coalesceRows(res)
+	want := []string{
+		"100.0|7.0 [2024-01-01,2024-02-01)",
+		"120.0|7.0 [2024-03-01,2024-04-01)",
+		"150.0|7.0 [2024-02-01,2024-03-01)",
+	}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("TRANSACTIONTIME mixed join:\ngot  %v\nwant %v", got, want)
 	}
 }
 
-func TestBitemporalRejected(t *testing.T) {
+// Bitemporal tables carry both dimensions at once; the deep coverage is
+// the enginetest scenario corpus, this is the in-package smoke test.
+func TestBitemporalSmoke(t *testing.T) {
 	db := Open()
-	if _, err := db.Exec(`CREATE TABLE bt (a INTEGER) AS VALIDTIME AS TRANSACTIONTIME`); err == nil {
-		t.Fatal("bitemporal tables must be rejected")
+	db.SetNow(2024, 1, 10)
+	db.MustExec(`CREATE TABLE bt (id CHAR(4), v FLOAT) AS VALIDTIME AS TRANSACTIONTIME`)
+	db.MustExec(`VALIDTIME (DATE '2024-01-01', DATE '2024-07-01') INSERT INTO bt VALUES ('x1', 1.0)`)
+	db.SetNow(2024, 2, 10)
+	db.MustExec(`VALIDTIME (DATE '2024-03-01', DATE '2024-07-01') UPDATE bt SET v = 2.0 WHERE id = 'x1'`)
+	// By April the updated valid period is current.
+	db.SetNow(2024, 4, 1)
+	res, err := db.Query(`SELECT v FROM bt WHERE id = 'x1'`)
+	if err != nil {
+		t.Fatal(err)
 	}
+	sameRows(t, res, "2.0")
+	// The belief of Jan 15 about May 1: still 1.0.
+	res, err = db.Query(`VALIDTIME (DATE '2024-05-01') AND TRANSACTIONTIME (DATE '2024-01-15')
+		SELECT v FROM bt WHERE id = 'x1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res, "2024-05-01|2024-05-02|1.0")
+	// Both period pairs are visible to nonsequenced audit access.
+	res, err = db.Query(`NONSEQUENCED TRANSACTIONTIME
+		SELECT v, begin_time, end_time, tt_begin_time, tt_end_time FROM bt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res,
+		"1.0|2024-01-01|2024-07-01|2024-01-10|2024-02-10",
+		"1.0|2024-01-01|2024-03-01|2024-02-10|9999-12-31",
+		"2.0|2024-03-01|2024-07-01|2024-02-10|9999-12-31")
 }
 
 func TestAlterAddTransactionTime(t *testing.T) {
