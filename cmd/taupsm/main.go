@@ -38,6 +38,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 
 	"taupsm"
@@ -56,8 +57,13 @@ func main() {
 	telemetry := flag.String("telemetry", "", "serve /metrics, /traces, /healthz, /debug/pprof on this address (e.g. :9090)")
 	sample := flag.Int("sample", 0, "trace every Nth statement into the span buffer (0 = off, 1 = all)")
 	slowlog := flag.Duration("slowlog", 0, "log statements at or above this duration as JSON lines on stderr (0 = off)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Printf("taupsm %s %s %s/%s\n", taupsm.Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
 	if *mode != "repl" && flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: taupsm [-mode exec|translate|repl] [-strategy auto|max|perst] [-data dir] [-telemetry addr] <file.sql | ->")
 		os.Exit(2)
@@ -103,6 +109,9 @@ func serveTelemetry(db *taupsm.DB, addr string) (func(), error) {
 		Metrics:    db.Metrics(),
 		Ring:       db.TraceBuffer(),
 		Statistics: func() any { return db.Statistics() },
+		Processes:  func() any { return db.ProcessList() },
+		Healthz:    db.Health,
+		BuildInfo:  taupsm.BuildInfo(),
 	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {

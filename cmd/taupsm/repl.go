@@ -36,6 +36,8 @@ const replHelp = `Backslash commands:
   \stats             print table, routine, and statement statistics
   \strategy [s]      show or set the slicing strategy: auto, max, perst
   \parallel [n]      show or set the fragment worker-pool size
+  \processlist       list in-flight statements with live progress
+  \kill <pid>        request cooperative cancellation of a statement
   \checkpoint        compact durable state into a fresh snapshot (-data only)
   \r                 clear the statement buffer
   \help, \?          this help
@@ -182,6 +184,23 @@ func (r *repl) meta(cmd string) bool {
 			r.db.SetParallelism(n)
 		}
 		fmt.Fprintf(r.out, "Parallelism is %d.\n", r.db.Parallelism())
+	case `\processlist`:
+		r.printProcessList()
+	case `\kill`:
+		if len(fields) < 2 {
+			fmt.Fprintln(r.out, `error: \kill wants a process ID (see \processlist)`)
+			return false
+		}
+		pid, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintf(r.out, "error: \\kill wants a numeric process ID, got %q\n", fields[1])
+			return false
+		}
+		if err := r.db.Kill(pid); err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+			return false
+		}
+		fmt.Fprintf(r.out, "Kill requested for process %d.\n", pid)
 	case `\checkpoint`:
 		if err := r.db.Checkpoint(); err != nil {
 			fmt.Fprintf(r.out, "error: %v\n", err)
@@ -229,6 +248,33 @@ func (r *repl) printStats() {
 			fmt.Fprintf(r.out, " strategy=%s", p.LastStrategy)
 		}
 		fmt.Fprintf(r.out, "\n    %s\n", p.Text)
+	}
+}
+
+// printProcessList renders the in-flight statement registry — the
+// same snapshots SHOW PROCESSLIST, tau_stat_activity and the
+// /processlist endpoint serve. The REPL's own statements finish
+// before the prompt returns, so entries here are statements of other
+// sessions sharing the DB (or of the telemetry server's clients).
+func (r *repl) printProcessList() {
+	procs := r.db.ProcessList()
+	if len(procs) == 0 {
+		fmt.Fprintln(r.out, "No statements in flight.")
+		return
+	}
+	for _, p := range procs {
+		fmt.Fprintf(r.out, "  [%d] %-10s %-9s stage=%-16s elapsed=%.1fms", p.ID, p.Kind, p.Strategy, p.Stage, float64(p.ElapsedNS)/1e6)
+		if p.CPTotal > 0 {
+			fmt.Fprintf(r.out, " periods=%d/%d", p.CPDone, p.CPTotal)
+		}
+		fmt.Fprintf(r.out, " rows=%d scanned=%d calls=%d", p.Rows, p.RowsScanned, p.RoutineCalls)
+		if p.Workers > 0 {
+			fmt.Fprintf(r.out, " workers=%d", p.Workers)
+		}
+		if p.Killed {
+			fmt.Fprint(r.out, " KILLED")
+		}
+		fmt.Fprintf(r.out, "\n      %s\n", p.SQL)
 	}
 }
 

@@ -121,6 +121,10 @@ type AnalyzeInfo struct {
 	// TraceID identifies the execution's trace; its full span tree is
 	// retrievable from DB.TraceBuffer and the /traces endpoint.
 	TraceID obs.TraceID
+	// ProcessID is the process-list entry the execution registered,
+	// joining this output against slow-log lines and tau_stat_activity
+	// history (0 when the registry was disabled).
+	ProcessID int64
 	// Total is the statement's end-to-end duration on the span clock
 	// (the stratum.statement root span's duration).
 	Total time.Duration
@@ -208,6 +212,7 @@ func (db *DB) explainAnalyzeParsed(ctx context.Context, body sqlast.Stmt) (*Expl
 	}
 	e.Analyzed = &AnalyzeInfo{
 		TraceID:                st.root.Trace,
+		ProcessID:              st.procID,
 		Total:                  st.total,
 		Lint:                   st.lintDur,
 		Translate:              st.translateDur,
@@ -476,6 +481,9 @@ func (e *Explain) Result() *Result {
 		add("actual_time", a.Total.String())
 		if a.TraceID != 0 {
 			add("trace_id", a.TraceID.String())
+		}
+		if a.ProcessID != 0 {
+			add("process_id", fmt.Sprintf("%d", a.ProcessID))
 		}
 		stage := func(name string, d time.Duration) {
 			if d > 0 {

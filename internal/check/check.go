@@ -88,7 +88,8 @@ func (c *checker) top(stmt sqlast.Stmt) {
 			c.query(x.AsQuery, newScope(nil))
 		}
 	case *sqlast.DropTableStmt, *sqlast.DropViewStmt, *sqlast.DropRoutineStmt,
-		*sqlast.AlterAddValidTime, *sqlast.AnalyzeStmt:
+		*sqlast.AlterAddValidTime, *sqlast.AnalyzeStmt,
+		*sqlast.ShowProcessListStmt, *sqlast.KillStmt:
 	default:
 		c.timeColumnWrites(stmt, sqlast.ModCurrent)
 		c.stmt(stmt, newScope(nil), nil)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"taupsm/internal/obs"
+	"taupsm/internal/proc"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/sqlparser"
 	"taupsm/internal/stats"
@@ -67,6 +68,20 @@ type DB struct {
 	// routine-invocation latencies in the engine.routine_ns histogram.
 	// The stratum shares its registry here.
 	Metrics *obs.Metrics
+
+	// Proc, when set on a session, is the in-flight process entry of
+	// the user statement this session executes: the engine mirrors
+	// batched progress counters (rows scanned, rows returned, routine
+	// calls) into it and polls its kill switch at statement, scan and
+	// routine boundaries for cooperative cancellation. Parallel
+	// fragment workers inherit the same entry through NewSession, so
+	// their progress aggregates into one set of counters. Every mirror
+	// is nil-receiver safe; nil disables tracking.
+	Proc *proc.Process
+
+	// Procs is the shared in-flight process registry backing the
+	// tau_stat_activity system table (NewSession copies the pointer).
+	Procs *proc.Registry
 
 	// TabStats is the table and workload statistics registry shared by
 	// every session of this database (NewSession copies the pointer).
@@ -208,6 +223,14 @@ func (db *DB) newFnMemo() *fnMemoState {
 }
 
 func (db *DB) exec(ctx *execCtx, stmt sqlast.Stmt) (*Result, error) {
+	if err := db.Proc.Killed(); err != nil {
+		return nil, err
+	}
+	if db.Proc != nil {
+		// Live journaled-change count: the user statement's changes
+		// pending WAL commit, visible mid-statement in the process list.
+		db.Proc.SetWALPending(int64(ctx.journal.Len()))
+	}
 	db.Stats.Statements++
 	switch stmt.(type) {
 	case *sqlast.InsertStmt, *sqlast.UpdateStmt, *sqlast.DeleteStmt,
@@ -474,6 +497,7 @@ func (db *DB) execQuery(ctx *execCtx, q sqlast.QueryExpr) (*Result, error) {
 		res, err := db.evalQuery(ctx, q)
 		if err == nil {
 			db.Stats.RowsReturned += int64(len(res.Rows))
+			db.Proc.AddRows(int64(len(res.Rows)))
 		}
 		return res, err
 	}
@@ -484,6 +508,7 @@ func (db *DB) execQuery(ctx *execCtx, q sqlast.QueryExpr) (*Result, error) {
 	if err == nil {
 		rows = len(res.Rows)
 		db.Stats.RowsReturned += int64(rows)
+		db.Proc.AddRows(int64(rows))
 	}
 	db.Tracer.Span(obs.Span{Name: "engine.query", Start: start, Dur: d,
 		Trace: db.Trace.Trace, ID: obs.NewSpanID(), Parent: db.Trace.Span,
@@ -520,6 +545,7 @@ func (db *DB) traceRoutine(name string) func() {
 // the session's statement statistics and the shared workload profile.
 func (db *DB) noteRoutineCall(name string) {
 	db.Stats.RoutineCalls++
+	db.Proc.AddRoutineCalls(1)
 	db.TabStats.NoteRoutineCall(name)
 }
 

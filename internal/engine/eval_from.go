@@ -315,6 +315,10 @@ func (db *DB) scanTable(ctx *execCtx, t *storage.Table, meta entryMeta, pushdown
 
 	scanOrds := func(ords []int) error {
 		db.Stats.RowsScanned += int64(len(ords))
+		db.Proc.AddRowsScanned(int64(len(ords)))
+		if err := db.Proc.Killed(); err != nil {
+			return err
+		}
 		for _, i := range ords {
 			ok, err := check(t.Rows[i])
 			if err != nil {
@@ -358,6 +362,10 @@ func (db *DB) scanTable(ctx *execCtx, t *storage.Table, meta entryMeta, pushdown
 	}
 
 	db.Stats.RowsScanned += int64(len(t.Rows))
+	db.Proc.AddRowsScanned(int64(len(t.Rows)))
+	if err := db.Proc.Killed(); err != nil {
+		return nil, err
+	}
 	for i, row := range t.Rows {
 		ok, err := check(row)
 		if err != nil {

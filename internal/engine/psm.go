@@ -442,6 +442,9 @@ func (db *DB) execCall(ctx *execCtx, s *sqlast.CallStmt) (*Result, error) {
 // execPSM executes a PSM statement. Control flow is communicated via
 // the signal error types above.
 func (db *DB) execPSM(ctx *execCtx, stmt sqlast.Stmt) error {
+	if err := db.Proc.Killed(); err != nil {
+		return err
+	}
 	db.Stats.Statements++
 	switch s := stmt.(type) {
 	case *sqlast.CompoundStmt:
@@ -626,6 +629,12 @@ func (db *DB) execCompound(ctx *execCtx, s *sqlast.CompoundStmt) error {
 			}
 			// CONTINUE handler: resume with the next statement.
 		default:
+			// A kill is not a condition: it must tear the whole
+			// statement down, so no SQLEXCEPTION handler — not even a
+			// CONTINUE one — may swallow it.
+			if db.Proc.KilledBy(err) {
+				return err
+			}
 			// Generic engine error becomes SQLEXCEPTION.
 			cond := &conditionErr{state: "58000", msg: err.Error()}
 			handled, herr := db.raiseCondition(&cctx, cond)

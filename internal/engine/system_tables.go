@@ -3,6 +3,7 @@ package engine
 import (
 	"strings"
 
+	"taupsm/internal/proc"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/storage"
 	"taupsm/internal/types"
@@ -16,14 +17,24 @@ import (
 //	tau_stat_tables      per-table temporal statistics
 //	tau_stat_routines    per-routine workload profile
 //	tau_stat_statements  per-statement-digest workload profile
+//	tau_stat_activity    in-flight statements (the process list)
 //
 // The names resolve only after real tables and views miss, so a user
 // table named tau_stat_tables shadows the system one, and nothing
 // changes for existing schemas.
 
 // systemTable materializes the named system table, or returns nil when
-// name is not a system table or statistics are disabled.
+// name is not a system table or its backing registry is disabled.
+// tau_stat_activity is backed by the process registry, not statistics,
+// so it resolves even with TabStats off.
 func (db *DB) systemTable(name string) *storage.Table {
+	switch strings.ToLower(name) {
+	case "tau_stat_activity":
+		if db.Procs == nil {
+			return nil
+		}
+		return db.statActivityTable()
+	}
 	if db.TabStats == nil {
 		return nil
 	}
@@ -45,6 +56,62 @@ func sysCol(name, base string) storage.Column {
 func newSystemTable(name string, cols []storage.Column) *storage.Table {
 	t := storage.NewTable(name, storage.NewSchema(cols))
 	t.Temporary = true // session-transient: never journaled or persisted
+	return t
+}
+
+// ActivityColumns is the tau_stat_activity schema, shared with the
+// stratum's SHOW PROCESSLIST result so both surfaces stay aligned.
+var ActivityColumns = []string{
+	"pid", "session", "kind", "strategy", "stage", "elapsed_ms",
+	"cp_done", "cp_total", "fragments_done", "fragments_total",
+	"rows", "rows_scanned", "routine_calls", "wal_pending", "workers",
+	"killed", "trace_id", "digest", "statement",
+}
+
+// ActivityRow renders one process snapshot in ActivityColumns order.
+func ActivityRow(s proc.Snapshot) []types.Value {
+	return []types.Value{
+		types.NewInt(s.ID),
+		types.NewString(s.Session),
+		types.NewString(s.Kind),
+		types.NewString(s.Strategy),
+		types.NewString(s.Stage),
+		types.NewFloat(float64(s.ElapsedNS) / 1e6),
+		types.NewInt(s.CPDone),
+		types.NewInt(s.CPTotal),
+		types.NewInt(s.FragsDone),
+		types.NewInt(s.FragsTotal),
+		types.NewInt(s.Rows),
+		types.NewInt(s.RowsScanned),
+		types.NewInt(s.RoutineCalls),
+		types.NewInt(s.WALPending),
+		types.NewInt(s.Workers),
+		types.NewBool(s.Killed),
+		types.NewString(s.TraceID),
+		types.NewString(s.Digest),
+		types.NewString(s.SQL),
+	}
+}
+
+func (db *DB) statActivityTable() *storage.Table {
+	cols := make([]storage.Column, len(ActivityColumns))
+	for i, name := range ActivityColumns {
+		base := "VARCHAR"
+		switch name {
+		case "pid", "cp_done", "cp_total", "fragments_done", "fragments_total",
+			"rows", "rows_scanned", "routine_calls", "wal_pending", "workers":
+			base = "INTEGER"
+		case "elapsed_ms":
+			base = "FLOAT"
+		case "killed":
+			base = "BOOLEAN"
+		}
+		cols[i] = sysCol(name, base)
+	}
+	t := newSystemTable("tau_stat_activity", cols)
+	for _, s := range db.Procs.List() {
+		t.Rows = append(t.Rows, ActivityRow(s))
+	}
 	return t
 }
 

@@ -9,7 +9,8 @@
 //	/statistics     data & workload statistics snapshot (JSON)
 //	/traces         recent sampled traces, newest first (JSON)
 //	/traces?id=ID   one trace's span tree (JSON)
-//	/healthz        liveness probe ("ok")
+//	/processlist    in-flight statements with live progress (JSON)
+//	/healthz        liveness probe ("ok", or 503 with a reason)
 //	/debug/pprof/   net/http/pprof profiles
 //
 // The server is read-only and unauthenticated; bind it to loopback or
@@ -36,6 +37,17 @@ type Server struct {
 	// the document to serialize (the stratum passes its statistics
 	// snapshot). Nil disables the endpoint with 404.
 	Statistics func() any
+	// Processes, when set, backs the /processlist endpoint: it returns
+	// the in-flight process snapshots to serialize (the stratum passes
+	// its ProcessList). Nil disables the endpoint with 404.
+	Processes func() any
+	// Healthz, when set, decides /healthz: nil keeps the plain "ok",
+	// a non-nil error becomes HTTP 503 with the error text as reason.
+	Healthz func() error
+	// BuildInfo, when non-empty, is appended to /metrics as a
+	// tau_build_info gauge with one label per map entry (version, go
+	// version, GOOS/GOARCH), value 1 — the standard build-info idiom.
+	BuildInfo map[string]string
 }
 
 // Handler returns the telemetry endpoint mux.
@@ -44,8 +56,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statistics", s.handleStatistics)
 	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/processlist", s.handleProcessList)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Healthz != nil {
+			if err := s.Healthz(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "unhealthy: %s\n", err)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -60,6 +80,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(PrometheusText(s.Metrics)))
 	w.Write([]byte(ProcessText()))
+	w.Write([]byte(BuildInfoText(s.BuildInfo)))
+}
+
+// BuildInfoText renders the build-info gauge: constant value 1, the
+// identifying facts as labels, sorted for a deterministic exposition.
+// Empty info renders nothing.
+func BuildInfoText(info map[string]string) string {
+	if len(info) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(info))
+	for k := range info {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# TYPE tau_build_info gauge\ntau_build_info{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(info[k])
+		fmt.Fprintf(&b, "%s=\"%s\"", SanitizeMetricName(k), v)
+	}
+	b.WriteString("} 1\n")
+	return b.String()
+}
+
+func (s *Server) handleProcessList(w http.ResponseWriter, _ *http.Request) {
+	if s.Processes == nil {
+		http.Error(w, "process list not available", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Processes())
 }
 
 func (s *Server) handleStatistics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,423 @@
+// Package proc implements the in-flight statement registry: every
+// statement entering the stratum registers a Process whose progress
+// counters are updated from the engine hot path and the parallel MAX
+// workers, and read concurrently by SHOW PROCESSLIST, the
+// tau_stat_activity system table, the REPL and the /processlist
+// telemetry endpoint. A Process also carries the cooperative-
+// cancellation switch: KILL (or a cancelled client context) stores a
+// cause, and the execution layers poll Killed at statement, scan,
+// routine-call and fragment-chunk boundaries.
+//
+// The update path is lock-free — counter mirrors are single atomic
+// adds and the kill check is one atomic pointer load — so the registry
+// can stay always-on under the same <2% overhead discipline as the
+// tracer (measured by taubench -exp procoverhead).
+package proc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueryKilled is the sentinel wrapped by every KILL-statement
+// cancellation cause, so callers can distinguish an administrative
+// kill (errors.Is(err, ErrQueryKilled)) from a client context
+// cancellation (which surfaces the context's own cause).
+var ErrQueryKilled = errors.New("query killed")
+
+// StageElapsed is one entry of a process's per-stage time breakdown,
+// in stage-entry order. The last entry is the in-progress stage, whose
+// elapsed time is still growing.
+type StageElapsed struct {
+	Name string `json:"stage"`
+	NS   int64  `json:"elapsed_ns"`
+}
+
+// Snapshot is a point-in-time copy of one process entry, safe to
+// render or serialize after the process has finished. Fraction fields
+// are -1 when the corresponding total is not yet known.
+type Snapshot struct {
+	ID          int64  `json:"pid"`
+	Session     string `json:"session"`
+	TraceID     string `json:"trace_id,omitempty"`
+	Digest      string `json:"digest"`
+	SQL         string `json:"statement"`
+	Kind        string `json:"kind"`
+	Strategy    string `json:"strategy,omitempty"`
+	Stage       string `json:"stage"`
+	StartUnixNS int64  `json:"start_unix_ns"`
+	ElapsedNS   int64  `json:"elapsed_ns"`
+
+	CPDone        int64   `json:"cp_done"`
+	CPTotal       int64   `json:"cp_total"`
+	CPFraction    float64 `json:"cp_fraction"`
+	FragsDone     int64   `json:"fragments_done"`
+	FragsTotal    int64   `json:"fragments_total"`
+	FragsFraction float64 `json:"fragments_fraction"`
+	Rows          int64   `json:"rows"`
+	RowsScanned   int64   `json:"rows_scanned"`
+	RoutineCalls  int64   `json:"routine_calls"`
+	WALPending    int64   `json:"wal_pending"`
+	Workers       int64   `json:"workers"`
+	Killed        bool    `json:"killed"`
+
+	Stages []StageElapsed `json:"stages,omitempty"`
+}
+
+// Process is one registered in-flight statement. All exported methods
+// are nil-receiver safe so call sites need no registry-enabled checks:
+// with tracking off every mirror and kill check degrades to a single
+// nil comparison.
+type Process struct {
+	ID      int64
+	Session string
+	TraceID string
+	Digest  string
+	SQL     string // truncated statement text
+	Kind    string
+	Start   time.Time
+
+	cpDone       atomic.Int64
+	cpTotal      atomic.Int64
+	fragsDone    atomic.Int64
+	fragsTotal   atomic.Int64
+	rows         atomic.Int64
+	rowsScanned  atomic.Int64
+	routineCalls atomic.Int64
+	walPending   atomic.Int64
+	workers      atomic.Int64
+
+	strategy atomic.Pointer[string]
+	killed   atomic.Pointer[error]
+
+	done chan struct{}
+
+	mu       sync.Mutex
+	finished []StageElapsed // completed stages, entry order
+	curStage string
+	curSince time.Time
+}
+
+// Killed returns the cancellation cause if this process has been
+// killed, nil otherwise. This is the hot-path check — one nil test
+// plus one atomic load — polled at statement, scan, routine-call and
+// fragment-chunk boundaries.
+func (p *Process) Killed() error {
+	if p == nil {
+		return nil
+	}
+	if e := p.killed.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// Kill requests cooperative cancellation with the given cause (nil
+// defaults to ErrQueryKilled). Only the first kill wins; the stored
+// cause is exactly the error the execution layers return, so callers
+// can match it with errors.Is.
+func (p *Process) Kill(cause error) {
+	if p == nil {
+		return
+	}
+	if cause == nil {
+		cause = fmt.Errorf("%w (pid %d)", ErrQueryKilled, p.ID)
+	}
+	p.killed.CompareAndSwap(nil, &cause)
+}
+
+// KilledBy reports whether err is (or wraps) this process's stored
+// kill cause — the test execution layers use to tell a cancellation
+// apart from an ordinary execution error carrying similar text.
+func (p *Process) KilledBy(err error) bool {
+	if p == nil || err == nil {
+		return false
+	}
+	cause := p.Killed()
+	return cause != nil && errors.Is(err, cause)
+}
+
+// Done is closed when the process is finished (deregistered), letting
+// context watchers exit without leaking.
+func (p *Process) Done() <-chan struct{} {
+	if p == nil {
+		return nil
+	}
+	return p.done
+}
+
+// WatchContext kills the process when ctx is cancelled before the
+// process finishes, propagating the context's cause. Run it in its own
+// goroutine; it exits as soon as either side resolves.
+func (p *Process) WatchContext(ctx context.Context) {
+	if p == nil {
+		return
+	}
+	select {
+	case <-ctx.Done():
+		p.Kill(context.Cause(ctx))
+	case <-p.done:
+	}
+}
+
+// SetStage records entry into a named execution stage, closing the
+// elapsed-time account of the previous one. Called a handful of times
+// per statement, never per row.
+func (p *Process) SetStage(name string) {
+	if p == nil {
+		return
+	}
+	now := time.Now()
+	p.mu.Lock()
+	if p.curStage != "" {
+		p.finished = append(p.finished, StageElapsed{Name: p.curStage, NS: now.Sub(p.curSince).Nanoseconds()})
+	}
+	p.curStage, p.curSince = name, now
+	p.mu.Unlock()
+}
+
+// SetStrategy publishes the translation strategy once it is chosen.
+func (p *Process) SetStrategy(s string) {
+	if p == nil {
+		return
+	}
+	p.strategy.Store(&s)
+}
+
+// Counter mirrors: single atomic adds/stores, all nil-safe. The adds
+// are batched at the call sites (whole scan, whole fragment chunk)
+// rather than per row.
+
+func (p *Process) AddRows(n int64) {
+	if p != nil {
+		p.rows.Add(n)
+	}
+}
+
+func (p *Process) AddRowsScanned(n int64) {
+	if p != nil {
+		p.rowsScanned.Add(n)
+	}
+}
+
+func (p *Process) AddRoutineCalls(n int64) {
+	if p != nil {
+		p.routineCalls.Add(n)
+	}
+}
+
+func (p *Process) AddCPDone(n int64) {
+	if p != nil {
+		p.cpDone.Add(n)
+	}
+}
+
+func (p *Process) AddFragsDone(n int64) {
+	if p != nil {
+		p.fragsDone.Add(n)
+	}
+}
+
+func (p *Process) SetCPTotal(n int64) {
+	if p != nil {
+		p.cpTotal.Store(n)
+	}
+}
+
+func (p *Process) SetFragsTotal(n int64) {
+	if p != nil {
+		p.fragsTotal.Store(n)
+	}
+}
+
+func (p *Process) SetWALPending(n int64) {
+	if p != nil {
+		p.walPending.Store(n)
+	}
+}
+
+func (p *Process) SetWorkers(n int64) {
+	if p != nil {
+		p.workers.Store(n)
+	}
+}
+
+// Snapshot copies the process state at this instant. The returned
+// value is detached: safe to hold, render and serialize after the
+// process finishes.
+func (p *Process) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	now := time.Now()
+	s := Snapshot{
+		ID:          p.ID,
+		Session:     p.Session,
+		TraceID:     p.TraceID,
+		Digest:      p.Digest,
+		SQL:         p.SQL,
+		Kind:        p.Kind,
+		StartUnixNS: p.Start.UnixNano(),
+		ElapsedNS:   now.Sub(p.Start).Nanoseconds(),
+
+		CPDone:       p.cpDone.Load(),
+		CPTotal:      p.cpTotal.Load(),
+		FragsDone:    p.fragsDone.Load(),
+		FragsTotal:   p.fragsTotal.Load(),
+		Rows:         p.rows.Load(),
+		RowsScanned:  p.rowsScanned.Load(),
+		RoutineCalls: p.routineCalls.Load(),
+		WALPending:   p.walPending.Load(),
+		Workers:      p.workers.Load(),
+		Killed:       p.killed.Load() != nil,
+	}
+	if sp := p.strategy.Load(); sp != nil {
+		s.Strategy = *sp
+	}
+	s.CPFraction = fraction(s.CPDone, s.CPTotal)
+	s.FragsFraction = fraction(s.FragsDone, s.FragsTotal)
+	p.mu.Lock()
+	s.Stages = append(s.Stages, p.finished...)
+	if p.curStage != "" {
+		s.Stage = p.curStage
+		s.Stages = append(s.Stages, StageElapsed{Name: p.curStage, NS: now.Sub(p.curSince).Nanoseconds()})
+	}
+	p.mu.Unlock()
+	return s
+}
+
+func fraction(done, total int64) float64 {
+	if total <= 0 {
+		return -1
+	}
+	f := float64(done) / float64(total)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Registry is the shared process table. A nil *Registry is a valid
+// disabled registry: Begin returns nil and every downstream mirror
+// degrades to a nil check.
+type Registry struct {
+	disabled atomic.Bool
+
+	mu    sync.Mutex
+	next  int64
+	procs map[int64]*Process
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{procs: make(map[int64]*Process)}
+}
+
+// SetDisabled turns process tracking off (Begin returns nil) or back
+// on. The switch exists for the A/A overhead measurement; production
+// code leaves the registry on.
+func (r *Registry) SetDisabled(off bool) {
+	if r != nil {
+		r.disabled.Store(off)
+	}
+}
+
+// Enabled reports whether Begin would register anything — callers use
+// it to skip snapshot-text rendering work when tracking is off.
+func (r *Registry) Enabled() bool {
+	return r != nil && !r.disabled.Load()
+}
+
+// Begin registers a new process and returns its entry, or nil when the
+// registry is nil or disabled (callers pass the nil straight through —
+// every Process method tolerates it).
+func (r *Registry) Begin(session, kind, sql, digest, traceID string) *Process {
+	if r == nil || r.disabled.Load() {
+		return nil
+	}
+	p := &Process{
+		Session: session,
+		TraceID: traceID,
+		Digest:  digest,
+		SQL:     sql,
+		Kind:    kind,
+		Start:   time.Now(),
+		done:    make(chan struct{}),
+	}
+	r.mu.Lock()
+	r.next++
+	p.ID = r.next
+	r.procs[p.ID] = p
+	r.mu.Unlock()
+	return p
+}
+
+// Finish deregisters the process and releases any context watcher.
+// Safe to call with nil and idempotent per process.
+func (r *Registry) Finish(p *Process) {
+	if r == nil || p == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, live := r.procs[p.ID]; live {
+		delete(r.procs, p.ID)
+		close(p.done)
+	}
+	r.mu.Unlock()
+}
+
+// Kill requests cancellation of the process with the given ID,
+// wrapping ErrQueryKilled (plus cause detail when provided). It
+// reports whether such a process was in flight.
+func (r *Registry) Kill(id int64, cause error) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	p := r.procs[id]
+	r.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	if cause == nil {
+		cause = fmt.Errorf("%w (pid %d)", ErrQueryKilled, id)
+	} else if !errors.Is(cause, ErrQueryKilled) {
+		cause = fmt.Errorf("%w (pid %d): %w", ErrQueryKilled, id, cause)
+	}
+	p.Kill(cause)
+	return true
+}
+
+// List snapshots every in-flight process, ordered by process ID.
+func (r *Registry) List() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	procs := make([]*Process, 0, len(r.procs))
+	for _, p := range r.procs {
+		procs = append(procs, p)
+	}
+	r.mu.Unlock()
+	sort.Slice(procs, func(i, j int) bool { return procs[i].ID < procs[j].ID })
+	out := make([]Snapshot, len(procs))
+	for i, p := range procs {
+		out[i] = p.Snapshot()
+	}
+	return out
+}
+
+// Len reports the number of in-flight processes.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.procs)
+}

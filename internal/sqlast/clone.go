@@ -155,6 +155,10 @@ func CloneStmt(s Stmt) Stmt {
 		return &ExplainStmt{Body: CloneStmt(x.Body), Analyze: x.Analyze}
 	case *AnalyzeStmt:
 		return &AnalyzeStmt{Table: x.Table, Pos: x.Pos}
+	case *ShowProcessListStmt:
+		return &ShowProcessListStmt{Pos: x.Pos}
+	case *KillStmt:
+		return &KillStmt{PID: x.PID, Pos: x.Pos}
 	case *InsertStmt:
 		return &InsertStmt{Table: x.Table, VarTarget: x.VarTarget, Cols: append([]string(nil), x.Cols...), Source: CloneQuery(x.Source), Pos: x.Pos}
 	case *UpdateStmt:

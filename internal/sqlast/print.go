@@ -388,6 +388,14 @@ func (s *AnalyzeStmt) SQL() string {
 	return "ANALYZE " + s.Table
 }
 
+func (s *ShowProcessListStmt) SQL() string {
+	return "SHOW PROCESSLIST"
+}
+
+func (s *KillStmt) SQL() string {
+	return fmt.Sprintf("KILL %d", s.PID)
+}
+
 // ---------- DML ----------
 
 func (s *InsertStmt) SQL() string {

@@ -154,6 +154,24 @@ type AnalyzeStmt struct {
 
 func (*AnalyzeStmt) stmtNode() {}
 
+// ShowProcessListStmt lists the in-flight statements of the process
+// registry: `SHOW PROCESSLIST`. Like EXPLAIN it is a stratum-level
+// statement — the conventional engine rejects it.
+type ShowProcessListStmt struct {
+	Pos sqlscan.Pos
+}
+
+func (*ShowProcessListStmt) stmtNode() {}
+
+// KillStmt requests cooperative cancellation of the in-flight
+// statement with the given process ID: `KILL <pid>`. Stratum-level.
+type KillStmt struct {
+	PID int64
+	Pos sqlscan.Pos
+}
+
+func (*KillStmt) stmtNode() {}
+
 // ---------- DML ----------
 
 // InsertStmt inserts rows from a VALUES list or a query. Table-valued

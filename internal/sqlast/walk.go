@@ -118,7 +118,7 @@ func Walk(n Node, visit func(Node) bool) {
 		Walk(x.Body, visit)
 	case *ExplainStmt:
 		Walk(x.Body, visit)
-	case *AnalyzeStmt:
+	case *AnalyzeStmt, *ShowProcessListStmt, *KillStmt:
 		// No sub-nodes.
 	case *InsertStmt:
 		Walk(x.Source, visit)
@@ -262,7 +262,7 @@ func MapExprs(n Node, f func(Expr) Expr) {
 		MapExprs(x.Body, f)
 	case *ExplainStmt:
 		MapExprs(x.Body, f)
-	case *AnalyzeStmt:
+	case *AnalyzeStmt, *ShowProcessListStmt, *KillStmt:
 		// No expressions.
 	case *InsertStmt:
 		MapExprs(x.Source, f)

@@ -244,6 +244,22 @@ func (p *parser) parseStatement() (sqlast.Stmt, error) {
 			s.Table = name
 		}
 		return s, nil
+	case p.isWord("SHOW"):
+		s := &sqlast.ShowProcessListStmt{Pos: p.tok().Pos}
+		p.next()
+		if err := p.expectWord("PROCESSLIST"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.isWord("KILL"):
+		s := &sqlast.KillStmt{Pos: p.tok().Pos}
+		p.next()
+		pid, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		s.PID = int64(pid)
+		return s, nil
 	default:
 		return nil, p.errf("unexpected token %q at start of statement", p.tok().Text)
 	}

@@ -233,6 +233,70 @@ func (r *Runner) MeasureOverhead(contextDays, reps int) OverheadStat {
 	return o
 }
 
+// MeasureProcOverhead compares the MAX workload at one context length
+// with the in-flight process registry off, off again (the A/A noise
+// bound), and on, using MeasureOverhead's interleaved per-query-
+// minimum methodology. Tracing stays off throughout, so the on/off
+// delta isolates the registry itself: statement registration, the
+// atomic progress mirrors on the scan and fragment paths, and the
+// kill-flag polls. SampledNS/SampledOverheadPct carry the registry-on
+// numbers.
+func (r *Runner) MeasureProcOverhead(contextDays, reps int) OverheadStat {
+	if reps < 1 {
+		reps = 1
+	}
+	o := OverheadStat{
+		Workload: "process registry, MAX sweep, context " + ContextLabel(contextDays),
+		Reps:     reps,
+	}
+	r.DB.SetTraceSampling(0)
+	r.DB.SetProcessRegistry(true)
+	defer r.DB.SetProcessRegistry(true)
+	r.runWorkload(contextDays) // warm-up: translation/CP caches, fnmemo
+	minInto := func(best, pass []time.Duration) []time.Duration {
+		if best == nil {
+			return pass
+		}
+		for i, d := range pass {
+			if d < best[i] {
+				best[i] = d
+			}
+		}
+		return best
+	}
+	pass := func(on bool) []time.Duration {
+		runtime.GC()
+		r.DB.SetProcessRegistry(on)
+		return r.runWorkload(contextDays)
+	}
+	var off, offRepeat, on []time.Duration
+	for i := 0; i < reps; i++ {
+		a, b := pass(false), pass(false)
+		if i%2 == 1 {
+			a, b = b, a
+		}
+		off = minInto(off, a)
+		offRepeat = minInto(offRepeat, b)
+		on = minInto(on, pass(true))
+	}
+
+	sum := func(ds []time.Duration) int64 {
+		var t time.Duration
+		for _, d := range ds {
+			t += d
+		}
+		return int64(t)
+	}
+	o.OffNS = sum(off)
+	o.OffRepeatNS = sum(offRepeat)
+	o.SampledNS = sum(on)
+	if o.OffNS > 0 {
+		o.OffOverheadPct = 100 * float64(o.OffRepeatNS-o.OffNS) / float64(o.OffNS)
+		o.SampledOverheadPct = 100 * float64(o.SampledNS-o.OffNS) / float64(o.OffNS)
+	}
+	return o
+}
+
 // MeasureBatch compares the MAX workload at one context length with
 // the batched-execution features (shared prepared plan + sweep-line
 // join) on versus off, using MeasureOverhead's interleaved per-query-

@@ -487,6 +487,15 @@ func (st *Store) Bytes() int64 {
 	return st.walBytes
 }
 
+// Failed reports whether the store is poisoned: a checkpoint failed
+// partway, so Append refuses every batch until a checkpoint succeeds.
+// Health endpoints surface this state instead of a silent write-stall.
+func (st *Store) Failed() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.failed
+}
+
 // Close ends the store session. Appended records are already durable
 // (every Append fsyncs), so closing only releases the log file.
 func (st *Store) Close() error {

@@ -3,6 +3,7 @@ package taupsm
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taupsm/internal/check"
@@ -77,13 +78,35 @@ func chunkCPTable(cp *storage.Table, lo, hi int) *storage.Table {
 	return t
 }
 
+// parallelChunkSize bounds the constant periods per work unit: small
+// enough that the process entry's progress counters advance many
+// times per statement (and a kill lands at the next chunk boundary),
+// large enough that per-chunk execution setup stays amortized.
+func parallelChunkSize(n, workers int) int {
+	size := n / (workers * 8)
+	if size < 1 {
+		return 1
+	}
+	if size > 64 {
+		return 64
+	}
+	return size
+}
+
 // runParallelMain evaluates the main statement across a bounded worker
-// pool, one contiguous chunk of constant periods per worker. Because
-// the translator prepends cp as the first FROM entry, the serial
-// engine iterates periods outermost — so concatenating chunk results
-// in chunk order reproduces the serial row order exactly. Each worker
-// runs on its own engine session; the per-worker journals are merged
+// pool pulling bounded-size chunks of constant periods from a shared
+// queue. Because the translator prepends cp as the first FROM entry,
+// the serial engine iterates periods outermost — so concatenating
+// chunk results in chunk-index order reproduces the serial row order
+// exactly, regardless of which worker ran which chunk. Each worker
+// runs on its own engine session; the per-worker stats are merged
 // into e's in worker-index order, deterministically.
+//
+// Workers inherit the statement's process entry through NewSession:
+// every completed chunk advances the shared constant-period/fragment
+// progress counters, and each chunk boundary polls the kill switch —
+// a KILL (or cancelled client context) stops the queue and surfaces
+// the cancellation cause as the statement error.
 //
 // Under tracing, each worker emits a stratum.worker span parented to
 // the execute span; the engine spans it produces parent to the worker
@@ -95,15 +118,19 @@ func (db *DB) runParallelMain(st *stmtState, e *engine.DB, t *core.Translation, 
 	if k > n {
 		k = n
 	}
+	chunkSize := parallelChunkSize(n, k)
+	nchunks := (n + chunkSize - 1) / chunkSize
 	type chunkOut struct {
-		res   *engine.Result
-		err   error
-		stats engine.Stats
+		res *engine.Result
+		err error
 	}
-	outs := make([]chunkOut, k)
+	outs := make([]chunkOut, nchunks)
+	wstats := make([]engine.Stats, k)
+	var next atomic.Int64
+	var stop atomic.Bool
+	e.Proc.SetWorkers(int64(k))
 	var wg sync.WaitGroup
 	for w := 0; w < k; w++ {
-		lo, hi := w*n/k, (w+1)*n/k
 		ses := e.NewSession()
 		// The parallel-safety gate proves the statement write-free, so
 		// workers don't journal; sharing e's journal would race.
@@ -112,31 +139,57 @@ func (db *DB) runParallelMain(st *stmtState, e *engine.DB, t *core.Translation, 
 		if st.traced() {
 			ses.Trace, workerID = e.Trace.Child()
 		}
-		chunk := chunkCPTable(cp, lo, hi)
 		wg.Add(1)
-		go func(w int, ses *engine.DB, chunk *storage.Table, workerID obs.SpanID) {
+		go func(w int, ses *engine.DB, workerID obs.SpanID) {
 			defer wg.Done()
 			start := time.Now()
-			// Workers share the read-only prepared plan: the first one to
-			// need a source relation or hash table builds it, the rest
-			// reuse it (the statement is write-free here, so the plan's
-			// version stamps stay valid for the whole run).
-			res, err := ses.ExecPreparedWithTables(prep, t.Main, map[string]*storage.Table{
-				"taupsm_cp": chunk,
-			})
+			periods := 0
+			var werr error
+			for !stop.Load() {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunks {
+					break
+				}
+				if err := ses.Proc.Killed(); err != nil {
+					outs[ci] = chunkOut{err: err}
+					stop.Store(true)
+					break
+				}
+				lo := ci * chunkSize
+				hi := lo + chunkSize
+				if hi > n {
+					hi = n
+				}
+				// Workers share the read-only prepared plan: the first one to
+				// need a source relation or hash table builds it, the rest
+				// reuse it (the statement is write-free here, so the plan's
+				// version stamps stay valid for the whole run).
+				res, err := ses.ExecPreparedWithTables(prep, t.Main, map[string]*storage.Table{
+					"taupsm_cp": chunkCPTable(cp, lo, hi),
+				})
+				outs[ci] = chunkOut{res: res, err: err}
+				if err != nil {
+					werr = err
+					stop.Store(true)
+					break
+				}
+				periods += hi - lo
+				ses.Proc.AddCPDone(int64(hi - lo))
+				ses.Proc.AddFragsDone(int64(hi - lo))
+			}
 			if workerID != 0 {
 				attrs := []obs.Attr{
 					obs.AInt("worker", int64(w)),
-					obs.AInt("periods", int64(len(chunk.Rows))),
+					obs.AInt("periods", int64(periods)),
 				}
-				if err != nil {
-					attrs = append(attrs, obs.A("error", err.Error()))
+				if werr != nil {
+					attrs = append(attrs, obs.A("error", werr.Error()))
 				}
 				st.tr.Span(obs.Span{Name: "stratum.worker", Start: start, Dur: time.Since(start),
 					Trace: e.Trace.Trace, ID: workerID, Parent: e.Trace.Span, Attrs: attrs})
 			}
-			outs[w] = chunkOut{res: res, err: err, stats: ses.Stats}
-		}(w, ses, chunk, workerID)
+			wstats[w] = ses.Stats
+		}(w, ses, workerID)
 	}
 	wg.Wait()
 
@@ -145,9 +198,11 @@ func (db *DB) runParallelMain(st *stmtState, e *engine.DB, t *core.Translation, 
 	if st != nil {
 		st.workers = k
 	}
+	for _, s := range wstats {
+		e.Stats.Merge(s)
+	}
 	merged := &engine.Result{}
 	for _, o := range outs {
-		e.Stats.Merge(o.stats)
 		if o.err != nil {
 			return nil, o.err
 		}

@@ -31,6 +31,7 @@ type SlowLogStages struct {
 type SlowLogEntry struct {
 	Time      string        `json:"time"`
 	TraceID   string        `json:"trace_id,omitempty"`
+	ProcessID int64         `json:"process_id,omitempty"`
 	Digest    string        `json:"digest,omitempty"`
 	Statement string        `json:"statement"`
 	Kind      string        `json:"kind"`
@@ -121,6 +122,7 @@ func (db *DB) maybeSlowLog(st *stmtState, stmt sqlast.Stmt, total time.Duration,
 	if st.root.Trace != 0 {
 		ent.TraceID = st.root.Trace.String()
 	}
+	ent.ProcessID = st.procID
 	if execErr != nil {
 		ent.Error = execErr.Error()
 	}

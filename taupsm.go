@@ -39,6 +39,7 @@ import (
 	"taupsm/internal/core"
 	"taupsm/internal/engine"
 	"taupsm/internal/obs"
+	"taupsm/internal/proc"
 	"taupsm/internal/sqlast"
 	"taupsm/internal/sqlparser"
 	"taupsm/internal/stats"
@@ -82,6 +83,13 @@ type DB struct {
 	ring      *obs.Ring
 	sampleN   atomic.Int64
 	sampleCtr atomic.Uint64
+
+	// procs is the always-on in-flight statement registry: every user
+	// statement registers a process entry whose progress counters the
+	// engine and the parallel workers update, and which SHOW
+	// PROCESSLIST, tau_stat_activity, the REPL and /processlist read
+	// live. KILL works through it. See process.go.
+	procs *proc.Registry
 
 	// slowW/slowMin configure the structured slow-query log; slowMu
 	// serializes entry writes so concurrent statements never interleave
@@ -155,7 +163,9 @@ func newDB(eng *engine.DB, metrics *obs.Metrics) *DB {
 		cpcache:    map[string]*cpEntry{},
 		lintCache:  map[string][]Diagnostic{},
 		ring:       obs.NewRing(0),
+		procs:      proc.NewRegistry(),
 	}
+	eng.Procs = db.procs
 	db.sm = newStratumMetrics(db.metrics)
 	db.sm.parWorkers.Set(int64(db.par))
 	eng.Metrics = db.metrics
@@ -460,6 +470,21 @@ func (db *DB) ExecParsedContext(ctx context.Context, stmt sqlast.Stmt) (*Result,
 		db.noteStatementProfile(stmt, "current", "", d, err != nil)
 		return res, err
 	}
+	if _, ok := stmt.(*sqlast.ShowProcessListStmt); ok {
+		start := time.Now()
+		res := db.processListResult()
+		db.noteLastStatement(0, time.Since(start))
+		return res, nil
+	}
+	if k, ok := stmt.(*sqlast.KillStmt); ok {
+		start := time.Now()
+		err := db.Kill(k.PID)
+		db.noteLastStatement(0, time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
 	res, _, err := db.execStatement(ctx, stmt)
 	return res, err
 }
@@ -475,6 +500,13 @@ func (db *DB) execStatement(ctx context.Context, stmt sqlast.Stmt) (*Result, *st
 		c.Inc()
 	}
 	st := db.beginStmt(ctx, kind)
+	// Process registration is independent of tracing: the registry is
+	// always on (st is nil whenever tracing and the slow log are off).
+	pr := db.beginProcess(ctx, stmt, st, kind)
+	defer db.procs.Finish(pr)
+	if st != nil && pr != nil {
+		st.procID = pr.ID
+	}
 	start := time.Now()
 
 	// CREATE-time validation: routine definitions pass through the
@@ -484,6 +516,7 @@ func (db *DB) execStatement(ctx context.Context, stmt sqlast.Stmt) (*Result, *st
 	var warnings []Diagnostic
 	switch stmt.(type) {
 	case *sqlast.CreateFunctionStmt, *sqlast.CreateProcedureStmt:
+		pr.SetStage("lint")
 		var cerr error
 		warnings, cerr = db.timedLint(st, stmt)
 		if cerr != nil {
@@ -492,15 +525,19 @@ func (db *DB) execStatement(ctx context.Context, stmt sqlast.Stmt) (*Result, *st
 		}
 	}
 
+	pr.SetStage("translate")
 	t, ent, err := db.timedTranslate(st, stmt, kind)
 	if err != nil {
 		db.finishStmt(st, stmt, start, time.Since(start), err)
 		return nil, st, err
 	}
-	if st != nil && t != nil && kind == "sequenced" {
-		st.strategy = t.Strategy.String()
+	if t != nil && kind == "sequenced" {
+		if st != nil {
+			st.strategy = t.Strategy.String()
+		}
+		pr.SetStrategy(t.Strategy.String())
 	}
-	res, err := db.timedRun(st, t, ent, kind)
+	res, err := db.timedRun(st, pr, t, ent, kind)
 	if err != nil {
 		db.finishStmt(st, stmt, start, time.Since(start), err)
 		return nil, st, err
@@ -614,8 +651,9 @@ func (db *DB) cachedTranslate(st *stmtState, stmt sqlast.Stmt) (*core.Translatio
 // deltas before merging it into the shared engine statistics. The
 // journal commit (WAL append + fsync) is timed as its own stage with
 // its own stratum.commit span.
-func (db *DB) timedRun(st *stmtState, t *core.Translation, ent *translationEntry, kind string) (*engine.Result, error) {
+func (db *DB) timedRun(st *stmtState, pr *proc.Process, t *core.Translation, ent *translationEntry, kind string) (*engine.Result, error) {
 	ses := db.eng.NewSession()
+	ses.Proc = pr
 	// One journal spans the whole user statement: a sequenced DML
 	// translation is several engine statements, but commits (and rolls
 	// back) as a unit.
@@ -626,11 +664,27 @@ func (db *DB) timedRun(st *stmtState, t *core.Translation, ent *translationEntry
 		ses.Tracer = st.tr
 		ses.Trace, execID = st.root.Child()
 	}
+	pr.SetStage("execute")
 	start := time.Now()
 	res, err := db.runTranslation(st, ses, ent, t)
 	d := time.Since(start)
-	if cerr := db.commitJournal(st, j); cerr != nil && err == nil {
-		res, err = nil, cerr
+	pr.SetWALPending(int64(j.Len()))
+	if err != nil && pr.KilledBy(err) {
+		// A killed statement must leave storage as if it never ran:
+		// undo everything it journaled and skip the WAL append. The
+		// journal's undo closures also revert the statistics the
+		// partial execution recorded, and translation-cache entries
+		// whose registrations were undone re-pin on next use.
+		pr.SetStage("rollback")
+		j.RollbackAll()
+		pr.SetWALPending(0)
+		res = nil
+	} else {
+		pr.SetStage("commit")
+		if cerr := db.commitJournal(st, j); cerr != nil && err == nil {
+			res, err = nil, cerr
+		}
+		pr.SetWALPending(0)
 	}
 	db.sm.executeNS.Record(d)
 	delta := ses.Stats
@@ -896,12 +950,16 @@ func (db *DB) runNative(st *stmtState, e *engine.DB, ent *translationEntry, t *c
 	if err != nil {
 		return nil, err
 	}
+	e.Proc.SetStage("constant-periods")
 	cpTab := db.constantPeriodTable(st, e.Trace, t, ctxPeriod)
 	db.sm.cpLast.Set(int64(len(cpTab.Rows)))
 	db.sm.cpTotal.Add(int64(len(cpTab.Rows)))
 	if st != nil {
 		st.cps = int64(len(cpTab.Rows))
 	}
+	e.Proc.SetCPTotal(int64(len(cpTab.Rows)))
+	e.Proc.SetFragsTotal(int64(len(cpTab.Rows)))
+	e.Proc.SetStage("execute")
 	db.recordFragments(st, t)
 	if t.Main == nil {
 		return &engine.Result{}, nil
@@ -931,7 +989,14 @@ func (db *DB) runNative(st *stmtState, e *engine.DB, ent *translationEntry, t *c
 	if par := db.Parallelism(); par > 1 && len(cpTab.Rows) > 1 && safe {
 		return db.runParallelMain(st, e, t, cpTab, par, prep)
 	}
-	return e.ExecPreparedWithTables(prep, t.Main, map[string]*storage.Table{"taupsm_cp": cpTab})
+	res, err := e.ExecPreparedWithTables(prep, t.Main, map[string]*storage.Table{"taupsm_cp": cpTab})
+	if err == nil {
+		// The serial path evaluates every period in one engine
+		// statement, so period progress resolves at completion.
+		e.Proc.AddCPDone(int64(len(cpTab.Rows)))
+		e.Proc.AddFragsDone(int64(len(cpTab.Rows)))
+	}
+	return res, err
 }
 
 // recordFragments is traced-mode-only fragment accounting (it walks

@@ -130,6 +130,9 @@ type stmtState struct {
 
 	kind     string
 	strategy string
+	// procID is the statement's process-list entry ID, joining slow-log
+	// lines and EXPLAIN ANALYZE output against live introspection.
+	procID int64
 	// total is the statement's end-to-end duration, set by finishStmt.
 	total time.Duration
 

@@ -1,0 +1,19 @@
+package taupsm
+
+import "runtime"
+
+// Version identifies this taupsm build. It feeds the taupsm -version
+// flag and the tau_build_info gauge on /metrics.
+const Version = "0.10.0"
+
+// BuildInfo returns the identifying facts of this build as labels for
+// the tau_build_info gauge: release version, Go toolchain version, and
+// target platform.
+func BuildInfo() map[string]string {
+	return map[string]string{
+		"version":   Version,
+		"goversion": runtime.Version(),
+		"goos":      runtime.GOOS,
+		"goarch":    runtime.GOARCH,
+	}
+}
